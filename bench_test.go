@@ -1,0 +1,246 @@
+package vpart_test
+
+// Benchmarks, one per table of the paper's evaluation (Section 5) plus
+// ablation and micro benchmarks. The table benchmarks run the experiment
+// harness in its quick configuration; the full configuration is available
+// through cmd/vpart-experiments (see EXPERIMENTS.md for measured results and
+// the comparison against the paper).
+
+import (
+	"testing"
+	"time"
+
+	"vpart"
+	"vpart/internal/experiments"
+)
+
+// benchConfig is the harness configuration used by the table benchmarks:
+// quick instance lists with a short per-solve QP limit so a full -bench=.
+// run stays in the minutes range.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Quick:       true,
+		Seed:        1,
+		QPTimeLimit: 3 * time.Second,
+	}
+}
+
+// BenchmarkTable1ParameterSweep regenerates Table 1: the influence of the six
+// random-instance parameters on the SA solver's cost.
+func BenchmarkTable1ParameterSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() != 18 {
+			b.Fatalf("unexpected row count %d", tbl.NumRows())
+		}
+	}
+}
+
+// BenchmarkTable3QPvsSA regenerates Table 3: exact QP versus the SA heuristic
+// on TPC-C and the random instance classes.
+func BenchmarkTable3QPvsSA(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable4TPCCPartitioning regenerates Table 4: the TPC-C layout
+// produced by the QP solver for three sites.
+func BenchmarkTable4TPCCPartitioning(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Table4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty layout")
+		}
+	}
+}
+
+// BenchmarkTable5Replication regenerates Table 5: disjoint versus replicated
+// partitioning.
+func BenchmarkTable5Replication(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable6LocalVsRemote regenerates Table 6: local (p = 0) versus
+// remote (p > 0) partition placement.
+func BenchmarkTable6LocalVsRemote(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Table6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkLatencyExtension exercises the Appendix A latency extension
+// (ablation).
+func BenchmarkLatencyExtension(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LatencyAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteAccountingAblation compares the three A_W accounting modes of
+// Section 2.1 (ablation).
+func BenchmarkWriteAccountingAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.WriteAccountingAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupingAblation measures the effect of the reasonable-cuts
+// attribute grouping on the QP solver (ablation).
+func BenchmarkGroupingAblation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GroupingAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLambdaSweep measures the cost/load-balance trade-off (ablation).
+func BenchmarkLambdaSweep(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LambdaSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorValidation cross-checks the cost model against the
+// execution simulator.
+func BenchmarkSimulatorValidation(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SimulatorValidation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro benchmarks -------------------------------------------------------
+
+// BenchmarkCostEvaluationTPCC measures a single evaluation of the analytical
+// cost model on TPC-C (the hot path of the SA solver).
+func BenchmarkCostEvaluationTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	m, err := vpart.NewModel(inst, vpart.DefaultModelOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := vpart.FullReplicationPartitioning(m, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.Evaluate(p)
+		if c.Objective <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// BenchmarkAttributeGroupingTPCC measures the reasonable-cuts preprocessing.
+func BenchmarkAttributeGroupingTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vpart.GroupAttributes(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSASolverTPCC measures a full SA solve of TPC-C onto 3 sites.
+func BenchmarkSASolverTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Partitioning == nil {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+// BenchmarkQPSolverTPCC measures a full exact QP solve of TPC-C onto 2 sites.
+func BenchmarkQPSolverTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: 2, Algorithm: vpart.AlgorithmQP, SeedWithSA: true, TimeLimit: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Partitioning == nil {
+			b.Fatal("no solution")
+		}
+	}
+}
+
+// BenchmarkSimulatorTPCC measures one simulated execution of the TPC-C
+// workload against a 3-site partitioned cluster.
+func BenchmarkSimulatorTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	mo := vpart.DefaultModelOptions()
+	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA, Model: &mo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vpart.Simulate(inst, mo, sol.Partitioning, vpart.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomInstanceGeneration measures the Table 2 class generator.
+func BenchmarkRandomInstanceGeneration(b *testing.B) {
+	params := vpart.ClassA(16, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vpart.RandomInstance(params, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

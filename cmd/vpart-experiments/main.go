@@ -1,0 +1,127 @@
+// Command vpart-experiments regenerates the tables of the paper's evaluation
+// section (Section 5) and the additional ablation studies of this
+// reproduction.
+//
+// Usage examples:
+//
+//	vpart-experiments -table all -quick
+//	vpart-experiments -table 3 -qp-timeout 30m
+//	vpart-experiments -table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vpart/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vpart-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vpart-experiments", flag.ContinueOnError)
+	var (
+		table     = fs.String("table", "all", "which table to regenerate: 1..6, ablations, validation or all")
+		quick     = fs.Bool("quick", false, "use the reduced instance list and short time limits")
+		seed      = fs.Int64("seed", 1, "random seed for instance generation and the SA solver")
+		qpTimeout = fs.Duration("qp-timeout", 0, "QP time limit per solve (default 120s, 10s with -quick; the paper used 30m)")
+		verbose   = fs.Bool("v", false, "print progress while solving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{
+		Quick:       *quick,
+		Seed:        *seed,
+		QPTimeLimit: *qpTimeout,
+	}
+	if *verbose {
+		cfg.Log = func(format string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	start := time.Now()
+	defer func() {
+		fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start).Round(time.Second))
+	}()
+
+	switch *table {
+	case "1":
+		tbl, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	case "2":
+		fmt.Println(experiments.Table2(cfg))
+	case "3":
+		tbl, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	case "4":
+		out, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	case "5":
+		tbl, err := experiments.Table5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	case "6":
+		tbl, err := experiments.Table6(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	case "ablations":
+		for _, f := range []func(experiments.Config) (fmt.Stringer, error){
+			wrap(experiments.WriteAccountingAblation),
+			wrap(experiments.GroupingAblation),
+			wrap(experiments.LatencyAblation),
+			wrap(experiments.LambdaSweep),
+		} {
+			tbl, err := f(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tbl)
+		}
+	case "validation":
+		tbl, err := experiments.SimulatorValidation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl)
+	case "all":
+		sections, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.WriteSections(os.Stdout, sections)
+	default:
+		return fmt.Errorf("unknown table %q (want 1..6, ablations, validation or all)", *table)
+	}
+	return nil
+}
+
+// wrap adapts the texttable-returning ablation functions to fmt.Stringer.
+func wrap[T fmt.Stringer](f func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, error) {
+		v, err := f(cfg)
+		return v, err
+	}
+}

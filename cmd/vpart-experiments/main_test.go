@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, runErr
+}
+
+func TestRunTable2(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-table", "2"}) })
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(out, "rndAt8x15") || !strings.Contains(out, "#tables") {
+		t.Errorf("table 2 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "validation", "-quick", "-qp-timeout", "2s"})
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(out, "execution simulator") {
+		t.Errorf("validation output missing:\n%s", out)
+	}
+}
+
+func TestRunTable4Quick(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-table", "4", "-quick", "-qp-timeout", "3s", "-v"})
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(out, "Site 1") || !strings.Contains(out, "Site 3") {
+		t.Errorf("table 4 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-table", "42"}) }); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

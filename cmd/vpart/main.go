@@ -1,0 +1,173 @@
+// Command vpart partitions a problem instance onto a number of sites and
+// prints the resulting layout and its cost breakdown.
+//
+// Usage examples:
+//
+//	vpart -tpcc -sites 3 -solver qp
+//	vpart -instance myapp.json -sites 4 -solver sa -p 8 -lambda 0.1
+//	vpart -class rndAt8x15 -sites 2 -disjoint -out layout.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vpart"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vpart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vpart", flag.ContinueOnError)
+	var (
+		instancePath = fs.String("instance", "", "path to a problem instance JSON file")
+		useTPCC      = fs.Bool("tpcc", false, "use the built-in TPC-C v5 instance")
+		className    = fs.String("class", "", "generate a named random instance class (e.g. rndAt8x15)")
+		seed         = fs.Int64("seed", 1, "random seed for instance generation and the SA solver")
+		sites        = fs.Int("sites", 2, "number of sites |S|")
+		solver       = fs.String("solver", "sa", "solver: qp (exact) or sa (heuristic)")
+		penalty      = fs.Float64("p", vpart.DefaultPenalty, "network penalty factor p (0 = local placement)")
+		lambda       = fs.Float64("lambda", vpart.DefaultLambda, "cost vs load balancing weight λ in [0,1]")
+		latency      = fs.Float64("latency", 0, "Appendix A latency penalty p_l (0 = disabled)")
+		disjoint     = fs.Bool("disjoint", false, "forbid attribute replication")
+		noGrouping   = fs.Bool("no-grouping", false, "disable the reasonable-cuts attribute grouping")
+		seedWithSA   = fs.Bool("seed-with-sa", true, "seed the QP solver with the SA solution")
+		timeout      = fs.Duration("timeout", 5*time.Minute, "solver time limit (0 = none)")
+		gap          = fs.Float64("gap", 0.001, "QP relative MIP gap")
+		layoutOut    = fs.String("out", "", "write the resulting assignment as JSON to this file")
+		ddlOut       = fs.String("ddl", "", "write per-site fragment DDL to this file")
+		reportOut    = fs.String("report", "", "write a markdown advisor report to this file")
+		quiet        = fs.Bool("quiet", false, "only print the cost summary, not the full layout")
+		verbose      = fs.Bool("v", false, "print solver progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inst, err := loadInstance(*instancePath, *useTPCC, *className, *seed)
+	if err != nil {
+		return err
+	}
+	st := inst.Stats()
+	fmt.Printf("instance: %s\n", st)
+
+	mo := vpart.DefaultModelOptions()
+	mo.Penalty = *penalty
+	mo.Lambda = *lambda
+	mo.LatencyPenalty = *latency
+
+	opts := vpart.SolveOptions{
+		Sites:           *sites,
+		Algorithm:       vpart.Algorithm(*solver),
+		Model:           &mo,
+		Disjoint:        *disjoint,
+		DisableGrouping: *noGrouping,
+		TimeLimit:       *timeout,
+		GapTol:          *gap,
+		SeedWithSA:      *seedWithSA,
+		Seed:            *seed,
+	}
+	if *verbose {
+		opts.Log = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	sol, err := vpart.Solve(inst, opts)
+	if err != nil {
+		return err
+	}
+	if sol.Partitioning == nil {
+		return fmt.Errorf("no feasible partitioning found within the limits (status: timed out)")
+	}
+
+	fmt.Printf("solver: %s  sites: %d  attribute groups: %d  runtime: %v\n",
+		sol.Algorithm, *sites, sol.AttributeGroups, sol.Runtime.Round(time.Millisecond))
+	if sol.Algorithm == vpart.AlgorithmQP {
+		fmt.Printf("optimal: %v  gap: %.4f  nodes: %d\n", sol.Optimal, sol.Gap, sol.Nodes)
+	}
+	c := sol.Cost
+	fmt.Printf("objective (4): %.0f bytes   [A_R=%.0f  A_W=%.0f  B=%.0f  p·B=%.0f]\n",
+		c.Objective, c.ReadAccess, c.WriteAccess, c.Transfer, mo.Penalty*c.Transfer)
+	fmt.Printf("objective (6): %.0f   max site work: %.0f\n", c.Balanced, c.MaxWork)
+	for s, w := range c.SiteWork {
+		fmt.Printf("  site %d work: %.0f\n", s+1, w)
+	}
+	baseline, err := vpart.Evaluate(inst, mo, vpart.SingleSitePartitioning(sol.Model, 1))
+	if err == nil && baseline.Objective > 0 {
+		fmt.Printf("single-site baseline: %.0f  (reduction %.1f%%)\n",
+			baseline.Objective, 100*(1-c.Objective/baseline.Objective))
+	}
+
+	if !*quiet {
+		fmt.Println()
+		fmt.Println(sol.Partitioning.Format(sol.Model))
+	}
+	if *layoutOut != "" {
+		as := sol.Partitioning.ToAssignment(sol.Model)
+		if err := vpart.SaveAssignment(*layoutOut, as); err != nil {
+			return err
+		}
+		fmt.Printf("assignment written to %s\n", *layoutOut)
+	}
+	if *ddlOut != "" {
+		ddl, err := vpart.DDL(sol)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*ddlOut, []byte(ddl), 0o644); err != nil {
+			return fmt.Errorf("write DDL: %w", err)
+		}
+		fmt.Printf("fragment DDL written to %s\n", *ddlOut)
+	}
+	if *reportOut != "" {
+		rep, err := vpart.Report(sol)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportOut, []byte(rep), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Printf("report written to %s\n", *reportOut)
+	}
+	return nil
+}
+
+// loadInstance resolves the instance from the mutually exclusive input flags.
+func loadInstance(path string, useTPCC bool, class string, seed int64) (*vpart.Instance, error) {
+	selected := 0
+	if path != "" {
+		selected++
+	}
+	if useTPCC {
+		selected++
+	}
+	if class != "" {
+		selected++
+	}
+	if selected == 0 {
+		return nil, fmt.Errorf("select an instance with -instance, -tpcc or -class")
+	}
+	if selected > 1 {
+		return nil, fmt.Errorf("-instance, -tpcc and -class are mutually exclusive")
+	}
+	switch {
+	case useTPCC:
+		return vpart.TPCC(), nil
+	case class != "":
+		params, ok := vpart.RandomClass(class)
+		if !ok {
+			return nil, fmt.Errorf("unknown instance class %q (see vpart-gen -list)", class)
+		}
+		return vpart.RandomInstance(params, seed)
+	default:
+		return vpart.LoadInstance(path)
+	}
+}

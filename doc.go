@@ -1,0 +1,46 @@
+// Package vpart is a vertical partitioning advisor for relational OLTP
+// databases with an H-store-like (shared-nothing, main-memory) architecture.
+// It is a from-scratch Go implementation of
+//
+//	R. R. Amossen, "Vertical partitioning of relational OLTP databases using
+//	integer programming", ICDE 2010 (arXiv:0911.1691).
+//
+// Given a schema, a workload (transactions made of read/write queries with
+// simple statistics) and a number of sites, the library computes an
+// assignment of every transaction to one site and of every attribute
+// (column) to one or more sites such that
+//
+//   - read queries stay single-sited (all attributes a transaction reads are
+//     co-located with it),
+//   - attributes may be replicated (or not, when a disjoint partitioning is
+//     requested),
+//   - the estimated cost — bytes read and written by the storage layer plus
+//     penalised bytes shipped between sites — is minimised, optionally traded
+//     off against balancing the per-site load with the λ parameter.
+//
+// Two solvers are provided: an exact one (Algorithm "qp") that builds the
+// paper's linearised 0/1 program and solves it with a built-in
+// branch-and-bound MIP solver, and a scalable simulated annealing heuristic
+// (Algorithm "sa"). Both can be combined: the QP solver accepts the SA
+// solution as a starting incumbent.
+//
+// # Quick start
+//
+//	inst := vpart.TPCC()
+//	sol, err := vpart.Solve(inst, vpart.SolveOptions{
+//	        Sites:     3,
+//	        Algorithm: vpart.AlgorithmSA,
+//	})
+//	if err != nil { ... }
+//	fmt.Printf("cost %.0f bytes, %v\n", sol.Cost.Objective, sol.Runtime)
+//	fmt.Println(sol.Partitioning.Format(sol.Model))
+//
+// The package also bundles the TPC-C v5 instance used in the paper's
+// evaluation (TPCC), the paper's random instance generator (RandomInstance,
+// ClassA, ClassB), an execution simulator that replays a workload against a
+// partitioned in-memory row store (Simulate), and JSON (de)serialisation of
+// instances and partitionings.
+//
+// The experiment harness that regenerates every table of the paper lives in
+// cmd/vpart-experiments; see EXPERIMENTS.md for the measured results.
+package vpart

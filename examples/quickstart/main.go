@@ -1,0 +1,97 @@
+// Quickstart: define a tiny schema and workload by hand, partition it onto
+// two sites with both solvers and print the layouts and costs.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vpart"
+)
+
+func main() {
+	// A small web-shop style schema: a wide Users table and an Orders table.
+	inst := &vpart.Instance{
+		Name: "webshop",
+		Schema: vpart.Schema{Tables: []vpart.Table{
+			{Name: "Users", Attributes: []vpart.Attribute{
+				{Name: "id", Width: 8},
+				{Name: "email", Width: 40},
+				{Name: "password_hash", Width: 64},
+				{Name: "full_name", Width: 40},
+				{Name: "address", Width: 120},
+				{Name: "last_login", Width: 8},
+				{Name: "balance", Width: 8},
+			}},
+			{Name: "Orders", Attributes: []vpart.Attribute{
+				{Name: "id", Width: 8},
+				{Name: "user_id", Width: 8},
+				{Name: "created_at", Width: 8},
+				{Name: "status", Width: 4},
+				{Name: "total", Width: 8},
+				{Name: "shipping_address", Width: 120},
+			}},
+		}},
+		Workload: vpart.Workload{Transactions: []vpart.Transaction{
+			{
+				// Login touches only a narrow slice of Users, very often.
+				Name: "Login",
+				Queries: append(
+					[]vpart.Query{vpart.NewRead("getCredentials", "Users",
+						[]string{"id", "email", "password_hash"}, 1, 100)},
+					vpart.NewUpdate("touchLastLogin", "Users",
+						[]string{"id", "last_login"}, []string{"last_login"}, 1, 100)...),
+			},
+			{
+				// Checkout reads the user's balance and writes an order row.
+				Name: "Checkout",
+				Queries: append(
+					vpart.NewUpdate("chargeBalance", "Users",
+						[]string{"id", "balance"}, []string{"balance"}, 1, 20),
+					vpart.NewWrite("insertOrder", "Orders",
+						[]string{"id", "user_id", "created_at", "status", "total", "shipping_address"}, 1, 20)),
+			},
+			{
+				// The account page reads the wide profile columns, rarely.
+				Name: "AccountPage",
+				Queries: []vpart.Query{
+					vpart.NewRead("getProfile", "Users",
+						[]string{"id", "email", "full_name", "address", "balance"}, 1, 5),
+					vpart.NewRead("listOrders", "Orders",
+						[]string{"id", "user_id", "created_at", "status", "total"}, 10, 5),
+				},
+			},
+		}},
+	}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(inst.Stats())
+
+	// Baseline: everything on a single site.
+	model, err := vpart.NewModel(inst, vpart.DefaultModelOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	single := model.Evaluate(vpart.SingleSitePartitioning(model, 1))
+	fmt.Printf("single-site cost (objective 4): %.0f bytes per workload execution\n\n", single.Objective)
+
+	for _, alg := range []vpart.Algorithm{vpart.AlgorithmSA, vpart.AlgorithmQP} {
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites:      2,
+			Algorithm:  alg,
+			SeedWithSA: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s solver ===\n", alg)
+		fmt.Printf("cost: %.0f bytes (%.1f%% below single site), runtime %v\n",
+			sol.Cost.Objective, 100*(1-sol.Cost.Objective/single.Objective), sol.Runtime)
+		fmt.Println(sol.Partitioning.Format(sol.Model))
+	}
+}

@@ -1,0 +1,21 @@
+// Package core implements the domain model and analytical cost model of
+// Amossen, "Vertical partitioning of relational OLTP databases using integer
+// programming" (ICDE 2010).
+//
+// The package contains:
+//
+//   - the schema/workload/statistics input model (Schema, Table, Attribute,
+//     Query, Transaction, Workload, Instance),
+//   - the compiled cost model (Model) with the paper's indicator constants
+//     α, β, γ, δ, ϕ, the per-attribute/query weights W(a,q) and the derived
+//     coefficients c1–c4 of objective (4)/(6),
+//   - the Partitioning type (assignment of transactions and attributes to
+//     sites) together with feasibility validation,
+//   - cost evaluation (objective (4), the load balanced objective (6), the
+//     per-site work of equation (5), and the Appendix A latency extension),
+//   - the "reasonable cuts" attribute grouping preprocessing of Section 4,
+//   - JSON (de)serialisation of problem instances.
+//
+// Everything downstream (the QP solver, the SA solver, the experiment
+// harness and the execution simulator) is built on top of this package.
+package core

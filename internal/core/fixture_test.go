@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testInstance builds the small two-table instance used by the hand-computed
+// tests in this package:
+//
+//	Table R: a1 (4 bytes), a2 (8), a3 (2)
+//	Table S: b1 (4), b2 (16)
+//
+//	Txn T1: q1 = read  R{a1,a2}  rows=1  freq=1
+//	        q2 = write S{b1}     rows=1  freq=2
+//	Txn T2: q3 = read  S{b1,b2}  rows=10 freq=1
+func testInstance() *Instance {
+	return &Instance{
+		Name: "unit-fixture",
+		Schema: Schema{Tables: []Table{
+			{Name: "R", Attributes: []Attribute{
+				{Name: "a1", Width: 4}, {Name: "a2", Width: 8}, {Name: "a3", Width: 2},
+			}},
+			{Name: "S", Attributes: []Attribute{
+				{Name: "b1", Width: 4}, {Name: "b2", Width: 16},
+			}},
+		}},
+		Workload: Workload{Transactions: []Transaction{
+			{Name: "T1", Queries: []Query{
+				NewRead("q1", "R", []string{"a1", "a2"}, 1, 1),
+				NewWrite("q2", "S", []string{"b1"}, 1, 2),
+			}},
+			{Name: "T2", Queries: []Query{
+				NewRead("q3", "S", []string{"b1", "b2"}, 10, 1),
+			}},
+		}},
+	}
+}
+
+// testModel compiles the fixture with penalty p=2 and λ=0.1 (WriteAll).
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(testInstance(), ModelOptions{Penalty: 2, Lambda: 0.1, WriteAccounting: WriteAll})
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+// testPartitioning returns the feasible two-site layout used in the
+// hand-computed cost tests: T1 and all of R on site 0, T2 and all of S on
+// site 1.
+func testPartitioning(m *Model) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), 2)
+	p.TxnSite[0] = 0 // T1
+	p.TxnSite[1] = 1 // T2
+	set := func(table, attr string, site int) {
+		id, ok := m.AttrID(QualifiedAttr{Table: table, Attr: attr})
+		if !ok {
+			panic("unknown attr " + table + "." + attr)
+		}
+		p.AttrSites[id][site] = true
+	}
+	set("R", "a1", 0)
+	set("R", "a2", 0)
+	set("R", "a3", 0)
+	set("S", "b1", 1)
+	set("S", "b2", 1)
+	return p
+}
+
+func attrID(t *testing.T, m *Model, table, attr string) int {
+	t.Helper()
+	id, ok := m.AttrID(QualifiedAttr{Table: table, Attr: attr})
+	if !ok {
+		t.Fatalf("unknown attribute %s.%s", table, attr)
+	}
+	return id
+}
+
+// randomInstance generates a small random but always-valid instance for
+// property style tests inside this package (the full-featured generator lives
+// in internal/randgen and cannot be imported here without inverting the
+// dependency direction).
+func randomInstance(rng *rand.Rand) *Instance {
+	numTables := 1 + rng.Intn(4)
+	inst := &Instance{Name: "prop"}
+	widths := []int{2, 4, 8, 16}
+	for ti := 0; ti < numTables; ti++ {
+		tbl := Table{Name: "t" + string(rune('A'+ti))}
+		numAttrs := 1 + rng.Intn(6)
+		for ai := 0; ai < numAttrs; ai++ {
+			tbl.Attributes = append(tbl.Attributes, Attribute{
+				Name:  "a" + string(rune('0'+ai)),
+				Width: widths[rng.Intn(len(widths))],
+			})
+		}
+		inst.Schema.Tables = append(inst.Schema.Tables, tbl)
+	}
+	numTxns := 1 + rng.Intn(5)
+	for t := 0; t < numTxns; t++ {
+		txn := Transaction{Name: "txn" + string(rune('0'+t))}
+		numQueries := 1 + rng.Intn(4)
+		for q := 0; q < numQueries; q++ {
+			tbl := inst.Schema.Tables[rng.Intn(numTables)]
+			var attrs []string
+			for _, a := range tbl.Attributes {
+				if rng.Intn(2) == 0 {
+					attrs = append(attrs, a.Name)
+				}
+			}
+			if len(attrs) == 0 {
+				attrs = []string{tbl.Attributes[0].Name}
+			}
+			rows := float64(1 + rng.Intn(10))
+			name := "q" + string(rune('0'+q))
+			if rng.Intn(4) == 0 {
+				txn.Queries = append(txn.Queries, NewWrite(name, tbl.Name, attrs, rows, 1))
+			} else {
+				txn.Queries = append(txn.Queries, NewRead(name, tbl.Name, attrs, rows, 1))
+			}
+		}
+		inst.Workload.Transactions = append(inst.Workload.Transactions, txn)
+	}
+	return inst
+}
+
+// randomPartitioning produces a feasible random partitioning for the model by
+// random assignment followed by Repair.
+func randomPartitioning(rng *rand.Rand, m *Model, sites int) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+	for t := range p.TxnSite {
+		p.TxnSite[t] = rng.Intn(sites)
+	}
+	for a := range p.AttrSites {
+		p.AttrSites[a][rng.Intn(sites)] = true
+		if rng.Intn(3) == 0 {
+			p.AttrSites[a][rng.Intn(sites)] = true
+		}
+	}
+	p.Repair(m)
+	return p
+}

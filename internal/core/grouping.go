@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grouping is the result of the "reasonable cuts" preprocessing of Section 4:
+// attributes of the same table that are referenced by exactly the same set of
+// queries are merged into a single atomic attribute group. A partitioning of
+// the grouped instance can be expanded back into a partitioning of the
+// original instance without changing its cost.
+type Grouping struct {
+	// Original is the instance the grouping was computed from.
+	Original *Instance
+	// Grouped is the reduced instance in which every attribute represents a
+	// group of original attributes.
+	Grouped *Instance
+	// Members maps each grouped attribute to the original attributes it
+	// represents.
+	Members map[QualifiedAttr][]QualifiedAttr
+	// GroupOf maps each original attribute to its group.
+	GroupOf map[QualifiedAttr]QualifiedAttr
+}
+
+// GroupAttributes computes the reasonable-cuts grouping of an instance.
+// Two attributes of the same table belong to the same group when every query
+// of the workload either references both or neither of them. Group widths are
+// the sums of the member widths, so the cost model of the grouped instance is
+// exactly the cost model of the original instance restricted to solutions
+// that never split a group — which is sufficient for optimality (Section 4).
+func GroupAttributes(inst *Instance) (*Grouping, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Assign a global index to every query so access signatures can be built.
+	type queryRef struct {
+		txn, query int
+	}
+	var queries []queryRef
+	for ti := range inst.Workload.Transactions {
+		for qi := range inst.Workload.Transactions[ti].Queries {
+			queries = append(queries, queryRef{ti, qi})
+		}
+	}
+
+	// signature[attr] = set of query indices referencing the attribute.
+	signature := make(map[QualifiedAttr][]bool)
+	for _, tbl := range inst.Schema.Tables {
+		for _, a := range tbl.Attributes {
+			signature[QualifiedAttr{Table: tbl.Name, Attr: a.Name}] = make([]bool, len(queries))
+		}
+	}
+	for gi, qr := range queries {
+		q := &inst.Workload.Transactions[qr.txn].Queries[qr.query]
+		for _, acc := range q.Accesses {
+			for _, an := range acc.Attributes {
+				signature[QualifiedAttr{Table: acc.Table, Attr: an}][gi] = true
+			}
+		}
+	}
+
+	g := &Grouping{
+		Original: inst,
+		Members:  make(map[QualifiedAttr][]QualifiedAttr),
+		GroupOf:  make(map[QualifiedAttr]QualifiedAttr),
+	}
+
+	grouped := &Instance{Name: inst.Name + " (grouped)"}
+	for _, tbl := range inst.Schema.Tables {
+		newTbl := Table{Name: tbl.Name}
+		// Group attributes by signature, preserving declaration order of the
+		// first member.
+		groupIdx := make(map[string]int) // signature key -> index into newTbl.Attributes
+		for _, a := range tbl.Attributes {
+			qa := QualifiedAttr{Table: tbl.Name, Attr: a.Name}
+			key := sigKey(signature[qa])
+			if gi, ok := groupIdx[key]; ok {
+				// Extend the existing group.
+				newTbl.Attributes[gi].Width += a.Width
+				gq := QualifiedAttr{Table: tbl.Name, Attr: newTbl.Attributes[gi].Name}
+				g.Members[gq] = append(g.Members[gq], qa)
+				g.GroupOf[qa] = gq
+				continue
+			}
+			groupIdx[key] = len(newTbl.Attributes)
+			newTbl.Attributes = append(newTbl.Attributes, Attribute{Name: a.Name, Width: a.Width})
+			gq := QualifiedAttr{Table: tbl.Name, Attr: a.Name}
+			g.Members[gq] = []QualifiedAttr{qa}
+			g.GroupOf[qa] = gq
+		}
+		grouped.Schema.Tables = append(grouped.Schema.Tables, newTbl)
+	}
+
+	// Rewrite the workload: every referenced attribute is replaced by its
+	// group representative (deduplicated per access).
+	for _, txn := range inst.Workload.Transactions {
+		newTxn := Transaction{Name: txn.Name}
+		for _, q := range txn.Queries {
+			nq := Query{Name: q.Name, Kind: q.Kind, Frequency: q.Frequency}
+			for _, acc := range q.Accesses {
+				na := TableAccess{Table: acc.Table, Rows: acc.Rows}
+				seen := make(map[string]bool)
+				for _, an := range acc.Attributes {
+					rep := g.GroupOf[QualifiedAttr{Table: acc.Table, Attr: an}].Attr
+					if !seen[rep] {
+						seen[rep] = true
+						na.Attributes = append(na.Attributes, rep)
+					}
+				}
+				nq.Accesses = append(nq.Accesses, na)
+			}
+			newTxn.Queries = append(newTxn.Queries, nq)
+		}
+		grouped.Workload.Transactions = append(grouped.Workload.Transactions, newTxn)
+	}
+
+	g.Grouped = grouped
+	if err := grouped.Validate(); err != nil {
+		return nil, fmt.Errorf("grouping produced an invalid instance: %w", err)
+	}
+	return g, nil
+}
+
+func sigKey(sig []bool) string {
+	var b strings.Builder
+	b.Grow(len(sig))
+	for _, v := range sig {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// NumGroups returns the number of attribute groups (|A| of the grouped
+// instance).
+func (g *Grouping) NumGroups() int { return g.Grouped.NumAttributes() }
+
+// Reduction returns the original and grouped attribute counts.
+func (g *Grouping) Reduction() (original, grouped int) {
+	return g.Original.NumAttributes(), g.Grouped.NumAttributes()
+}
+
+// Expand converts a partitioning of the grouped model back into a
+// partitioning of the original model: every original attribute inherits the
+// site set of its group; transaction placement is copied unchanged.
+func (g *Grouping) Expand(groupedModel, originalModel *Model, p *Partitioning) (*Partitioning, error) {
+	if groupedModel.Instance() != g.Grouped {
+		return nil, fmt.Errorf("grouping: grouped model was not compiled from this grouping")
+	}
+	if originalModel.Instance() != g.Original {
+		return nil, fmt.Errorf("grouping: original model was not compiled from this grouping")
+	}
+	if len(p.TxnSite) != originalModel.NumTxns() {
+		return nil, fmt.Errorf("grouping: partitioning has %d transactions, want %d",
+			len(p.TxnSite), originalModel.NumTxns())
+	}
+	out := NewPartitioning(originalModel.NumTxns(), originalModel.NumAttrs(), p.Sites)
+	copy(out.TxnSite, p.TxnSite)
+	for a := 0; a < originalModel.NumAttrs(); a++ {
+		orig := originalModel.Attr(a).Qualified
+		group, ok := g.GroupOf[orig]
+		if !ok {
+			return nil, fmt.Errorf("grouping: attribute %s has no group", orig)
+		}
+		gid, ok := groupedModel.AttrID(group)
+		if !ok {
+			return nil, fmt.Errorf("grouping: group %s missing from grouped model", group)
+		}
+		copy(out.AttrSites[a], p.AttrSites[gid])
+	}
+	return out, nil
+}

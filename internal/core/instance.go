@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Instance bundles a schema and a workload into a single vertical
+// partitioning problem instance. This is the serialisable input format of
+// every solver in the repository.
+type Instance struct {
+	// Name identifies the instance ("TPC-C v5", "rndAt8x15", ...).
+	Name     string   `json:"name"`
+	Schema   Schema   `json:"schema"`
+	Workload Workload `json:"workload"`
+}
+
+// Validate checks the schema and the workload for structural consistency.
+func (in *Instance) Validate() error {
+	if in.Name == "" {
+		return fmt.Errorf("instance: empty name")
+	}
+	if err := in.Schema.Validate(); err != nil {
+		return fmt.Errorf("instance %q: %w", in.Name, err)
+	}
+	if err := in.Workload.Validate(&in.Schema); err != nil {
+		return fmt.Errorf("instance %q: %w", in.Name, err)
+	}
+	return nil
+}
+
+// NumAttributes returns |A| for the instance.
+func (in *Instance) NumAttributes() int { return in.Schema.NumAttributes() }
+
+// NumTransactions returns |T| for the instance.
+func (in *Instance) NumTransactions() int { return in.Workload.NumTransactions() }
+
+// NumQueries returns the total number of queries in the workload.
+func (in *Instance) NumQueries() int { return in.Workload.NumQueries() }
+
+// Stats summarises the size of an instance; handy for logging and for the
+// experiment tables (|A| and |T| columns).
+type Stats struct {
+	Name         string
+	Tables       int
+	Attributes   int
+	Transactions int
+	Queries      int
+	WriteQueries int
+	TotalWidth   int
+}
+
+// Stats computes instance size statistics.
+func (in *Instance) Stats() Stats {
+	st := Stats{
+		Name:         in.Name,
+		Tables:       len(in.Schema.Tables),
+		Attributes:   in.Schema.NumAttributes(),
+		Transactions: in.Workload.NumTransactions(),
+		Queries:      in.Workload.NumQueries(),
+	}
+	for _, t := range in.Schema.Tables {
+		st.TotalWidth += t.Width()
+	}
+	for _, txn := range in.Workload.Transactions {
+		for _, q := range txn.Queries {
+			if q.IsWrite() {
+				st.WriteQueries++
+			}
+		}
+	}
+	return st
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d tables, |A|=%d, |T|=%d, %d queries (%d writes)",
+		s.Name, s.Tables, s.Attributes, s.Transactions, s.Queries, s.WriteQueries)
+}

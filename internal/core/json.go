@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// EncodeInstance writes an instance as indented JSON.
+func EncodeInstance(w io.Writer, inst *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(inst); err != nil {
+		return fmt.Errorf("encode instance: %w", err)
+	}
+	return nil
+}
+
+// DecodeInstance reads an instance from JSON and validates it.
+func DecodeInstance(r io.Reader) (*Instance, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var inst Instance
+	if err := dec.Decode(&inst); err != nil {
+		return nil, fmt.Errorf("decode instance: %w", err)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return &inst, nil
+}
+
+// SaveInstance writes an instance to a JSON file.
+func SaveInstance(path string, inst *Instance) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save instance: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeInstance(f, inst); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadInstance reads an instance from a JSON file.
+func LoadInstance(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load instance: %w", err)
+	}
+	defer f.Close()
+	return DecodeInstance(f)
+}
+
+// EncodeAssignment writes a partitioning assignment as indented JSON.
+func EncodeAssignment(w io.Writer, as *Assignment) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(as); err != nil {
+		return fmt.Errorf("encode assignment: %w", err)
+	}
+	return nil
+}
+
+// DecodeAssignment reads a partitioning assignment from JSON.
+func DecodeAssignment(r io.Reader) (*Assignment, error) {
+	dec := json.NewDecoder(r)
+	var as Assignment
+	if err := dec.Decode(&as); err != nil {
+		return nil, fmt.Errorf("decode assignment: %w", err)
+	}
+	return &as, nil
+}
+
+// SaveAssignment writes a partitioning assignment to a JSON file.
+func SaveAssignment(path string, as *Assignment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save assignment: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeAssignment(f, as); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAssignment reads a partitioning assignment from a JSON file.
+func LoadAssignment(path string) (*Assignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load assignment: %w", err)
+	}
+	defer f.Close()
+	return DecodeAssignment(f)
+}
+
+// MarshalJSON encodes QueryKind as "read"/"write" for readability of
+// instance files.
+func (k QueryKind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case Read:
+		return []byte(`"read"`), nil
+	case Write:
+		return []byte(`"write"`), nil
+	default:
+		return nil, fmt.Errorf("invalid query kind %d", int(k))
+	}
+}
+
+// UnmarshalJSON decodes "read"/"write" (or the legacy numeric form) into a
+// QueryKind.
+func (k *QueryKind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		switch s {
+		case "read":
+			*k = Read
+			return nil
+		case "write":
+			*k = Write
+			return nil
+		default:
+			return fmt.Errorf("invalid query kind %q", s)
+		}
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("invalid query kind %s", string(data))
+	}
+	switch QueryKind(n) {
+	case Read, Write:
+		*k = QueryKind(n)
+		return nil
+	default:
+		return fmt.Errorf("invalid query kind %d", n)
+	}
+}

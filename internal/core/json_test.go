@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	inst := testInstance()
+	var buf bytes.Buffer
+	if err := EncodeInstance(&buf, inst); err != nil {
+		t.Fatalf("EncodeInstance: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"kind": "read"`) {
+		t.Fatalf("query kinds should serialise as strings:\n%s", buf.String())
+	}
+	back, err := DecodeInstance(&buf)
+	if err != nil {
+		t.Fatalf("DecodeInstance: %v", err)
+	}
+	if !reflect.DeepEqual(inst, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", inst, back)
+	}
+}
+
+func TestInstanceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	inst := testInstance()
+	if err := SaveInstance(path, inst); err != nil {
+		t.Fatalf("SaveInstance: %v", err)
+	}
+	back, err := LoadInstance(path)
+	if err != nil {
+		t.Fatalf("LoadInstance: %v", err)
+	}
+	if !reflect.DeepEqual(inst, back) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadInstance(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing file should fail")
+	}
+}
+
+func TestDecodeInstanceRejectsInvalid(t *testing.T) {
+	// Unknown fields are rejected.
+	if _, err := DecodeInstance(strings.NewReader(`{"name":"x","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Structurally broken JSON is rejected.
+	if _, err := DecodeInstance(strings.NewReader(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	// Semantically invalid instances are rejected.
+	if _, err := DecodeInstance(strings.NewReader(`{"name":"x","schema":{"tables":[]},"workload":{"transactions":[]}}`)); err == nil {
+		t.Fatal("semantically invalid instance accepted")
+	}
+}
+
+func TestQueryKindJSON(t *testing.T) {
+	var k QueryKind
+	if err := k.UnmarshalJSON([]byte(`"write"`)); err != nil || k != Write {
+		t.Fatalf("unmarshal write: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`0`)); err != nil || k != Read {
+		t.Fatalf("unmarshal legacy numeric: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"upsert"`)); err == nil {
+		t.Fatal("invalid kind string accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Fatal("invalid kind number accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`{}`)); err == nil {
+		t.Fatal("invalid kind JSON accepted")
+	}
+	if _, err := QueryKind(9).MarshalJSON(); err == nil {
+		t.Fatal("marshalling an invalid kind should fail")
+	}
+	b, err := Write.MarshalJSON()
+	if err != nil || string(b) != `"write"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	as := p.ToAssignment(m)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "assignment.json")
+	if err := SaveAssignment(path, as); err != nil {
+		t.Fatalf("SaveAssignment: %v", err)
+	}
+	back, err := LoadAssignment(path)
+	if err != nil {
+		t.Fatalf("LoadAssignment: %v", err)
+	}
+	p2, err := FromAssignment(m, back)
+	if err != nil {
+		t.Fatalf("FromAssignment: %v", err)
+	}
+	if m.Evaluate(p).Objective != m.Evaluate(p2).Objective {
+		t.Fatal("assignment round trip changed the cost")
+	}
+	if _, err := LoadAssignment(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing assignment should fail")
+	}
+	if _, err := DecodeAssignment(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed assignment accepted")
+	}
+}

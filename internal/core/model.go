@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WriteAccounting selects how local data access of write queries (the
+// paper's A_W) is accounted for. The paper discusses three alternatives in
+// Section 2.1 and chooses WriteAll.
+type WriteAccounting int
+
+const (
+	// WriteAll (the paper's choice, "Access all attributes"): a write query is
+	// assumed to write to every site that holds a fraction of any table it
+	// accesses, regardless of whether the fraction contains a written
+	// attribute. Exact for inserts, a conservative overestimate for updates.
+	WriteAll WriteAccounting = iota
+	// WriteRelevant ("Access relevant attributes"): a fraction at a site is
+	// accounted for only if the site also holds an attribute the query
+	// actually writes. The most accurate but quadratic in y, so it is only
+	// supported by cost evaluation and the SA solver, not by the QP model.
+	WriteRelevant
+	// WriteNone ("Access no attributes"): local write access is ignored and
+	// only network transfer defines the write cost.
+	WriteNone
+)
+
+// String names the accounting mode.
+func (w WriteAccounting) String() string {
+	switch w {
+	case WriteAll:
+		return "all"
+	case WriteRelevant:
+		return "relevant"
+	case WriteNone:
+		return "none"
+	default:
+		return fmt.Sprintf("WriteAccounting(%d)", int(w))
+	}
+}
+
+// Default cost model parameters used throughout the paper's evaluation
+// (Section 5).
+const (
+	// DefaultPenalty is the network penalty factor p for a 10-gigabit
+	// network versus RAM access.
+	DefaultPenalty = 8.0
+	// DefaultLambda is the weight of total cost minimisation versus load
+	// balancing (λ = 0.1 keeps load balancing as a tie breaker).
+	DefaultLambda = 0.1
+)
+
+// ModelOptions parameterise the cost model.
+type ModelOptions struct {
+	// Penalty is the network penalty factor p ≥ 0. p = 0 models local
+	// placement of all partitions (no inter-site transfer cost).
+	Penalty float64
+	// Lambda ∈ [0,1] weights total cost (λ) versus load balancing (1-λ) in
+	// objective (6).
+	Lambda float64
+	// WriteAccounting selects the A_W accounting mode.
+	WriteAccounting WriteAccounting
+	// LatencyPenalty is the Appendix A latency penalty factor p_l. Zero
+	// disables the latency extension.
+	LatencyPenalty float64
+}
+
+// DefaultModelOptions returns the parameters used by the paper's experiments:
+// p = 8, λ = 0.1, "access all attributes" write accounting, no latency term.
+func DefaultModelOptions() ModelOptions {
+	return ModelOptions{
+		Penalty:         DefaultPenalty,
+		Lambda:          DefaultLambda,
+		WriteAccounting: WriteAll,
+	}
+}
+
+func (o ModelOptions) validate() error {
+	if o.Penalty < 0 {
+		return fmt.Errorf("model options: negative penalty %g", o.Penalty)
+	}
+	if o.Lambda < 0 || o.Lambda > 1 {
+		return fmt.Errorf("model options: lambda %g outside [0,1]", o.Lambda)
+	}
+	if o.LatencyPenalty < 0 {
+		return fmt.Errorf("model options: negative latency penalty %g", o.LatencyPenalty)
+	}
+	switch o.WriteAccounting {
+	case WriteAll, WriteRelevant, WriteNone:
+	default:
+		return fmt.Errorf("model options: invalid write accounting %d", int(o.WriteAccounting))
+	}
+	return nil
+}
+
+// AttrInfo is the compiled catalogue entry of a single attribute.
+type AttrInfo struct {
+	// ID is the global attribute index in [0, NumAttrs).
+	ID int
+	// Table is the table index in the schema.
+	Table int
+	// Qualified is the "Table.Attr" name.
+	Qualified QualifiedAttr
+	// Width is the attribute width w_a in bytes.
+	Width int
+}
+
+// queryAccess is one (query, table) access in compiled form.
+type queryAccess struct {
+	table int
+	attrs []int   // global attr ids referenced by the query in this table (α)
+	rows  float64 // n_{r,q}
+}
+
+// queryInfo is a compiled query.
+type queryInfo struct {
+	name     string
+	txn      int
+	write    bool
+	freq     float64
+	accesses []queryAccess
+}
+
+// TermCoef is a sparse (attribute, coefficient) pair used when iterating the
+// non-zero cost terms of a single transaction.
+type TermCoef struct {
+	Attr int
+	// C1 is the quadratic-term coefficient c1(a,t) of objective (4).
+	C1 float64
+	// C3 is the load coefficient c3(a,t) of equation (5).
+	C3 float64
+}
+
+// Model is the compiled cost model of an instance: the indicator constants
+// and coefficients of the paper's Section 2, precomputed for fast evaluation
+// and for building the integer program.
+type Model struct {
+	inst *Instance
+	opts ModelOptions
+
+	attrs      []AttrInfo
+	attrIndex  map[QualifiedAttr]int
+	tableAttrs [][]int // table index -> global attr ids
+	tableNames []string
+	txnNames   []string
+	queries    []queryInfo
+
+	// Coefficient decomposition (all already multiplied by frequencies and
+	// row counts; see cost.go for how they combine):
+	//
+	//   readLocal[a][t]   = Σ_q W(a,q)·γ(q,t)·β(a,q)·(1-δ_q)          (= c3)
+	//   writeLocal[a]     = Σ_q W(a,q)·β(a,q)·δ_q                      (= c4)
+	//   transferTotal[a]  = Σ_q W(a,q)·α(a,q)·δ_q
+	//   transferOwn[a][t] = Σ_q W(a,q)·α(a,q)·γ(q,t)·δ_q
+	readLocal     [][]float64
+	writeLocal    []float64
+	transferTotal []float64
+	transferOwn   [][]float64
+
+	// phi[a][t] is the paper's ϕ_{a,t}: some read query of transaction t
+	// references attribute a, so a and t must be co-located.
+	phi [][]bool
+	// txnReadAttrs[t] lists the attributes with phi[a][t] = true, sorted.
+	txnReadAttrs [][]int
+	// txnTerms[t] lists the attributes with a non-zero c1(a,t) or c3(a,t).
+	txnTerms [][]TermCoef
+}
+
+// NewModel compiles an instance into a cost model. The instance is validated
+// first.
+func NewModel(inst *Instance, opts ModelOptions) (*Model, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{inst: inst, opts: opts}
+	m.compileCatalogue()
+	if err := m.compileQueries(); err != nil {
+		return nil, err
+	}
+	m.compileCoefficients()
+	return m, nil
+}
+
+func (m *Model) compileCatalogue() {
+	sch := &m.inst.Schema
+	m.attrIndex = make(map[QualifiedAttr]int)
+	m.tableAttrs = make([][]int, len(sch.Tables))
+	m.tableNames = make([]string, len(sch.Tables))
+	for ti, t := range sch.Tables {
+		m.tableNames[ti] = t.Name
+		for _, a := range t.Attributes {
+			id := len(m.attrs)
+			q := QualifiedAttr{Table: t.Name, Attr: a.Name}
+			m.attrs = append(m.attrs, AttrInfo{
+				ID:        id,
+				Table:     ti,
+				Qualified: q,
+				Width:     a.Width,
+			})
+			m.attrIndex[q] = id
+			m.tableAttrs[ti] = append(m.tableAttrs[ti], id)
+		}
+	}
+}
+
+func (m *Model) compileQueries() error {
+	sch := &m.inst.Schema
+	tblIndex := make(map[string]int, len(sch.Tables))
+	for i, t := range sch.Tables {
+		tblIndex[t.Name] = i
+	}
+	for ti, txn := range m.inst.Workload.Transactions {
+		m.txnNames = append(m.txnNames, txn.Name)
+		for _, q := range txn.Queries {
+			qi := queryInfo{
+				name:  txn.Name + "/" + q.Name,
+				txn:   ti,
+				write: q.IsWrite(),
+				freq:  q.Frequency,
+			}
+			for _, acc := range q.Accesses {
+				tid, ok := tblIndex[acc.Table]
+				if !ok {
+					return fmt.Errorf("model: query %s references unknown table %q", qi.name, acc.Table)
+				}
+				ca := queryAccess{table: tid, rows: acc.Rows}
+				for _, an := range acc.Attributes {
+					aid, ok := m.attrIndex[QualifiedAttr{Table: acc.Table, Attr: an}]
+					if !ok {
+						return fmt.Errorf("model: query %s references unknown attribute %s.%s", qi.name, acc.Table, an)
+					}
+					ca.attrs = append(ca.attrs, aid)
+				}
+				sort.Ints(ca.attrs)
+				qi.accesses = append(qi.accesses, ca)
+			}
+			m.queries = append(m.queries, qi)
+		}
+	}
+	return nil
+}
+
+func (m *Model) compileCoefficients() {
+	nA := len(m.attrs)
+	nT := len(m.txnNames)
+	m.readLocal = newMatrix(nA, nT)
+	m.transferOwn = newMatrix(nA, nT)
+	m.writeLocal = make([]float64, nA)
+	m.transferTotal = make([]float64, nA)
+	m.phi = make([][]bool, nA)
+	for a := range m.phi {
+		m.phi[a] = make([]bool, nT)
+	}
+
+	for _, q := range m.queries {
+		for _, acc := range q.accesses {
+			// β_{a,q} = 1 for every attribute of the accessed table.
+			for _, a := range m.tableAttrs[acc.table] {
+				w := float64(m.attrs[a].Width) * q.freq * acc.rows
+				if q.write {
+					m.writeLocal[a] += w
+				} else {
+					m.readLocal[a][q.txn] += w
+				}
+			}
+			// α_{a,q} = 1 for the referenced attributes only.
+			for _, a := range acc.attrs {
+				w := float64(m.attrs[a].Width) * q.freq * acc.rows
+				if q.write {
+					m.transferTotal[a] += w
+					m.transferOwn[a][q.txn] += w
+				} else {
+					m.phi[a][q.txn] = true
+				}
+			}
+		}
+	}
+
+	m.txnReadAttrs = make([][]int, nT)
+	m.txnTerms = make([][]TermCoef, nT)
+	for t := 0; t < nT; t++ {
+		for a := 0; a < nA; a++ {
+			if m.phi[a][t] {
+				m.txnReadAttrs[t] = append(m.txnReadAttrs[t], a)
+			}
+			c1 := m.readLocal[a][t] - m.opts.Penalty*m.transferOwn[a][t]
+			c3 := m.readLocal[a][t]
+			if c1 != 0 || c3 != 0 {
+				m.txnTerms[t] = append(m.txnTerms[t], TermCoef{Attr: a, C1: c1, C3: c3})
+			}
+		}
+	}
+}
+
+func newMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	mat := make([][]float64, rows)
+	for i := range mat {
+		mat[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return mat
+}
+
+// Instance returns the instance the model was compiled from.
+func (m *Model) Instance() *Instance { return m.inst }
+
+// Options returns the model parameters.
+func (m *Model) Options() ModelOptions { return m.opts }
+
+// NumAttrs returns |A|.
+func (m *Model) NumAttrs() int { return len(m.attrs) }
+
+// NumTxns returns |T|.
+func (m *Model) NumTxns() int { return len(m.txnNames) }
+
+// NumTables returns the number of tables in the schema.
+func (m *Model) NumTables() int { return len(m.tableAttrs) }
+
+// NumQueries returns the number of compiled queries.
+func (m *Model) NumQueries() int { return len(m.queries) }
+
+// Attr returns the catalogue entry of attribute a.
+func (m *Model) Attr(a int) AttrInfo { return m.attrs[a] }
+
+// Attrs returns the full attribute catalogue (do not modify).
+func (m *Model) Attrs() []AttrInfo { return m.attrs }
+
+// AttrID resolves a qualified attribute name to its global index.
+func (m *Model) AttrID(q QualifiedAttr) (int, bool) {
+	id, ok := m.attrIndex[q]
+	return id, ok
+}
+
+// TableName returns the name of table index t.
+func (m *Model) TableName(t int) string { return m.tableNames[t] }
+
+// TableAttrs returns the global attribute ids of table index t (do not
+// modify).
+func (m *Model) TableAttrs(t int) []int { return m.tableAttrs[t] }
+
+// TxnName returns the name of transaction index t.
+func (m *Model) TxnName(t int) string { return m.txnNames[t] }
+
+// TxnIndex resolves a transaction name to its index.
+func (m *Model) TxnIndex(name string) (int, bool) {
+	for i, n := range m.txnNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Phi reports ϕ_{a,t}: whether any read query of transaction t references
+// attribute a (so a must be co-located with t).
+func (m *Model) Phi(a, t int) bool { return m.phi[a][t] }
+
+// TxnReadAttrs returns the attributes that must be co-located with
+// transaction t (sorted, do not modify).
+func (m *Model) TxnReadAttrs(t int) []int { return m.txnReadAttrs[t] }
+
+// TxnTerms returns the attributes with a non-zero c1 or c3 coefficient for
+// transaction t (do not modify).
+func (m *Model) TxnTerms(t int) []TermCoef { return m.txnTerms[t] }
+
+// C1 returns the quadratic coefficient c1(a,t) of objective (4):
+//
+//	c1(a,t) = Σ_q W(a,q)·γ(q,t)·(β(a,q)(1-δ_q) - p·α(a,q)·δ_q)
+func (m *Model) C1(a, t int) float64 {
+	return m.readLocal[a][t] - m.opts.Penalty*m.transferOwn[a][t]
+}
+
+// C2 returns the linear coefficient c2(a) of objective (4):
+//
+//	c2(a) = Σ_q W(a,q)·δ_q·(β(a,q) + p·α(a,q))
+//
+// Under WriteNone accounting the β term is dropped.
+func (m *Model) C2(a int) float64 {
+	c := m.opts.Penalty * m.transferTotal[a]
+	if m.opts.WriteAccounting != WriteNone {
+		c += m.writeLocal[a]
+	}
+	return c
+}
+
+// C3 returns the load coefficient c3(a,t) = Σ_q W(a,q)·γ(q,t)·β(a,q)·(1-δ_q)
+// of equation (5).
+func (m *Model) C3(a, t int) float64 { return m.readLocal[a][t] }
+
+// C4 returns the load coefficient c4(a) = Σ_q W(a,q)·β(a,q)·δ_q of equation
+// (5). Under WriteNone accounting it is zero.
+func (m *Model) C4(a int) float64 {
+	if m.opts.WriteAccounting == WriteNone {
+		return 0
+	}
+	return m.writeLocal[a]
+}
+
+// TransferTotal returns Σ_q W(a,q)·α(a,q)·δ_q, the transfer weight of
+// attribute a summed over all write queries.
+func (m *Model) TransferTotal(a int) float64 { return m.transferTotal[a] }
+
+// TransferOwn returns Σ_q W(a,q)·α(a,q)·γ(q,t)·δ_q, the transfer weight of
+// attribute a for write queries belonging to transaction t (the part that is
+// saved when a is co-located with t).
+func (m *Model) TransferOwn(a, t int) float64 { return m.transferOwn[a][t] }
+
+// WriteQueryInfo describes one write query of the workload in compiled form.
+// It is used by the Appendix A latency extension of the QP model and by the
+// execution simulator.
+type WriteQueryInfo struct {
+	// Name is "transaction/query".
+	Name string
+	// Txn is the owning transaction index.
+	Txn int
+	// Freq is the query frequency f_q.
+	Freq float64
+	// Attrs are the global ids of the attributes the query writes (its α set),
+	// across all accessed tables.
+	Attrs []int
+}
+
+// AccessInfo is one (query, table) access in compiled, index-based form.
+type AccessInfo struct {
+	// Table is the table index.
+	Table int
+	// Attrs are the global ids of the attributes the query references in the
+	// table (its α set there).
+	Attrs []int
+	// Rows is n_{r,q}.
+	Rows float64
+}
+
+// QueryInfo is a compiled query in index-based form, used by the execution
+// simulator.
+type QueryInfo struct {
+	// Name is "transaction/query".
+	Name string
+	// Txn is the owning transaction index.
+	Txn int
+	// Write reports δ_q.
+	Write bool
+	// Freq is f_q.
+	Freq float64
+	// Accesses lists the table accesses.
+	Accesses []AccessInfo
+}
+
+// Queries returns all compiled queries of the workload in declaration order.
+func (m *Model) Queries() []QueryInfo {
+	out := make([]QueryInfo, 0, len(m.queries))
+	for _, q := range m.queries {
+		info := QueryInfo{Name: q.name, Txn: q.txn, Write: q.write, Freq: q.freq}
+		for _, acc := range q.accesses {
+			info.Accesses = append(info.Accesses, AccessInfo{
+				Table: acc.table,
+				Attrs: append([]int(nil), acc.attrs...),
+				Rows:  acc.rows,
+			})
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// WriteQueries returns the compiled write queries of the workload.
+func (m *Model) WriteQueries() []WriteQueryInfo {
+	var out []WriteQueryInfo
+	for _, q := range m.queries {
+		if !q.write {
+			continue
+		}
+		info := WriteQueryInfo{Name: q.name, Txn: q.txn, Freq: q.freq}
+		for _, acc := range q.accesses {
+			info.Attrs = append(info.Attrs, acc.attrs...)
+		}
+		out = append(out, info)
+	}
+	return out
+}

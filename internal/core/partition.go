@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Partitioning is a candidate solution of the vertical partitioning problem:
+// a disjoint assignment of transactions to sites (the paper's x) and a
+// non-disjoint assignment of attributes to sites (the paper's y).
+type Partitioning struct {
+	// Sites is the number of sites |S|.
+	Sites int
+	// TxnSite[t] is the primary executing site of transaction t.
+	TxnSite []int
+	// AttrSites[a][s] reports whether attribute a is stored on site s.
+	AttrSites [][]bool
+}
+
+// NewPartitioning allocates an empty partitioning for the given model
+// dimensions. All transactions are placed on site 0 and no attribute is
+// placed anywhere; callers must fill it in (see SingleSite for a trivially
+// feasible layout).
+func NewPartitioning(numTxns, numAttrs, sites int) *Partitioning {
+	p := &Partitioning{
+		Sites:     sites,
+		TxnSite:   make([]int, numTxns),
+		AttrSites: make([][]bool, numAttrs),
+	}
+	for a := range p.AttrSites {
+		p.AttrSites[a] = make([]bool, sites)
+	}
+	return p
+}
+
+// SingleSite returns the trivial partitioning that places every transaction
+// and every attribute on site 0 of a cluster with the given number of sites.
+// It is always feasible and serves as the |S| = 1 baseline of the paper's
+// tables.
+func SingleSite(m *Model, sites int) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+	for a := 0; a < m.NumAttrs(); a++ {
+		p.AttrSites[a][0] = true
+	}
+	return p
+}
+
+// FullReplication returns the partitioning that replicates every attribute to
+// every site and spreads transactions round-robin. It is always feasible.
+func FullReplication(m *Model, sites int) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+	for t := 0; t < m.NumTxns(); t++ {
+		p.TxnSite[t] = t % sites
+	}
+	for a := 0; a < m.NumAttrs(); a++ {
+		for s := 0; s < sites; s++ {
+			p.AttrSites[a][s] = true
+		}
+	}
+	return p
+}
+
+// Clone returns a deep copy of the partitioning.
+func (p *Partitioning) Clone() *Partitioning {
+	c := &Partitioning{
+		Sites:     p.Sites,
+		TxnSite:   append([]int(nil), p.TxnSite...),
+		AttrSites: make([][]bool, len(p.AttrSites)),
+	}
+	for a := range p.AttrSites {
+		c.AttrSites[a] = append([]bool(nil), p.AttrSites[a]...)
+	}
+	return c
+}
+
+// Replicas returns the number of sites attribute a is stored on.
+func (p *Partitioning) Replicas(a int) int {
+	n := 0
+	for _, on := range p.AttrSites[a] {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalReplicas returns Σ_a Replicas(a).
+func (p *Partitioning) TotalReplicas() int {
+	n := 0
+	for a := range p.AttrSites {
+		n += p.Replicas(a)
+	}
+	return n
+}
+
+// IsDisjoint reports whether no attribute is replicated (every attribute is
+// stored on exactly one site).
+func (p *Partitioning) IsDisjoint() bool {
+	for a := range p.AttrSites {
+		if p.Replicas(a) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// AttrsOnSite returns the sorted attribute ids stored on site s.
+func (p *Partitioning) AttrsOnSite(s int) []int {
+	var ids []int
+	for a := range p.AttrSites {
+		if p.AttrSites[a][s] {
+			ids = append(ids, a)
+		}
+	}
+	return ids
+}
+
+// TxnsOnSite returns the sorted transaction ids executing on site s.
+func (p *Partitioning) TxnsOnSite(s int) []int {
+	var ids []int
+	for t, site := range p.TxnSite {
+		if site == s {
+			ids = append(ids, t)
+		}
+	}
+	return ids
+}
+
+// Validate checks that the partitioning is feasible for the model:
+//
+//   - dimensions match the model and the site count is positive,
+//   - every transaction is assigned to a site in [0, Sites),
+//   - every attribute is stored on at least one site (Σ_s y_{a,s} ≥ 1),
+//   - single-sitedness of reads: for every transaction t and attribute a
+//     with ϕ_{a,t} = 1, a is stored on t's site.
+func (p *Partitioning) Validate(m *Model) error {
+	if p.Sites <= 0 {
+		return fmt.Errorf("partitioning: non-positive site count %d", p.Sites)
+	}
+	if len(p.TxnSite) != m.NumTxns() {
+		return fmt.Errorf("partitioning: %d transactions, model has %d", len(p.TxnSite), m.NumTxns())
+	}
+	if len(p.AttrSites) != m.NumAttrs() {
+		return fmt.Errorf("partitioning: %d attributes, model has %d", len(p.AttrSites), m.NumAttrs())
+	}
+	for t, s := range p.TxnSite {
+		if s < 0 || s >= p.Sites {
+			return fmt.Errorf("partitioning: transaction %q assigned to invalid site %d", m.TxnName(t), s)
+		}
+	}
+	for a := range p.AttrSites {
+		if len(p.AttrSites[a]) != p.Sites {
+			return fmt.Errorf("partitioning: attribute %s has %d site slots, want %d",
+				m.Attr(a).Qualified, len(p.AttrSites[a]), p.Sites)
+		}
+		if p.Replicas(a) == 0 {
+			return fmt.Errorf("partitioning: attribute %s is not stored on any site", m.Attr(a).Qualified)
+		}
+	}
+	for t := 0; t < m.NumTxns(); t++ {
+		site := p.TxnSite[t]
+		for _, a := range m.TxnReadAttrs(t) {
+			if !p.AttrSites[a][site] {
+				return fmt.Errorf("partitioning: single-sitedness violated: transaction %q on site %d reads %s which is not stored there",
+					m.TxnName(t), site, m.Attr(a).Qualified)
+			}
+		}
+	}
+	return nil
+}
+
+// Repair makes the partitioning feasible in place: transactions on invalid
+// sites are moved to site 0, attributes read by a transaction are replicated
+// to the transaction's site, and attributes stored nowhere are placed on the
+// site with the smallest index. It returns the number of attribute replicas
+// added or moved.
+func (p *Partitioning) Repair(m *Model) int {
+	changed := 0
+	for t := range p.TxnSite {
+		if p.TxnSite[t] < 0 || p.TxnSite[t] >= p.Sites {
+			p.TxnSite[t] = 0
+			changed++
+		}
+	}
+	for t := 0; t < m.NumTxns(); t++ {
+		site := p.TxnSite[t]
+		for _, a := range m.TxnReadAttrs(t) {
+			if !p.AttrSites[a][site] {
+				p.AttrSites[a][site] = true
+				changed++
+			}
+		}
+	}
+	for a := range p.AttrSites {
+		if p.Replicas(a) == 0 {
+			p.AttrSites[a][0] = true
+			changed++
+		}
+	}
+	return changed
+}
+
+// Format renders the partitioning in the style of the paper's Table 4: one
+// section per site with the transactions executed there followed by the
+// attributes stored there.
+func (p *Partitioning) Format(m *Model) string {
+	var b strings.Builder
+	for s := 0; s < p.Sites; s++ {
+		fmt.Fprintf(&b, "Site %d\n", s+1)
+		txns := p.TxnsOnSite(s)
+		if len(txns) == 0 {
+			b.WriteString("  (no transactions)\n")
+		}
+		for _, t := range txns {
+			fmt.Fprintf(&b, "  Transaction %s\n", m.TxnName(t))
+		}
+		names := make([]string, 0)
+		for _, a := range p.AttrsOnSite(s) {
+			names = append(names, m.Attr(a).Qualified.String())
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+		if s != p.Sites-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Assignment is a serialisable representation of a partitioning using names
+// instead of indices. It is what the CLI prints and reads.
+type Assignment struct {
+	Sites        int               `json:"sites"`
+	Transactions map[string]int    `json:"transactions"`
+	Attributes   map[string][]int  `json:"attributes"`
+	Instance     string            `json:"instance,omitempty"`
+	Meta         map[string]string `json:"meta,omitempty"`
+}
+
+// ToAssignment converts the partitioning into its name-based form.
+func (p *Partitioning) ToAssignment(m *Model) *Assignment {
+	as := &Assignment{
+		Sites:        p.Sites,
+		Transactions: make(map[string]int, len(p.TxnSite)),
+		Attributes:   make(map[string][]int, len(p.AttrSites)),
+		Instance:     m.Instance().Name,
+	}
+	for t, s := range p.TxnSite {
+		as.Transactions[m.TxnName(t)] = s
+	}
+	for a := range p.AttrSites {
+		var sites []int
+		for s, on := range p.AttrSites[a] {
+			if on {
+				sites = append(sites, s)
+			}
+		}
+		as.Attributes[m.Attr(a).Qualified.String()] = sites
+	}
+	return as
+}
+
+// FromAssignment converts a name-based assignment back into a Partitioning
+// for the given model.
+func FromAssignment(m *Model, as *Assignment) (*Partitioning, error) {
+	if as.Sites <= 0 {
+		return nil, fmt.Errorf("assignment: non-positive site count %d", as.Sites)
+	}
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), as.Sites)
+	for name, site := range as.Transactions {
+		t, ok := m.TxnIndex(name)
+		if !ok {
+			return nil, fmt.Errorf("assignment: unknown transaction %q", name)
+		}
+		p.TxnSite[t] = site
+	}
+	for name, sites := range as.Attributes {
+		qa, err := ParseQualifiedAttr(name)
+		if err != nil {
+			return nil, fmt.Errorf("assignment: %w", err)
+		}
+		a, ok := m.AttrID(qa)
+		if !ok {
+			return nil, fmt.Errorf("assignment: unknown attribute %q", name)
+		}
+		for _, s := range sites {
+			if s < 0 || s >= as.Sites {
+				return nil, fmt.Errorf("assignment: attribute %q placed on invalid site %d", name, s)
+			}
+			p.AttrSites[a][s] = true
+		}
+	}
+	return p, nil
+}

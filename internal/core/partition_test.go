@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleSiteIsFeasible(t *testing.T) {
+	m := testModel(t)
+	for sites := 1; sites <= 4; sites++ {
+		p := SingleSite(m, sites)
+		if err := p.Validate(m); err != nil {
+			t.Errorf("SingleSite(%d) infeasible: %v", sites, err)
+		}
+		if !p.IsDisjoint() {
+			t.Errorf("SingleSite(%d) should be disjoint", sites)
+		}
+	}
+}
+
+func TestFullReplicationIsFeasible(t *testing.T) {
+	m := testModel(t)
+	p := FullReplication(m, 3)
+	if err := p.Validate(m); err != nil {
+		t.Fatalf("FullReplication infeasible: %v", err)
+	}
+	if p.IsDisjoint() {
+		t.Fatal("FullReplication should not be disjoint")
+	}
+	if got := p.TotalReplicas(); got != m.NumAttrs()*3 {
+		t.Fatalf("TotalReplicas = %d, want %d", got, m.NumAttrs()*3)
+	}
+}
+
+func TestPartitioningValidateErrors(t *testing.T) {
+	m := testModel(t)
+	cases := []struct {
+		name   string
+		mutate func(*Partitioning)
+		want   string
+	}{
+		{"zero sites", func(p *Partitioning) { p.Sites = 0 }, "site count"},
+		{"txn bad site", func(p *Partitioning) { p.TxnSite[0] = 9 }, "invalid site"},
+		{"txn negative site", func(p *Partitioning) { p.TxnSite[0] = -1 }, "invalid site"},
+		{"attr nowhere", func(p *Partitioning) {
+			a := 0
+			for s := range p.AttrSites[a] {
+				p.AttrSites[a][s] = false
+			}
+		}, "not stored on any site"},
+		{"single-sitedness", func(p *Partitioning) {
+			// move T1 to site 1 where R's attributes are absent
+			p.TxnSite[0] = 1
+		}, "single-sitedness"},
+		{"wrong txn count", func(p *Partitioning) { p.TxnSite = p.TxnSite[:1] }, "transactions"},
+		{"wrong attr count", func(p *Partitioning) { p.AttrSites = p.AttrSites[:2] }, "attributes"},
+		{"wrong site slots", func(p *Partitioning) { p.AttrSites[0] = p.AttrSites[0][:1] }, "site slots"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testModel(t)
+			p := testPartitioning(m)
+			tc.mutate(p)
+			err := p.Validate(m)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	_ = m
+}
+
+func TestPartitioningRepair(t *testing.T) {
+	m := testModel(t)
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), 2)
+	p.TxnSite[0] = 7 // invalid site
+	p.TxnSite[1] = 1
+	// no attributes stored anywhere
+	changed := p.Repair(m)
+	if changed == 0 {
+		t.Fatal("Repair reported no changes on a broken partitioning")
+	}
+	if err := p.Validate(m); err != nil {
+		t.Fatalf("Repair left the partitioning infeasible: %v", err)
+	}
+	// Repairing a feasible partitioning is a no-op.
+	if got := p.Repair(m); got != 0 {
+		t.Fatalf("Repair of a feasible partitioning changed %d entries", got)
+	}
+}
+
+func TestPartitioningClone(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	c := p.Clone()
+	c.TxnSite[0] = 1
+	c.AttrSites[0][1] = true
+	if p.TxnSite[0] == c.TxnSite[0] {
+		t.Fatal("clone shares TxnSite backing array")
+	}
+	if p.AttrSites[0][1] {
+		t.Fatal("clone shares AttrSites backing array")
+	}
+}
+
+func TestReplicasAndSiteQueries(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	b1 := attrID(t, m, "S", "b1")
+	if got := p.Replicas(b1); got != 1 {
+		t.Fatalf("Replicas(b1) = %d", got)
+	}
+	p.AttrSites[b1][0] = true
+	if got := p.Replicas(b1); got != 2 {
+		t.Fatalf("Replicas(b1) after replication = %d", got)
+	}
+	if p.IsDisjoint() {
+		t.Fatal("partitioning with a replica reported as disjoint")
+	}
+	if got := p.TxnsOnSite(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("TxnsOnSite(0) = %v", got)
+	}
+	if got := p.AttrsOnSite(1); len(got) != 2 {
+		t.Fatalf("AttrsOnSite(1) = %v", got)
+	}
+	if got := p.TotalReplicas(); got != 6 {
+		t.Fatalf("TotalReplicas = %d, want 6", got)
+	}
+}
+
+func TestPartitioningFormat(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	s := p.Format(m)
+	for _, want := range []string{"Site 1", "Site 2", "Transaction T1", "Transaction T2", "R.a1", "S.b2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Format output missing %q:\n%s", want, s)
+		}
+	}
+	// A site with no transactions must still render.
+	p3 := SingleSite(m, 3)
+	s3 := p3.Format(m)
+	if !strings.Contains(s3, "(no transactions)") {
+		t.Errorf("Format should mark empty sites:\n%s", s3)
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	as := p.ToAssignment(m)
+	if as.Sites != 2 || as.Instance != "unit-fixture" {
+		t.Fatalf("assignment header: %+v", as)
+	}
+	back, err := FromAssignment(m, as)
+	if err != nil {
+		t.Fatalf("FromAssignment: %v", err)
+	}
+	if err := back.Validate(m); err != nil {
+		t.Fatalf("round-tripped partitioning infeasible: %v", err)
+	}
+	for txn := range p.TxnSite {
+		if p.TxnSite[txn] != back.TxnSite[txn] {
+			t.Fatalf("transaction %d site mismatch", txn)
+		}
+	}
+	for a := range p.AttrSites {
+		for s := range p.AttrSites[a] {
+			if p.AttrSites[a][s] != back.AttrSites[a][s] {
+				t.Fatalf("attribute %d site %d mismatch", a, s)
+			}
+		}
+	}
+}
+
+func TestFromAssignmentErrors(t *testing.T) {
+	m := testModel(t)
+	p := testPartitioning(m)
+	base := p.ToAssignment(m)
+
+	bad := *base
+	bad.Sites = 0
+	if _, err := FromAssignment(m, &bad); err == nil {
+		t.Error("zero sites accepted")
+	}
+
+	bad = *base
+	bad.Transactions = map[string]int{"nope": 0}
+	if _, err := FromAssignment(m, &bad); err == nil {
+		t.Error("unknown transaction accepted")
+	}
+
+	bad = *base
+	bad.Attributes = map[string][]int{"R.zz": {0}}
+	if _, err := FromAssignment(m, &bad); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+
+	bad = *base
+	bad.Attributes = map[string][]int{"no-dot": {0}}
+	if _, err := FromAssignment(m, &bad); err == nil {
+		t.Error("malformed attribute name accepted")
+	}
+
+	bad = *base
+	bad.Attributes = map[string][]int{"R.a1": {5}}
+	if _, err := FromAssignment(m, &bad); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+}
+
+// Property: Repair always produces a feasible partitioning, for arbitrary
+// random starting points.
+func TestRepairAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r)
+		m, err := NewModel(inst, DefaultModelOptions())
+		if err != nil {
+			return false
+		}
+		sites := 1 + r.Intn(5)
+		p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+		for t := range p.TxnSite {
+			p.TxnSite[t] = r.Intn(sites*2) - sites/2 // may be out of range
+		}
+		for a := range p.AttrSites {
+			for s := range p.AttrSites[a] {
+				p.AttrSites[a][s] = r.Intn(4) == 0
+			}
+		}
+		p.Repair(m)
+		return p.Validate(m) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute is a single column of a table. Width is the average width of the
+// attribute in bytes (the paper's w_a).
+type Attribute struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Table is a named collection of attributes.
+type Table struct {
+	Name       string      `json:"name"`
+	Attributes []Attribute `json:"attributes"`
+}
+
+// Attribute returns the attribute with the given name and whether it exists.
+func (t *Table) Attribute(name string) (Attribute, bool) {
+	for _, a := range t.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// AttributeNames returns the names of all attributes in declaration order.
+func (t *Table) AttributeNames() []string {
+	names := make([]string, len(t.Attributes))
+	for i, a := range t.Attributes {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Width returns the total row width of the table in bytes (sum of attribute
+// widths).
+func (t *Table) Width() int {
+	w := 0
+	for _, a := range t.Attributes {
+		w += a.Width
+	}
+	return w
+}
+
+// Schema is a relational schema: an ordered list of tables.
+type Schema struct {
+	Tables []Table `json:"tables"`
+}
+
+// Table returns the table with the given name and whether it exists.
+func (s *Schema) Table(name string) (*Table, bool) {
+	for i := range s.Tables {
+		if s.Tables[i].Name == name {
+			return &s.Tables[i], true
+		}
+	}
+	return nil, false
+}
+
+// TableNames returns the names of all tables in declaration order.
+func (s *Schema) TableNames() []string {
+	names := make([]string, len(s.Tables))
+	for i, t := range s.Tables {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// NumAttributes returns the total number of attributes across all tables
+// (the paper's |A|).
+func (s *Schema) NumAttributes() int {
+	n := 0
+	for _, t := range s.Tables {
+		n += len(t.Attributes)
+	}
+	return n
+}
+
+// Validate checks structural well-formedness of the schema: non-empty table
+// and attribute names, unique table names, unique attribute names within a
+// table and strictly positive widths.
+func (s *Schema) Validate() error {
+	if len(s.Tables) == 0 {
+		return fmt.Errorf("schema: no tables")
+	}
+	seenTables := make(map[string]bool, len(s.Tables))
+	for _, t := range s.Tables {
+		if t.Name == "" {
+			return fmt.Errorf("schema: table with empty name")
+		}
+		if seenTables[t.Name] {
+			return fmt.Errorf("schema: duplicate table %q", t.Name)
+		}
+		seenTables[t.Name] = true
+		if len(t.Attributes) == 0 {
+			return fmt.Errorf("schema: table %q has no attributes", t.Name)
+		}
+		seenAttrs := make(map[string]bool, len(t.Attributes))
+		for _, a := range t.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("schema: table %q has an attribute with empty name", t.Name)
+			}
+			if seenAttrs[a.Name] {
+				return fmt.Errorf("schema: table %q has duplicate attribute %q", t.Name, a.Name)
+			}
+			seenAttrs[a.Name] = true
+			if a.Width <= 0 {
+				return fmt.Errorf("schema: attribute %s.%s has non-positive width %d", t.Name, a.Name, a.Width)
+			}
+		}
+	}
+	return nil
+}
+
+// QualifiedAttr is a fully qualified attribute reference "Table.Attribute".
+type QualifiedAttr struct {
+	Table string `json:"table"`
+	Attr  string `json:"attr"`
+}
+
+// String returns the "Table.Attr" form.
+func (q QualifiedAttr) String() string { return q.Table + "." + q.Attr }
+
+// ParseQualifiedAttr parses a "Table.Attr" string.
+func ParseQualifiedAttr(s string) (QualifiedAttr, error) {
+	i := strings.IndexByte(s, '.')
+	if i <= 0 || i == len(s)-1 {
+		return QualifiedAttr{}, fmt.Errorf("invalid qualified attribute %q (want Table.Attr)", s)
+	}
+	return QualifiedAttr{Table: s[:i], Attr: s[i+1:]}, nil
+}
+
+// SortQualifiedAttrs sorts a slice of qualified attributes lexicographically
+// by table then attribute name.
+func SortQualifiedAttrs(qs []QualifiedAttr) {
+	sort.Slice(qs, func(i, j int) bool {
+		if qs[i].Table != qs[j].Table {
+			return qs[i].Table < qs[j].Table
+		}
+		return qs[i].Attr < qs[j].Attr
+	})
+}

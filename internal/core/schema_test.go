@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemaValidateOK(t *testing.T) {
+	inst := testInstance()
+	if err := inst.Schema.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+}
+
+func TestSchemaValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+		want   string
+	}{
+		{"no tables", func(s *Schema) { s.Tables = nil }, "no tables"},
+		{"empty table name", func(s *Schema) { s.Tables[0].Name = "" }, "empty name"},
+		{"duplicate table", func(s *Schema) { s.Tables[1].Name = s.Tables[0].Name }, "duplicate table"},
+		{"no attributes", func(s *Schema) { s.Tables[0].Attributes = nil }, "no attributes"},
+		{"empty attribute name", func(s *Schema) { s.Tables[0].Attributes[0].Name = "" }, "empty name"},
+		{"duplicate attribute", func(s *Schema) { s.Tables[0].Attributes[1].Name = s.Tables[0].Attributes[0].Name }, "duplicate attribute"},
+		{"zero width", func(s *Schema) { s.Tables[0].Attributes[0].Width = 0 }, "non-positive width"},
+		{"negative width", func(s *Schema) { s.Tables[0].Attributes[0].Width = -3 }, "non-positive width"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sch := testInstance().Schema
+			tc.mutate(&sch)
+			err := sch.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	sch := testInstance().Schema
+	r, ok := sch.Table("R")
+	if !ok {
+		t.Fatal("table R not found")
+	}
+	if got := r.Width(); got != 14 {
+		t.Fatalf("R width = %d, want 14", got)
+	}
+	if _, ok := sch.Table("nope"); ok {
+		t.Fatal("unexpected table found")
+	}
+	a, ok := r.Attribute("a2")
+	if !ok || a.Width != 8 {
+		t.Fatalf("attribute a2 lookup = %+v, %v", a, ok)
+	}
+	if _, ok := r.Attribute("zz"); ok {
+		t.Fatal("unexpected attribute found")
+	}
+	if got := sch.NumAttributes(); got != 5 {
+		t.Fatalf("NumAttributes = %d, want 5", got)
+	}
+	names := r.AttributeNames()
+	if len(names) != 3 || names[0] != "a1" || names[2] != "a3" {
+		t.Fatalf("AttributeNames = %v", names)
+	}
+	tns := sch.TableNames()
+	if len(tns) != 2 || tns[0] != "R" || tns[1] != "S" {
+		t.Fatalf("TableNames = %v", tns)
+	}
+}
+
+func TestParseQualifiedAttr(t *testing.T) {
+	q, err := ParseQualifiedAttr("Customer.C_ID")
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if q.Table != "Customer" || q.Attr != "C_ID" {
+		t.Fatalf("got %+v", q)
+	}
+	if q.String() != "Customer.C_ID" {
+		t.Fatalf("String = %q", q.String())
+	}
+	for _, bad := range []string{"", "NoDot", ".leading", "trailing."} {
+		if _, err := ParseQualifiedAttr(bad); err == nil {
+			t.Errorf("ParseQualifiedAttr(%q): expected error", bad)
+		}
+	}
+}
+
+func TestSortQualifiedAttrs(t *testing.T) {
+	qs := []QualifiedAttr{
+		{Table: "B", Attr: "y"},
+		{Table: "A", Attr: "z"},
+		{Table: "B", Attr: "x"},
+		{Table: "A", Attr: "a"},
+	}
+	SortQualifiedAttrs(qs)
+	want := []QualifiedAttr{{"A", "a"}, {"A", "z"}, {"B", "x"}, {"B", "y"}}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v", i, qs[i], want[i])
+		}
+	}
+}

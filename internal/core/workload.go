@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+)
+
+// QueryKind distinguishes read queries from write queries (the paper's δ_q).
+type QueryKind int
+
+const (
+	// Read marks a query that only retrieves data (δ_q = 0).
+	Read QueryKind = iota
+	// Write marks a query that writes data (δ_q = 1): INSERT, DELETE, or the
+	// write half of an UPDATE.
+	Write
+)
+
+// String returns "read" or "write".
+func (k QueryKind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("QueryKind(%d)", int(k))
+	}
+}
+
+// TableAccess describes how a single query touches a single table.
+type TableAccess struct {
+	// Table is the name of the accessed table.
+	Table string `json:"table"`
+	// Attributes are the names of the attributes of Table that the query
+	// itself references (the paper's α_{a,q}). For a read query these are the
+	// retrieved attributes; for a write query these are the written ones.
+	Attributes []string `json:"attributes"`
+	// Rows is the average number of rows retrieved from or written to the
+	// table by one execution of the query (the paper's n_{r,q}).
+	Rows float64 `json:"rows"`
+}
+
+// Query is a single read or write query of the workload, together with its
+// run-time statistics.
+type Query struct {
+	Name string    `json:"name"`
+	Kind QueryKind `json:"kind"`
+	// Frequency is the execution frequency f_q of the query. The TPC-C
+	// instance of the paper assumes all queries run with equal frequency 1.
+	Frequency float64 `json:"frequency"`
+	// Accesses lists every table the query touches.
+	Accesses []TableAccess `json:"accesses"`
+}
+
+// IsWrite reports whether the query is a write query (δ_q = 1).
+func (q *Query) IsWrite() bool { return q.Kind == Write }
+
+// Tables returns the names of all tables accessed by the query.
+func (q *Query) Tables() []string {
+	ts := make([]string, len(q.Accesses))
+	for i, a := range q.Accesses {
+		ts[i] = a.Table
+	}
+	return ts
+}
+
+// NewRead constructs a read query that accesses the given attributes of a
+// single table and retrieves rows rows per execution at frequency freq.
+func NewRead(name, table string, attrs []string, rows, freq float64) Query {
+	return Query{
+		Name:      name,
+		Kind:      Read,
+		Frequency: freq,
+		Accesses:  []TableAccess{{Table: table, Attributes: attrs, Rows: rows}},
+	}
+}
+
+// NewWrite constructs a write query (INSERT or DELETE or the write part of an
+// UPDATE) that writes the given attributes of a single table.
+func NewWrite(name, table string, attrs []string, rows, freq float64) Query {
+	return Query{
+		Name:      name,
+		Kind:      Write,
+		Frequency: freq,
+		Accesses:  []TableAccess{{Table: table, Attributes: attrs, Rows: rows}},
+	}
+}
+
+// NewUpdate models an SQL UPDATE statement the way the paper does (§5.2): as
+// two sub-queries, a read query accessing every attribute the statement uses
+// (predicate columns plus written columns) and a write query accessing only
+// the attributes actually written.
+func NewUpdate(name, table string, readAttrs, writeAttrs []string, rows, freq float64) []Query {
+	all := make([]string, 0, len(readAttrs)+len(writeAttrs))
+	seen := make(map[string]bool, len(readAttrs)+len(writeAttrs))
+	for _, lists := range [][]string{readAttrs, writeAttrs} {
+		for _, a := range lists {
+			if !seen[a] {
+				seen[a] = true
+				all = append(all, a)
+			}
+		}
+	}
+	return []Query{
+		NewRead(name+".read", table, all, rows, freq),
+		NewWrite(name+".write", table, writeAttrs, rows, freq),
+	}
+}
+
+// Transaction is a named group of queries with a single primary executing
+// site.
+type Transaction struct {
+	Name    string  `json:"name"`
+	Queries []Query `json:"queries"`
+}
+
+// NumQueries returns the number of queries in the transaction.
+func (t *Transaction) NumQueries() int { return len(t.Queries) }
+
+// Workload is the full set of transactions the partitioning is optimised for.
+type Workload struct {
+	Transactions []Transaction `json:"transactions"`
+}
+
+// NumTransactions returns |T|.
+func (w *Workload) NumTransactions() int { return len(w.Transactions) }
+
+// NumQueries returns the total number of queries across all transactions.
+func (w *Workload) NumQueries() int {
+	n := 0
+	for _, t := range w.Transactions {
+		n += len(t.Queries)
+	}
+	return n
+}
+
+// Validate checks structural well-formedness of the workload against the
+// schema: unique transaction names, non-empty transactions, queries with
+// positive frequency, accesses referring to existing tables/attributes,
+// positive row counts and no duplicate table access within one query.
+func (w *Workload) Validate(s *Schema) error {
+	if len(w.Transactions) == 0 {
+		return fmt.Errorf("workload: no transactions")
+	}
+	seenTxn := make(map[string]bool, len(w.Transactions))
+	for _, txn := range w.Transactions {
+		if txn.Name == "" {
+			return fmt.Errorf("workload: transaction with empty name")
+		}
+		if seenTxn[txn.Name] {
+			return fmt.Errorf("workload: duplicate transaction %q", txn.Name)
+		}
+		seenTxn[txn.Name] = true
+		if len(txn.Queries) == 0 {
+			return fmt.Errorf("workload: transaction %q has no queries", txn.Name)
+		}
+		for _, q := range txn.Queries {
+			if err := validateQuery(s, txn.Name, &q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateQuery(s *Schema, txn string, q *Query) error {
+	if q.Name == "" {
+		return fmt.Errorf("workload: transaction %q has a query with empty name", txn)
+	}
+	if q.Kind != Read && q.Kind != Write {
+		return fmt.Errorf("workload: query %s/%s has invalid kind %d", txn, q.Name, q.Kind)
+	}
+	if q.Frequency <= 0 {
+		return fmt.Errorf("workload: query %s/%s has non-positive frequency %g", txn, q.Name, q.Frequency)
+	}
+	if len(q.Accesses) == 0 {
+		return fmt.Errorf("workload: query %s/%s accesses no tables", txn, q.Name)
+	}
+	seenTable := make(map[string]bool, len(q.Accesses))
+	for _, acc := range q.Accesses {
+		tbl, ok := s.Table(acc.Table)
+		if !ok {
+			return fmt.Errorf("workload: query %s/%s references unknown table %q", txn, q.Name, acc.Table)
+		}
+		if seenTable[acc.Table] {
+			return fmt.Errorf("workload: query %s/%s references table %q twice", txn, q.Name, acc.Table)
+		}
+		seenTable[acc.Table] = true
+		if acc.Rows <= 0 {
+			return fmt.Errorf("workload: query %s/%s accesses table %q with non-positive row count %g",
+				txn, q.Name, acc.Table, acc.Rows)
+		}
+		if len(acc.Attributes) == 0 {
+			return fmt.Errorf("workload: query %s/%s accesses table %q but references no attributes",
+				txn, q.Name, acc.Table)
+		}
+		seenAttr := make(map[string]bool, len(acc.Attributes))
+		for _, a := range acc.Attributes {
+			if _, ok := tbl.Attribute(a); !ok {
+				return fmt.Errorf("workload: query %s/%s references unknown attribute %s.%s",
+					txn, q.Name, acc.Table, a)
+			}
+			if seenAttr[a] {
+				return fmt.Errorf("workload: query %s/%s references attribute %s.%s twice",
+					txn, q.Name, acc.Table, a)
+			}
+			seenAttr[a] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQueryConstructors(t *testing.T) {
+	r := NewRead("q", "R", []string{"a1"}, 5, 2)
+	if r.Kind != Read || r.IsWrite() {
+		t.Fatalf("NewRead produced kind %v", r.Kind)
+	}
+	if r.Frequency != 2 || len(r.Accesses) != 1 || r.Accesses[0].Rows != 5 {
+		t.Fatalf("NewRead fields wrong: %+v", r)
+	}
+	w := NewWrite("q", "R", []string{"a1"}, 1, 1)
+	if w.Kind != Write || !w.IsWrite() {
+		t.Fatalf("NewWrite produced kind %v", w.Kind)
+	}
+	if got := w.Tables(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestNewUpdateSplitsIntoReadAndWrite(t *testing.T) {
+	qs := NewUpdate("upd", "R", []string{"a1", "a2"}, []string{"a2", "a3"}, 3, 2)
+	if len(qs) != 2 {
+		t.Fatalf("NewUpdate returned %d queries, want 2", len(qs))
+	}
+	rd, wr := qs[0], qs[1]
+	if rd.Kind != Read || wr.Kind != Write {
+		t.Fatalf("kinds = %v, %v", rd.Kind, wr.Kind)
+	}
+	if !strings.HasSuffix(rd.Name, ".read") || !strings.HasSuffix(wr.Name, ".write") {
+		t.Fatalf("names = %q, %q", rd.Name, wr.Name)
+	}
+	// The read half accesses the union of read and written attributes,
+	// without duplicates.
+	got := rd.Accesses[0].Attributes
+	want := []string{"a1", "a2", "a3"}
+	if len(got) != len(want) {
+		t.Fatalf("read attrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read attrs = %v, want %v", got, want)
+		}
+	}
+	// The write half accesses only the written attributes.
+	if got := wr.Accesses[0].Attributes; len(got) != 2 || got[0] != "a2" || got[1] != "a3" {
+		t.Fatalf("write attrs = %v", got)
+	}
+	if rd.Frequency != 2 || wr.Frequency != 2 || rd.Accesses[0].Rows != 3 || wr.Accesses[0].Rows != 3 {
+		t.Fatalf("statistics not propagated: %+v %+v", rd, wr)
+	}
+}
+
+func TestQueryKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("String() = %q, %q", Read.String(), Write.String())
+	}
+	if s := QueryKind(7).String(); !strings.Contains(s, "7") {
+		t.Fatalf("unexpected invalid kind string %q", s)
+	}
+}
+
+func TestWorkloadValidateOK(t *testing.T) {
+	inst := testInstance()
+	if err := inst.Workload.Validate(&inst.Schema); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	if got := inst.Workload.NumTransactions(); got != 2 {
+		t.Fatalf("NumTransactions = %d", got)
+	}
+	if got := inst.Workload.NumQueries(); got != 3 {
+		t.Fatalf("NumQueries = %d", got)
+	}
+}
+
+func TestWorkloadValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Instance)
+		want   string
+	}{
+		{"no transactions", func(in *Instance) { in.Workload.Transactions = nil }, "no transactions"},
+		{"empty txn name", func(in *Instance) { in.Workload.Transactions[0].Name = "" }, "empty name"},
+		{"duplicate txn", func(in *Instance) { in.Workload.Transactions[1].Name = "T1" }, "duplicate transaction"},
+		{"txn without queries", func(in *Instance) { in.Workload.Transactions[0].Queries = nil }, "no queries"},
+		{"empty query name", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Name = "" }, "empty name"},
+		{"bad kind", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Kind = QueryKind(9) }, "invalid kind"},
+		{"bad frequency", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Frequency = 0 }, "non-positive frequency"},
+		{"no accesses", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Accesses = nil }, "accesses no tables"},
+		{"unknown table", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Accesses[0].Table = "Z" }, "unknown table"},
+		{"bad rows", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Accesses[0].Rows = -1 }, "non-positive row count"},
+		{"no attributes", func(in *Instance) { in.Workload.Transactions[0].Queries[0].Accesses[0].Attributes = nil }, "references no attributes"},
+		{"unknown attribute", func(in *Instance) {
+			in.Workload.Transactions[0].Queries[0].Accesses[0].Attributes = []string{"nope"}
+		}, "unknown attribute"},
+		{"duplicate attribute ref", func(in *Instance) {
+			in.Workload.Transactions[0].Queries[0].Accesses[0].Attributes = []string{"a1", "a1"}
+		}, "twice"},
+		{"duplicate table ref", func(in *Instance) {
+			q := &in.Workload.Transactions[0].Queries[0]
+			q.Accesses = append(q.Accesses, q.Accesses[0])
+		}, "twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := testInstance()
+			tc.mutate(inst)
+			err := inst.Workload.Validate(&inst.Schema)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInstanceValidateAndStats(t *testing.T) {
+	inst := testInstance()
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	inst2 := testInstance()
+	inst2.Name = ""
+	if err := inst2.Validate(); err == nil {
+		t.Fatal("instance with empty name accepted")
+	}
+	st := inst.Stats()
+	if st.Tables != 2 || st.Attributes != 5 || st.Transactions != 2 || st.Queries != 3 || st.WriteQueries != 1 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.TotalWidth != 14+20 {
+		t.Fatalf("TotalWidth = %d", st.TotalWidth)
+	}
+	if s := st.String(); !strings.Contains(s, "|A|=5") || !strings.Contains(s, "|T|=2") {
+		t.Fatalf("Stats.String = %q", s)
+	}
+}

@@ -1,0 +1,193 @@
+// Package engine executes a workload against a vertically partitioned,
+// H-store-like cluster simulator and measures the bytes read, written and
+// transferred. It is the substrate that validates the paper's analytical cost
+// model: for any feasible partitioning, the measured quantities equal the
+// model's A_R, A_W and B exactly (under the paper's "access all attributes"
+// write accounting).
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"vpart/internal/cluster"
+	"vpart/internal/core"
+	"vpart/internal/storage"
+)
+
+// Options configure a simulation run.
+type Options struct {
+	// RowsPerTable is the number of synthetic rows materialised per table
+	// fraction (default 64). Accounting does not depend on it; it only
+	// controls how much real data the storage layer touches.
+	RowsPerTable int
+	// Rounds is how many times the whole workload is executed (default 1).
+	Rounds int
+	// Concurrent executes the transactions of each round concurrently, one
+	// goroutine per transaction, exercising the thread safety of the storage
+	// and network layers.
+	Concurrent bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RowsPerTable == 0 {
+		o.RowsPerTable = 64
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 1
+	}
+	return o
+}
+
+// Measured is the outcome of a simulation run.
+type Measured struct {
+	// ReadBytes is the total number of bytes read by storage access methods
+	// (the measured counterpart of the model's A_R).
+	ReadBytes float64
+	// WriteBytes is the total number of bytes written (the model's A_W under
+	// "access all attributes" accounting).
+	WriteBytes float64
+	// TransferBytes is the total number of bytes moved between sites (the
+	// model's B).
+	TransferBytes float64
+	// SiteBytes is the per-site sum of read and written bytes (the model's
+	// per-site work, equation (5)).
+	SiteBytes []float64
+	// PenalisedCost is ReadBytes + WriteBytes + p·TransferBytes, the measured
+	// counterpart of objective (4).
+	PenalisedCost float64
+	// Transactions is the number of transaction executions.
+	Transactions int
+	// NetworkMessages is the number of inter-site transfer operations.
+	NetworkMessages int
+}
+
+// Run builds a cluster for the partitioning, executes the workload and
+// returns the measurements together with the cluster (whose storage state can
+// be inspected further).
+func Run(m *core.Model, p *core.Partitioning, opts Options) (*Measured, *cluster.Cluster, error) {
+	opts = opts.withDefaults()
+	if err := p.Validate(m); err != nil {
+		return nil, nil, fmt.Errorf("engine: infeasible partitioning: %w", err)
+	}
+	cl, err := cluster.New(p.Sites, m.Options().Penalty)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := deploy(m, p, cl, opts.RowsPerTable); err != nil {
+		return nil, nil, err
+	}
+
+	queries := m.Queries()
+	byTxn := make([][]core.QueryInfo, m.NumTxns())
+	for _, q := range queries {
+		byTxn[q.Txn] = append(byTxn[q.Txn], q)
+	}
+
+	meas := &Measured{}
+	var mu sync.Mutex
+	execTxn := func(t int) {
+		local := executeTransaction(m, p, cl, byTxn[t], t)
+		mu.Lock()
+		meas.TransferBytes += local
+		meas.Transactions++
+		mu.Unlock()
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		if opts.Concurrent {
+			var wg sync.WaitGroup
+			for t := 0; t < m.NumTxns(); t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					execTxn(t)
+				}(t)
+			}
+			wg.Wait()
+		} else {
+			for t := 0; t < m.NumTxns(); t++ {
+				execTxn(t)
+			}
+		}
+	}
+
+	counters := cl.Counters()
+	meas.ReadBytes = counters.BytesRead
+	meas.WriteBytes = counters.BytesWritten
+	meas.SiteBytes = cl.SiteBytes()
+	meas.PenalisedCost = meas.ReadBytes + meas.WriteBytes + m.Options().Penalty*meas.TransferBytes
+	meas.NetworkMessages = cl.Network().Messages()
+	return meas, cl, nil
+}
+
+// deploy creates, on every site, one fraction per table holding exactly the
+// attributes the partitioning assigns there, and populates it with synthetic
+// rows.
+func deploy(m *core.Model, p *core.Partitioning, cl *cluster.Cluster, rows int) error {
+	for s := 0; s < p.Sites; s++ {
+		store := cl.Site(s)
+		for tbl := 0; tbl < m.NumTables(); tbl++ {
+			var cols []storage.Column
+			for _, a := range m.TableAttrs(tbl) {
+				if p.AttrSites[a][s] {
+					info := m.Attr(a)
+					cols = append(cols, storage.Column{Name: info.Qualified.Attr, Width: info.Width})
+				}
+			}
+			if len(cols) == 0 {
+				continue
+			}
+			if _, err := store.CreateFraction(m.TableName(tbl), cols); err != nil {
+				return err
+			}
+			store.Populate(m.TableName(tbl), rows)
+		}
+	}
+	return nil
+}
+
+// executeTransaction runs all queries of one transaction at its primary site
+// and returns the bytes it transferred over the network.
+func executeTransaction(m *core.Model, p *core.Partitioning, cl *cluster.Cluster, queries []core.QueryInfo, t int) float64 {
+	site := p.TxnSite[t]
+	store := cl.Site(site)
+	transferred := 0.0
+	for _, q := range queries {
+		for _, acc := range q.Accesses {
+			table := m.TableName(acc.Table)
+			if !q.Write {
+				wanted := make([]string, len(acc.Attrs))
+				for i, a := range acc.Attrs {
+					wanted[i] = m.Attr(a).Qualified.Attr
+				}
+				store.ReadRows(table, wanted, acc.Rows, q.Freq)
+				continue
+			}
+			// Write queries update every site holding a fraction of the table
+			// ("access all attributes") and ship the written attributes to
+			// every remote replica.
+			for s := 0; s < p.Sites; s++ {
+				remote := cl.Site(s)
+				if len(remote.Fractions(table)) == 0 {
+					continue
+				}
+				remote.WriteRows(table, acc.Rows, q.Freq)
+				if s == site {
+					continue
+				}
+				bytes := 0.0
+				for _, a := range acc.Attrs {
+					if p.AttrSites[a][s] {
+						bytes += float64(m.Attr(a).Width) * acc.Rows * q.Freq
+					}
+				}
+				if bytes > 0 {
+					cl.Network().Transfer(site, s, bytes)
+					transferred += bytes
+				}
+			}
+		}
+	}
+	return transferred
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// WriteAccountingAblation compares the three A_W accounting modes of Section
+// 2.1 on TPC-C with the SA solver (the QP model only supports "all" and
+// "none"). It shows the effect the paper argues qualitatively: the
+// overestimating "all" mode replicates less than the underestimating "none"
+// mode.
+func WriteAccountingAblation(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Ablation: write accounting modes (TPC-C, |S|=2, SA solver)",
+		"Accounting", "Objective(4)", "A_R", "A_W", "p*B", "Replicas")
+	inst := vpart.TPCC()
+	for _, acc := range []vpart.WriteAccounting{vpart.WriteAll, vpart.WriteRelevant, vpart.WriteNone} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		mo.WriteAccounting = acc
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: 2, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			acc.String(),
+			fmt.Sprintf("%.0f", sol.Cost.Objective),
+			fmt.Sprintf("%.0f", sol.Cost.ReadAccess),
+			fmt.Sprintf("%.0f", sol.Cost.WriteAccess),
+			fmt.Sprintf("%.0f", cfg.Penalty*sol.Cost.Transfer),
+			fmt.Sprintf("%d", sol.Partitioning.TotalReplicas()),
+		)
+	}
+	return tbl, nil
+}
+
+// GroupingAblation measures the effect of the reasonable-cuts preprocessing
+// (Section 4) on the QP solver: same optimum, much smaller model and shorter
+// solve time.
+func GroupingAblation(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Ablation: reasonable-cuts attribute grouping (TPC-C, |S|=2, QP solver)",
+		"Grouping", "Attr groups", "Objective(4)", "Optimal", "Time (s)")
+	inst := vpart.TPCC()
+	for _, disable := range []bool{false, true} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		start := time.Now()
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: 2, Algorithm: vpart.AlgorithmQP, Model: &mo,
+			DisableGrouping: disable, SeedWithSA: true,
+			TimeLimit: cfg.QPTimeLimit, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "on"
+		if disable {
+			label = "off"
+		}
+		cost := "t/o"
+		if sol.Partitioning != nil {
+			cost = fmt.Sprintf("%.0f", sol.Cost.Objective)
+		}
+		tbl.AddRow(label,
+			fmt.Sprintf("%d", sol.AttributeGroups),
+			cost,
+			fmt.Sprintf("%v", sol.Optimal),
+			fmt.Sprintf("%.1f", time.Since(start).Seconds()),
+		)
+	}
+	return tbl, nil
+}
+
+// LatencyAblation exercises the Appendix A latency extension: increasing the
+// latency penalty p_l makes layouts that require remote writes progressively
+// less attractive.
+func LatencyAblation(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Ablation: Appendix A latency extension (TPC-C, |S|=2, SA solver)",
+		"p_l", "Objective(4)", "Latency units", "Latency cost", "Replicas")
+	inst := vpart.TPCC()
+	for _, pl := range []float64{0, 100, 10000} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		mo.LatencyPenalty = pl
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: 2, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.0f", pl),
+			fmt.Sprintf("%.0f", sol.Cost.Objective),
+			fmt.Sprintf("%.1f", sol.Cost.LatencyUnits),
+			fmt.Sprintf("%.0f", sol.Cost.Latency),
+			fmt.Sprintf("%d", sol.Partitioning.TotalReplicas()),
+		)
+	}
+	return tbl, nil
+}
+
+// LambdaSweep shows the cost-versus-load-balance trade-off of objective (6):
+// larger λ favours total cost, smaller λ favours a balanced maximum site
+// load. This backs the paper's claim that the two goals can be prioritised
+// arbitrarily.
+func LambdaSweep(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Ablation: λ sweep (TPC-C, |S|=3, SA solver)",
+		"Lambda", "Objective(4)", "Max site work", "Balanced(6)")
+	inst := vpart.TPCC()
+	for _, lambda := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		mo.Lambda = lambda
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: 3, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.1f", lambda),
+			fmt.Sprintf("%.0f", sol.Cost.Objective),
+			fmt.Sprintf("%.0f", sol.Cost.MaxWork),
+			fmt.Sprintf("%.0f", sol.Cost.Balanced),
+		)
+	}
+	return tbl, nil
+}
+
+// SimulatorValidation cross-checks the analytical cost model against the
+// execution simulator on the TPC-C partitionings produced by the SA solver.
+func SimulatorValidation(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Validation: analytical cost model vs execution simulator (TPC-C, SA layouts)",
+		"|S|", "Model objective(4)", "Simulated cost", "Model B", "Simulated transfer")
+	inst := vpart.TPCC()
+	for _, sites := range []int{1, 2, 3, 4} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+			Sites: sites, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		meas, err := vpart.Simulate(inst, mo, sol.Partitioning, vpart.SimOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", sites),
+			fmt.Sprintf("%.0f", sol.Cost.Objective),
+			fmt.Sprintf("%.0f", meas.PenalisedCost),
+			fmt.Sprintf("%.0f", sol.Cost.Transfer),
+			fmt.Sprintf("%.0f", meas.TransferBytes),
+		)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,198 @@
+// Package experiments regenerates the tables of the paper's evaluation
+// (Section 5). Every public function corresponds to one table; RunAll runs
+// the whole evaluation and renders it as text.
+//
+// The harness supports two fidelity levels: the full configuration mirrors
+// the paper's setup (all instance classes, long QP time limits), while the
+// quick configuration shrinks the instance list and the time limits so that
+// the complete evaluation finishes in a couple of minutes on a laptop. The
+// benchmarks in the repository root use the quick configuration.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vpart"
+)
+
+// Config controls the harness.
+type Config struct {
+	// Quick shrinks instance lists and time limits (used by the benchmarks).
+	Quick bool
+	// Seed seeds the random instance generator and the SA solver.
+	Seed int64
+	// QPTimeLimit bounds each QP solve. Zero selects 120 s (full) or 10 s
+	// (quick). The paper used 30 minutes on 2009 hardware; the limit is
+	// configurable for users who want to reproduce that setting exactly.
+	QPTimeLimit time.Duration
+	// Penalty is the network penalty p (default 8, as in the paper).
+	Penalty float64
+	// Lambda is the load balancing weight λ (default 0.1).
+	Lambda float64
+	// Log receives progress lines when non-nil.
+	Log func(format string, args ...interface{})
+
+	// Table1Classes optionally overrides the square class sizes of Table 1
+	// (default {20, 100}, quick {20}).
+	Table1Classes []int
+	// Table1Sites optionally overrides the site counts of Table 1 (default
+	// {1, 2, 3}).
+	Table1Sites []int
+	// MaxQPAttrs skips the QP solver for instances with more attributes than
+	// this (the paper's large instances time out anyway); default 300 (full)
+	// or 130 (quick).
+	MaxQPAttrs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.QPTimeLimit == 0 {
+		if c.Quick {
+			c.QPTimeLimit = 10 * time.Second
+		} else {
+			c.QPTimeLimit = 120 * time.Second
+		}
+	}
+	if c.Penalty == 0 {
+		c.Penalty = vpart.DefaultPenalty
+	}
+	if c.Lambda == 0 {
+		c.Lambda = vpart.DefaultLambda
+	}
+	if len(c.Table1Classes) == 0 {
+		if c.Quick {
+			c.Table1Classes = []int{20}
+		} else {
+			c.Table1Classes = []int{20, 100}
+		}
+	}
+	if len(c.Table1Sites) == 0 {
+		c.Table1Sites = []int{1, 2, 3}
+	}
+	if c.MaxQPAttrs == 0 {
+		if c.Quick {
+			c.MaxQPAttrs = 130
+		} else {
+			c.MaxQPAttrs = 300
+		}
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// modelOptions builds the cost model options for the given penalty.
+func (c Config) modelOptions(penalty float64) vpart.ModelOptions {
+	mo := vpart.DefaultModelOptions()
+	mo.Penalty = penalty
+	mo.Lambda = c.Lambda
+	return mo
+}
+
+// solveResult is the harness-internal summary of a single solver run.
+type solveResult struct {
+	cost     float64 // objective (4)
+	balanced float64 // objective (6)
+	seconds  float64
+	optimal  bool
+	found    bool
+	sol      *vpart.Solution
+}
+
+// runSA solves an instance with the SA heuristic.
+func (c Config) runSA(inst *vpart.Instance, sites int, penalty float64, disjoint bool) (solveResult, error) {
+	mo := c.modelOptions(penalty)
+	start := time.Now()
+	sol, err := vpart.Solve(inst, vpart.SolveOptions{
+		Sites:     sites,
+		Algorithm: vpart.AlgorithmSA,
+		Model:     &mo,
+		Disjoint:  disjoint,
+		Seed:      c.Seed,
+	})
+	if err != nil {
+		return solveResult{}, err
+	}
+	return solveResult{
+		cost:     sol.Cost.Objective,
+		balanced: sol.Cost.Balanced,
+		seconds:  time.Since(start).Seconds(),
+		found:    sol.Partitioning != nil,
+		sol:      sol,
+	}, nil
+}
+
+// runQP solves an instance with the QP solver (seeded with the SA solution,
+// which only tightens the initial incumbent and never changes the optimum).
+func (c Config) runQP(inst *vpart.Instance, sites int, penalty float64, disjoint bool) (solveResult, error) {
+	mo := c.modelOptions(penalty)
+	start := time.Now()
+	sol, err := vpart.Solve(inst, vpart.SolveOptions{
+		Sites:      sites,
+		Algorithm:  vpart.AlgorithmQP,
+		Model:      &mo,
+		Disjoint:   disjoint,
+		Seed:       c.Seed,
+		SeedWithSA: true,
+		TimeLimit:  c.QPTimeLimit,
+	})
+	if err != nil {
+		return solveResult{}, err
+	}
+	return solveResult{
+		cost:     sol.Cost.Objective,
+		balanced: sol.Cost.Balanced,
+		seconds:  time.Since(start).Seconds(),
+		optimal:  sol.Optimal,
+		found:    sol.Partitioning != nil,
+		sol:      sol,
+	}, nil
+}
+
+// qpCostCell formats a QP result the way the paper's Table 3 does: the cost
+// in parentheses when the time limit was reached before proving optimality,
+// and "t/o" when no solution was found at all.
+func qpCostCell(r solveResult, scale float64) string {
+	if !r.found {
+		return "t/o"
+	}
+	if !r.optimal {
+		return fmt.Sprintf("(%.3f)", r.cost/scale)
+	}
+	return fmt.Sprintf("%.3f", r.cost/scale)
+}
+
+// costCell formats a cost in the given scale.
+func costCell(cost, scale float64) string {
+	if math.IsInf(cost, 0) || math.IsNaN(cost) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", cost/scale)
+}
+
+// generate builds a random instance for a named class with the harness seed.
+func (c Config) generate(params vpart.RandomParams) (*vpart.Instance, error) {
+	return vpart.RandomInstance(params, c.Seed)
+}
+
+// instanceRow formats the |A| and |T| columns.
+func instanceRow(inst *vpart.Instance) (attrs, txns int) {
+	st := inst.Stats()
+	return st.Attributes, st.Transactions
+}
+
+// Scale used by the paper's tables: Table 1 and 3 report costs in units of
+// 10⁶, Tables 5 and 6 in units of 10⁵. We keep the same convention so the
+// table shapes are directly comparable even though absolute values differ.
+const (
+	scaleTable13 = 1e6
+	scaleTable56 = 1e5
+)

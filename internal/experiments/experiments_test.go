@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps the experiment tests fast: smallest classes, short QP time
+// limits.
+func tinyConfig() Config {
+	return Config{
+		Quick:         true,
+		Seed:          1,
+		QPTimeLimit:   2 * time.Second,
+		Table1Classes: []int{10},
+		Table1Sites:   []int{1, 2},
+		MaxQPAttrs:    80,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.QPTimeLimit == 0 || c.Penalty != 8 || c.Lambda != 0.1 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if len(c.Table1Classes) != 2 || len(c.Table1Sites) != 3 {
+		t.Fatalf("table1 defaults wrong: %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.QPTimeLimit >= c.QPTimeLimit {
+		t.Fatal("quick mode should use a shorter QP time limit")
+	}
+	if len(q.Table1Classes) != 1 {
+		t.Fatal("quick mode should use fewer table 1 classes")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tbl := Table2(tinyConfig())
+	if tbl.NumRows() != 22 {
+		t.Fatalf("Table 2 has %d rows, want 22", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"rndAt8x15", "rndBt16x15u50", "#tables"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	tbl, err := Table1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 parameters x 3 values.
+	if tbl.NumRows() != 18 {
+		t.Fatalf("Table 1 has %d rows, want 18", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"Max queries per transaction", "Percent update queries", "Allowed attribute widths"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	cfg := tinyConfig()
+	tbl, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() < 4 {
+		t.Fatalf("Table 3 has only %d rows", tbl.NumRows())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "TPC-C v5") || !strings.Contains(out, "rndAt4x15") {
+		t.Errorf("Table 3 output missing expected instances:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	out, err := Table4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Site 1", "Site 2", "Site 3", "Transaction", "Customer.C_ID"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	tbl, err := Table5(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() < 3 {
+		t.Fatalf("Table 5 has only %d rows", tbl.NumRows())
+	}
+	if !strings.Contains(tbl.String(), "Ratio") {
+		t.Error("Table 5 missing the Ratio column")
+	}
+}
+
+func TestTable6Quick(t *testing.T) {
+	tbl, err := Table6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() < 3 {
+		t.Fatalf("Table 6 has only %d rows", tbl.NumRows())
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "Local QP") || !strings.Contains(out, "Remote SA") {
+		t.Errorf("Table 6 missing expected columns:\n%s", out)
+	}
+}
+
+func TestWriteAccountingAblation(t *testing.T) {
+	tbl, err := WriteAccountingAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"all", "relevant", "none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("accounting ablation missing mode %q", want)
+		}
+	}
+}
+
+func TestLambdaSweepAndSimulatorValidation(t *testing.T) {
+	tbl, err := LambdaSweep(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 5 {
+		t.Fatalf("lambda sweep has %d rows", tbl.NumRows())
+	}
+	sv, err := SimulatorValidation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.NumRows() != 4 {
+		t.Fatalf("simulator validation has %d rows", sv.NumRows())
+	}
+	// The model and the simulator must agree row by row (same rendered
+	// numbers in columns 2 and 3). Skip the title, header and separator
+	// lines.
+	out := sv.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for _, line := range lines[3:] {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[1] != fields[2] {
+			t.Errorf("model and simulator disagree: %q", line)
+		}
+	}
+}
+
+func TestLatencyAblation(t *testing.T) {
+	tbl, err := LatencyAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 3 {
+		t.Fatalf("latency ablation has %d rows", tbl.NumRows())
+	}
+}
+
+func TestGroupingAblation(t *testing.T) {
+	cfg := tinyConfig()
+	tbl, err := GroupingAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "on") || !strings.Contains(out, "off") {
+		t.Errorf("grouping ablation missing rows:\n%s", out)
+	}
+}
+
+func TestWriteSections(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSections(&buf, []Section{{Name: "a", Text: "hello"}, {Name: "b", Text: "world"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hello") || !strings.Contains(buf.String(), "world") {
+		t.Fatal("sections not written")
+	}
+}

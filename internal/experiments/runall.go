@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"vpart/internal/texttable"
+)
+
+// Section is one named piece of the evaluation output.
+type Section struct {
+	Name string
+	Text string
+}
+
+// RunAll runs the complete evaluation (Tables 1-6 plus the ablations and the
+// simulator validation) and returns the rendered sections in order.
+func RunAll(cfg Config) ([]Section, error) {
+	cfg = cfg.withDefaults()
+	var sections []Section
+	addTable := func(name string, tbl *texttable.Table, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		sections = append(sections, Section{Name: name, Text: tbl.String()})
+		return nil
+	}
+
+	t1, err := Table1(cfg)
+	if err := addTable("Table 1", t1, err); err != nil {
+		return nil, err
+	}
+	sections = append(sections, Section{Name: "Table 2", Text: Table2(cfg).String()})
+	t3, err := Table3(cfg)
+	if err := addTable("Table 3", t3, err); err != nil {
+		return nil, err
+	}
+	t4, err := Table4(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("Table 4: %w", err)
+	}
+	sections = append(sections, Section{Name: "Table 4", Text: t4})
+	t5, err := Table5(cfg)
+	if err := addTable("Table 5", t5, err); err != nil {
+		return nil, err
+	}
+	t6, err := Table6(cfg)
+	if err := addTable("Table 6", t6, err); err != nil {
+		return nil, err
+	}
+
+	wa, err := WriteAccountingAblation(cfg)
+	if err := addTable("Ablation: write accounting", wa, err); err != nil {
+		return nil, err
+	}
+	ga, err := GroupingAblation(cfg)
+	if err := addTable("Ablation: attribute grouping", ga, err); err != nil {
+		return nil, err
+	}
+	la, err := LatencyAblation(cfg)
+	if err := addTable("Ablation: latency extension", la, err); err != nil {
+		return nil, err
+	}
+	ls, err := LambdaSweep(cfg)
+	if err := addTable("Ablation: lambda sweep", ls, err); err != nil {
+		return nil, err
+	}
+	sv, err := SimulatorValidation(cfg)
+	if err := addTable("Validation: simulator", sv, err); err != nil {
+		return nil, err
+	}
+	return sections, nil
+}
+
+// WriteSections renders sections to a writer, separated by blank lines.
+func WriteSections(w io.Writer, sections []Section) error {
+	for _, s := range sections {
+		if _, err := fmt.Fprintf(w, "%s\n\n", s.Text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

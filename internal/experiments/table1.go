@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// table1Parameter is one row group of Table 1: a single generator parameter
+// varied over three values while all others stay at their defaults.
+type table1Parameter struct {
+	label  string
+	values []string
+	apply  func(p *vpart.RandomParams, idx int)
+	// def is the index of the default value (rendered in the paper in bold).
+	def int
+}
+
+func table1Parameters() []table1Parameter {
+	return []table1Parameter{
+		{
+			label:  "A Max queries per transaction",
+			values: []string{"1", "3", "5"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.MaxQueriesPerTxn = []int{1, 3, 5}[i]
+			},
+			def: 1,
+		},
+		{
+			label:  "B Percent update queries",
+			values: []string{"0", "10", "30"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.UpdatePercent = []int{0, 10, 30}[i]
+			},
+			def: 1,
+		},
+		{
+			label:  "C Max attributes per table",
+			values: []string{"5", "15", "35"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.MaxAttrsPerTable = []int{5, 15, 35}[i]
+			},
+			def: 1,
+		},
+		{
+			label:  "D Max table references per query",
+			values: []string{"2", "5", "10"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.MaxTableRefsPerQuery = []int{2, 5, 10}[i]
+			},
+			def: 1,
+		},
+		{
+			label:  "E Max attribute references per query",
+			values: []string{"5", "15", "25"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.MaxAttrRefsPerQuery = []int{5, 15, 25}[i]
+			},
+			def: 1,
+		},
+		{
+			label:  "F Allowed attribute widths",
+			values: []string{"{2,4,8}", "{4,8}", "{4,8,16}"},
+			apply: func(p *vpart.RandomParams, i int) {
+				p.AttrWidths = [][]int{{2, 4, 8}, {4, 8}, {4, 8, 16}}[i]
+			},
+			def: 1,
+		},
+	}
+}
+
+// Table1 reproduces the paper's Table 1: the effect of the six generator
+// parameters on the SA solver's cost, for square instance classes
+// (#tables = |T|) and |S| ∈ {1,2,3}. Costs are reported in units of 10⁶.
+func Table1(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+
+	headers := []string{"Parameter", "Value"}
+	for _, class := range cfg.Table1Classes {
+		for _, sites := range cfg.Table1Sites {
+			headers = append(headers, fmt.Sprintf("n=%d |S|=%d", class, sites))
+		}
+	}
+	tbl := texttable.New("Table 1: effect of the generator parameters on the SA cost (units of 10^6)", headers...)
+
+	for _, param := range table1Parameters() {
+		for vi, value := range param.values {
+			cells := []string{param.label, value}
+			if vi == param.def {
+				cells[1] = value + "*" // the paper marks defaults in bold
+			}
+			for _, class := range cfg.Table1Classes {
+				params := vpart.DefaultRandomParams(class, class)
+				params.Name = fmt.Sprintf("rnd-%s-%s-n%d", strings.Fields(param.label)[0], value, class)
+				param.apply(&params, vi)
+				inst, err := vpart.RandomInstance(params, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				for _, sites := range cfg.Table1Sites {
+					res, err := cfg.runSA(inst, sites, cfg.Penalty, false)
+					if err != nil {
+						return nil, err
+					}
+					cells = append(cells, costCell(res.cost, scaleTable13))
+				}
+				cfg.logf("table1: %s=%s n=%d done", param.label, value, class)
+			}
+			tbl.AddRow(cells...)
+		}
+	}
+	return tbl, nil
+}

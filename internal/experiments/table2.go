@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// Table2 reproduces the paper's Table 2: the definition of the named random
+// instance classes used by Tables 3, 5 and 6. No solving is involved.
+func Table2(cfg Config) *texttable.Table {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Table 2: named random instance classes",
+		"Name", "A", "B", "C", "D", "E", "F", "|T|", "#tables")
+	for _, p := range vpart.NamedRandomClasses() {
+		widths := make([]string, len(p.AttrWidths))
+		for i, w := range p.AttrWidths {
+			widths[i] = fmt.Sprintf("%d", w)
+		}
+		tbl.AddRow(
+			p.Name,
+			fmt.Sprintf("%d", p.MaxQueriesPerTxn),
+			fmt.Sprintf("%d", p.UpdatePercent),
+			fmt.Sprintf("%d", p.MaxAttrsPerTable),
+			fmt.Sprintf("%d", p.MaxTableRefsPerQuery),
+			fmt.Sprintf("%d", p.MaxAttrRefsPerQuery),
+			"{"+strings.Join(widths, ",")+"}",
+			fmt.Sprintf("%d", p.Transactions),
+			fmt.Sprintf("%d", p.Tables),
+		)
+	}
+	return tbl
+}

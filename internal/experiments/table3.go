@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// table3Instances returns the instance list of Table 3: TPC-C for
+// |S| ∈ {2,3,4}, then the rndA and rndB classes for |S| = 4.
+func table3Instances(cfg Config) ([]struct {
+	inst  *vpart.Instance
+	sites int
+}, error) {
+	var out []struct {
+		inst  *vpart.Instance
+		sites int
+	}
+	add := func(inst *vpart.Instance, sites int) {
+		out = append(out, struct {
+			inst  *vpart.Instance
+			sites int
+		}{inst, sites})
+	}
+
+	tpccSites := []int{2, 3, 4}
+	if cfg.Quick {
+		tpccSites = []int{2, 3}
+	}
+	for _, s := range tpccSites {
+		add(vpart.TPCC(), s)
+	}
+
+	classNames := []string{
+		"rndAt4x15", "rndAt8x15", "rndAt16x15", "rndAt32x15", "rndAt64x15",
+		"rndAt4x100", "rndAt8x100", "rndAt16x100", "rndAt32x100", "rndAt64x100",
+		"rndBt4x15", "rndBt8x15", "rndBt16x15", "rndBt32x15", "rndBt64x15",
+		"rndBt4x100", "rndBt8x100", "rndBt16x100", "rndBt32x100", "rndBt64x100",
+	}
+	if cfg.Quick {
+		classNames = []string{"rndAt4x15", "rndAt8x15", "rndBt4x15", "rndBt8x15"}
+	}
+	for _, name := range classNames {
+		params, ok := vpart.RandomClass(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown class %q", name)
+		}
+		inst, err := cfg.generate(params)
+		if err != nil {
+			return nil, err
+		}
+		add(inst, 4)
+	}
+	return out, nil
+}
+
+// Table3 reproduces the paper's Table 3: QP versus SA (cost and time) with
+// replication allowed and remote partition placement, plus the |S| = 1
+// baseline. Costs are in units of 10⁶, times in seconds. QP costs are in
+// parentheses when the time limit was reached before proving optimality and
+// "t/o" when no solution was found; QP is skipped entirely ("skip") for
+// instances larger than Config.MaxQPAttrs, mirroring the paper's time-outs
+// without burning hours of CPU.
+func Table3(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Table 3: QP vs SA, replication allowed, remote placement (costs in 10^6, times in s)",
+		"Instance", "|A|", "|T|", "|S|", "QP cost", "QP time", "SA cost", "SA time", "|S|=1")
+
+	rows, err := table3Instances(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		attrs, txns := instanceRow(row.inst)
+
+		sares, err := cfg.runSA(row.inst, row.sites, cfg.Penalty, false)
+		if err != nil {
+			return nil, err
+		}
+		single, err := cfg.runSA(row.inst, 1, cfg.Penalty, false)
+		if err != nil {
+			return nil, err
+		}
+
+		qpCost, qpTime := "skip", "-"
+		if attrs <= cfg.MaxQPAttrs {
+			qpres, err := cfg.runQP(row.inst, row.sites, cfg.Penalty, false)
+			if err != nil {
+				return nil, err
+			}
+			qpCost = qpCostCell(qpres, scaleTable13)
+			qpTime = fmt.Sprintf("%.1f", qpres.seconds)
+		}
+
+		tbl.AddRow(
+			row.inst.Name,
+			fmt.Sprintf("%d", attrs),
+			fmt.Sprintf("%d", txns),
+			fmt.Sprintf("%d", row.sites),
+			qpCost,
+			qpTime,
+			costCell(sares.cost, scaleTable13),
+			fmt.Sprintf("%.1f", sares.seconds),
+			costCell(single.cost, scaleTable13),
+		)
+		cfg.logf("table3: %s |S|=%d done", row.inst.Name, row.sites)
+	}
+	return tbl, nil
+}

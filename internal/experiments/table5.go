@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// Table5 reproduces the paper's Table 5: the effect of allowing attribute
+// replication (non-disjoint partitioning) versus forbidding it, using the QP
+// solver. Costs are in units of 10⁵; the Ratio column is the replicated cost
+// as a percentage of the disjoint cost.
+func Table5(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Table 5: replication vs disjoint partitioning, QP solver (costs in 10^5)",
+		"Instance", "|A|", "|T|", "|S|", "Repl cost", "Repl time", "Disjoint cost", "Disjoint time", "Ratio")
+
+	type row struct {
+		inst  *vpart.Instance
+		sites int
+	}
+	var rows []row
+	tpccSites := []int{1, 2, 3, 4}
+	if cfg.Quick {
+		tpccSites = []int{1, 2, 3}
+	}
+	for _, s := range tpccSites {
+		rows = append(rows, row{vpart.TPCC(), s})
+	}
+	classNames := []string{"rndAt4x15", "rndAt8x15", "rndBt8x15", "rndBt16x15"}
+	if cfg.Quick {
+		classNames = []string{"rndAt4x15", "rndBt8x15"}
+	}
+	for _, name := range classNames {
+		params, ok := vpart.RandomClass(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown class %q", name)
+		}
+		inst, err := cfg.generate(params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{inst, 2})
+	}
+
+	for _, r := range rows {
+		attrs, txns := instanceRow(r.inst)
+		repl, err := cfg.runQP(r.inst, r.sites, cfg.Penalty, false)
+		if err != nil {
+			return nil, err
+		}
+		disj, err := cfg.runQP(r.inst, r.sites, cfg.Penalty, true)
+		if err != nil {
+			return nil, err
+		}
+		ratio := "-"
+		if repl.found && disj.found && disj.cost > 0 && r.sites > 1 {
+			ratio = fmt.Sprintf("%.0f%%", 100*repl.cost/disj.cost)
+		}
+		tbl.AddRow(
+			r.inst.Name,
+			fmt.Sprintf("%d", attrs),
+			fmt.Sprintf("%d", txns),
+			fmt.Sprintf("%d", r.sites),
+			qpCostCell(repl, scaleTable56),
+			fmt.Sprintf("%.1f", repl.seconds),
+			qpCostCell(disj, scaleTable56),
+			fmt.Sprintf("%.1f", disj.seconds),
+			ratio,
+		)
+		cfg.logf("table5: %s |S|=%d done", r.inst.Name, r.sites)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vpart"
+	"vpart/internal/texttable"
+)
+
+// Table6 reproduces the paper's Table 6: local (p = 0) versus remote (p > 0)
+// partition placement, with attribute replication allowed, for both the QP
+// and the SA solver. Costs are in units of 10⁵. Only write queries cause
+// inter-site transfer, so only update-heavy instances benefit noticeably from
+// local placement.
+func Table6(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := texttable.New("Table 6: local (p=0) vs remote (p>0) partition placement (costs in 10^5)",
+		"Instance", "|A|", "|T|", "|S|", "Local QP", "Local SA", "Remote QP", "Remote SA")
+
+	type row struct {
+		inst  *vpart.Instance
+		sites int
+	}
+	var rows []row
+	tpccSites := []int{1, 2, 3}
+	if cfg.Quick {
+		tpccSites = []int{1, 2}
+	}
+	for _, s := range tpccSites {
+		rows = append(rows, row{vpart.TPCC(), s})
+	}
+	classNames := []string{"rndAt4x15", "rndAt8x15", "rndAt8x15u50", "rndBt8x15", "rndBt16x15", "rndBt16x15u50"}
+	if cfg.Quick {
+		classNames = []string{"rndAt8x15u50", "rndBt8x15"}
+	}
+	for _, name := range classNames {
+		params, ok := vpart.RandomClass(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown class %q", name)
+		}
+		inst, err := cfg.generate(params)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{inst, 2})
+	}
+
+	for _, r := range rows {
+		attrs, txns := instanceRow(r.inst)
+		localQP, err := cfg.runQP(r.inst, r.sites, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		localSA, err := cfg.runSA(r.inst, r.sites, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		remoteQP, err := cfg.runQP(r.inst, r.sites, cfg.Penalty, false)
+		if err != nil {
+			return nil, err
+		}
+		remoteSA, err := cfg.runSA(r.inst, r.sites, cfg.Penalty, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(
+			r.inst.Name,
+			fmt.Sprintf("%d", attrs),
+			fmt.Sprintf("%d", txns),
+			fmt.Sprintf("%d", r.sites),
+			qpCostCell(localQP, scaleTable56),
+			costCell(localSA.cost, scaleTable56),
+			qpCostCell(remoteQP, scaleTable56),
+			costCell(remoteSA.cost, scaleTable56),
+		)
+		cfg.logf("table6: %s |S|=%d done", r.inst.Name, r.sites)
+	}
+	return tbl, nil
+}

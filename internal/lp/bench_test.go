@@ -1,0 +1,113 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildDenseLP creates a random feasible LP with the given size for
+// benchmarking the simplex.
+func buildDenseLP(rng *rand.Rand, vars, rows int) *Problem {
+	p := NewProblem()
+	x0 := make([]float64, vars)
+	for j := 0; j < vars; j++ {
+		p.AddVar(0, 10, rng.NormFloat64(), "")
+		x0[j] = rng.Float64() * 10
+	}
+	for i := 0; i < rows; i++ {
+		var entries []Entry
+		act := 0.0
+		for j := 0; j < vars; j++ {
+			if rng.Intn(4) == 0 {
+				v := rng.NormFloat64()
+				entries = append(entries, Entry{Col: j, Val: v})
+				act += v * x0[j]
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		p.AddConstraint(entries, LE, act+1)
+	}
+	return p
+}
+
+func BenchmarkSolveSmallLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := buildDenseLP(rng, 50, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status == Infeasible {
+			b.Fatalf("unexpected result: %v %v", sol.Status, err)
+		}
+	}
+}
+
+func BenchmarkSolveMediumLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p := buildDenseLP(rng, 300, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status == Infeasible {
+			b.Fatalf("unexpected result: %v %v", sol.Status, err)
+		}
+	}
+}
+
+// BenchmarkWarmStartReoptimize measures a dual-simplex re-optimisation after a
+// single bound change, the hot operation of branch and bound.
+func BenchmarkWarmStartReoptimize(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := buildDenseLP(rng, 200, 150)
+	s, err := NewSimplex(p, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st := s.SolveFromScratch(); st != Optimal {
+		b.Fatalf("root status %v", st)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % p.NumVars()
+		if err := s.SetVarBounds(j, 0, 5); err != nil {
+			b.Fatal(err)
+		}
+		s.Reoptimize()
+		if err := s.SetVarBounds(j, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+		s.Reoptimize()
+	}
+}
+
+func BenchmarkPhase1CrashBasis(b *testing.B) {
+	// A model with many already-satisfied rows: measures how cheaply the
+	// crash basis skips phase 1 work.
+	p := NewProblem()
+	for j := 0; j < 200; j++ {
+		p.AddVar(0, 1, float64(j%7)-3, "")
+	}
+	for i := 0; i < 400; i++ {
+		p.AddConstraint([]Entry{{Col: i % 200, Val: 1}, {Col: (i + 7) % 200, Val: 1}}, LE, 1)
+	}
+	for i := 0; i < 20; i++ {
+		var entries []Entry
+		for j := 0; j < 10; j++ {
+			entries = append(entries, Entry{Col: (i*10 + j) % 200, Val: 1})
+		}
+		p.AddConstraint(entries, GE, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := Solve(p, Options{})
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("unexpected result %v %v", sol.Status, err)
+		}
+		if math.IsNaN(sol.Objective) {
+			b.Fatal("NaN objective")
+		}
+	}
+}

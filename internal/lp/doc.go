@@ -1,0 +1,17 @@
+// Package lp implements a dense bounded-variable simplex solver for linear
+// programs of the form
+//
+//	minimise    cᵀx
+//	subject to  aᵢᵀx {≤,=,≥} bᵢ      for every row i
+//	            lⱼ ≤ xⱼ ≤ uⱼ          for every variable j
+//
+// It provides a two-phase primal simplex for solving from scratch and a
+// bounded dual simplex for re-optimising after variable bound changes, which
+// is what the branch-and-bound solver in package mip uses to warm start the
+// linear relaxations of child nodes.
+//
+// The implementation keeps the full tableau B⁻¹A in memory, which is simple
+// and robust for the moderately sized models produced by the vertical
+// partitioning formulation (a few thousand rows and columns). It substitutes
+// for the GLPK solver used in the paper.
+package lp

@@ -1,0 +1,108 @@
+package lp
+
+import "math"
+
+// dual runs the bounded-variable dual simplex: starting from a dual-feasible
+// basis it removes primal bound violations of the basic variables. It returns
+// Optimal when the solution is primal feasible, Infeasible when a violated
+// row admits no entering column, or IterLimit.
+func (s *Simplex) dual(cost func(int) float64) Status {
+	tol := s.opts.Tol
+	stall := 0
+	bland := false
+	for iter := 0; iter < s.opts.MaxIters; iter++ {
+		if iter%64 == 63 && s.deadlineExceeded() {
+			return IterLimit
+		}
+		// Leaving row: the basic variable with the largest bound violation.
+		r := -1
+		worst := tol
+		below := false
+		for i := 0; i < s.m; i++ {
+			b := s.basis[i]
+			if v := s.lower[b] - s.xB[i]; v > worst {
+				worst, r, below = v, i, true
+			}
+			if v := s.xB[i] - s.upper[b]; v > worst {
+				worst, r, below = v, i, false
+			}
+		}
+		if r < 0 {
+			return Optimal
+		}
+
+		// Entering column: keeps dual feasibility, minimal ratio |d_j/T_rj|.
+		q := -1
+		bestRatio := math.Inf(1)
+		bestPivot := 0.0
+		rowR := s.T[r]
+		for j := 0; j < s.nTab; j++ {
+			if s.inRow[j] >= 0 {
+				continue
+			}
+			if s.upper[j]-s.lower[j] <= pivotTol {
+				continue // fixed columns can never enter
+			}
+			a := rowR[j]
+			if math.Abs(a) <= pivotTol {
+				continue
+			}
+			eligible := false
+			if below {
+				// xB[r] must increase: entering at lower with a<0 or at upper
+				// with a>0.
+				eligible = (!s.atUp[j] && a < 0) || (s.atUp[j] && a > 0)
+			} else {
+				// xB[r] must decrease.
+				eligible = (!s.atUp[j] && a > 0) || (s.atUp[j] && a < 0)
+			}
+			if !eligible {
+				continue
+			}
+			ratio := math.Abs(s.d[j]) / math.Abs(a)
+			if ratio < bestRatio-1e-12 ||
+				(ratio < bestRatio+1e-12 && (bland && (q < 0 || j < q) || !bland && math.Abs(a) > bestPivot)) {
+				bestRatio = ratio
+				bestPivot = math.Abs(a)
+				q = j
+			}
+		}
+		if q < 0 {
+			return Infeasible
+		}
+
+		// Step: drive the leaving basic exactly to its violated bound.
+		var target float64
+		var leaveAtUp bool
+		if below {
+			target = s.lower[s.basis[r]]
+			leaveAtUp = false
+		} else {
+			target = s.upper[s.basis[r]]
+			leaveAtUp = true
+		}
+		delta := (s.xB[r] - target) / rowR[q]
+		if math.Abs(delta) <= tol {
+			stall++
+			if stall > 2*(s.m+10) {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+
+		// Update the other basic values and pivot.
+		for i := 0; i < s.m; i++ {
+			if i == r {
+				continue
+			}
+			if coef := s.T[i][q]; coef != 0 {
+				s.xB[i] -= coef * delta
+			}
+		}
+		enterValue := s.nonbasicValue(q) + delta
+		s.pivot(r, q, leaveAtUp, enterValue)
+	}
+	return IterLimit
+}

@@ -1,0 +1,147 @@
+package lp
+
+import "math"
+
+// primal runs the bounded-variable primal simplex with the given per-column
+// objective until optimality, unboundedness or the iteration limit. It
+// assumes s.d holds the reduced costs for that objective and s.xB is primal
+// feasible (phase 1 guarantees this by construction of the artificial basis).
+func (s *Simplex) primal(cost func(int) float64) Status {
+	tol := s.opts.Tol
+	stall := 0
+	bland := false
+	for iter := 0; iter < s.opts.MaxIters; iter++ {
+		if iter%64 == 63 && s.deadlineExceeded() {
+			return IterLimit
+		}
+		q := s.priceEntering(bland, tol)
+		if q < 0 {
+			return Optimal
+		}
+
+		// Direction: +1 when the entering variable increases from its lower
+		// bound, −1 when it decreases from its upper bound.
+		sigma := 1.0
+		if s.atUp[q] {
+			sigma = -1
+		}
+
+		// Ratio test. In Bland mode ties are broken towards the smallest basic
+		// variable index, which (together with smallest-index pricing) makes
+		// cycling impossible.
+		limit := math.Inf(1)
+		if !math.IsInf(s.lower[q], -1) && !math.IsInf(s.upper[q], 1) {
+			limit = s.upper[q] - s.lower[q] // bound flip distance
+		}
+		leaveRow := -1
+		leaveAtUp := false
+		for i := 0; i < s.m; i++ {
+			rate := -sigma * s.T[i][q]
+			var t float64
+			var atUp bool
+			if rate > pivotTol {
+				// Basic variable increases towards its upper bound.
+				ub := s.upper[s.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				t = (ub - s.xB[i]) / rate
+				atUp = true
+			} else if rate < -pivotTol {
+				// Basic variable decreases towards its lower bound.
+				lb := s.lower[s.basis[i]]
+				if math.IsInf(lb, -1) {
+					continue
+				}
+				t = (s.xB[i] - lb) / (-rate)
+				atUp = false
+			} else {
+				continue
+			}
+			if t < 0 {
+				t = 0
+			}
+			better := t < limit
+			if !better && bland && leaveRow >= 0 && t <= limit+1e-12 && s.basis[i] < s.basis[leaveRow] {
+				better = true
+			}
+			if better {
+				limit = t
+				leaveRow = i
+				leaveAtUp = atUp
+			}
+		}
+
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+		if limit <= tol {
+			stall++
+			if stall > 2*(s.m+10) {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+
+		if leaveRow < 0 {
+			// Bound flip: the entering variable runs to its opposite bound.
+			s.applyStep(q, sigma, limit)
+			s.atUp[q] = !s.atUp[q]
+			continue
+		}
+
+		// Regular pivot.
+		s.applyStep(q, sigma, limit)
+		enterValue := s.nonbasicValue(q) + sigma*limit
+		s.pivot(leaveRow, q, leaveAtUp, enterValue)
+	}
+	return IterLimit
+}
+
+// priceEntering selects the entering column: a nonbasic, non-fixed column
+// whose reduced cost allows an improving move. With bland=true the smallest
+// eligible index is returned (anti-cycling), otherwise the most violating.
+func (s *Simplex) priceEntering(bland bool, tol float64) int {
+	best := -1
+	bestScore := tol
+	for j := 0; j < s.nTab; j++ {
+		if s.inRow[j] >= 0 {
+			continue
+		}
+		if s.upper[j]-s.lower[j] <= pivotTol {
+			continue // fixed
+		}
+		var score float64
+		if s.atUp[j] {
+			score = s.d[j]
+		} else {
+			score = -s.d[j]
+		}
+		if score <= tol {
+			continue
+		}
+		if bland {
+			return j
+		}
+		if score > bestScore {
+			bestScore = score
+			best = j
+		}
+	}
+	return best
+}
+
+// applyStep moves the entering variable q by sigma·t and updates the basic
+// values accordingly (xB_i += rate_i·t).
+func (s *Simplex) applyStep(q int, sigma, t float64) {
+	if t == 0 {
+		return
+	}
+	for i := 0; i < s.m; i++ {
+		if coef := s.T[i][q]; coef != 0 {
+			s.xB[i] += -sigma * coef * t
+		}
+	}
+}

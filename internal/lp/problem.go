@@ -1,0 +1,211 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational sense of a linear constraint.
+type Sense int8
+
+const (
+	// LE is aᵀx ≤ b.
+	LE Sense = iota
+	// GE is aᵀx ≥ b.
+	GE
+	// EQ is aᵀx = b.
+	EQ
+)
+
+// String returns "<=", ">=" or "=".
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Entry is one non-zero coefficient of a constraint row.
+type Entry struct {
+	Col int
+	Val float64
+}
+
+// Row is a single linear constraint.
+type Row struct {
+	Entries []Entry
+	Sense   Sense
+	RHS     float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create problems with NewProblem.
+type Problem struct {
+	obj    []float64
+	lower  []float64
+	upper  []float64
+	names  []string
+	rows   []Row
+	maxCol int
+}
+
+// NewProblem returns an empty problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVar appends a variable with the given bounds and objective coefficient
+// and returns its column index. Use math.Inf for unbounded sides.
+func (p *Problem) AddVar(lower, upper, obj float64, name string) int {
+	j := len(p.obj)
+	p.obj = append(p.obj, obj)
+	p.lower = append(p.lower, lower)
+	p.upper = append(p.upper, upper)
+	p.names = append(p.names, name)
+	return j
+}
+
+// AddConstraint appends a constraint row and returns its index. Entries with
+// zero coefficients are kept (they are harmless) but entries referring to
+// unknown columns cause Validate to fail.
+func (p *Problem) AddConstraint(entries []Entry, sense Sense, rhs float64) int {
+	r := Row{Entries: append([]Entry(nil), entries...), Sense: sense, RHS: rhs}
+	for _, e := range entries {
+		if e.Col > p.maxCol {
+			p.maxCol = e.Col
+		}
+	}
+	p.rows = append(p.rows, r)
+	return len(p.rows) - 1
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// NumRows returns the number of constraints.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// Objective returns the objective coefficient of variable j.
+func (p *Problem) Objective(j int) float64 { return p.obj[j] }
+
+// SetObjective overwrites the objective coefficient of variable j.
+func (p *Problem) SetObjective(j int, v float64) { p.obj[j] = v }
+
+// Bounds returns the bounds of variable j.
+func (p *Problem) Bounds(j int) (lower, upper float64) { return p.lower[j], p.upper[j] }
+
+// SetBounds overwrites the bounds of variable j.
+func (p *Problem) SetBounds(j int, lower, upper float64) {
+	p.lower[j] = lower
+	p.upper[j] = upper
+}
+
+// Name returns the name of variable j ("" when unnamed).
+func (p *Problem) Name(j int) string { return p.names[j] }
+
+// Rows returns the constraint rows (do not modify).
+func (p *Problem) Rows() []Row { return p.rows }
+
+// Validate checks that all constraint entries refer to existing variables and
+// that every variable has a consistent bound pair.
+func (p *Problem) Validate() error {
+	if len(p.obj) == 0 {
+		return fmt.Errorf("lp: problem has no variables")
+	}
+	for j := range p.obj {
+		if p.lower[j] > p.upper[j] {
+			return fmt.Errorf("lp: variable %d has empty bound interval [%g,%g]", j, p.lower[j], p.upper[j])
+		}
+		if math.IsNaN(p.obj[j]) || math.IsNaN(p.lower[j]) || math.IsNaN(p.upper[j]) {
+			return fmt.Errorf("lp: variable %d has NaN data", j)
+		}
+		if math.IsInf(p.lower[j], 1) || math.IsInf(p.upper[j], -1) {
+			return fmt.Errorf("lp: variable %d has inverted infinite bounds", j)
+		}
+	}
+	for i, r := range p.rows {
+		if math.IsNaN(r.RHS) {
+			return fmt.Errorf("lp: row %d has NaN right-hand side", i)
+		}
+		for _, e := range r.Entries {
+			if e.Col < 0 || e.Col >= len(p.obj) {
+				return fmt.Errorf("lp: row %d references unknown variable %d", i, e.Col)
+			}
+			if math.IsNaN(e.Val) || math.IsInf(e.Val, 0) {
+				return fmt.Errorf("lp: row %d has invalid coefficient %g", i, e.Val)
+			}
+		}
+	}
+	return nil
+}
+
+// EvalObjective returns cᵀx for a candidate point.
+func (p *Problem) EvalObjective(x []float64) float64 {
+	v := 0.0
+	for j, c := range p.obj {
+		if c != 0 {
+			v += c * x[j]
+		}
+	}
+	return v
+}
+
+// RowActivity returns aᵢᵀx for row i.
+func (p *Problem) RowActivity(i int, x []float64) float64 {
+	v := 0.0
+	for _, e := range p.rows[i].Entries {
+		v += e.Val * x[e.Col]
+	}
+	return v
+}
+
+// IsFeasible reports whether x satisfies all constraints and bounds within
+// tolerance tol.
+func (p *Problem) IsFeasible(x []float64, tol float64) bool {
+	if len(x) < len(p.obj) {
+		return false
+	}
+	for j := range p.obj {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			return false
+		}
+	}
+	for i, r := range p.rows {
+		act := p.RowActivity(i, x)
+		switch r.Sense {
+		case LE:
+			if act > r.RHS+tol {
+				return false
+			}
+		case GE:
+			if act < r.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(act-r.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{
+		obj:    append([]float64(nil), p.obj...),
+		lower:  append([]float64(nil), p.lower...),
+		upper:  append([]float64(nil), p.upper...),
+		names:  append([]string(nil), p.names...),
+		maxCol: p.maxCol,
+	}
+	c.rows = make([]Row, len(p.rows))
+	for i, r := range p.rows {
+		c.rows[i] = Row{Entries: append([]Entry(nil), r.Entries...), Sense: r.Sense, RHS: r.RHS}
+	}
+	return c
+}

@@ -1,0 +1,571 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status is the outcome of a simplex solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+	// IterLimit means the iteration budget was exhausted before completion.
+	IterLimit
+	// NeedsRestart means the internal state is not usable for a warm start
+	// and the caller should solve from scratch.
+	NeedsRestart
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	case NeedsRestart:
+		return "needs-restart"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options tune the simplex solver.
+type Options struct {
+	// MaxIters bounds the number of pivots per Solve/Reoptimize call.
+	// Zero means the default of 20·(rows+cols)+5000.
+	MaxIters int
+	// Tol is the primal/dual feasibility tolerance. Zero means 1e-7.
+	Tol float64
+	// Deadline, when non-zero, aborts a solve with IterLimit once the wall
+	// clock passes it. Branch-and-bound uses this to make its overall time
+	// limit binding even when a single LP is slow.
+	Deadline time.Time
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 20*(m+n) + 5000
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	return o
+}
+
+const pivotTol = 1e-9
+
+// Simplex is a bounded-variable simplex solver over a fixed constraint
+// matrix. Variable bounds may be changed between solves (SetVarBounds), which
+// is how branch-and-bound warm starts child nodes via Reoptimize.
+type Simplex struct {
+	prob *Problem
+	opts Options
+
+	m       int // rows
+	n       int // total columns: structural + slack + artificial
+	nTab    int // tableau width: structural + slack (artificial columns are virtual)
+	nStruct int
+	nSlack  int
+
+	c     []float64 // phase-2 objective over all columns
+	lower []float64
+	upper []float64
+
+	// Tableau state.
+	T     [][]float64 // B⁻¹A, m×n
+	beta  []float64   // B⁻¹b
+	basis []int       // row -> column
+	inRow []int       // column -> row, or -1 when nonbasic
+	atUp  []bool      // nonbasic at upper bound (meaningful when inRow == -1)
+	xB    []float64   // values of basic variables per row
+	d     []float64   // reduced costs for the current phase objective
+
+	phase1 bool
+	ready  bool // a successful solve has established a dual-feasible basis
+	iters  int  // total pivots across the lifetime of the solver
+}
+
+// NewSimplex prepares a solver for the problem. The problem's rows must not
+// change afterwards; bounds changes must go through SetVarBounds.
+func NewSimplex(p *Problem, opts Options) (*Simplex, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := p.NumRows()
+	nStruct := p.NumVars()
+	s := &Simplex{
+		prob:    p,
+		m:       m,
+		nStruct: nStruct,
+		nSlack:  m,
+		nTab:    nStruct + m,
+		n:       nStruct + 2*m,
+	}
+	s.opts = opts.withDefaults(m, s.n)
+
+	s.c = make([]float64, s.n)
+	s.lower = make([]float64, s.n)
+	s.upper = make([]float64, s.n)
+	for j := 0; j < nStruct; j++ {
+		s.c[j] = p.Objective(j)
+		s.lower[j], s.upper[j] = p.Bounds(j)
+	}
+	for i, r := range p.Rows() {
+		sl := s.slackCol(i)
+		switch r.Sense {
+		case LE:
+			s.lower[sl], s.upper[sl] = 0, math.Inf(1)
+		case GE:
+			s.lower[sl], s.upper[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lower[sl], s.upper[sl] = 0, 0
+		}
+		art := s.artCol(i)
+		s.lower[art], s.upper[art] = 0, 0 // opened up only during phase 1
+	}
+	return s, nil
+}
+
+func (s *Simplex) slackCol(i int) int { return s.nStruct + i }
+func (s *Simplex) artCol(i int) int   { return s.nStruct + s.m + i }
+
+// Iterations returns the total number of pivots performed so far.
+func (s *Simplex) Iterations() int { return s.iters }
+
+// SetDeadline sets (or clears, with the zero time) the wall-clock deadline
+// after which solves abort with IterLimit.
+func (s *Simplex) SetDeadline(t time.Time) { s.opts.Deadline = t }
+
+// deadlineExceeded reports whether the configured deadline has passed. It is
+// only consulted every few dozen pivots to keep the clock out of the hot
+// path.
+func (s *Simplex) deadlineExceeded() bool {
+	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
+}
+
+// SetVarBounds changes the bounds of a structural variable. The change takes
+// effect at the next Reoptimize or SolveFromScratch call.
+func (s *Simplex) SetVarBounds(j int, lower, upper float64) error {
+	if j < 0 || j >= s.nStruct {
+		return fmt.Errorf("lp: SetVarBounds: no structural variable %d", j)
+	}
+	if lower > upper {
+		return fmt.Errorf("lp: SetVarBounds: empty interval [%g,%g]", lower, upper)
+	}
+	s.lower[j] = lower
+	s.upper[j] = upper
+	return nil
+}
+
+// VarBounds returns the current bounds of structural variable j.
+func (s *Simplex) VarBounds(j int) (lower, upper float64) { return s.lower[j], s.upper[j] }
+
+// nonbasicValue returns the current value of a nonbasic column.
+func (s *Simplex) nonbasicValue(j int) float64 {
+	if s.atUp[j] {
+		if math.IsInf(s.upper[j], 1) {
+			return 0
+		}
+		return s.upper[j]
+	}
+	if math.IsInf(s.lower[j], -1) {
+		if !math.IsInf(s.upper[j], 1) {
+			return s.upper[j]
+		}
+		return 0
+	}
+	return s.lower[j]
+}
+
+// X returns the current values of the structural variables.
+func (s *Simplex) X() []float64 {
+	x := make([]float64, s.nStruct)
+	for j := 0; j < s.nStruct; j++ {
+		if r := s.inRow[j]; r >= 0 {
+			x[j] = s.xB[r]
+		} else {
+			x[j] = s.nonbasicValue(j)
+		}
+	}
+	return x
+}
+
+// Objective returns cᵀx for the current solution (phase-2 objective).
+func (s *Simplex) Objective() float64 {
+	obj := 0.0
+	for j := 0; j < s.nStruct; j++ {
+		cj := s.c[j]
+		if cj == 0 {
+			continue
+		}
+		if r := s.inRow[j]; r >= 0 {
+			obj += cj * s.xB[r]
+		} else {
+			obj += cj * s.nonbasicValue(j)
+		}
+	}
+	return obj
+}
+
+// Ready reports whether the solver holds a dual-feasible basis usable for
+// warm-started Reoptimize calls.
+func (s *Simplex) Ready() bool { return s.ready }
+
+// SolveFromScratch discards any previous basis and solves the LP with the
+// two-phase primal simplex.
+func (s *Simplex) SolveFromScratch() Status {
+	s.initTableau()
+
+	// Phase 1: minimise the sum of artificial variables.
+	s.phase1 = true
+	s.computeReducedCosts(s.phase1Cost)
+	st := s.primal(s.phase1Cost)
+	if st == IterLimit {
+		s.ready = false
+		return IterLimit
+	}
+	if s.phase1Objective() > s.opts.Tol*float64(1+s.m) {
+		s.ready = false
+		return Infeasible
+	}
+	s.retireArtificials()
+
+	// Phase 2: minimise the real objective.
+	s.phase1 = false
+	s.computeReducedCosts(s.cost)
+	st = s.primal(s.cost)
+	if st == Optimal || st == Unbounded {
+		s.ready = st == Optimal
+	} else {
+		s.ready = false
+	}
+	return st
+}
+
+// Reoptimize restores primal feasibility with the dual simplex after bound
+// changes, reusing the current basis. It requires a prior successful solve;
+// otherwise it returns NeedsRestart.
+func (s *Simplex) Reoptimize() Status {
+	if !s.ready {
+		return NeedsRestart
+	}
+	s.phase1 = false
+
+	// Nonbasic variables whose bound side vanished (e.g. were at an upper
+	// bound that is now +inf) must switch sides; if that breaks dual
+	// feasibility we simply flip them, which is legal because flipping only
+	// changes the primal point, and primal feasibility is restored below.
+	for j := 0; j < s.nTab; j++ {
+		if s.inRow[j] >= 0 {
+			continue
+		}
+		if s.atUp[j] && math.IsInf(s.upper[j], 1) {
+			s.atUp[j] = false
+		}
+		if !s.atUp[j] && math.IsInf(s.lower[j], -1) && !math.IsInf(s.upper[j], 1) {
+			s.atUp[j] = true
+		}
+		// Restore dual feasibility by switching bound sides where the sign of
+		// the reduced cost demands it and the other bound exists.
+		if !s.atUp[j] && s.d[j] < -s.opts.Tol && !math.IsInf(s.upper[j], 1) {
+			s.atUp[j] = true
+		} else if s.atUp[j] && s.d[j] > s.opts.Tol && !math.IsInf(s.lower[j], -1) {
+			s.atUp[j] = false
+		}
+		if !s.atUp[j] && s.d[j] < -s.opts.Tol && math.IsInf(s.upper[j], 1) {
+			// Cannot restore dual feasibility cheaply.
+			s.ready = false
+			return NeedsRestart
+		}
+		if s.atUp[j] && s.d[j] > s.opts.Tol && math.IsInf(s.lower[j], -1) {
+			s.ready = false
+			return NeedsRestart
+		}
+	}
+
+	s.recomputeBasicValues()
+	st := s.dual(s.cost)
+	if st != Optimal {
+		if st == Infeasible {
+			// The basis stays dual feasible, so further warm starts are fine.
+			return Infeasible
+		}
+		s.ready = false
+	}
+	return st
+}
+
+// initTableau builds the starting basis: for every row whose slack is within
+// its bounds at the initial nonbasic point the slack itself becomes basic (a
+// "crash" basis), and only the remaining rows receive a basic artificial
+// variable. Artificial columns are virtual: they never re-enter the basis, so
+// the tableau only stores structural and slack columns (width nTab).
+func (s *Simplex) initTableau() {
+	m, nTab := s.m, s.nTab
+	if s.T == nil {
+		s.T = make([][]float64, m)
+		backing := make([]float64, m*nTab)
+		for i := range s.T {
+			s.T[i], backing = backing[:nTab:nTab], backing[nTab:]
+		}
+		s.beta = make([]float64, m)
+		s.basis = make([]int, m)
+		s.inRow = make([]int, s.n)
+		s.atUp = make([]bool, s.n)
+		s.xB = make([]float64, m)
+		s.d = make([]float64, nTab)
+	} else {
+		for i := range s.T {
+			row := s.T[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	for j := range s.inRow {
+		s.inRow[j] = -1
+		s.atUp[j] = false
+	}
+
+	// Reset slack bounds and close all artificial bounds; they are opened per
+	// row below only where an artificial is actually needed.
+	for i, r := range s.prob.Rows() {
+		sl := s.slackCol(i)
+		switch r.Sense {
+		case LE:
+			s.lower[sl], s.upper[sl] = 0, math.Inf(1)
+		case GE:
+			s.lower[sl], s.upper[sl] = math.Inf(-1), 0
+		case EQ:
+			s.lower[sl], s.upper[sl] = 0, 0
+		}
+		art := s.artCol(i)
+		s.lower[art], s.upper[art] = 0, 0
+	}
+
+	// Choose nonbasic values for structural and slack columns: the finite
+	// bound closest to zero.
+	for j := 0; j < s.nStruct+s.nSlack; j++ {
+		s.atUp[j] = math.IsInf(s.lower[j], -1) && !math.IsInf(s.upper[j], 1)
+	}
+
+	rows := s.prob.Rows()
+	for i := 0; i < m; i++ {
+		// Residual of row i at the chosen nonbasic point (excluding the
+		// slack, which is the basis candidate).
+		act := 0.0
+		for _, e := range rows[i].Entries {
+			act += e.Val * s.nonbasicValueRaw(e.Col)
+		}
+		resid := rows[i].RHS - act
+
+		sl := s.slackCol(i)
+		if resid >= s.lower[sl]-s.opts.Tol && resid <= s.upper[sl]+s.opts.Tol {
+			// The slack can absorb the residual: crash it into the basis.
+			for _, e := range rows[i].Entries {
+				s.T[i][e.Col] += e.Val
+			}
+			s.T[i][sl] = 1
+			s.beta[i] = rows[i].RHS
+			s.basis[i] = sl
+			s.inRow[sl] = i
+			s.xB[i] = resid
+			continue
+		}
+
+		// Otherwise a basic artificial variable (virtual column) covers the
+		// violation; sign makes its value |resid| ≥ 0.
+		sign := 1.0
+		if resid < 0 {
+			sign = -1
+		}
+		for _, e := range rows[i].Entries {
+			s.T[i][e.Col] += sign * e.Val
+		}
+		s.T[i][sl] = sign
+		s.beta[i] = sign * rows[i].RHS
+
+		art := s.artCol(i)
+		s.lower[art], s.upper[art] = 0, math.Inf(1)
+		s.basis[i] = art
+		s.inRow[art] = i
+		s.xB[i] = sign * resid
+	}
+}
+
+// nonbasicValueRaw is nonbasicValue without consulting inRow (used during
+// initialisation when everything is still nonbasic).
+func (s *Simplex) nonbasicValueRaw(j int) float64 {
+	if s.atUp[j] {
+		if math.IsInf(s.upper[j], 1) {
+			return 0
+		}
+		return s.upper[j]
+	}
+	if math.IsInf(s.lower[j], -1) {
+		return 0
+	}
+	return s.lower[j]
+}
+
+// recomputeBasicValues sets xB = beta − Σ_{nonbasic j} T[:,j]·value(j).
+func (s *Simplex) recomputeBasicValues() {
+	copy(s.xB, s.beta)
+	for j := 0; j < s.nTab; j++ {
+		if s.inRow[j] >= 0 {
+			continue
+		}
+		v := s.nonbasicValue(j)
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < s.m; i++ {
+			if t := s.T[i][j]; t != 0 {
+				s.xB[i] -= t * v
+			}
+		}
+	}
+}
+
+// cost returns the phase-2 objective coefficient of column j.
+func (s *Simplex) cost(j int) float64 { return s.c[j] }
+
+// phase1Cost returns the phase-1 objective coefficient of column j (1 for
+// artificials, 0 otherwise).
+func (s *Simplex) phase1Cost(j int) float64 {
+	if j >= s.nStruct+s.nSlack {
+		return 1
+	}
+	return 0
+}
+
+// phase1Objective returns the current sum of (basic) artificial variable
+// values; nonbasic artificials are fixed at zero.
+func (s *Simplex) phase1Objective() float64 {
+	sum := 0.0
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] >= s.nStruct+s.nSlack && s.xB[i] > 0 {
+			sum += s.xB[i]
+		}
+	}
+	return sum
+}
+
+// computeReducedCosts recomputes d_j = cost(j) − Σ_i cost(basis[i])·T[i][j].
+func (s *Simplex) computeReducedCosts(cost func(int) float64) {
+	for j := 0; j < s.nTab; j++ {
+		s.d[j] = cost(j)
+	}
+	for i := 0; i < s.m; i++ {
+		cb := cost(s.basis[i])
+		if cb == 0 {
+			continue
+		}
+		row := s.T[i]
+		for j := 0; j < s.nTab; j++ {
+			if row[j] != 0 {
+				s.d[j] -= cb * row[j]
+			}
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		if b := s.basis[i]; b < s.nTab {
+			s.d[b] = 0
+		}
+	}
+}
+
+// retireArtificials pivots artificial variables out of the basis where
+// possible and closes their bounds so they can never re-enter.
+func (s *Simplex) retireArtificials() {
+	for i := 0; i < s.m; i++ {
+		b := s.basis[i]
+		if b < s.nStruct+s.nSlack {
+			continue
+		}
+		// Try to pivot the artificial out in favour of any non-artificial
+		// column with a usable pivot element.
+		pivoted := false
+		for j := 0; j < s.nStruct+s.nSlack; j++ {
+			if s.inRow[j] >= 0 {
+				continue
+			}
+			if math.Abs(s.T[i][j]) > 1e-7 {
+				// Formal (degenerate) pivot: the primal point is unchanged,
+				// the entering column becomes basic at its current bound
+				// value and the artificial leaves at zero.
+				s.pivot(i, j, false, s.nonbasicValue(j))
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: the artificial stays basic at (near) zero.
+			s.xB[i] = 0
+		}
+	}
+	for i := 0; i < s.m; i++ {
+		art := s.artCol(i)
+		s.lower[art], s.upper[art] = 0, 0
+		if s.inRow[art] < 0 {
+			s.atUp[art] = false
+		}
+	}
+}
+
+// pivot makes column q basic in row r. leaveAtUp says whether the leaving
+// variable becomes nonbasic at its upper bound; enterValue is the value the
+// entering variable takes.
+func (s *Simplex) pivot(r, q int, leaveAtUp bool, enterValue float64) {
+	piv := s.T[r][q]
+	rowR := s.T[r]
+	inv := 1 / piv
+	for j := 0; j < s.nTab; j++ {
+		rowR[j] *= inv
+	}
+	s.beta[r] *= inv
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		f := s.T[i][q]
+		if f == 0 {
+			continue
+		}
+		rowI := s.T[i]
+		for j := 0; j < s.nTab; j++ {
+			if rowR[j] != 0 {
+				rowI[j] -= f * rowR[j]
+			}
+		}
+		s.beta[i] -= f * s.beta[r]
+	}
+	// Reduced cost update.
+	if dq := s.d[q]; dq != 0 {
+		for j := 0; j < s.nTab; j++ {
+			if rowR[j] != 0 {
+				s.d[j] -= dq * rowR[j]
+			}
+		}
+	}
+	leaving := s.basis[r]
+	s.inRow[leaving] = -1
+	s.atUp[leaving] = leaveAtUp
+	s.basis[r] = q
+	s.inRow[q] = r
+	s.xB[r] = enterValue
+	s.d[q] = 0
+	s.iters++
+}

@@ -1,0 +1,492 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestSimpleMaximisation solves max 3x+5y s.t. x<=4, 2y<=12, 3x+2y<=18
+// (the classic Wyndor Glass problem) as a minimisation of the negated
+// objective. Optimum: x=2, y=6, objective 36.
+func TestSimpleMaximisation(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1), -3, "x")
+	y := p.AddVar(0, math.Inf(1), -5, "y")
+	p.AddConstraint([]Entry{{x, 1}}, LE, 4)
+	p.AddConstraint([]Entry{{y, 2}}, LE, 12)
+	p.AddConstraint([]Entry{{x, 3}, {y, 2}}, LE, 18)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -36, 1e-6) {
+		t.Fatalf("objective = %g, want -36", sol.Objective)
+	}
+	if !approx(sol.X[x], 2, 1e-6) || !approx(sol.X[y], 6, 1e-6) {
+		t.Fatalf("solution = %v, want [2 6]", sol.X)
+	}
+}
+
+// TestEqualityAndGE exercises GE and EQ rows:
+// min 2x+3y s.t. x+y = 10, x >= 3, y >= 2  ->  x=8? No: minimise puts weight
+// on the cheaper variable x: x=8, y=2, objective 22.
+func TestEqualityAndGE(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1), 2, "x")
+	y := p.AddVar(0, math.Inf(1), 3, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, EQ, 10)
+	p.AddConstraint([]Entry{{x, 1}}, GE, 3)
+	p.AddConstraint([]Entry{{y, 1}}, GE, 2)
+
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, 22, 1e-6) {
+		t.Fatalf("objective = %g, want 22", sol.Objective)
+	}
+	if !approx(sol.X[x], 8, 1e-6) || !approx(sol.X[y], 2, 1e-6) {
+		t.Fatalf("solution = %v, want [8 2]", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 1, "x")
+	p.AddConstraint([]Entry{{x, 1}}, GE, 2)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, 1, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, EQ, 7)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1), -1, "x")
+	y := p.AddVar(0, math.Inf(1), 0, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, -1}}, LE, 1)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestUpperBoundsAndFlips uses finite upper bounds where the optimum sits on
+// them: min -x-y, x<=3, y<=4, x+y<=5 -> objective -5.
+func TestUpperBoundsAndFlips(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 3, -1, "x")
+	y := p.AddVar(0, 4, -1, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, LE, 5)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -5, 1e-6) {
+		t.Fatalf("objective = %g, want -5", sol.Objective)
+	}
+	if !p.IsFeasible(sol.X, 1e-6) {
+		t.Fatalf("solution %v infeasible", sol.X)
+	}
+}
+
+// TestNegativeLowerBounds allows a variable to go negative.
+func TestNegativeLowerBounds(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(-5, 5, 1, "x")
+	y := p.AddVar(0, 10, 1, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, GE, -2)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.Objective, -2, 1e-6) {
+		t.Fatalf("objective = %g, want -2 (x=-2, y=0)", sol.Objective)
+	}
+}
+
+func TestFixedVariables(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(2, 2, 1, "x") // fixed at 2
+	y := p.AddVar(0, 10, 1, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, GE, 5)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if !approx(sol.X[x], 2, 1e-9) || !approx(sol.X[y], 3, 1e-6) {
+		t.Fatalf("solution = %v, want [2 3]", sol.X)
+	}
+}
+
+func TestDegenerateLP(t *testing.T) {
+	// A classic degenerate corner: several constraints intersect at the
+	// optimum.
+	p := NewProblem()
+	x := p.AddVar(0, math.Inf(1), -1, "x")
+	y := p.AddVar(0, math.Inf(1), -1, "y")
+	p.AddConstraint([]Entry{{x, 1}}, LE, 1)
+	p.AddConstraint([]Entry{{y, 1}}, LE, 1)
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, LE, 2)
+	p.AddConstraint([]Entry{{x, 1}, {y, 2}}, LE, 3)
+	p.AddConstraint([]Entry{{x, 2}, {y, 1}}, LE, 3)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, -2, 1e-6) {
+		t.Fatalf("status %v objective %g, want optimal -2", sol.Status, sol.Objective)
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := NewProblem()
+	if err := p.Validate(); err == nil {
+		t.Error("empty problem accepted")
+	}
+	x := p.AddVar(0, 1, 1, "x")
+	p.AddConstraint([]Entry{{x, 1}}, LE, 1)
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	p.AddConstraint([]Entry{{99, 1}}, LE, 1)
+	if err := p.Validate(); err == nil {
+		t.Error("row referencing unknown column accepted")
+	}
+
+	q := NewProblem()
+	q.AddVar(3, 1, 0, "bad")
+	if err := q.Validate(); err == nil {
+		t.Error("empty bound interval accepted")
+	}
+
+	r := NewProblem()
+	r.AddVar(0, 1, math.NaN(), "nan")
+	if err := r.Validate(); err == nil {
+		t.Error("NaN objective accepted")
+	}
+}
+
+func TestProblemHelpers(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 2, "x")
+	y := p.AddVar(0, 1, 3, "y")
+	row := p.AddConstraint([]Entry{{x, 1}, {y, 2}}, LE, 2)
+	if p.NumVars() != 2 || p.NumRows() != 1 {
+		t.Fatal("wrong dimensions")
+	}
+	if p.Name(x) != "x" || p.Objective(y) != 3 {
+		t.Fatal("accessors broken")
+	}
+	p.SetObjective(y, 4)
+	if p.Objective(y) != 4 {
+		t.Fatal("SetObjective broken")
+	}
+	lo, hi := p.Bounds(x)
+	if lo != 0 || hi != 1 {
+		t.Fatal("Bounds broken")
+	}
+	p.SetBounds(x, 0, 2)
+	if _, hi := p.Bounds(x); hi != 2 {
+		t.Fatal("SetBounds broken")
+	}
+	pt := []float64{1, 0.5}
+	if got := p.EvalObjective(pt); !approx(got, 4, 1e-12) {
+		t.Fatalf("EvalObjective = %g", got)
+	}
+	if got := p.RowActivity(row, pt); !approx(got, 2, 1e-12) {
+		t.Fatalf("RowActivity = %g", got)
+	}
+	if !p.IsFeasible(pt, 1e-9) {
+		t.Fatal("feasible point rejected")
+	}
+	if p.IsFeasible([]float64{5, 0}, 1e-9) {
+		t.Fatal("infeasible point accepted")
+	}
+	c := p.Clone()
+	c.SetObjective(x, 99)
+	if p.Objective(x) == 99 {
+		t.Fatal("Clone shares objective storage")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Sense strings wrong")
+	}
+}
+
+// TestReoptimizeAfterBoundChange checks that warm-started dual re-optimisation
+// after tightening a bound agrees with a from-scratch solve.
+func TestReoptimizeAfterBoundChange(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, -3, "x")
+	y := p.AddVar(0, 1, -2, "y")
+	z := p.AddVar(0, 1, -1, "z")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}, {z, 1}}, LE, 2)
+	p.AddConstraint([]Entry{{x, 2}, {y, 1}}, LE, 2)
+
+	s, err := NewSimplex(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.SolveFromScratch(); st != Optimal {
+		t.Fatalf("root status %v", st)
+	}
+	rootObj := s.Objective()
+
+	// Branch: force x to 0.
+	if err := s.SetVarBounds(x, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Reoptimize(); st != Optimal {
+		t.Fatalf("reoptimize status %v", st)
+	}
+	warm := s.Objective()
+
+	p2 := p.Clone()
+	p2.SetBounds(x, 0, 0)
+	cold, err := Solve(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Status != Optimal || !approx(warm, cold.Objective, 1e-6) {
+		t.Fatalf("warm %g vs cold %g (%v)", warm, cold.Objective, cold.Status)
+	}
+	if warm < rootObj-1e-9 {
+		t.Fatalf("child objective %g better than parent %g", warm, rootObj)
+	}
+
+	// Branch the other way: force x to 1, starting from the current basis.
+	if err := s.SetVarBounds(x, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Reoptimize(); st != Optimal {
+		t.Fatalf("reoptimize status %v", st)
+	}
+	p3 := p.Clone()
+	p3.SetBounds(x, 1, 1)
+	cold3, _ := Solve(p3, Options{})
+	if !approx(s.Objective(), cold3.Objective, 1e-6) {
+		t.Fatalf("warm %g vs cold %g", s.Objective(), cold3.Objective)
+	}
+}
+
+func TestReoptimizeDetectsInfeasibleBounds(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 1, 1, "x")
+	y := p.AddVar(0, 1, 1, "y")
+	p.AddConstraint([]Entry{{x, 1}, {y, 1}}, GE, 1)
+	s, err := NewSimplex(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.SolveFromScratch(); st != Optimal {
+		t.Fatalf("status %v", st)
+	}
+	// Forcing both variables to zero makes the GE row unsatisfiable.
+	if err := s.SetVarBounds(x, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetVarBounds(y, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Reoptimize(); st != Infeasible {
+		t.Fatalf("status %v, want infeasible", st)
+	}
+}
+
+func TestReoptimizeWithoutSolveNeedsRestart(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(0, 1, 1, "x")
+	s, err := NewSimplex(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Reoptimize(); st != NeedsRestart {
+		t.Fatalf("status %v, want needs-restart", st)
+	}
+}
+
+func TestSetVarBoundsErrors(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(0, 1, 1, "x")
+	s, _ := NewSimplex(p, Options{})
+	if err := s.SetVarBounds(5, 0, 1); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if err := s.SetVarBounds(0, 2, 1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if err := s.SetVarBounds(0, 0.5, 1); err != nil {
+		t.Errorf("valid bounds rejected: %v", err)
+	}
+	if lo, hi := s.VarBounds(0); lo != 0.5 || hi != 1 {
+		t.Error("VarBounds mismatch")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded",
+		IterLimit: "iteration-limit", NeedsRestart: "needs-restart",
+	} {
+		if st.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(st), st.String(), want)
+		}
+	}
+	if Status(42).String() == "" {
+		t.Error("unknown status produced empty string")
+	}
+}
+
+// randomFeasibleLP builds a random LP that is feasible by construction: pick
+// a random point x0 inside the box and make every constraint hold at x0 with
+// slack.
+func randomFeasibleLP(rng *rand.Rand, nVars, nRows int) (*Problem, []float64) {
+	p := NewProblem()
+	x0 := make([]float64, nVars)
+	for j := 0; j < nVars; j++ {
+		lo := float64(rng.Intn(3)) - 1 // -1, 0 or 1
+		hi := lo + 1 + float64(rng.Intn(5))
+		obj := rng.NormFloat64() * 3
+		p.AddVar(lo, hi, obj, "")
+		x0[j] = lo + rng.Float64()*(hi-lo)
+	}
+	for i := 0; i < nRows; i++ {
+		var entries []Entry
+		act := 0.0
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(2) == 0 {
+				v := rng.NormFloat64() * 2
+				entries = append(entries, Entry{j, v})
+				act += v * x0[j]
+			}
+		}
+		if len(entries) == 0 {
+			entries = append(entries, Entry{0, 1})
+			act = x0[0]
+		}
+		switch rng.Intn(3) {
+		case 0:
+			p.AddConstraint(entries, LE, act+rng.Float64()*2)
+		case 1:
+			p.AddConstraint(entries, GE, act-rng.Float64()*2)
+		default:
+			p.AddConstraint(entries, EQ, act)
+		}
+	}
+	return p, x0
+}
+
+// TestRandomFeasibleLPs checks on random instances that the solver returns a
+// feasible solution that is at least as good as the known interior point.
+func TestRandomFeasibleLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nVars := 2 + rng.Intn(8)
+		nRows := 1 + rng.Intn(8)
+		p, x0 := randomFeasibleLP(rng, nVars, nRows)
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		switch sol.Status {
+		case Optimal:
+			if !p.IsFeasible(sol.X, 1e-5) {
+				t.Fatalf("trial %d: returned infeasible point %v", trial, sol.X)
+			}
+			if sol.Objective > p.EvalObjective(x0)+1e-5 {
+				t.Fatalf("trial %d: objective %g worse than feasible point %g",
+					trial, sol.Objective, p.EvalObjective(x0))
+			}
+		case Unbounded:
+			// Possible with random negative costs and open boxes; fine.
+		default:
+			t.Fatalf("trial %d: unexpected status %v (problem is feasible)", trial, sol.Status)
+		}
+	}
+}
+
+// TestRandomReoptimizeMatchesScratch tightens random bounds after an initial
+// solve and verifies the warm-started objective matches a cold solve.
+func TestRandomReoptimizeMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 3 + rng.Intn(6)
+		nRows := 2 + rng.Intn(6)
+		p, _ := randomFeasibleLP(rng, nVars, nRows)
+		// Close the box so the LP cannot be unbounded.
+		for j := 0; j < nVars; j++ {
+			lo, hi := p.Bounds(j)
+			if math.IsInf(hi, 1) {
+				p.SetBounds(j, lo, lo+10)
+			}
+		}
+		s, err := NewSimplex(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := s.SolveFromScratch(); st != Optimal {
+			t.Fatalf("trial %d: root status %v", trial, st)
+		}
+		// Tighten a random variable's bounds around a random point.
+		j := rng.Intn(nVars)
+		lo, hi := p.Bounds(j)
+		mid := lo + rng.Float64()*(hi-lo)
+		if err := s.SetVarBounds(j, mid, hi); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Reoptimize()
+
+		p2 := p.Clone()
+		p2.SetBounds(j, mid, hi)
+		cold, err := Solve(p2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != cold.Status {
+			t.Fatalf("trial %d: warm status %v, cold status %v", trial, st, cold.Status)
+		}
+		if st == Optimal && !approx(s.Objective(), cold.Objective, 1e-5*(1+math.Abs(cold.Objective))) {
+			t.Fatalf("trial %d: warm %g vs cold %g", trial, s.Objective(), cold.Objective)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package lp
+
+// Solution is the result of a one-shot LP solve.
+type Solution struct {
+	// Status is the solver outcome.
+	Status Status
+	// X holds the structural variable values (meaningful for Optimal, and
+	// best-effort for other statuses).
+	X []float64
+	// Objective is cᵀX.
+	Objective float64
+	// Iterations is the number of simplex pivots performed.
+	Iterations int
+}
+
+// Solve solves the problem from scratch with the two-phase primal simplex and
+// returns the solution. For repeated solves with changing bounds (branch and
+// bound) use NewSimplex / SolveFromScratch / Reoptimize directly.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	s, err := NewSimplex(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := s.SolveFromScratch()
+	sol := &Solution{
+		Status:     st,
+		Iterations: s.Iterations(),
+	}
+	if st == Optimal || st == IterLimit || st == Unbounded {
+		sol.X = s.X()
+		sol.Objective = s.Objective()
+	}
+	return sol, nil
+}

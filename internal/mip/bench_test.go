@@ -1,0 +1,73 @@
+package mip
+
+import (
+	"math/rand"
+	"testing"
+
+	"vpart/internal/lp"
+)
+
+// benchKnapsack builds a 0/1 knapsack with n items.
+func benchKnapsack(rng *rand.Rand, n int) *Model {
+	p := lp.NewProblem()
+	var entries []lp.Entry
+	capacity := 0.0
+	for i := 0; i < n; i++ {
+		value := 1 + rng.Float64()*9
+		weight := 1 + rng.Float64()*9
+		j := p.AddVar(0, 1, -value, "")
+		entries = append(entries, lp.Entry{Col: j, Val: weight})
+		capacity += weight
+	}
+	p.AddConstraint(entries, lp.LE, capacity*0.4)
+	ints := make([]bool, n)
+	for i := range ints {
+		ints[i] = true
+	}
+	return &Model{LP: p, Integer: ints}
+}
+
+func BenchmarkKnapsack20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := benchKnapsack(rng, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(m, Options{})
+		if err != nil || res.Status != StatusOptimal {
+			b.Fatalf("unexpected result %v %v", res.Status, err)
+		}
+	}
+}
+
+func BenchmarkAssignment6x6(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 6
+	p := lp.NewProblem()
+	var vars [n][n]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			vars[i][j] = p.AddVar(0, 1, rng.Float64()*10, "")
+		}
+	}
+	for i := 0; i < n; i++ {
+		var row, col []lp.Entry
+		for j := 0; j < n; j++ {
+			row = append(row, lp.Entry{Col: vars[i][j], Val: 1})
+			col = append(col, lp.Entry{Col: vars[j][i], Val: 1})
+		}
+		p.AddConstraint(row, lp.EQ, 1)
+		p.AddConstraint(col, lp.EQ, 1)
+	}
+	ints := make([]bool, p.NumVars())
+	for i := range ints {
+		ints[i] = true
+	}
+	m := &Model{LP: p, Integer: ints}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(m, Options{})
+		if err != nil || res.Status != StatusOptimal {
+			b.Fatalf("unexpected result %v %v", res.Status, err)
+		}
+	}
+}

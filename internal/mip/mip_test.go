@@ -1,0 +1,335 @@
+package mip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vpart/internal/lp"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// binaryModel builds a MIP where every variable is binary.
+func binaryModel(p *lp.Problem) *Model {
+	ints := make([]bool, p.NumVars())
+	for i := range ints {
+		ints[i] = true
+	}
+	return &Model{LP: p, Integer: ints}
+}
+
+// TestKnapsack solves a small 0/1 knapsack with known optimum.
+// values 10,13,7,8; weights 5,6,4,3; capacity 10 -> best {1,3}: value 21? Let
+// us enumerate: {0,1}=23 w=11 no; {1,3}=21 w=9 ok; {0,3}=18 w=8; {0,2}=17 w=9;
+// {1,2}=20 w=10 ok; {0,1,3} w=14 no. Optimum 21.
+func TestKnapsack(t *testing.T) {
+	p := lp.NewProblem()
+	values := []float64{10, 13, 7, 8}
+	weights := []float64{5, 6, 4, 3}
+	var entries []lp.Entry
+	for i := range values {
+		j := p.AddVar(0, 1, -values[i], "")
+		entries = append(entries, lp.Entry{Col: j, Val: weights[i]})
+	}
+	p.AddConstraint(entries, lp.LE, 10)
+
+	res, err := Solve(binaryModel(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !approx(res.Objective, -21, 1e-6) {
+		t.Fatalf("objective = %g, want -21", res.Objective)
+	}
+	if !res.HasSolution() {
+		t.Fatal("no solution attached")
+	}
+	if res.Gap > 1e-6 {
+		t.Fatalf("gap = %g", res.Gap)
+	}
+}
+
+// TestAssignment solves a 3x3 assignment problem (total cost minimisation).
+func TestAssignment(t *testing.T) {
+	cost := [3][3]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	// Optimal assignment: (0,1)+(1,0)+(2,2) = 1+2+2 = 5.
+	p := lp.NewProblem()
+	var vars [3][3]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			vars[i][j] = p.AddVar(0, 1, cost[i][j], "")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var row, col []lp.Entry
+		for j := 0; j < 3; j++ {
+			row = append(row, lp.Entry{Col: vars[i][j], Val: 1})
+			col = append(col, lp.Entry{Col: vars[j][i], Val: 1})
+		}
+		p.AddConstraint(row, lp.EQ, 1)
+		p.AddConstraint(col, lp.EQ, 1)
+	}
+	res, err := Solve(binaryModel(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal || !approx(res.Objective, 5, 1e-6) {
+		t.Fatalf("status %v objective %g, want optimal 5", res.Status, res.Objective)
+	}
+}
+
+func TestInfeasibleMIP(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVar(0, 1, 1, "")
+	y := p.AddVar(0, 1, 1, "")
+	p.AddConstraint([]lp.Entry{{Col: x, Val: 1}, {Col: y, Val: 1}}, lp.GE, 3)
+	res, err := Solve(binaryModel(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+// TestIntegerInfeasibleButLPFeasible: the LP relaxation is feasible but no
+// integer point satisfies the constraints.
+func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVar(0, 1, 0, "")
+	y := p.AddVar(0, 1, 0, "")
+	// x + y = 1/2 + something unreachable by integers: 2x + 2y = 1.
+	p.AddConstraint([]lp.Entry{{Col: x, Val: 2}, {Col: y, Val: 2}}, lp.EQ, 1)
+	res, err := Solve(binaryModel(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnboundedMIP(t *testing.T) {
+	p := lp.NewProblem()
+	x := p.AddVar(0, math.Inf(1), -1, "")
+	ints := []bool{true}
+	p.AddConstraint([]lp.Entry{{Col: x, Val: 0}}, lp.LE, 1)
+	res, err := Solve(&Model{LP: p, Integer: ints}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", res.Status)
+	}
+}
+
+// TestMixedIntegerContinuous solves a model with one continuous variable.
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min -x - 0.5 c,  x binary, 0 <= c <= 10, x + c <= 2.5.
+	p := lp.NewProblem()
+	x := p.AddVar(0, 1, -1, "")
+	c := p.AddVar(0, 10, -0.5, "")
+	p.AddConstraint([]lp.Entry{{Col: x, Val: 1}, {Col: c, Val: 1}}, lp.LE, 2.5)
+	m := &Model{LP: p, Integer: []bool{true, false}}
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: x=1, c=1.5 -> -1.75.
+	if res.Status != StatusOptimal || !approx(res.Objective, -1.75, 1e-6) {
+		t.Fatalf("status %v objective %g, want optimal -1.75", res.Status, res.Objective)
+	}
+	if !approx(res.X[x], 1, 1e-6) || !approx(res.X[c], 1.5, 1e-6) {
+		t.Fatalf("solution %v", res.X)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if _, err := Solve(&Model{}, Options{}); err == nil {
+		t.Error("nil LP accepted")
+	}
+	p := lp.NewProblem()
+	p.AddVar(0, 1, 1, "")
+	if _, err := Solve(&Model{LP: p, Integer: []bool{true, true}}, Options{}); err == nil {
+		t.Error("mismatched integrality marks accepted")
+	}
+	if _, err := Solve(&Model{LP: p, Integer: []bool{true}, Priority: []int{1, 2}}, Options{}); err == nil {
+		t.Error("mismatched priorities accepted")
+	}
+	m := &Model{LP: p, Integer: []bool{true}}
+	if m.NumInteger() != 1 {
+		t.Error("NumInteger wrong")
+	}
+}
+
+func TestInitialIncumbentAndHeuristic(t *testing.T) {
+	// Simple set covering: min x0+x1+x2 s.t. x0+x1>=1, x1+x2>=1, x0+x2>=1.
+	// Optimum 2 (any two variables).
+	p := lp.NewProblem()
+	for i := 0; i < 3; i++ {
+		p.AddVar(0, 1, 1, "")
+	}
+	p.AddConstraint([]lp.Entry{{Col: 0, Val: 1}, {Col: 1, Val: 1}}, lp.GE, 1)
+	p.AddConstraint([]lp.Entry{{Col: 1, Val: 1}, {Col: 2, Val: 1}}, lp.GE, 1)
+	p.AddConstraint([]lp.Entry{{Col: 0, Val: 1}, {Col: 2, Val: 1}}, lp.GE, 1)
+
+	heurCalls := 0
+	opts := Options{
+		InitialIncumbent: []float64{1, 1, 1},
+		Heuristic: func(x []float64) ([]float64, bool) {
+			heurCalls++
+			// Round up everything: always feasible for a covering problem.
+			out := make([]float64, len(x))
+			for i := range x {
+				if x[i] > 1e-9 {
+					out[i] = 1
+				}
+			}
+			return out, true
+		},
+	}
+	res, err := Solve(binaryModel(p), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal || !approx(res.Objective, 2, 1e-6) {
+		t.Fatalf("status %v objective %g, want optimal 2", res.Status, res.Objective)
+	}
+	if heurCalls == 0 {
+		t.Error("heuristic was never called")
+	}
+}
+
+func TestNodeAndTimeLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p, _ := randomBinaryProblem(rng, 18, 10)
+	m := binaryModel(p)
+
+	res, err := Solve(m, Options{MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes > 2 {
+		t.Fatalf("node limit ignored: %d nodes", res.Nodes)
+	}
+
+	res, err = Solve(m, Options{TimeLimit: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut && res.Status == StatusOptimal && res.Nodes > 3 {
+		t.Fatalf("expected an early stop, got %+v", res)
+	}
+}
+
+func TestResultStatusString(t *testing.T) {
+	for st, want := range map[ResultStatus]string{
+		StatusOptimal: "optimal", StatusFeasible: "feasible", StatusInfeasible: "infeasible",
+		StatusUnbounded: "unbounded", StatusUnknown: "unknown",
+	} {
+		if st.String() != want {
+			t.Errorf("%d -> %q, want %q", int(st), st.String(), want)
+		}
+	}
+	if ResultStatus(9).String() == "" {
+		t.Error("unknown status empty")
+	}
+}
+
+// randomBinaryProblem builds a random feasible binary program (the all-zero
+// point satisfies every constraint by construction for LE rows with
+// non-negative RHS; GE rows are anchored on a random 0/1 point).
+func randomBinaryProblem(rng *rand.Rand, nVars, nRows int) (*lp.Problem, []float64) {
+	p := lp.NewProblem()
+	x0 := make([]float64, nVars)
+	for j := 0; j < nVars; j++ {
+		p.AddVar(0, 1, math.Round(rng.NormFloat64()*10)/2, "")
+		x0[j] = float64(rng.Intn(2))
+	}
+	for i := 0; i < nRows; i++ {
+		var entries []lp.Entry
+		act := 0.0
+		for j := 0; j < nVars; j++ {
+			if rng.Intn(3) == 0 {
+				v := float64(rng.Intn(7) - 3)
+				if v == 0 {
+					continue
+				}
+				entries = append(entries, lp.Entry{Col: j, Val: v})
+				act += v * x0[j]
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			p.AddConstraint(entries, lp.LE, act+float64(rng.Intn(3)))
+		} else {
+			p.AddConstraint(entries, lp.GE, act-float64(rng.Intn(3)))
+		}
+	}
+	return p, x0
+}
+
+// bruteForceBinary enumerates all 0/1 assignments and returns the best
+// feasible objective (or +Inf).
+func bruteForceBinary(p *lp.Problem) float64 {
+	n := p.NumVars()
+	best := math.Inf(1)
+	x := make([]float64, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				x[j] = 1
+			} else {
+				x[j] = 0
+			}
+		}
+		if p.IsFeasible(x, 1e-9) {
+			if obj := p.EvalObjective(x); obj < best {
+				best = obj
+			}
+		}
+	}
+	return best
+}
+
+// TestRandomBinaryAgainstBruteForce cross-checks branch-and-bound against
+// exhaustive enumeration on small random binary programs.
+func TestRandomBinaryAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 3 + rng.Intn(8) // up to 10 variables -> 1024 points
+		nRows := 1 + rng.Intn(6)
+		p, x0 := randomBinaryProblem(rng, nVars, nRows)
+		want := bruteForceBinary(p)
+
+		res, err := Solve(binaryModel(p), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(want, 1) {
+			if res.Status != StatusInfeasible {
+				t.Fatalf("trial %d: brute force infeasible, solver says %v (x0=%v)", trial, res.Status, x0)
+			}
+			continue
+		}
+		if res.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v, want optimal (brute force %g)", trial, res.Status, want)
+		}
+		if !approx(res.Objective, want, 1e-6*(1+math.Abs(want))) {
+			t.Fatalf("trial %d: objective %g, brute force %g", trial, res.Objective, want)
+		}
+		if !p.IsFeasible(res.X, 1e-6) {
+			t.Fatalf("trial %d: returned infeasible solution", trial)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package mip
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"vpart/internal/lp"
+)
+
+// boundChange is a single branching decision.
+type boundChange struct {
+	col    int
+	lo, hi float64
+}
+
+// node is a branch-and-bound node. Its bound changes are cumulative from the
+// root.
+type node struct {
+	changes []boundChange
+	bound   float64 // lower bound inherited from the parent LP
+	depth   int
+	index   int // heap bookkeeping
+}
+
+// nodeQueue is a min-heap ordered by bound, breaking ties by preferring
+// deeper nodes (a mild plunging effect).
+type nodeQueue []*node
+
+func (q nodeQueue) Len() int { return len(q) }
+func (q nodeQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return q[i].depth > q[j].depth
+}
+func (q nodeQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *nodeQueue) Push(x interface{}) {
+	n := x.(*node)
+	n.index = len(*q)
+	*q = append(*q, n)
+}
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	*q = old[:len(old)-1]
+	return n
+}
+
+// Solve runs branch-and-bound on the model.
+func Solve(m *Model, opts Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	logf := func(format string, args ...interface{}) {
+		if opts.Log != nil {
+			opts.Log(format, args...)
+		}
+	}
+
+	nVars := m.LP.NumVars()
+	rootLower := make([]float64, nVars)
+	rootUpper := make([]float64, nVars)
+	for j := 0; j < nVars; j++ {
+		rootLower[j], rootUpper[j] = m.LP.Bounds(j)
+	}
+
+	sx, err := lp.NewSimplex(m.LP, lp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if !deadline.IsZero() {
+		// Make the time limit binding even inside a single LP solve.
+		sx.SetDeadline(deadline)
+	}
+
+	res := &Result{Objective: math.Inf(1), Bound: math.Inf(-1), Gap: math.Inf(1)}
+	incumbentObj := math.Inf(1)
+	var incumbent []float64
+
+	// acceptCandidate records a candidate integer solution if it is feasible
+	// and better than the incumbent.
+	acceptCandidate := func(x []float64) bool {
+		if x == nil || len(x) < nVars {
+			return false
+		}
+		for j := 0; j < nVars; j++ {
+			if m.Integer[j] && math.Abs(x[j]-math.Round(x[j])) > opts.IntTol {
+				return false
+			}
+		}
+		if !m.LP.IsFeasible(x, 1e-6) {
+			return false
+		}
+		obj := m.LP.EvalObjective(x)
+		if obj < incumbentObj-1e-12 {
+			incumbentObj = obj
+			incumbent = append([]float64(nil), x[:nVars]...)
+			logf("mip: new incumbent %.6g", obj)
+			return true
+		}
+		return false
+	}
+
+	if opts.InitialIncumbent != nil {
+		acceptCandidate(opts.InitialIncumbent)
+	}
+
+	// applyBounds resets the simplex to the root bounds plus a node's chain.
+	applyBounds := func(changes []boundChange) {
+		for j := 0; j < nVars; j++ {
+			_ = sx.SetVarBounds(j, rootLower[j], rootUpper[j])
+		}
+		for _, bc := range changes {
+			_ = sx.SetVarBounds(bc.col, bc.lo, bc.hi)
+		}
+	}
+
+	// solveNode solves the LP of a node, warm starting when possible.
+	solveNode := func(n *node) lp.Status {
+		applyBounds(n.changes)
+		st := sx.Reoptimize()
+		if st == lp.NeedsRestart || st == lp.IterLimit {
+			st = sx.SolveFromScratch()
+		}
+		return st
+	}
+
+	// fractionalVar picks the branching variable: highest priority first,
+	// then the most fractional value.
+	fractionalVar := func(x []float64) int {
+		best := -1
+		bestPrio := math.Inf(-1)
+		bestFrac := 0.0
+		for j := 0; j < nVars; j++ {
+			if !m.Integer[j] {
+				continue
+			}
+			f := math.Abs(x[j] - math.Round(x[j]))
+			if f <= opts.IntTol {
+				continue
+			}
+			prio := 0.0
+			if m.Priority != nil {
+				prio = float64(m.Priority[j])
+			}
+			frac := 0.5 - math.Abs(x[j]-math.Floor(x[j])-0.5)
+			if best == -1 || prio > bestPrio || (prio == bestPrio && frac > bestFrac) {
+				best, bestPrio, bestFrac = j, prio, frac
+			}
+		}
+		return best
+	}
+
+	// Root relaxation.
+	root := &node{}
+	st := sx.SolveFromScratch()
+	switch st {
+	case lp.Infeasible:
+		res.Status = StatusInfeasible
+		res.Runtime = time.Since(start)
+		res.SimplexIters = sx.Iterations()
+		return res, nil
+	case lp.Unbounded:
+		res.Status = StatusUnbounded
+		res.Runtime = time.Since(start)
+		res.SimplexIters = sx.Iterations()
+		return res, nil
+	case lp.IterLimit:
+		// The root relaxation hit the iteration budget or the deadline. Fall
+		// back to whatever incumbent we already have (e.g. the caller's
+		// initial solution) instead of discarding it.
+		res.Runtime = time.Since(start)
+		res.SimplexIters = sx.Iterations()
+		res.TimedOut = res.TimedOut || (!deadline.IsZero() && time.Now().After(deadline))
+		if incumbent != nil {
+			res.X = incumbent
+			res.Objective = incumbentObj
+			res.Status = StatusFeasible
+			res.Gap = math.Inf(1)
+		} else {
+			res.Status = StatusUnknown
+		}
+		return res, nil
+	}
+	root.bound = sx.Objective()
+
+	queue := &nodeQueue{}
+	heap.Init(queue)
+
+	processLP := func(n *node, lpObj float64, x []float64) {
+		// Integer feasible?
+		if j := fractionalVar(x); j < 0 {
+			acceptCandidate(x)
+			return
+		}
+		// Try the rounding heuristic for a quick incumbent.
+		if opts.Heuristic != nil {
+			if cand, ok := opts.Heuristic(x); ok {
+				acceptCandidate(cand)
+			}
+		}
+		// Prune if the LP bound cannot beat the incumbent.
+		if lpObj >= incumbentObj-1e-12 {
+			return
+		}
+		j := fractionalVar(x)
+		lo, hi := sx.VarBounds(j)
+		down := &node{
+			changes: append(append([]boundChange(nil), n.changes...), boundChange{j, lo, math.Floor(x[j])}),
+			bound:   lpObj,
+			depth:   n.depth + 1,
+		}
+		up := &node{
+			changes: append(append([]boundChange(nil), n.changes...), boundChange{j, math.Ceil(x[j]), hi}),
+			bound:   lpObj,
+			depth:   n.depth + 1,
+		}
+		heap.Push(queue, down)
+		heap.Push(queue, up)
+	}
+
+	res.Nodes = 1
+	processLP(root, root.bound, sx.X())
+	bestBound := root.bound
+
+	for queue.Len() > 0 {
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.TimedOut = true
+			break
+		}
+		n := heap.Pop(queue).(*node)
+		bestBound = n.bound
+		if queue.Len() > 0 && (*queue)[0].bound < bestBound {
+			bestBound = (*queue)[0].bound
+		}
+		// Global bound includes the node being processed.
+		if relativeGap(incumbentObj, n.bound) <= opts.GapTol {
+			// Everything remaining is within tolerance of the incumbent.
+			bestBound = n.bound
+			break
+		}
+		if n.bound >= incumbentObj-1e-12 {
+			continue
+		}
+
+		st := solveNode(n)
+		res.Nodes++
+		switch st {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// A child of a bounded parent cannot be unbounded; treat as
+			// numerical trouble and skip.
+			logf("mip: unexpected unbounded child at depth %d", n.depth)
+			continue
+		case lp.IterLimit, lp.NeedsRestart:
+			logf("mip: LP iteration trouble at depth %d", n.depth)
+			continue
+		}
+		lpObj := sx.Objective()
+		if lpObj < n.bound {
+			// The child bound can only be at least the parent's.
+			lpObj = math.Max(lpObj, n.bound)
+		}
+		processLP(n, lpObj, sx.X())
+	}
+
+	// Final bound: the minimum over the unexplored frontier, or the incumbent
+	// when the tree is exhausted.
+	if queue.Len() == 0 {
+		bestBound = incumbentObj
+		if incumbent == nil {
+			// No solution and nothing left to explore: infeasible (the root
+			// was feasible but no integer point exists).
+			res.Status = StatusInfeasible
+			res.Runtime = time.Since(start)
+			res.SimplexIters = sx.Iterations()
+			res.Bound = math.Inf(1)
+			return res, nil
+		}
+	} else {
+		for _, n := range *queue {
+			if n.bound < bestBound {
+				bestBound = n.bound
+			}
+		}
+	}
+
+	res.Bound = bestBound
+	res.SimplexIters = sx.Iterations()
+	res.Runtime = time.Since(start)
+	if incumbent != nil {
+		res.X = incumbent
+		res.Objective = incumbentObj
+		res.Gap = relativeGap(incumbentObj, bestBound)
+		if res.Gap <= opts.GapTol {
+			res.Status = StatusOptimal
+		} else {
+			res.Status = StatusFeasible
+		}
+	} else {
+		res.Status = StatusUnknown
+		res.Gap = math.Inf(1)
+	}
+	logf("mip: done status=%v obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d",
+		res.Status, res.Objective, res.Bound, res.Gap, res.Nodes, res.SimplexIters)
+	return res, nil
+}

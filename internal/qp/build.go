@@ -1,0 +1,291 @@
+package qp
+
+import (
+	"fmt"
+	"math"
+
+	"vpart/internal/core"
+	"vpart/internal/lp"
+)
+
+// varmap records where each decision variable of model (7) lives in the LP
+// column space.
+type varmap struct {
+	model *core.Model
+	sites int
+
+	lambda      float64
+	loadBalance bool
+	disjoint    bool
+	latency     bool
+
+	xCol []int       // [t*sites+s]
+	yCol []int       // [a*sites+s]
+	uCol map[int]int // key: (t*numAttrs+a)*sites+s -> column, only for pairs that need a product variable
+	mCol int         // -1 when load balancing is disabled
+	psi  []int       // per write query, only when the latency extension is on
+
+	writeQueries []core.WriteQueryInfo
+}
+
+func (vm *varmap) xIndex(t, s int) int { return vm.xCol[t*vm.sites+s] }
+func (vm *varmap) yIndex(a, s int) int { return vm.yCol[a*vm.sites+s] }
+
+func (vm *varmap) uKey(t, a, s int) int {
+	return (t*vm.model.NumAttrs()+a)*vm.sites + s
+}
+
+// productColumn returns the LP column representing x_{t,s}·y_{a,s}, which is
+// either the substituted x column (ϕ pairs) or a dedicated u column.
+func (vm *varmap) productColumn(t, a, s int) (int, bool) {
+	if vm.model.Phi(a, t) {
+		return vm.xIndex(t, s), true
+	}
+	col, ok := vm.uCol[vm.uKey(t, a, s)]
+	return col, ok
+}
+
+// build constructs the linearised MIP for the model with |S| = sites.
+func build(m *core.Model, opts Options) (*lp.Problem, *varmap, []bool, []int, error) {
+	sites := opts.Sites
+	lambda := m.Options().Lambda
+	vm := &varmap{
+		model:       m,
+		sites:       sites,
+		lambda:      lambda,
+		loadBalance: lambda < 1,
+		disjoint:    opts.Disjoint,
+		latency:     m.Options().LatencyPenalty > 0,
+		uCol:        make(map[int]int),
+		mCol:        -1,
+	}
+	p := lp.NewProblem()
+	var integer []bool
+	var priority []int
+
+	addVar := func(lo, hi, obj float64, name string, isInt bool, prio int) int {
+		col := p.AddVar(lo, hi, obj, name)
+		integer = append(integer, isInt)
+		priority = append(priority, prio)
+		return col
+	}
+
+	nT, nA := m.NumTxns(), m.NumAttrs()
+
+	// x_{t,s}: transaction placement. Objective picks up λ·c1(a,t) for every
+	// ϕ-substituted pair.
+	vm.xCol = make([]int, nT*sites)
+	for t := 0; t < nT; t++ {
+		objC := 0.0
+		for _, tc := range m.TxnTerms(t) {
+			if m.Phi(tc.Attr, t) {
+				objC += lambda * tc.C1
+			}
+		}
+		for s := 0; s < sites; s++ {
+			upper := 1.0
+			if opts.SymmetryBreaking && s > t {
+				upper = 0 // transaction t may only use sites 0..t
+			}
+			vm.xCol[t*sites+s] = addVar(0, upper, objC,
+				fmt.Sprintf("x[%s,s%d]", m.TxnName(t), s), true, 2)
+		}
+	}
+
+	// y_{a,s}: attribute placement.
+	vm.yCol = make([]int, nA*sites)
+	for a := 0; a < nA; a++ {
+		objC := lambda * m.C2(a)
+		for s := 0; s < sites; s++ {
+			vm.yCol[a*sites+s] = addVar(0, 1, objC,
+				fmt.Sprintf("y[%s,s%d]", m.Attr(a).Qualified, s), true, 1)
+		}
+	}
+
+	// The latency extension needs a product column for every written
+	// attribute of every write query, even if its coefficients vanish.
+	latencyPairs := make(map[[2]int]bool)
+	if vm.latency {
+		vm.writeQueries = m.WriteQueries()
+		for _, wq := range vm.writeQueries {
+			for _, a := range wq.Attrs {
+				if !m.Phi(a, wq.Txn) {
+					latencyPairs[[2]int{wq.Txn, a}] = true
+				}
+			}
+		}
+	}
+
+	// u_{t,a,s}: product variables for pairs that are not ϕ-substituted.
+	// Continuous [0,1] is sufficient: the retained linearisation rows pin the
+	// variable to x·y at every integer point.
+	type uPlan struct {
+		t, a           int
+		objC, loadC    float64
+		needLE, needGE bool
+	}
+	var plans []uPlan
+	for t := 0; t < nT; t++ {
+		for _, tc := range m.TxnTerms(t) {
+			if m.Phi(tc.Attr, t) {
+				continue
+			}
+			objC := lambda * tc.C1
+			loadC := 0.0
+			if vm.loadBalance {
+				loadC = tc.C3
+			}
+			forced := latencyPairs[[2]int{t, tc.Attr}]
+			if objC == 0 && loadC == 0 && !forced {
+				continue
+			}
+			needLE := objC < 0 || forced
+			needGE := objC > 0 || loadC > 0 || forced
+			if !needLE && !needGE {
+				// Coefficient is exactly zero in the objective but appears in
+				// the load row: keep the GE side so u cannot under-report.
+				needGE = true
+			}
+			plans = append(plans, uPlan{t: t, a: tc.Attr, objC: objC, loadC: loadC, needLE: needLE, needGE: needGE})
+			delete(latencyPairs, [2]int{t, tc.Attr})
+		}
+	}
+	// Remaining latency pairs have no cost term at all but still need a
+	// pinned product variable.
+	for pair := range latencyPairs {
+		plans = append(plans, uPlan{t: pair[0], a: pair[1], needLE: true, needGE: true})
+	}
+
+	for _, pl := range plans {
+		for s := 0; s < sites; s++ {
+			col := addVar(0, 1, pl.objC,
+				fmt.Sprintf("u[%s,%s,s%d]", m.TxnName(pl.t), m.Attr(pl.a).Qualified, s), false, 0)
+			vm.uCol[vm.uKey(pl.t, pl.a, s)] = col
+		}
+	}
+
+	// m: the work of the maximally loaded site.
+	if vm.loadBalance {
+		vm.mCol = addVar(0, math.Inf(1), 1-lambda, "m", false, 0)
+	}
+
+	// ψ_q: latency indicators.
+	if vm.latency {
+		vm.psi = make([]int, len(vm.writeQueries))
+		for i, wq := range vm.writeQueries {
+			vm.psi[i] = addVar(0, 1, lambda*m.Options().LatencyPenalty*wq.Freq,
+				fmt.Sprintf("psi[%s]", wq.Name), true, 0)
+		}
+	}
+
+	// --- Constraints ---
+
+	// Each transaction executes on exactly one site.
+	for t := 0; t < nT; t++ {
+		entries := make([]lp.Entry, sites)
+		for s := 0; s < sites; s++ {
+			entries[s] = lp.Entry{Col: vm.xIndex(t, s), Val: 1}
+		}
+		p.AddConstraint(entries, lp.EQ, 1)
+	}
+
+	// Each attribute is stored on at least one site (exactly one when
+	// disjoint partitioning is requested).
+	for a := 0; a < nA; a++ {
+		entries := make([]lp.Entry, sites)
+		for s := 0; s < sites; s++ {
+			entries[s] = lp.Entry{Col: vm.yIndex(a, s), Val: 1}
+		}
+		sense := lp.GE
+		if opts.Disjoint {
+			sense = lp.EQ
+		}
+		p.AddConstraint(entries, sense, 1)
+	}
+
+	// Single-sitedness of reads: y_{a,s} ≥ x_{t,s} for every ϕ pair.
+	for t := 0; t < nT; t++ {
+		for _, a := range m.TxnReadAttrs(t) {
+			for s := 0; s < sites; s++ {
+				p.AddConstraint([]lp.Entry{
+					{Col: vm.yIndex(a, s), Val: 1},
+					{Col: vm.xIndex(t, s), Val: -1},
+				}, lp.GE, 0)
+			}
+		}
+	}
+
+	// Linearisation rows for the product variables.
+	for _, pl := range plans {
+		for s := 0; s < sites; s++ {
+			u := vm.uCol[vm.uKey(pl.t, pl.a, s)]
+			x := vm.xIndex(pl.t, s)
+			y := vm.yIndex(pl.a, s)
+			if pl.needLE {
+				p.AddConstraint([]lp.Entry{{Col: u, Val: 1}, {Col: x, Val: -1}}, lp.LE, 0)
+				p.AddConstraint([]lp.Entry{{Col: u, Val: 1}, {Col: y, Val: -1}}, lp.LE, 0)
+			}
+			if pl.needGE {
+				p.AddConstraint([]lp.Entry{
+					{Col: u, Val: 1}, {Col: x, Val: -1}, {Col: y, Val: -1},
+				}, lp.GE, -1)
+			}
+		}
+	}
+
+	// Load balancing: the work of every site is a lower bound for m.
+	if vm.loadBalance {
+		for s := 0; s < sites; s++ {
+			coef := make([]float64, p.NumVars())
+			for t := 0; t < nT; t++ {
+				for _, tc := range m.TxnTerms(t) {
+					if tc.C3 == 0 {
+						continue
+					}
+					if col, ok := vm.productColumn(t, tc.Attr, s); ok {
+						coef[col] += tc.C3
+					}
+				}
+			}
+			for a := 0; a < nA; a++ {
+				if c4 := m.C4(a); c4 != 0 {
+					coef[vm.yIndex(a, s)] += c4
+				}
+			}
+			coef[vm.mCol] = -1
+			p.AddConstraint(denseToEntries(coef), lp.LE, 0)
+		}
+	}
+
+	// Appendix A latency rows: N_q·ψ_q ≥ Σ_{a∈α(q),s} (y_{a,s} − x_{t,s}·y_{a,s}).
+	if vm.latency {
+		for i, wq := range vm.writeQueries {
+			coef := make([]float64, p.NumVars())
+			bigN := float64(len(wq.Attrs) * sites)
+			for _, a := range wq.Attrs {
+				for s := 0; s < sites; s++ {
+					coef[vm.yIndex(a, s)] += 1
+					if col, ok := vm.productColumn(wq.Txn, a, s); ok {
+						coef[col] -= 1
+					}
+				}
+			}
+			coef[vm.psi[i]] -= bigN
+			p.AddConstraint(denseToEntries(coef), lp.LE, 0)
+		}
+	}
+
+	return p, vm, integer, priority, nil
+}
+
+// denseToEntries converts a dense coefficient vector into the sparse entry
+// list expected by lp.AddConstraint, in deterministic column order.
+func denseToEntries(coef []float64) []lp.Entry {
+	var entries []lp.Entry
+	for col, v := range coef {
+		if v != 0 {
+			entries = append(entries, lp.Entry{Col: col, Val: v})
+		}
+	}
+	return entries
+}

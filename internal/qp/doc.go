@@ -1,0 +1,21 @@
+// Package qp implements the paper's first algorithm: the linearised quadratic
+// program of Section 2 (model (7)), solved exactly with the branch-and-bound
+// MIP solver of package mip.
+//
+// The builder applies three exact reductions before handing the model to the
+// MIP solver:
+//
+//   - ϕ-substitution: for attribute/transaction pairs with ϕ_{a,t} = 1 the
+//     single-sitedness constraint forces y_{a,s} ≥ x_{t,s}, hence
+//     u_{t,a,s} = x_{t,s}·y_{a,s} = x_{t,s} at every feasible integer point,
+//     so the product variable is replaced by x_{t,s} directly.
+//   - coefficient-sign pruning: a product variable only needs the
+//     linearisation rows that can actually become binding given the sign of
+//     its objective and load coefficients.
+//   - optional site-symmetry breaking: transaction t may only use sites
+//     0..t, which is valid because sites are interchangeable in the model.
+//
+// The caller can additionally shrink the instance with the reasonable-cuts
+// attribute grouping of core.GroupAttributes (Section 4 of the paper); the
+// public facade does this by default.
+package qp

@@ -1,0 +1,112 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+)
+
+// TestRandomInstancesAgainstBruteForce cross-checks the QP solver against
+// exhaustive enumeration of all feasible partitionings on a set of small
+// random instances (two sites, a handful of attributes and transactions).
+func TestRandomInstancesAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	trials := 0
+	for seed := int64(1); trials < 12 && seed < 200; seed++ {
+		params := randgen.Params{
+			Name:                 "qp-prop",
+			Transactions:         1 + rng.Intn(3),
+			Tables:               1 + rng.Intn(2),
+			MaxQueriesPerTxn:     2,
+			UpdatePercent:        25,
+			MaxAttrsPerTable:     3,
+			MaxTableRefsPerQuery: 2,
+			MaxAttrRefsPerQuery:  3,
+			AttrWidths:           []int{2, 8},
+			MaxRowsPerQuery:      5,
+		}
+		inst, err := randgen.Generate(params, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.NumAttributes() > 6 {
+			continue // keep the brute force space small (3^6 · 2^3)
+		}
+		trials++
+
+		m, err := core.NewModel(inst, core.ModelOptions{Penalty: 4, Lambda: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBalanced, _ := bruteForce(m, 2, false)
+
+		res, err := Solve(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Optimal() {
+			t.Fatalf("seed %d: status %v", seed, res.Status)
+		}
+		tol := 1e-6*(1+wantBalanced) + wantBalanced*DefaultGapTol
+		if math.Abs(res.Cost.Balanced-wantBalanced) > tol {
+			t.Fatalf("seed %d: QP objective (6) %g, brute force %g", seed, res.Cost.Balanced, wantBalanced)
+		}
+
+		// The disjoint optimum can never beat the replicated optimum in (6).
+		wantDisjoint, _ := bruteForce(m, 2, true)
+		opts := DefaultOptions(2)
+		opts.Disjoint = true
+		disj, err := Solve(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disj.Optimal() && math.Abs(disj.Cost.Balanced-wantDisjoint) > 1e-6*(1+wantDisjoint)+wantDisjoint*DefaultGapTol {
+			t.Fatalf("seed %d: disjoint QP %g, brute force %g", seed, disj.Cost.Balanced, wantDisjoint)
+		}
+		if wantDisjoint < wantBalanced-1e-9 {
+			t.Fatalf("seed %d: brute force says disjoint (%g) beats replicated (%g)", seed, wantDisjoint, wantBalanced)
+		}
+	}
+	if trials < 6 {
+		t.Fatalf("only %d usable trials generated", trials)
+	}
+}
+
+// TestThreeSiteRandomInstance checks one slightly larger instance on three
+// sites against brute force.
+func TestThreeSiteRandomInstance(t *testing.T) {
+	params := randgen.Params{
+		Name:                 "qp-prop3",
+		Transactions:         3,
+		Tables:               2,
+		MaxQueriesPerTxn:     2,
+		UpdatePercent:        20,
+		MaxAttrsPerTable:     2,
+		MaxTableRefsPerQuery: 2,
+		MaxAttrRefsPerQuery:  3,
+		AttrWidths:           []int{4, 16},
+		MaxRowsPerQuery:      5,
+	}
+	inst, err := randgen.Generate(params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(inst, core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAttrs() > 4 {
+		t.Skipf("instance too large for 3-site brute force (|A|=%d)", m.NumAttrs())
+	}
+	want, _ := bruteForce(m, 3, false)
+	res, err := Solve(m, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() || math.Abs(res.Cost.Balanced-want) > 1e-6*(1+want)+want*DefaultGapTol {
+		t.Fatalf("objective (6) %g, brute force %g (status %v)", res.Cost.Balanced, want, res.Status)
+	}
+}

@@ -1,0 +1,404 @@
+package qp
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vpart/internal/core"
+	"vpart/internal/mip"
+)
+
+// fixtureInstance mirrors the hand-computed instance used by the core tests:
+// two tables, five attributes, two transactions, one write query.
+func fixtureInstance() *core.Instance {
+	return &core.Instance{
+		Name: "qp-fixture",
+		Schema: core.Schema{Tables: []core.Table{
+			{Name: "R", Attributes: []core.Attribute{
+				{Name: "a1", Width: 4}, {Name: "a2", Width: 8}, {Name: "a3", Width: 2},
+			}},
+			{Name: "S", Attributes: []core.Attribute{
+				{Name: "b1", Width: 4}, {Name: "b2", Width: 16},
+			}},
+		}},
+		Workload: core.Workload{Transactions: []core.Transaction{
+			{Name: "T1", Queries: []core.Query{
+				core.NewRead("q1", "R", []string{"a1", "a2"}, 1, 1),
+				core.NewWrite("q2", "S", []string{"b1"}, 1, 2),
+			}},
+			{Name: "T2", Queries: []core.Query{
+				core.NewRead("q3", "S", []string{"b1", "b2"}, 10, 1),
+			}},
+		}},
+	}
+}
+
+// widerInstance adds a third transaction and another table so that multi-site
+// layouts are genuinely attractive.
+func widerInstance() *core.Instance {
+	inst := fixtureInstance()
+	inst.Name = "qp-fixture-wide"
+	inst.Schema.Tables = append(inst.Schema.Tables, core.Table{
+		Name: "U",
+		Attributes: []core.Attribute{
+			{Name: "c1", Width: 8}, {Name: "c2", Width: 32}, {Name: "c3", Width: 4},
+		},
+	})
+	inst.Workload.Transactions = append(inst.Workload.Transactions, core.Transaction{
+		Name: "T3",
+		Queries: []core.Query{
+			core.NewRead("q4", "U", []string{"c1", "c2"}, 5, 1),
+			core.NewWrite("q5", "U", []string{"c3"}, 1, 1),
+		},
+	})
+	return inst
+}
+
+func mustModel(t *testing.T, inst *core.Instance, opts core.ModelOptions) *core.Model {
+	t.Helper()
+	m, err := core.NewModel(inst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// bruteForce enumerates every feasible partitioning and returns the minimum
+// of the balanced objective (6) (and the corresponding objective (4)).
+func bruteForce(m *core.Model, sites int, disjoint bool) (bestBalanced, bestObjective float64) {
+	nT, nA := m.NumTxns(), m.NumAttrs()
+	bestBalanced = math.Inf(1)
+	bestObjective = math.Inf(1)
+
+	subsetCount := 1 << sites // attribute site-sets, 0 excluded below
+	p := core.NewPartitioning(nT, nA, sites)
+
+	var assignTxn func(t int)
+	var assignAttr func(a int)
+
+	assignAttr = func(a int) {
+		if a == nA {
+			if err := p.Validate(m); err != nil {
+				return
+			}
+			c := m.Evaluate(p)
+			if c.Balanced < bestBalanced {
+				bestBalanced = c.Balanced
+				bestObjective = c.Objective
+			}
+			return
+		}
+		for mask := 1; mask < subsetCount; mask++ {
+			if disjoint && popcount(mask) != 1 {
+				continue
+			}
+			for s := 0; s < sites; s++ {
+				p.AttrSites[a][s] = mask&(1<<s) != 0
+			}
+			assignAttr(a + 1)
+		}
+		for s := 0; s < sites; s++ {
+			p.AttrSites[a][s] = false
+		}
+	}
+	assignTxn = func(t int) {
+		if t == nT {
+			assignAttr(0)
+			return
+		}
+		for s := 0; s < sites; s++ {
+			p.TxnSite[t] = s
+			assignTxn(t + 1)
+		}
+	}
+	assignTxn(0)
+	return bestBalanced, bestObjective
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}
+
+func TestSolveMatchesBruteForceTwoSites(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	wantBalanced, wantObjective := bruteForce(m, 2, false)
+
+	res, err := Solve(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Partitioning == nil {
+		t.Fatal("no partitioning returned")
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Fatalf("infeasible partitioning: %v", err)
+	}
+	if math.Abs(res.Cost.Balanced-wantBalanced) > 1e-6*(1+wantBalanced)+wantBalanced*DefaultGapTol {
+		t.Fatalf("balanced objective %g, brute force %g", res.Cost.Balanced, wantBalanced)
+	}
+	if math.Abs(res.Cost.Objective-wantObjective) > wantObjective*0.02+1e-6 {
+		t.Logf("note: objective (4) %g vs brute force %g (ties in (6) may differ)", res.Cost.Objective, wantObjective)
+	}
+	if res.Variables == 0 || res.Constraints == 0 {
+		t.Fatal("model size not reported")
+	}
+}
+
+func TestSolveMatchesBruteForceThreeTxnsThreeSites(t *testing.T) {
+	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 4, Lambda: 0.1})
+	wantBalanced, _ := bruteForce(m, 2, false)
+
+	res, err := Solve(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Cost.Balanced-wantBalanced) > 1e-6*(1+wantBalanced)+wantBalanced*DefaultGapTol {
+		t.Fatalf("balanced objective %g, brute force %g", res.Cost.Balanced, wantBalanced)
+	}
+}
+
+func TestSolveDisjointMatchesBruteForce(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	wantBalanced, _ := bruteForce(m, 2, true)
+
+	opts := DefaultOptions(2)
+	opts.Disjoint = true
+	res, err := Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !res.Partitioning.IsDisjoint() {
+		t.Fatal("disjoint solve returned a replicated partitioning")
+	}
+	if math.Abs(res.Cost.Balanced-wantBalanced) > 1e-6*(1+wantBalanced)+wantBalanced*DefaultGapTol {
+		t.Fatalf("balanced objective %g, brute force %g", res.Cost.Balanced, wantBalanced)
+	}
+}
+
+func TestDisjointNeverBeatsReplicated(t *testing.T) {
+	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	repl, err := Solve(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	opts.Disjoint = true
+	disj, err := Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Cost.Balanced > disj.Cost.Balanced+1e-6 {
+		t.Fatalf("replication (%g) should never be worse than disjoint (%g)",
+			repl.Cost.Balanced, disj.Cost.Balanced)
+	}
+}
+
+func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	with := DefaultOptions(2)
+	without := DefaultOptions(2)
+	without.SymmetryBreaking = false
+
+	r1, err := Solve(m, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Solve(m, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Cost.Balanced-r2.Cost.Balanced) > 1e-6*(1+r1.Cost.Balanced)+r1.Cost.Balanced*2*DefaultGapTol {
+		t.Fatalf("symmetry breaking changed the optimum: %g vs %g", r1.Cost.Balanced, r2.Cost.Balanced)
+	}
+}
+
+func TestSingleSiteShortcut(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	res, err := Solve(m, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() || res.Partitioning == nil {
+		t.Fatalf("single-site result: %+v", res)
+	}
+	want := m.Evaluate(core.SingleSite(m, 1))
+	if res.Cost.Objective != want.Objective {
+		t.Fatalf("single-site objective %g, want %g", res.Cost.Objective, want.Objective)
+	}
+}
+
+func TestMultiSiteNeverWorseThanSingleSite(t *testing.T) {
+	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	single, err := Solve(m, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Solve(m, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-site layout is feasible for any |S| ≥ 1, so the optimum of
+	// (6) can only improve with more sites.
+	if multi.Cost.Balanced > single.Cost.Balanced+1e-6 {
+		t.Fatalf("3-site optimum %g worse than single site %g", multi.Cost.Balanced, single.Cost.Balanced)
+	}
+}
+
+func TestInitialPartitioningSeed(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	seed := core.SingleSite(m, 2)
+	opts := DefaultOptions(2)
+	opts.InitialPartitioning = seed
+	res, err := Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	// The seed is feasible, so the result can never be worse than it.
+	if res.Cost.Balanced > m.Evaluate(seed).Balanced+1e-9 {
+		t.Fatal("result worse than the seed")
+	}
+
+	// An infeasible seed must be rejected.
+	bad := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 2)
+	opts.InitialPartitioning = bad
+	if _, err := Solve(m, opts); err == nil {
+		t.Fatal("infeasible seed accepted")
+	}
+
+	// A replicated seed must be rejected in disjoint mode.
+	repl := core.FullReplication(m, 2)
+	opts = DefaultOptions(2)
+	opts.Disjoint = true
+	opts.InitialPartitioning = repl
+	if _, err := Solve(m, opts); err == nil {
+		t.Fatal("replicated seed accepted in disjoint mode")
+	}
+}
+
+func TestLatencyExtensionModel(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1, LatencyPenalty: 50})
+	wantBalanced, _ := bruteForce(m, 2, false)
+	res, err := Solve(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Cost.Balanced-wantBalanced) > 1e-6*(1+wantBalanced)+wantBalanced*DefaultGapTol {
+		t.Fatalf("balanced objective %g, brute force %g", res.Cost.Balanced, wantBalanced)
+	}
+}
+
+func TestLambdaExtremes(t *testing.T) {
+	// λ = 1: pure cost minimisation, no load balancing variable.
+	m1 := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 1})
+	wantBalanced, _ := bruteForce(m1, 2, false)
+	res, err := Solve(m1, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal() || math.Abs(res.Cost.Balanced-wantBalanced) > 1e-6+wantBalanced*DefaultGapTol {
+		t.Fatalf("λ=1: got %g want %g (status %v)", res.Cost.Balanced, wantBalanced, res.Status)
+	}
+
+	// λ = 0: pure load balancing.
+	m0 := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0})
+	wantBalanced0, _ := bruteForce(m0, 2, false)
+	res0, err := Solve(m0, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res0.Optimal() || math.Abs(res0.Cost.Balanced-wantBalanced0) > 1e-6+wantBalanced0*DefaultGapTol {
+		t.Fatalf("λ=0: got %g want %g (status %v)", res0.Cost.Balanced, wantBalanced0, res0.Status)
+	}
+}
+
+func TestPenaltyZeroLocalPlacement(t *testing.T) {
+	// With p = 0 there is no transfer cost, reproducing the "local placement"
+	// column of Table 6. The optimum can only be at most the p = 8 optimum.
+	instLocal := fixtureInstance()
+	mLocal := mustModel(t, instLocal, core.ModelOptions{Penalty: 0, Lambda: 0.1})
+	instRemote := fixtureInstance()
+	mRemote := mustModel(t, instRemote, core.ModelOptions{Penalty: 8, Lambda: 0.1})
+
+	local, err := Solve(mLocal, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Solve(mRemote, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Cost.Objective > remote.Cost.Objective+1e-9 {
+		t.Fatalf("local placement objective %g should not exceed remote %g",
+			local.Cost.Objective, remote.Cost.Objective)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
+	if _, err := Solve(nil, DefaultOptions(2)); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Solve(m, Options{Sites: 0}); err == nil {
+		t.Error("zero sites accepted")
+	}
+}
+
+func TestTimeLimitReturnsGracefully(t *testing.T) {
+	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	opts := DefaultOptions(3)
+	opts.TimeLimit = time.Millisecond
+	res, err := Solve(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever happened, the result must be coherent: either no solution or a
+	// feasible one.
+	if res.Partitioning != nil {
+		if err := res.Partitioning.Validate(m); err != nil {
+			t.Fatalf("returned infeasible partitioning: %v", err)
+		}
+	} else if res.Status == mip.StatusOptimal {
+		t.Fatal("optimal status without a partitioning")
+	}
+}
+
+func TestCanonicalizeSites(t *testing.T) {
+	p := core.NewPartitioning(3, 2, 3)
+	p.TxnSite = []int{2, 0, 2}
+	p.AttrSites[0][2] = true
+	p.AttrSites[1][0] = true
+	c := canonicalizeSites(p)
+	if c.TxnSite[0] != 0 || c.TxnSite[1] != 1 || c.TxnSite[2] != 0 {
+		t.Fatalf("TxnSite = %v", c.TxnSite)
+	}
+	if !c.AttrSites[0][0] || !c.AttrSites[1][1] {
+		t.Fatalf("AttrSites = %v", c.AttrSites)
+	}
+	// Canonical form satisfies the symmetry-breaking bounds s <= t.
+	for t2, s := range c.TxnSite {
+		if s > t2 {
+			t.Fatalf("transaction %d on site %d violates symmetry breaking", t2, s)
+		}
+	}
+}

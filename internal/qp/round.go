@@ -1,0 +1,225 @@
+package qp
+
+import (
+	"vpart/internal/core"
+)
+
+// vectorFromPartitioning encodes a feasible partitioning as a full assignment
+// of the MIP's decision variables (x, y, u, m, ψ).
+func (vm *varmap) vectorFromPartitioning(p *core.Partitioning, numVars int) []float64 {
+	m := vm.model
+	x := make([]float64, numVars)
+	for t := 0; t < m.NumTxns(); t++ {
+		x[vm.xIndex(t, p.TxnSite[t])] = 1
+	}
+	for a := 0; a < m.NumAttrs(); a++ {
+		for s := 0; s < vm.sites; s++ {
+			if p.AttrSites[a][s] {
+				x[vm.yIndex(a, s)] = 1
+			}
+		}
+	}
+	for key, col := range vm.uCol {
+		s := key % vm.sites
+		rest := key / vm.sites
+		a := rest % m.NumAttrs()
+		t := rest / m.NumAttrs()
+		if p.TxnSite[t] == s && p.AttrSites[a][s] {
+			x[col] = 1
+		}
+	}
+	if vm.mCol >= 0 {
+		cost := m.Evaluate(p)
+		x[vm.mCol] = cost.MaxWork
+	}
+	if vm.latency {
+		for i, wq := range vm.writeQueries {
+			own := p.TxnSite[wq.Txn]
+			remote := false
+			for _, a := range wq.Attrs {
+				for s := 0; s < vm.sites; s++ {
+					if s != own && p.AttrSites[a][s] {
+						remote = true
+					}
+				}
+			}
+			if remote {
+				x[vm.psi[i]] = 1
+			}
+		}
+	}
+	return x
+}
+
+// partitioningFromVector decodes an (integral) MIP solution into a
+// partitioning. Fractional values are rounded: transactions go to their
+// highest-weight site and attributes to every site with y > 0.5 (or their
+// best site when none crosses the threshold).
+func (vm *varmap) partitioningFromVector(x []float64) *core.Partitioning {
+	m := vm.model
+	p := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), vm.sites)
+	for t := 0; t < m.NumTxns(); t++ {
+		best, bestVal := 0, -1.0
+		for s := 0; s < vm.sites; s++ {
+			if v := x[vm.xIndex(t, s)]; v > bestVal {
+				best, bestVal = s, v
+			}
+		}
+		p.TxnSite[t] = best
+	}
+	for a := 0; a < m.NumAttrs(); a++ {
+		any := false
+		best, bestVal := 0, -1.0
+		for s := 0; s < vm.sites; s++ {
+			v := x[vm.yIndex(a, s)]
+			if v > 0.5 {
+				p.AttrSites[a][s] = true
+				any = true
+			}
+			if v > bestVal {
+				best, bestVal = s, v
+			}
+		}
+		if !any {
+			p.AttrSites[a][best] = true
+		}
+	}
+	return p
+}
+
+// roundingHeuristic converts a fractional LP point into a feasible
+// partitioning and re-encodes it as a candidate incumbent for the MIP solver.
+func (vm *varmap) roundingHeuristic(x []float64, numVars int) ([]float64, bool) {
+	var p *core.Partitioning
+	if vm.disjoint {
+		p = vm.roundDisjoint(x)
+		if p == nil {
+			return nil, false
+		}
+	} else {
+		p = vm.partitioningFromVector(x)
+		p.Repair(vm.model)
+	}
+	if vm.model != nil {
+		if err := p.Validate(vm.model); err != nil {
+			return nil, false
+		}
+	}
+	if vm.sites > 1 {
+		p = canonicalizeSites(p)
+	}
+	return vm.vectorFromPartitioning(p, numVars), true
+}
+
+// roundDisjoint builds a feasible disjoint partitioning from a fractional
+// point: transactions that share read attributes must co-locate, so they are
+// merged into components first; every component goes to its highest-weight
+// site and read attributes follow their readers.
+func (vm *varmap) roundDisjoint(x []float64) *core.Partitioning {
+	m := vm.model
+	nT, nA := m.NumTxns(), m.NumAttrs()
+
+	parent := make([]int, nT)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(i, j int) { parent[find(i)] = find(j) }
+
+	readersOf := make([][]int, nA)
+	for t := 0; t < nT; t++ {
+		for _, a := range m.TxnReadAttrs(t) {
+			readersOf[a] = append(readersOf[a], t)
+		}
+	}
+	for _, readers := range readersOf {
+		for i := 1; i < len(readers); i++ {
+			union(readers[0], readers[i])
+		}
+	}
+
+	// Site weight per component = sum of the fractional x mass of its
+	// transactions.
+	weight := make(map[int][]float64)
+	for t := 0; t < nT; t++ {
+		root := find(t)
+		if weight[root] == nil {
+			weight[root] = make([]float64, vm.sites)
+		}
+		for s := 0; s < vm.sites; s++ {
+			weight[root][s] += x[vm.xIndex(t, s)]
+		}
+	}
+	compSite := make(map[int]int)
+	for root, w := range weight {
+		best, bestVal := 0, -1.0
+		for s, v := range w {
+			if v > bestVal {
+				best, bestVal = s, v
+			}
+		}
+		compSite[root] = best
+	}
+
+	p := core.NewPartitioning(nT, nA, vm.sites)
+	for t := 0; t < nT; t++ {
+		p.TxnSite[t] = compSite[find(t)]
+	}
+	for a := 0; a < nA; a++ {
+		if len(readersOf[a]) > 0 {
+			p.AttrSites[a][compSite[find(readersOf[a][0])]] = true
+			continue
+		}
+		best, bestVal := 0, -1.0
+		for s := 0; s < vm.sites; s++ {
+			if v := x[vm.yIndex(a, s)]; v > bestVal {
+				best, bestVal = s, v
+			}
+		}
+		p.AttrSites[a][best] = true
+	}
+	return p
+}
+
+// canonicalizeSites relabels sites so that the first transaction runs on site
+// 0, the next transaction introducing a new site gets site 1, and so on.
+// Because the cost model treats sites as interchangeable this never changes
+// the cost, and it makes any feasible partitioning satisfy the symmetry
+// breaking bounds x_{t,s} = 0 for s > t.
+func canonicalizeSites(p *core.Partitioning) *core.Partitioning {
+	relabel := make([]int, p.Sites)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	next := 0
+	for _, s := range p.TxnSite {
+		if relabel[s] == -1 {
+			relabel[s] = next
+			next++
+		}
+	}
+	for s := 0; s < p.Sites; s++ {
+		if relabel[s] == -1 {
+			relabel[s] = next
+			next++
+		}
+	}
+	out := core.NewPartitioning(len(p.TxnSite), len(p.AttrSites), p.Sites)
+	for t, s := range p.TxnSite {
+		out.TxnSite[t] = relabel[s]
+	}
+	for a := range p.AttrSites {
+		for s, on := range p.AttrSites[a] {
+			if on {
+				out.AttrSites[a][relabel[s]] = true
+			}
+		}
+	}
+	return out
+}

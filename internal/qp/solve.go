@@ -1,0 +1,168 @@
+package qp
+
+import (
+	"fmt"
+	"time"
+
+	"vpart/internal/core"
+	"vpart/internal/mip"
+)
+
+// DefaultGapTol is the relative MIP gap used by the paper (0.1 %).
+const DefaultGapTol = 0.001
+
+// Options control the QP solver.
+type Options struct {
+	// Sites is the number of sites |S| to partition onto. Must be ≥ 1.
+	Sites int
+	// TimeLimit bounds the wall-clock time of the MIP search; the paper uses
+	// 30 minutes. Zero means no limit.
+	TimeLimit time.Duration
+	// GapTol is the relative MIP gap; zero means DefaultGapTol (0.1 %).
+	GapTol float64
+	// MaxNodes bounds the number of branch-and-bound nodes (0 = unlimited).
+	MaxNodes int
+	// Disjoint forbids attribute replication (Σ_s y_{a,s} = 1), reproducing
+	// the "w/o replication" columns of Table 5.
+	Disjoint bool
+	// SymmetryBreaking restricts transaction t to sites 0..t, which is valid
+	// because sites are interchangeable. Enabled by default through
+	// DefaultOptions.
+	SymmetryBreaking bool
+	// InitialPartitioning optionally seeds the search with a known feasible
+	// solution (for example the SA solver's result).
+	InitialPartitioning *core.Partitioning
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the solver configuration used in the paper's
+// experiments for the given site count: 0.1 % gap, symmetry breaking on and
+// no time limit (the harness sets its own limits).
+func DefaultOptions(sites int) Options {
+	return Options{Sites: sites, GapTol: DefaultGapTol, SymmetryBreaking: true}
+}
+
+// Result is the outcome of a QP solve.
+type Result struct {
+	// Partitioning is the best partitioning found (nil when none was found
+	// within the limits — the paper's "t/o" entries).
+	Partitioning *core.Partitioning
+	// Cost is the full cost breakdown of Partitioning; its Objective field is
+	// the paper's objective (4), the number reported in every table.
+	Cost core.Cost
+	// Status classifies the MIP outcome.
+	Status mip.ResultStatus
+	// Balanced is the solver objective (6) of the returned solution.
+	Balanced float64
+	// Bound is the proven lower bound on objective (6).
+	Bound float64
+	// Gap is the relative MIP gap at termination.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes processed.
+	Nodes int
+	// SimplexIters is the total number of simplex pivots.
+	SimplexIters int
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
+	// TimedOut reports whether the time limit stopped the search.
+	TimedOut bool
+	// Variables and Constraints record the size of the linearised model.
+	Variables, Constraints int
+}
+
+// Optimal reports whether the solution was proven optimal within the gap
+// tolerance.
+func (r *Result) Optimal() bool { return r.Status == mip.StatusOptimal }
+
+// Solve builds the linearised model (7) for the given cost model and solves
+// it with branch and bound.
+func Solve(m *core.Model, opts Options) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("qp: nil model")
+	}
+	if opts.Sites < 1 {
+		return nil, fmt.Errorf("qp: invalid site count %d", opts.Sites)
+	}
+	if opts.GapTol == 0 {
+		opts.GapTol = DefaultGapTol
+	}
+	if opts.Sites == 1 {
+		return solveSingleSite(m), nil
+	}
+
+	start := time.Now()
+	prob, vm, integer, priority, err := build(m, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	mipOpts := mip.Options{
+		TimeLimit: opts.TimeLimit,
+		GapTol:    opts.GapTol,
+		MaxNodes:  opts.MaxNodes,
+		Log:       opts.Log,
+		Heuristic: func(x []float64) ([]float64, bool) {
+			return vm.roundingHeuristic(x, prob.NumVars())
+		},
+	}
+	if opts.InitialPartitioning != nil {
+		seed := opts.InitialPartitioning
+		if err := seed.Validate(m); err != nil {
+			return nil, fmt.Errorf("qp: initial partitioning: %w", err)
+		}
+		if opts.Disjoint && !seed.IsDisjoint() {
+			return nil, fmt.Errorf("qp: initial partitioning is not disjoint")
+		}
+		if opts.SymmetryBreaking {
+			seed = canonicalizeSites(seed)
+		}
+		mipOpts.InitialIncumbent = vm.vectorFromPartitioning(seed, prob.NumVars())
+	}
+
+	model := &mip.Model{LP: prob, Integer: integer, Priority: priority}
+	res, err := mip.Solve(model, mipOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Status:       res.Status,
+		Bound:        res.Bound,
+		Gap:          res.Gap,
+		Nodes:        res.Nodes,
+		SimplexIters: res.SimplexIters,
+		Runtime:      time.Since(start),
+		TimedOut:     res.TimedOut,
+		Variables:    prob.NumVars(),
+		Constraints:  prob.NumRows(),
+	}
+	if res.HasSolution() {
+		p := vm.partitioningFromVector(res.X)
+		if !opts.Disjoint {
+			p.Repair(m)
+		}
+		if err := p.Validate(m); err != nil {
+			return nil, fmt.Errorf("qp: solver produced an infeasible partitioning: %w", err)
+		}
+		out.Partitioning = p
+		out.Cost = m.Evaluate(p)
+		out.Balanced = res.Objective
+	}
+	return out, nil
+}
+
+// solveSingleSite handles |S| = 1, where the only feasible layout is the
+// trivial one.
+func solveSingleSite(m *core.Model) *Result {
+	p := core.SingleSite(m, 1)
+	cost := m.Evaluate(p)
+	return &Result{
+		Partitioning: p,
+		Cost:         cost,
+		Status:       mip.StatusOptimal,
+		Balanced:     cost.Balanced,
+		Bound:        cost.Balanced,
+		Gap:          0,
+	}
+}

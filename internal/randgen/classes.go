@@ -1,0 +1,79 @@
+package randgen
+
+import "fmt"
+
+// ClassA returns the parameters of the paper's "rndA…" instance family
+// (Table 2, upper part): few attribute references per query but many
+// attributes per table, so vertical partitioning has a large potential cost
+// reduction. A=3, B=updatePercent, C=30, D=3, E=8, F={2,4,8,16}.
+func ClassA(tables, transactions, updatePercent int) Params {
+	name := fmt.Sprintf("rndAt%dx%d", tables, transactions)
+	if updatePercent != 10 {
+		name = fmt.Sprintf("%su%d", name, updatePercent)
+	}
+	return Params{
+		Name:                 name,
+		Transactions:         transactions,
+		Tables:               tables,
+		MaxQueriesPerTxn:     3,
+		UpdatePercent:        updatePercent,
+		MaxAttrsPerTable:     30,
+		MaxTableRefsPerQuery: 3,
+		MaxAttrRefsPerQuery:  8,
+		AttrWidths:           []int{2, 4, 8, 16},
+		MaxRowsPerQuery:      10,
+	}
+}
+
+// ClassB returns the parameters of the paper's "rndB…" instance family
+// (Table 2, lower part): many attribute references per query but few
+// attributes per table, so little cost reduction is expected.
+// A=3, B=updatePercent, C=5, D=6, E=28, F={2,4,8,16}.
+func ClassB(tables, transactions, updatePercent int) Params {
+	name := fmt.Sprintf("rndBt%dx%d", tables, transactions)
+	if updatePercent != 10 {
+		name = fmt.Sprintf("%su%d", name, updatePercent)
+	}
+	return Params{
+		Name:                 name,
+		Transactions:         transactions,
+		Tables:               tables,
+		MaxQueriesPerTxn:     3,
+		UpdatePercent:        updatePercent,
+		MaxAttrsPerTable:     5,
+		MaxTableRefsPerQuery: 6,
+		MaxAttrRefsPerQuery:  28,
+		AttrWidths:           []int{2, 4, 8, 16},
+		MaxRowsPerQuery:      10,
+	}
+}
+
+// NamedClasses returns every named random instance class used in the paper's
+// Tables 2, 3, 5 and 6, in the order they appear in Table 3.
+func NamedClasses() []Params {
+	var out []Params
+	for _, txns := range []int{15, 100} {
+		for _, tables := range []int{4, 8, 16, 32, 64} {
+			out = append(out, ClassA(tables, txns, 10))
+		}
+	}
+	out = append(out, ClassA(8, 15, 50)) // rndAt8x15u50 (Table 6)
+	for _, txns := range []int{15, 100} {
+		for _, tables := range []int{4, 8, 16, 32, 64} {
+			out = append(out, ClassB(tables, txns, 10))
+		}
+	}
+	out = append(out, ClassB(16, 15, 50)) // rndBt16x15u50 (Table 6)
+	return out
+}
+
+// Class looks up a named class from NamedClasses by its name (for example
+// "rndAt8x15" or "rndBt16x15u50").
+func Class(name string) (Params, bool) {
+	for _, p := range NamedClasses() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

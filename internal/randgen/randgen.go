@@ -1,0 +1,211 @@
+// Package randgen generates random problem instances with the parameters of
+// the paper's Section 5.3 (Table 1 and Table 2). An instance class is defined
+// by upper bounds on a set of parameters; individual values are drawn
+// uniformly between 1 and the upper bound (so the mean is roughly half the
+// bound), exactly as the paper describes.
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vpart/internal/core"
+)
+
+// Params are the upper bounds that define a random instance class. The
+// single-letter names in the comments are the column labels of the paper's
+// Table 1 and Table 2.
+type Params struct {
+	// Name names the class/instance (e.g. "rndAt8x15").
+	Name string
+	// Transactions is |T|, the number of transactions in the workload.
+	Transactions int
+	// Tables is the number of tables in the schema.
+	Tables int
+	// MaxQueriesPerTxn (A) is the maximum number of queries per transaction.
+	MaxQueriesPerTxn int
+	// UpdatePercent (B) is the percentage of queries that are updates.
+	UpdatePercent int
+	// MaxAttrsPerTable (C) is the maximum number of attributes per table.
+	MaxAttrsPerTable int
+	// MaxTableRefsPerQuery (D) is the maximum number of different tables
+	// referred to by a single query.
+	MaxTableRefsPerQuery int
+	// MaxAttrRefsPerQuery (E) is the maximum number of individual attributes
+	// referred to by a single query.
+	MaxAttrRefsPerQuery int
+	// AttrWidths (F) is the set of allowed attribute widths.
+	AttrWidths []int
+	// MaxRowsPerQuery is the maximum average row count of a query; the paper
+	// does not specify a value for random instances, so the generator draws
+	// uniformly from 1..MaxRowsPerQuery (default 10, matching the TPC-C
+	// assumption for iterated queries).
+	MaxRowsPerQuery int
+}
+
+// DefaultParams returns the default parameter values of Table 1 (the bold
+// entries): A=3, B=10 %, C=15, D=5, E=15, F={4,8}.
+func DefaultParams(transactions, tables int) Params {
+	return Params{
+		Name:                 fmt.Sprintf("rnd-t%dx%d", tables, transactions),
+		Transactions:         transactions,
+		Tables:               tables,
+		MaxQueriesPerTxn:     3,
+		UpdatePercent:        10,
+		MaxAttrsPerTable:     15,
+		MaxTableRefsPerQuery: 5,
+		MaxAttrRefsPerQuery:  15,
+		AttrWidths:           []int{4, 8},
+		MaxRowsPerQuery:      10,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxRowsPerQuery == 0 {
+		p.MaxRowsPerQuery = 10
+	}
+	if len(p.AttrWidths) == 0 {
+		p.AttrWidths = []int{4, 8}
+	}
+	return p
+}
+
+// Validate checks that the parameters describe a generatable class.
+func (p Params) Validate() error {
+	if p.Transactions < 1 {
+		return fmt.Errorf("randgen: need at least one transaction, got %d", p.Transactions)
+	}
+	if p.Tables < 1 {
+		return fmt.Errorf("randgen: need at least one table, got %d", p.Tables)
+	}
+	if p.MaxQueriesPerTxn < 1 {
+		return fmt.Errorf("randgen: MaxQueriesPerTxn must be positive, got %d", p.MaxQueriesPerTxn)
+	}
+	if p.UpdatePercent < 0 || p.UpdatePercent > 100 {
+		return fmt.Errorf("randgen: UpdatePercent %d outside [0,100]", p.UpdatePercent)
+	}
+	if p.MaxAttrsPerTable < 1 {
+		return fmt.Errorf("randgen: MaxAttrsPerTable must be positive, got %d", p.MaxAttrsPerTable)
+	}
+	if p.MaxTableRefsPerQuery < 1 {
+		return fmt.Errorf("randgen: MaxTableRefsPerQuery must be positive, got %d", p.MaxTableRefsPerQuery)
+	}
+	if p.MaxAttrRefsPerQuery < 1 {
+		return fmt.Errorf("randgen: MaxAttrRefsPerQuery must be positive, got %d", p.MaxAttrRefsPerQuery)
+	}
+	for _, w := range p.AttrWidths {
+		if w <= 0 {
+			return fmt.Errorf("randgen: non-positive attribute width %d", w)
+		}
+	}
+	return nil
+}
+
+// Generate produces a random instance of the class. Equal seeds produce equal
+// instances.
+func Generate(p Params, seed int64) (*core.Instance, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inst := &core.Instance{Name: p.Name}
+	if inst.Name == "" {
+		inst.Name = fmt.Sprintf("rnd-seed%d", seed)
+	}
+
+	// Schema: each table gets 1..MaxAttrsPerTable attributes with widths
+	// drawn from the allowed set.
+	for ti := 0; ti < p.Tables; ti++ {
+		tbl := core.Table{Name: fmt.Sprintf("T%02d", ti)}
+		nAttrs := 1 + rng.Intn(p.MaxAttrsPerTable)
+		for ai := 0; ai < nAttrs; ai++ {
+			tbl.Attributes = append(tbl.Attributes, core.Attribute{
+				Name:  fmt.Sprintf("a%02d", ai),
+				Width: p.AttrWidths[rng.Intn(len(p.AttrWidths))],
+			})
+		}
+		inst.Schema.Tables = append(inst.Schema.Tables, tbl)
+	}
+
+	// Workload.
+	for t := 0; t < p.Transactions; t++ {
+		txn := core.Transaction{Name: fmt.Sprintf("txn%03d", t)}
+		nQueries := 1 + rng.Intn(p.MaxQueriesPerTxn)
+		for q := 0; q < nQueries; q++ {
+			isUpdate := rng.Intn(100) < p.UpdatePercent
+			queries := generateQuery(rng, &inst.Schema, p, fmt.Sprintf("q%02d", q), isUpdate)
+			txn.Queries = append(txn.Queries, queries...)
+		}
+		inst.Workload.Transactions = append(inst.Workload.Transactions, txn)
+	}
+
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: generated an invalid instance: %w", err)
+	}
+	return inst, nil
+}
+
+// generateQuery builds one query (two sub-queries for updates): it picks
+// 1..MaxTableRefsPerQuery distinct tables and distributes
+// 1..MaxAttrRefsPerQuery attribute references over them.
+func generateQuery(rng *rand.Rand, schema *core.Schema, p Params, name string, isUpdate bool) []core.Query {
+	nTables := 1 + rng.Intn(p.MaxTableRefsPerQuery)
+	if nTables > len(schema.Tables) {
+		nTables = len(schema.Tables)
+	}
+	tableIdx := rng.Perm(len(schema.Tables))[:nTables]
+
+	nAttrRefs := 1 + rng.Intn(p.MaxAttrRefsPerQuery)
+	rows := float64(1 + rng.Intn(p.MaxRowsPerQuery))
+
+	// Distribute the attribute references over the chosen tables; every table
+	// contributes at least one attribute.
+	attrsPerTable := make([][]string, nTables)
+	for i, ti := range tableIdx {
+		tbl := schema.Tables[ti]
+		attrsPerTable[i] = append(attrsPerTable[i], tbl.Attributes[rng.Intn(len(tbl.Attributes))].Name)
+	}
+	for r := nTables; r < nAttrRefs; r++ {
+		i := rng.Intn(nTables)
+		tbl := schema.Tables[tableIdx[i]]
+		attrsPerTable[i] = append(attrsPerTable[i], tbl.Attributes[rng.Intn(len(tbl.Attributes))].Name)
+	}
+
+	makeAccesses := func() []core.TableAccess {
+		var accesses []core.TableAccess
+		for i, ti := range tableIdx {
+			seen := map[string]bool{}
+			var attrs []string
+			for _, a := range attrsPerTable[i] {
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, a)
+				}
+			}
+			accesses = append(accesses, core.TableAccess{
+				Table:      schema.Tables[ti].Name,
+				Attributes: attrs,
+				Rows:       rows,
+			})
+		}
+		return accesses
+	}
+
+	if !isUpdate {
+		return []core.Query{{
+			Name:      name,
+			Kind:      core.Read,
+			Frequency: 1,
+			Accesses:  makeAccesses(),
+		}}
+	}
+	// Updates are modelled as in the paper: a read sub-query over all used
+	// attributes and a write sub-query over the written subset (here: the
+	// same attribute set, since the generator does not distinguish predicate
+	// columns).
+	return []core.Query{
+		{Name: name + ".read", Kind: core.Read, Frequency: 1, Accesses: makeAccesses()},
+		{Name: name + ".write", Kind: core.Write, Frequency: 1, Accesses: makeAccesses()},
+	}
+}

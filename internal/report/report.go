@@ -1,0 +1,168 @@
+// Package report turns a partitioning into artefacts a database operator can
+// act on: per-site DDL for the vertical fragments and a human-readable
+// markdown report with the cost breakdown, the per-site layout and the
+// replication summary.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vpart/internal/core"
+)
+
+// SiteDDL is the generated schema of one site.
+type SiteDDL struct {
+	// Site is the zero-based site index.
+	Site int
+	// Statements are CREATE TABLE statements, one per table fraction stored
+	// on the site, in schema order.
+	Statements []string
+}
+
+// DDL generates, for every site, one CREATE TABLE statement per vertical
+// fragment the partitioning places there. Since the cost model knows only
+// attribute widths (not SQL types), columns are rendered with a generic
+// binary type of the attribute's width; the intent is to document the
+// fragmentation, not to be executed verbatim.
+func DDL(m *core.Model, p *core.Partitioning) []SiteDDL {
+	out := make([]SiteDDL, p.Sites)
+	for s := 0; s < p.Sites; s++ {
+		out[s].Site = s
+		for tbl := 0; tbl < m.NumTables(); tbl++ {
+			var cols []string
+			width := 0
+			for _, a := range m.TableAttrs(tbl) {
+				if !p.AttrSites[a][s] {
+					continue
+				}
+				info := m.Attr(a)
+				cols = append(cols, fmt.Sprintf("    %-24s BINARY(%d)", quoteIdent(info.Qualified.Attr), info.Width))
+				width += info.Width
+			}
+			if len(cols) == 0 {
+				continue
+			}
+			stmt := fmt.Sprintf("CREATE TABLE %s (\n%s\n); -- site %d fragment of %s, row width %d bytes",
+				quoteIdent(fmt.Sprintf("%s__site%d", m.TableName(tbl), s+1)),
+				strings.Join(cols, ",\n"), s+1, m.TableName(tbl), width)
+			out[s].Statements = append(out[s].Statements, stmt)
+		}
+	}
+	return out
+}
+
+// DDLString renders the per-site DDL as one script with site separators.
+func DDLString(m *core.Model, p *core.Partitioning) string {
+	var b strings.Builder
+	for _, site := range DDL(m, p) {
+		fmt.Fprintf(&b, "-- ===== Site %d =====\n", site.Site+1)
+		if len(site.Statements) == 0 {
+			b.WriteString("-- (no fragments)\n\n")
+			continue
+		}
+		for _, stmt := range site.Statements {
+			b.WriteString(stmt)
+			b.WriteString("\n\n")
+		}
+	}
+	return b.String()
+}
+
+// quoteIdent quotes an identifier with double quotes, doubling any embedded
+// quote characters.
+func quoteIdent(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Markdown renders a full advisor report for a partitioning: cost breakdown,
+// per-site layout (transactions, fragments, work share) and the list of
+// replicated attributes.
+func Markdown(m *core.Model, p *core.Partitioning, cost core.Cost) string {
+	var b strings.Builder
+	inst := m.Instance()
+	opts := m.Options()
+
+	fmt.Fprintf(&b, "# Vertical partitioning report — %s\n\n", inst.Name)
+	fmt.Fprintf(&b, "Sites: %d · network penalty p = %g · λ = %g · write accounting: %s\n\n",
+		p.Sites, opts.Penalty, opts.Lambda, opts.WriteAccounting)
+
+	b.WriteString("## Cost breakdown (per workload execution)\n\n")
+	b.WriteString("| Component | Bytes |\n|---|---|\n")
+	fmt.Fprintf(&b, "| Local reads (A_R) | %.0f |\n", cost.ReadAccess)
+	fmt.Fprintf(&b, "| Local writes (A_W) | %.0f |\n", cost.WriteAccess)
+	fmt.Fprintf(&b, "| Inter-site transfer (B) | %.0f |\n", cost.Transfer)
+	fmt.Fprintf(&b, "| Penalised transfer (p·B) | %.0f |\n", opts.Penalty*cost.Transfer)
+	if cost.Latency > 0 {
+		fmt.Fprintf(&b, "| Latency term | %.0f |\n", cost.Latency)
+	}
+	fmt.Fprintf(&b, "| **Objective (4)** | **%.0f** |\n", cost.Objective)
+	fmt.Fprintf(&b, "| Max site work (m) | %.0f |\n", cost.MaxWork)
+	fmt.Fprintf(&b, "| Objective (6) = λ·(4)+(1−λ)·m | %.0f |\n\n", cost.Balanced)
+
+	single := m.Evaluate(core.SingleSite(m, 1))
+	if single.Objective > 0 {
+		fmt.Fprintf(&b, "Single-site baseline: %.0f bytes → **%.1f%% reduction**.\n\n",
+			single.Objective, 100*(1-cost.Objective/single.Objective))
+	}
+
+	b.WriteString("## Sites\n\n")
+	for s := 0; s < p.Sites; s++ {
+		fmt.Fprintf(&b, "### Site %d\n\n", s+1)
+		txns := p.TxnsOnSite(s)
+		if len(txns) == 0 {
+			b.WriteString("Transactions: (none)\n\n")
+		} else {
+			names := make([]string, len(txns))
+			for i, t := range txns {
+				names[i] = m.TxnName(t)
+			}
+			fmt.Fprintf(&b, "Transactions: %s\n\n", strings.Join(names, ", "))
+		}
+		if len(cost.SiteWork) == p.Sites {
+			share := 0.0
+			total := 0.0
+			for _, w := range cost.SiteWork {
+				total += w
+			}
+			if total > 0 {
+				share = 100 * cost.SiteWork[s] / total
+			}
+			fmt.Fprintf(&b, "Work: %.0f bytes (%.1f%% of the total)\n\n", cost.SiteWork[s], share)
+		}
+		b.WriteString("| Fragment | Columns | Row width (bytes) |\n|---|---|---|\n")
+		for tbl := 0; tbl < m.NumTables(); tbl++ {
+			var cols []string
+			width := 0
+			for _, a := range m.TableAttrs(tbl) {
+				if p.AttrSites[a][s] {
+					cols = append(cols, m.Attr(a).Qualified.Attr)
+					width += m.Attr(a).Width
+				}
+			}
+			if len(cols) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %d |\n", m.TableName(tbl), strings.Join(cols, ", "), width)
+		}
+		b.WriteString("\n")
+	}
+
+	b.WriteString("## Replicated attributes\n\n")
+	var replicated []string
+	for a := 0; a < m.NumAttrs(); a++ {
+		if n := p.Replicas(a); n > 1 {
+			replicated = append(replicated, fmt.Sprintf("%s (%d copies)", m.Attr(a).Qualified, n))
+		}
+	}
+	if len(replicated) == 0 {
+		b.WriteString("None — the partitioning is disjoint.\n")
+	} else {
+		sort.Strings(replicated)
+		for _, r := range replicated {
+			fmt.Fprintf(&b, "- %s\n", r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/sa"
+	"vpart/internal/tpcc"
+)
+
+func tpccLayout(t *testing.T, sites int) (*core.Model, *core.Partitioning, core.Cost) {
+	t.Helper()
+	m, err := core.NewModel(tpcc.Instance(), core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sa.Solve(m, sa.DefaultOptions(sites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res.Partitioning, res.Cost
+}
+
+func TestDDLCoversEveryReplica(t *testing.T) {
+	m, p, _ := tpccLayout(t, 3)
+	sites := DDL(m, p)
+	if len(sites) != 3 {
+		t.Fatalf("DDL for %d sites", len(sites))
+	}
+	// Every fragment statement must declare at least one column and the total
+	// number of declared columns across all sites must equal the number of
+	// attribute replicas.
+	columns := 0
+	for _, site := range sites {
+		for _, stmt := range site.Statements {
+			if !strings.HasPrefix(stmt, "CREATE TABLE") {
+				t.Errorf("unexpected statement: %q", stmt)
+			}
+			columns += strings.Count(stmt, "BINARY(")
+		}
+	}
+	if columns != p.TotalReplicas() {
+		t.Fatalf("DDL declares %d columns, partitioning has %d replicas", columns, p.TotalReplicas())
+	}
+}
+
+func TestDDLStringSeparatesSites(t *testing.T) {
+	m, p, _ := tpccLayout(t, 2)
+	out := DDLString(m, p)
+	for _, want := range []string{"-- ===== Site 1 =====", "-- ===== Site 2 =====", `"Customer__site1"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DDL output missing %q", want)
+		}
+	}
+}
+
+func TestDDLEmptySite(t *testing.T) {
+	m, _, _ := tpccLayout(t, 2)
+	// A partitioning where site 1 holds nothing (site 0 holds everything).
+	p := core.SingleSite(m, 2)
+	out := DDLString(m, p)
+	if !strings.Contains(out, "(no fragments)") {
+		t.Errorf("empty site not marked:\n%s", out[:200])
+	}
+}
+
+func TestQuoteIdent(t *testing.T) {
+	if quoteIdent(`a"b`) != `"a""b"` {
+		t.Fatalf("quoteIdent = %q", quoteIdent(`a"b`))
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	m, p, cost := tpccLayout(t, 3)
+	md := Markdown(m, p, cost)
+	for _, want := range []string{
+		"# Vertical partitioning report — TPC-C v5",
+		"## Cost breakdown",
+		"Objective (4)",
+		"## Sites",
+		"### Site 1",
+		"### Site 3",
+		"Row width",
+		"## Replicated attributes",
+		"reduction",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownDisjointReport(t *testing.T) {
+	m, _, _ := tpccLayout(t, 2)
+	res, err := sa.Solve(m, func() sa.Options {
+		o := sa.DefaultOptions(2)
+		o.Disjoint = true
+		return o
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(m, res.Partitioning, res.Cost)
+	if !strings.Contains(md, "None — the partitioning is disjoint.") {
+		t.Error("disjoint report should state that no attribute is replicated")
+	}
+}

@@ -1,0 +1,80 @@
+package sa
+
+import (
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/tpcc"
+)
+
+func benchModel(b *testing.B, inst *core.Instance) *core.Model {
+	b.Helper()
+	m, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSolveTPCC3Sites(b *testing.B) {
+	m := benchModel(b, tpcc.Instance())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(3)
+		opts.Seed = int64(i + 1)
+		if _, err := Solve(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveLargeRandomInstance(b *testing.B) {
+	inst, err := randgen.Generate(randgen.ClassA(32, 100, 10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b, inst)
+	b.ReportMetric(float64(m.NumAttrs()), "attrs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(4)
+		opts.Seed = int64(i + 1)
+		if _, err := Solve(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindSolutionYGivenX(b *testing.B) {
+	m := benchModel(b, tpcc.Instance())
+	opts := DefaultOptions(4)
+	s := newSolver(m, opts)
+	p := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 4)
+	for t := range p.TxnSite {
+		p.TxnSite[t] = t % 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.solveYGivenX(p)
+	}
+}
+
+func BenchmarkEvaluateNeighbourhoodMove(b *testing.B) {
+	m := benchModel(b, tpcc.Instance())
+	opts := DefaultOptions(4)
+	res, err := Solve(m, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := res.Partitioning
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := p.Clone()
+		c.TxnSite[i%m.NumTxns()] = (i + 1) % 4
+		c.Repair(m)
+		if cost := m.Evaluate(c); cost.Objective <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}

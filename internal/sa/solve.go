@@ -1,0 +1,221 @@
+package sa
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"vpart/internal/core"
+)
+
+// Solve runs the simulated annealing heuristic (Algorithm 1) on the model.
+func Solve(m *core.Model, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if opts.Sites == 1 {
+		p := core.SingleSite(m, 1)
+		cost := m.Evaluate(p)
+		return &Result{Partitioning: p, Cost: cost, Runtime: time.Since(start)}, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	s := newSolver(m, opts)
+	logf := func(format string, args ...interface{}) {
+		if opts.Log != nil {
+			opts.Log(format, args...)
+		}
+	}
+
+	cur := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
+	s.randomX(rng, cur)
+	s.findSolution(cur, "x")
+	cur.Repair(m)
+	curCost := m.Evaluate(cur).Balanced
+
+	best := cur.Clone()
+	bestCost := curCost
+
+	res := &Result{}
+	tau := opts.Temperature
+	if tau == 0 {
+		// Section 5.1: accept a 5 % worse solution with probability 50 % at
+		// the initial temperature.
+		tau = DefaultAcceptWorsePct * bestCost / math.Ln2
+		if tau <= 0 {
+			tau = 1
+		}
+	}
+	res.InitialTemperature = tau
+
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+
+	fixX := true
+	noImprove := 0
+outer:
+	for outer := 0; outer < opts.MaxOuterLoops; outer++ {
+		res.OuterLoops++
+		improvedThisLevel := false
+		for i := 0; i < opts.InnerLoops; i++ {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.TimedOut = true
+				break outer
+			}
+			res.Iterations++
+
+			cand := cur.Clone()
+			s.perturbX(rng, cand)
+			s.perturbY(rng, cand)
+			if fixX {
+				s.findSolution(cand, "x")
+			} else {
+				s.findSolution(cand, "y")
+			}
+			cand.Repair(m)
+			candCost := m.Evaluate(cand).Balanced
+
+			delta := candCost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/tau) {
+				cur, curCost = cand, candCost
+				res.Accepted++
+				if candCost < bestCost-1e-12 {
+					best = cand.Clone()
+					bestCost = candCost
+					res.Improved++
+					improvedThisLevel = true
+				}
+			}
+			fixX = !fixX
+		}
+		logf("sa: level %d τ=%.4g cur=%.6g best=%.6g", outer, tau, curCost, bestCost)
+		tau *= opts.Rho
+		if improvedThisLevel {
+			noImprove = 0
+		} else {
+			noImprove++
+			if noImprove >= opts.NoImprovementLimit {
+				break
+			}
+		}
+		if tau < res.InitialTemperature*1e-6 {
+			break
+		}
+	}
+
+	best.Repair(m)
+	res.Partitioning = best
+	res.Cost = m.Evaluate(best)
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// findSolution implements the findSolution(fix) step of Algorithm 1: it
+// re-optimises the vector that is not fixed.
+func (s *solver) findSolution(p *core.Partitioning, fix string) {
+	if fix == "x" {
+		// x is fixed, optimise y.
+		if s.opts.Disjoint {
+			s.solveYGivenXDisjoint(p)
+		} else {
+			s.solveYGivenX(p)
+		}
+		return
+	}
+	// y is fixed, optimise x.
+	s.solveXGivenY(p)
+}
+
+// randomX assigns every transaction (or component, in disjoint mode) to a
+// uniformly random site.
+func (s *solver) randomX(rng *rand.Rand, p *core.Partitioning) {
+	if s.opts.Disjoint {
+		for _, comp := range s.components {
+			st := rng.Intn(s.sites)
+			for _, t := range comp {
+				p.TxnSite[t] = st
+			}
+		}
+		return
+	}
+	for t := range p.TxnSite {
+		p.TxnSite[t] = rng.Intn(s.sites)
+	}
+}
+
+// perturbX relocates a MoveFraction share of the transactions (components in
+// disjoint mode) to random other sites.
+func (s *solver) perturbX(rng *rand.Rand, p *core.Partitioning) {
+	if s.sites < 2 {
+		return
+	}
+	if s.opts.Disjoint {
+		n := moveCount(len(s.components), s.opts.MoveFraction)
+		for i := 0; i < n; i++ {
+			comp := s.components[rng.Intn(len(s.components))]
+			st := rng.Intn(s.sites)
+			for _, t := range comp {
+				p.TxnSite[t] = st
+			}
+		}
+		return
+	}
+	n := moveCount(len(p.TxnSite), s.opts.MoveFraction)
+	for i := 0; i < n; i++ {
+		t := rng.Intn(len(p.TxnSite))
+		p.TxnSite[t] = rng.Intn(s.sites)
+	}
+}
+
+// perturbY extends the replication of a MoveFraction share of the attributes
+// (the paper's neighbourhood for y). In disjoint mode it instead relocates
+// unread attributes, since replication is forbidden there.
+func (s *solver) perturbY(rng *rand.Rand, p *core.Partitioning) {
+	if s.sites < 2 {
+		return
+	}
+	nA := len(p.AttrSites)
+	n := moveCount(nA, s.opts.MoveFraction)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(nA)
+		if s.opts.Disjoint {
+			if len(s.readersOf[a]) > 0 {
+				continue
+			}
+			st := rng.Intn(s.sites)
+			for k := range p.AttrSites[a] {
+				p.AttrSites[a][k] = false
+			}
+			p.AttrSites[a][st] = true
+			continue
+		}
+		// Extended replication: add one replica on a site not yet holding a.
+		var missing []int
+		for st, on := range p.AttrSites[a] {
+			if !on {
+				missing = append(missing, st)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		p.AttrSites[a][missing[rng.Intn(len(missing))]] = true
+	}
+}
+
+// moveCount returns the number of elements a perturbation touches: a fraction
+// of n, but at least one.
+func moveCount(n int, fraction float64) int {
+	c := int(math.Round(float64(n) * fraction))
+	if c < 1 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}

@@ -1,0 +1,415 @@
+package sa
+
+import (
+	"sort"
+
+	"vpart/internal/core"
+)
+
+// subproblems implements the "findSolution(fix)" step of Algorithm 1: greedy
+// optimisation of y for a fixed x and of x for a fixed y, both with respect
+// to the balanced objective (6).
+
+// solver bundles the model and derived data reused across iterations.
+type solver struct {
+	m     *core.Model
+	sites int
+	opts  Options
+
+	// readersOf[a] lists the transactions that read attribute a (ϕ).
+	readersOf [][]int
+	// components groups transactions that transitively share read attributes;
+	// used in disjoint mode where they must co-locate.
+	components [][]int
+	compOf     []int
+}
+
+func newSolver(m *core.Model, opts Options) *solver {
+	s := &solver{m: m, sites: opts.Sites, opts: opts}
+	nA, nT := m.NumAttrs(), m.NumTxns()
+	s.readersOf = make([][]int, nA)
+	for t := 0; t < nT; t++ {
+		for _, a := range m.TxnReadAttrs(t) {
+			s.readersOf[a] = append(s.readersOf[a], t)
+		}
+	}
+	// Union-find over transactions.
+	parent := make([]int, nT)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	for _, readers := range s.readersOf {
+		for i := 1; i < len(readers); i++ {
+			parent[find(readers[i])] = find(readers[0])
+		}
+	}
+	s.compOf = make([]int, nT)
+	index := map[int]int{}
+	for t := 0; t < nT; t++ {
+		root := find(t)
+		ci, ok := index[root]
+		if !ok {
+			ci = len(s.components)
+			index[root] = ci
+			s.components = append(s.components, nil)
+		}
+		s.compOf[t] = ci
+		s.components[ci] = append(s.components[ci], t)
+	}
+	return s
+}
+
+// lambda returns λ of the model.
+func (s *solver) lambda() float64 { return s.m.Options().Lambda }
+
+// solveYGivenX computes an attribute assignment for the fixed transaction
+// assignment, writing it into p.AttrSites. It respects single-sitedness
+// (forced replicas), covers every attribute at least once, adds beneficial
+// extra replicas (negative marginal cost) and balances load greedily.
+func (s *solver) solveYGivenX(p *core.Partitioning) {
+	m := s.m
+	nA := m.NumAttrs()
+	lam := s.lambda()
+
+	for a := 0; a < nA; a++ {
+		for st := 0; st < s.sites; st++ {
+			p.AttrSites[a][st] = false
+		}
+	}
+
+	// Marginal objective-(4) cost of placing attribute a on site st:
+	// C2(a) + Σ_{t on st} C1(a,t). Build the per-site transaction lists once.
+	txnsOn := make([][]int, s.sites)
+	for t, st := range p.TxnSite {
+		txnsOn[st] = append(txnsOn[st], t)
+	}
+	costOf := func(a, st int) float64 {
+		c := m.C2(a)
+		for _, t := range txnsOn[st] {
+			c += m.C1(a, t)
+		}
+		return c
+	}
+	loadOf := func(a, st int) float64 {
+		l := m.C4(a)
+		for _, t := range txnsOn[st] {
+			l += m.C3(a, t)
+		}
+		return l
+	}
+
+	work := make([]float64, s.sites)
+	maxWork := func() float64 {
+		mw := 0.0
+		for _, w := range work {
+			if w > mw {
+				mw = w
+			}
+		}
+		return mw
+	}
+
+	// Forced placements first (single-sitedness of reads).
+	for t := 0; t < m.NumTxns(); t++ {
+		st := p.TxnSite[t]
+		for _, a := range m.TxnReadAttrs(t) {
+			p.AttrSites[a][st] = true
+		}
+	}
+	for a := 0; a < nA; a++ {
+		for st := 0; st < s.sites; st++ {
+			if p.AttrSites[a][st] {
+				work[st] += loadOf(a, st)
+			}
+		}
+	}
+
+	// Process unplaced attributes in decreasing weight order (LPT-style) so
+	// the load balancing term is handled sensibly.
+	order := make([]int, 0, nA)
+	for a := 0; a < nA; a++ {
+		if p.Replicas(a) == 0 {
+			order = append(order, a)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi := m.C4(order[i]) + m.C2(order[i])
+		wj := m.C4(order[j]) + m.C2(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	cur := maxWork()
+	for _, a := range order {
+		best, bestScore := 0, 0.0
+		for st := 0; st < s.sites; st++ {
+			delta := work[st] + loadOf(a, st) - cur
+			if delta < 0 {
+				delta = 0
+			}
+			score := lam*costOf(a, st) + (1-lam)*delta
+			if st == 0 || score < bestScore {
+				best, bestScore = st, score
+			}
+		}
+		p.AttrSites[a][best] = true
+		work[best] += loadOf(a, best)
+		if work[best] > cur {
+			cur = work[best]
+		}
+	}
+
+	// Beneficial extra replicas: a replica whose combined cost and load
+	// effect is negative always pays off. Skipped in disjoint mode.
+	if !s.opts.Disjoint {
+		for a := 0; a < nA; a++ {
+			for st := 0; st < s.sites; st++ {
+				if p.AttrSites[a][st] {
+					continue
+				}
+				delta := work[st] + loadOf(a, st) - cur
+				if delta < 0 {
+					delta = 0
+				}
+				if lam*costOf(a, st)+(1-lam)*delta < 0 {
+					p.AttrSites[a][st] = true
+					work[st] += loadOf(a, st)
+					if work[st] > cur {
+						cur = work[st]
+					}
+				}
+			}
+		}
+	}
+}
+
+// solveXGivenY re-assigns transactions to sites for a fixed attribute
+// assignment. Only sites that hold all read attributes of a transaction are
+// feasible. In disjoint mode whole components are assigned together.
+func (s *solver) solveXGivenY(p *core.Partitioning) {
+	m := s.m
+	lam := s.lambda()
+
+	// Base work per site from the write part (independent of x).
+	work := make([]float64, s.sites)
+	for a := 0; a < m.NumAttrs(); a++ {
+		if c4 := m.C4(a); c4 != 0 {
+			for st := 0; st < s.sites; st++ {
+				if p.AttrSites[a][st] {
+					work[st] += c4
+				}
+			}
+		}
+	}
+
+	costOn := func(t, st int) (cost, load float64) {
+		for _, tc := range m.TxnTerms(t) {
+			if p.AttrSites[tc.Attr][st] {
+				cost += tc.C1
+				load += tc.C3
+			}
+		}
+		return cost, load
+	}
+	feasible := func(t, st int) bool {
+		for _, a := range m.TxnReadAttrs(t) {
+			if !p.AttrSites[a][st] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Order transactions by decreasing read weight so heavy transactions are
+	// placed while sites are still balanced.
+	order := make([]int, m.NumTxns())
+	weights := make([]float64, m.NumTxns())
+	for t := range order {
+		order[t] = t
+		for _, tc := range m.TxnTerms(t) {
+			weights[t] += tc.C3
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if weights[order[i]] != weights[order[j]] {
+			return weights[order[i]] > weights[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	if s.opts.Disjoint {
+		s.assignComponents(p, work)
+		return
+	}
+
+	cur := 0.0
+	for _, w := range work {
+		if w > cur {
+			cur = w
+		}
+	}
+	for _, t := range order {
+		best := p.TxnSite[t]
+		bestScore := 0.0
+		found := false
+		for st := 0; st < s.sites; st++ {
+			if !feasible(t, st) {
+				continue
+			}
+			cost, load := costOn(t, st)
+			delta := work[st] + load - cur
+			if delta < 0 {
+				delta = 0
+			}
+			score := lam*cost + (1-lam)*delta
+			if !found || score < bestScore {
+				best, bestScore, found = st, score, true
+			}
+		}
+		// At least the previous site of t is feasible because y only ever
+		// extends after it was built for the previous x; if not (fresh y),
+		// fall back to the old site and let the caller repair.
+		p.TxnSite[t] = best
+		_, load := costOn(t, best)
+		work[best] += load
+		if work[best] > cur {
+			cur = work[best]
+		}
+	}
+}
+
+// assignComponents places whole components of transactions (disjoint mode).
+func (s *solver) assignComponents(p *core.Partitioning, work []float64) {
+	m := s.m
+	lam := s.lambda()
+	cur := 0.0
+	for _, w := range work {
+		if w > cur {
+			cur = w
+		}
+	}
+	for _, comp := range s.components {
+		// Feasible sites: those holding all read attributes of every member.
+		best, bestScore, found := 0, 0.0, false
+		for st := 0; st < s.sites; st++ {
+			ok := true
+			for _, t := range comp {
+				for _, a := range m.TxnReadAttrs(t) {
+					if !p.AttrSites[a][st] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cost, load := 0.0, 0.0
+			for _, t := range comp {
+				for _, tc := range m.TxnTerms(t) {
+					if p.AttrSites[tc.Attr][st] {
+						cost += tc.C1
+						load += tc.C3
+					}
+				}
+			}
+			delta := work[st] + load - cur
+			if delta < 0 {
+				delta = 0
+			}
+			score := lam*cost + (1-lam)*delta
+			if !found || score < bestScore {
+				best, bestScore, found = st, score, true
+			}
+		}
+		if !found {
+			best = p.TxnSite[comp[0]]
+		}
+		for _, t := range comp {
+			p.TxnSite[t] = best
+		}
+		for _, t := range comp {
+			for _, tc := range m.TxnTerms(t) {
+				if p.AttrSites[tc.Attr][best] {
+					work[best] += tc.C3
+				}
+			}
+		}
+		if work[best] > cur {
+			cur = work[best]
+		}
+	}
+}
+
+// solveYGivenXDisjoint assigns every attribute to exactly one site for a
+// fixed transaction assignment. Attributes read by some transaction follow
+// their readers (all readers share a site in disjoint-feasible assignments);
+// unread attributes go to the cheapest site.
+func (s *solver) solveYGivenXDisjoint(p *core.Partitioning) {
+	m := s.m
+	lam := s.lambda()
+	nA := m.NumAttrs()
+	for a := 0; a < nA; a++ {
+		for st := 0; st < s.sites; st++ {
+			p.AttrSites[a][st] = false
+		}
+	}
+	txnsOn := make([][]int, s.sites)
+	for t, st := range p.TxnSite {
+		txnsOn[st] = append(txnsOn[st], t)
+	}
+	work := make([]float64, s.sites)
+	cur := 0.0
+	place := func(a, st int) {
+		p.AttrSites[a][st] = true
+		l := m.C4(a)
+		for _, t := range txnsOn[st] {
+			l += m.C3(a, t)
+		}
+		work[st] += l
+		if work[st] > cur {
+			cur = work[st]
+		}
+	}
+	var unread []int
+	for a := 0; a < nA; a++ {
+		if len(s.readersOf[a]) > 0 {
+			place(a, p.TxnSite[s.readersOf[a][0]])
+		} else {
+			unread = append(unread, a)
+		}
+	}
+	for _, a := range unread {
+		best, bestScore := 0, 0.0
+		for st := 0; st < s.sites; st++ {
+			c := m.C2(a)
+			for _, t := range txnsOn[st] {
+				c += m.C1(a, t)
+			}
+			l := m.C4(a)
+			for _, t := range txnsOn[st] {
+				l += m.C3(a, t)
+			}
+			delta := work[st] + l - cur
+			if delta < 0 {
+				delta = 0
+			}
+			score := lam*c + (1-lam)*delta
+			if st == 0 || score < bestScore {
+				best, bestScore = st, score
+			}
+		}
+		place(a, best)
+	}
+}

@@ -1,0 +1,120 @@
+// Package texttable renders small column-aligned text tables, used by the
+// experiment harness and the command line tools to print the paper's result
+// tables.
+package texttable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple rows-and-columns text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Title returns the table title.
+func (t *Table) Title() string { return t.title }
+
+// AddRow appends a row. Missing cells are rendered empty; extra cells are
+// kept (the column count grows).
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row built from formatted values.
+func (t *Table) AddRowf(format string, args ...interface{}) {
+	t.AddRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// columnWidths computes the display width of each column.
+func (t *Table) columnWidths() []int {
+	n := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	widths := make([]int, n)
+	for i, h := range t.headers {
+		if len(h) > widths[i] {
+			widths[i] = len(h)
+		}
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	return widths
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := t.columnWidths()
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < len(widths); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		sep := make([]string, len(widths))
+		for i, w := range widths {
+			sep[i] = strings.Repeat("-", w)
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.title)
+	}
+	n := len(t.columnWidths())
+	header := make([]string, n)
+	copy(header, t.headers)
+	b.WriteString("| " + strings.Join(header, " | ") + " |\n")
+	sep := make([]string, n)
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		row := make([]string, n)
+		copy(row, r)
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tbl := New("Demo", "Instance", "Cost")
+	tbl.AddRow("TPC-C", "0.133")
+	tbl.AddRow("rndAt8x15-longer", "0.3")
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All data lines should be padded to the same column start for column 2.
+	if !strings.Contains(lines[1], "Instance") || !strings.Contains(lines[2], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	if tbl.Title() != "Demo" {
+		t.Errorf("Title = %q", tbl.Title())
+	}
+}
+
+func TestMissingAndExtraCells(t *testing.T) {
+	tbl := New("", "A", "B")
+	tbl.AddRow("only-one")
+	tbl.AddRow("x", "y", "z-extra")
+	out := tbl.String()
+	if !strings.Contains(out, "z-extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+	md := tbl.Markdown()
+	if strings.Count(md, "|") == 0 {
+		t.Error("markdown output has no pipes")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tbl := New("t", "A", "B", "C")
+	tbl.AddRowf("%s\t%.3f\t%d", "x", 1.23456, 7)
+	out := tbl.String()
+	if !strings.Contains(out, "1.235") || !strings.Contains(out, "7") {
+		t.Errorf("formatted row wrong:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := New("Results", "Name", "Value")
+	tbl.AddRow("a", "1")
+	md := tbl.Markdown()
+	for _, want := range []string{"### Results", "| Name | Value |", "| --- | --- |", "| a | 1 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

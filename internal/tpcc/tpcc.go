@@ -1,0 +1,272 @@
+// Package tpcc encodes the TPC-C v5 benchmark (schema and the five
+// transactions) as a vertical partitioning problem instance, using the
+// statistical assumptions of the paper's Section 5.2:
+//
+//   - every query runs with the same frequency (1),
+//   - every query accesses a single row, except queries that iterate over a
+//     result set or aggregate, which are assumed to access 10 rows,
+//   - UPDATE statements are modelled as two sub-queries: a read query
+//     accessing every attribute used by the statement and a write query
+//     accessing only the attributes actually written,
+//   - DELETE and INSERT statements write complete rows.
+//
+// Attribute widths are derived from the column data types of the TPC-C
+// specification (character columns at their maximum length, money/decimal
+// columns as 8 bytes, identifiers and counters as 4 bytes, timestamps as 8
+// bytes). The paper does not publish its width table, so absolute costs are
+// not expected to match the paper exactly; the relative behaviour is.
+package tpcc
+
+import "vpart/internal/core"
+
+// Row count assumptions of Section 5.2.
+const (
+	// SingleRow is the row count of point queries.
+	SingleRow = 1
+	// IteratedRows is the row count assumed for queries that iterate over a
+	// result set or aggregate.
+	IteratedRows = 10
+	// QueryFrequency is the uniform query frequency assumed by the paper.
+	QueryFrequency = 1
+)
+
+// InstanceName is the name of the generated instance.
+const InstanceName = "TPC-C v5"
+
+// Schema returns the TPC-C v5 schema: 9 tables with 92 attributes in total.
+func Schema() core.Schema {
+	return core.Schema{Tables: []core.Table{
+		{Name: "Warehouse", Attributes: []core.Attribute{
+			{Name: "W_ID", Width: 4},
+			{Name: "W_NAME", Width: 10},
+			{Name: "W_STREET_1", Width: 20},
+			{Name: "W_STREET_2", Width: 20},
+			{Name: "W_CITY", Width: 20},
+			{Name: "W_STATE", Width: 2},
+			{Name: "W_ZIP", Width: 9},
+			{Name: "W_TAX", Width: 8},
+			{Name: "W_YTD", Width: 8},
+		}},
+		{Name: "District", Attributes: []core.Attribute{
+			{Name: "D_ID", Width: 4},
+			{Name: "D_W_ID", Width: 4},
+			{Name: "D_NAME", Width: 10},
+			{Name: "D_STREET_1", Width: 20},
+			{Name: "D_STREET_2", Width: 20},
+			{Name: "D_CITY", Width: 20},
+			{Name: "D_STATE", Width: 2},
+			{Name: "D_ZIP", Width: 9},
+			{Name: "D_TAX", Width: 8},
+			{Name: "D_YTD", Width: 8},
+			{Name: "D_NEXT_O_ID", Width: 4},
+		}},
+		{Name: "Customer", Attributes: []core.Attribute{
+			{Name: "C_ID", Width: 4},
+			{Name: "C_D_ID", Width: 4},
+			{Name: "C_W_ID", Width: 4},
+			{Name: "C_FIRST", Width: 16},
+			{Name: "C_MIDDLE", Width: 2},
+			{Name: "C_LAST", Width: 16},
+			{Name: "C_STREET_1", Width: 20},
+			{Name: "C_STREET_2", Width: 20},
+			{Name: "C_CITY", Width: 20},
+			{Name: "C_STATE", Width: 2},
+			{Name: "C_ZIP", Width: 9},
+			{Name: "C_PHONE", Width: 16},
+			{Name: "C_SINCE", Width: 8},
+			{Name: "C_CREDIT", Width: 2},
+			{Name: "C_CREDIT_LIM", Width: 8},
+			{Name: "C_DISCOUNT", Width: 8},
+			{Name: "C_BALANCE", Width: 8},
+			{Name: "C_YTD_PAYMENT", Width: 8},
+			{Name: "C_PAYMENT_CNT", Width: 4},
+			{Name: "C_DELIVERY_CNT", Width: 4},
+			{Name: "C_DATA", Width: 500},
+		}},
+		{Name: "History", Attributes: []core.Attribute{
+			{Name: "H_C_ID", Width: 4},
+			{Name: "H_C_D_ID", Width: 4},
+			{Name: "H_C_W_ID", Width: 4},
+			{Name: "H_D_ID", Width: 4},
+			{Name: "H_W_ID", Width: 4},
+			{Name: "H_DATE", Width: 8},
+			{Name: "H_AMOUNT", Width: 8},
+			{Name: "H_DATA", Width: 24},
+		}},
+		{Name: "NewOrder", Attributes: []core.Attribute{
+			{Name: "NO_O_ID", Width: 4},
+			{Name: "NO_D_ID", Width: 4},
+			{Name: "NO_W_ID", Width: 4},
+		}},
+		{Name: "Order", Attributes: []core.Attribute{
+			{Name: "O_ID", Width: 4},
+			{Name: "O_D_ID", Width: 4},
+			{Name: "O_W_ID", Width: 4},
+			{Name: "O_C_ID", Width: 4},
+			{Name: "O_ENTRY_D", Width: 8},
+			{Name: "O_CARRIER_ID", Width: 4},
+			{Name: "O_OL_CNT", Width: 4},
+			{Name: "O_ALL_LOCAL", Width: 4},
+		}},
+		{Name: "OrderLine", Attributes: []core.Attribute{
+			{Name: "OL_O_ID", Width: 4},
+			{Name: "OL_D_ID", Width: 4},
+			{Name: "OL_W_ID", Width: 4},
+			{Name: "OL_NUMBER", Width: 4},
+			{Name: "OL_I_ID", Width: 4},
+			{Name: "OL_SUPPLY_W_ID", Width: 4},
+			{Name: "OL_DELIVERY_D", Width: 8},
+			{Name: "OL_QUANTITY", Width: 4},
+			{Name: "OL_AMOUNT", Width: 8},
+			{Name: "OL_DIST_INFO", Width: 24},
+		}},
+		{Name: "Item", Attributes: []core.Attribute{
+			{Name: "I_ID", Width: 4},
+			{Name: "I_IM_ID", Width: 4},
+			{Name: "I_NAME", Width: 24},
+			{Name: "I_PRICE", Width: 8},
+			{Name: "I_DATA", Width: 50},
+		}},
+		{Name: "Stock", Attributes: []core.Attribute{
+			{Name: "S_I_ID", Width: 4},
+			{Name: "S_W_ID", Width: 4},
+			{Name: "S_QUANTITY", Width: 4},
+			{Name: "S_DIST_01", Width: 24},
+			{Name: "S_DIST_02", Width: 24},
+			{Name: "S_DIST_03", Width: 24},
+			{Name: "S_DIST_04", Width: 24},
+			{Name: "S_DIST_05", Width: 24},
+			{Name: "S_DIST_06", Width: 24},
+			{Name: "S_DIST_07", Width: 24},
+			{Name: "S_DIST_08", Width: 24},
+			{Name: "S_DIST_09", Width: 24},
+			{Name: "S_DIST_10", Width: 24},
+			{Name: "S_YTD", Width: 8},
+			{Name: "S_ORDER_CNT", Width: 4},
+			{Name: "S_REMOTE_CNT", Width: 4},
+			{Name: "S_DATA", Width: 50},
+		}},
+	}}
+}
+
+// stockDistCols lists the ten S_DIST_xx columns.
+func stockDistCols() []string {
+	return []string{
+		"S_DIST_01", "S_DIST_02", "S_DIST_03", "S_DIST_04", "S_DIST_05",
+		"S_DIST_06", "S_DIST_07", "S_DIST_08", "S_DIST_09", "S_DIST_10",
+	}
+}
+
+// Workload returns the five TPC-C transactions with the paper's statistical
+// assumptions applied.
+func Workload() core.Workload {
+	const f = QueryFrequency
+	read := core.NewRead
+	write := core.NewWrite
+	update := core.NewUpdate
+
+	newOrder := core.Transaction{Name: "NewOrder"}
+	newOrder.Queries = append(newOrder.Queries,
+		read("getWarehouseTax", "Warehouse", []string{"W_ID", "W_TAX"}, SingleRow, f),
+		read("getDistrict", "District", []string{"D_W_ID", "D_ID", "D_TAX", "D_NEXT_O_ID"}, SingleRow, f),
+	)
+	newOrder.Queries = append(newOrder.Queries,
+		update("incrementNextOrderId", "District",
+			[]string{"D_W_ID", "D_ID", "D_NEXT_O_ID"}, []string{"D_NEXT_O_ID"}, SingleRow, f)...)
+	newOrder.Queries = append(newOrder.Queries,
+		read("getCustomer", "Customer",
+			[]string{"C_W_ID", "C_D_ID", "C_ID", "C_DISCOUNT", "C_LAST", "C_CREDIT"}, SingleRow, f),
+		write("insertOrder", "Order",
+			[]string{"O_ID", "O_D_ID", "O_W_ID", "O_C_ID", "O_ENTRY_D", "O_CARRIER_ID", "O_OL_CNT", "O_ALL_LOCAL"}, SingleRow, f),
+		write("insertNewOrder", "NewOrder", []string{"NO_O_ID", "NO_D_ID", "NO_W_ID"}, SingleRow, f),
+		read("getItems", "Item", []string{"I_ID", "I_PRICE", "I_NAME", "I_DATA"}, IteratedRows, f),
+		read("getStock", "Stock",
+			append([]string{"S_I_ID", "S_W_ID", "S_QUANTITY", "S_DATA"}, stockDistCols()...), IteratedRows, f),
+	)
+	newOrder.Queries = append(newOrder.Queries,
+		update("updateStock", "Stock",
+			[]string{"S_I_ID", "S_W_ID", "S_QUANTITY", "S_YTD", "S_ORDER_CNT", "S_REMOTE_CNT"},
+			[]string{"S_QUANTITY", "S_YTD", "S_ORDER_CNT", "S_REMOTE_CNT"}, IteratedRows, f)...)
+	newOrder.Queries = append(newOrder.Queries,
+		write("insertOrderLines", "OrderLine",
+			[]string{"OL_O_ID", "OL_D_ID", "OL_W_ID", "OL_NUMBER", "OL_I_ID", "OL_SUPPLY_W_ID",
+				"OL_DELIVERY_D", "OL_QUANTITY", "OL_AMOUNT", "OL_DIST_INFO"}, IteratedRows, f),
+	)
+
+	payment := core.Transaction{Name: "Payment"}
+	payment.Queries = append(payment.Queries,
+		update("updateWarehouseYTD", "Warehouse", []string{"W_ID", "W_YTD"}, []string{"W_YTD"}, SingleRow, f)...)
+	payment.Queries = append(payment.Queries,
+		read("getWarehouse", "Warehouse",
+			[]string{"W_ID", "W_NAME", "W_STREET_1", "W_STREET_2", "W_CITY", "W_STATE", "W_ZIP"}, SingleRow, f),
+	)
+	payment.Queries = append(payment.Queries,
+		update("updateDistrictYTD", "District", []string{"D_W_ID", "D_ID", "D_YTD"}, []string{"D_YTD"}, SingleRow, f)...)
+	payment.Queries = append(payment.Queries,
+		read("getDistrict", "District",
+			[]string{"D_W_ID", "D_ID", "D_NAME", "D_STREET_1", "D_STREET_2", "D_CITY", "D_STATE", "D_ZIP"}, SingleRow, f),
+		read("getCustomersByLastName", "Customer",
+			[]string{"C_W_ID", "C_D_ID", "C_LAST", "C_ID", "C_FIRST", "C_MIDDLE", "C_STREET_1", "C_STREET_2",
+				"C_CITY", "C_STATE", "C_ZIP", "C_PHONE", "C_CREDIT", "C_CREDIT_LIM", "C_DISCOUNT",
+				"C_BALANCE", "C_SINCE"}, IteratedRows, f),
+	)
+	payment.Queries = append(payment.Queries,
+		update("updateCustomerPayment", "Customer",
+			[]string{"C_W_ID", "C_D_ID", "C_ID", "C_BALANCE", "C_YTD_PAYMENT", "C_PAYMENT_CNT", "C_CREDIT", "C_DATA"},
+			[]string{"C_BALANCE", "C_YTD_PAYMENT", "C_PAYMENT_CNT", "C_DATA"}, SingleRow, f)...)
+	payment.Queries = append(payment.Queries,
+		write("insertHistory", "History",
+			[]string{"H_C_ID", "H_C_D_ID", "H_C_W_ID", "H_D_ID", "H_W_ID", "H_DATE", "H_AMOUNT", "H_DATA"}, SingleRow, f),
+	)
+
+	orderStatus := core.Transaction{Name: "OrderStatus"}
+	orderStatus.Queries = append(orderStatus.Queries,
+		read("getCustomerByLastName", "Customer",
+			[]string{"C_W_ID", "C_D_ID", "C_LAST", "C_ID", "C_BALANCE", "C_FIRST", "C_MIDDLE"}, IteratedRows, f),
+		read("getLastOrder", "Order",
+			[]string{"O_W_ID", "O_D_ID", "O_C_ID", "O_ID", "O_ENTRY_D", "O_CARRIER_ID"}, SingleRow, f),
+		read("getOrderLines", "OrderLine",
+			[]string{"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_I_ID", "OL_SUPPLY_W_ID", "OL_QUANTITY",
+				"OL_AMOUNT", "OL_DELIVERY_D"}, IteratedRows, f),
+	)
+
+	delivery := core.Transaction{Name: "Delivery"}
+	delivery.Queries = append(delivery.Queries,
+		read("getOldestNewOrder", "NewOrder", []string{"NO_W_ID", "NO_D_ID", "NO_O_ID"}, IteratedRows, f),
+		write("deleteNewOrder", "NewOrder", []string{"NO_W_ID", "NO_D_ID", "NO_O_ID"}, IteratedRows, f),
+		read("getOrderCustomer", "Order", []string{"O_W_ID", "O_D_ID", "O_ID", "O_C_ID"}, IteratedRows, f),
+	)
+	delivery.Queries = append(delivery.Queries,
+		update("updateOrderCarrier", "Order",
+			[]string{"O_W_ID", "O_D_ID", "O_ID", "O_CARRIER_ID"}, []string{"O_CARRIER_ID"}, IteratedRows, f)...)
+	delivery.Queries = append(delivery.Queries,
+		update("updateOrderLineDeliveryDate", "OrderLine",
+			[]string{"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_DELIVERY_D"}, []string{"OL_DELIVERY_D"}, IteratedRows, f)...)
+	delivery.Queries = append(delivery.Queries,
+		read("sumOrderLineAmount", "OrderLine", []string{"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_AMOUNT"}, IteratedRows, f),
+	)
+	delivery.Queries = append(delivery.Queries,
+		update("updateCustomerBalanceDelivery", "Customer",
+			[]string{"C_W_ID", "C_D_ID", "C_ID", "C_BALANCE", "C_DELIVERY_CNT"},
+			[]string{"C_BALANCE", "C_DELIVERY_CNT"}, IteratedRows, f)...)
+
+	stockLevel := core.Transaction{Name: "StockLevel"}
+	stockLevel.Queries = append(stockLevel.Queries,
+		read("getDistrictNextOrderId", "District", []string{"D_W_ID", "D_ID", "D_NEXT_O_ID"}, SingleRow, f),
+		read("getRecentOrderLineItems", "OrderLine", []string{"OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_I_ID"}, IteratedRows, f),
+		read("countLowStock", "Stock", []string{"S_W_ID", "S_I_ID", "S_QUANTITY"}, IteratedRows, f),
+	)
+
+	return core.Workload{Transactions: []core.Transaction{
+		newOrder, payment, orderStatus, delivery, stockLevel,
+	}}
+}
+
+// Instance returns the complete TPC-C v5 problem instance.
+func Instance() *core.Instance {
+	return &core.Instance{
+		Name:     InstanceName,
+		Schema:   Schema(),
+		Workload: Workload(),
+	}
+}

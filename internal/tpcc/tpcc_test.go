@@ -1,0 +1,145 @@
+package tpcc
+
+import (
+	"testing"
+
+	"vpart/internal/core"
+)
+
+func TestInstanceIsValid(t *testing.T) {
+	inst := Instance()
+	if err := inst.Validate(); err != nil {
+		t.Fatalf("TPC-C instance invalid: %v", err)
+	}
+}
+
+func TestInstanceDimensionsMatchPaper(t *testing.T) {
+	inst := Instance()
+	st := inst.Stats()
+	if st.Attributes != 92 {
+		t.Errorf("|A| = %d, paper has 92", st.Attributes)
+	}
+	if st.Transactions != 5 {
+		t.Errorf("|T| = %d, paper has 5", st.Transactions)
+	}
+	if st.Tables != 9 {
+		t.Errorf("%d tables, TPC-C has 9", st.Tables)
+	}
+	wantAttrs := map[string]int{
+		"Warehouse": 9, "District": 11, "Customer": 21, "History": 8,
+		"NewOrder": 3, "Order": 8, "OrderLine": 10, "Item": 5, "Stock": 17,
+	}
+	for name, want := range wantAttrs {
+		tbl, ok := inst.Schema.Table(name)
+		if !ok {
+			t.Errorf("table %q missing", name)
+			continue
+		}
+		if got := len(tbl.Attributes); got != want {
+			t.Errorf("table %q has %d attributes, want %d", name, got, want)
+		}
+	}
+}
+
+func TestTransactionNames(t *testing.T) {
+	inst := Instance()
+	want := []string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}
+	if len(inst.Workload.Transactions) != len(want) {
+		t.Fatalf("%d transactions", len(inst.Workload.Transactions))
+	}
+	for i, w := range want {
+		if inst.Workload.Transactions[i].Name != w {
+			t.Errorf("transaction %d = %q, want %q", i, inst.Workload.Transactions[i].Name, w)
+		}
+	}
+}
+
+func TestStatisticalAssumptions(t *testing.T) {
+	inst := Instance()
+	for _, txn := range inst.Workload.Transactions {
+		for _, q := range txn.Queries {
+			if q.Frequency != QueryFrequency {
+				t.Errorf("%s/%s frequency %g, all queries should have frequency %d",
+					txn.Name, q.Name, q.Frequency, QueryFrequency)
+			}
+			for _, acc := range q.Accesses {
+				if acc.Rows != SingleRow && acc.Rows != IteratedRows {
+					t.Errorf("%s/%s rows %g, want %d or %d", txn.Name, q.Name, acc.Rows, SingleRow, IteratedRows)
+				}
+			}
+		}
+	}
+	// Read-only transactions contain no write queries.
+	for _, name := range []string{"OrderStatus", "StockLevel"} {
+		for _, txn := range inst.Workload.Transactions {
+			if txn.Name != name {
+				continue
+			}
+			for _, q := range txn.Queries {
+				if q.IsWrite() {
+					t.Errorf("read-only transaction %s contains write query %s", name, q.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestUpdatesAreSplit(t *testing.T) {
+	inst := Instance()
+	// Every ".write" query must be preceded by its ".read" counterpart.
+	for _, txn := range inst.Workload.Transactions {
+		names := map[string]bool{}
+		for _, q := range txn.Queries {
+			names[q.Name] = true
+		}
+		for _, q := range txn.Queries {
+			if q.IsWrite() && len(q.Name) > 6 && q.Name[len(q.Name)-6:] == ".write" {
+				base := q.Name[:len(q.Name)-6]
+				if !names[base+".read"] {
+					t.Errorf("%s: write half %q has no read half", txn.Name, q.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestModelCompilesAndSingleSiteCost(t *testing.T) {
+	m, err := core.NewModel(Instance(), core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.SingleSite(m, 1)
+	c := m.Evaluate(p)
+	if c.Objective <= 0 {
+		t.Fatalf("single-site objective %g, want > 0", c.Objective)
+	}
+	if c.Transfer != 0 {
+		t.Fatalf("single-site transfer %g, want 0", c.Transfer)
+	}
+	// The paper reports the single-site TPC-C cost as 0.208·10⁶ with its own
+	// (unpublished) width assumptions; ours should land within roughly an
+	// order of magnitude of that.
+	if c.Objective < 2e4 || c.Objective > 2e6 {
+		t.Errorf("single-site objective %g outside the plausible range [2e4, 2e6]", c.Objective)
+	}
+}
+
+func TestGroupingReducesTPCC(t *testing.T) {
+	g, err := core.GroupAttributes(Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, grouped := g.Reduction()
+	if orig != 92 {
+		t.Fatalf("original attribute count %d", orig)
+	}
+	if grouped >= orig {
+		t.Fatalf("grouping did not reduce the attribute count (%d -> %d)", orig, grouped)
+	}
+	// The reduction should be substantial (the S_DIST columns alone collapse
+	// 10 attributes into one group).
+	if grouped > 60 {
+		t.Errorf("grouping left %d groups, expected a stronger reduction", grouped)
+	}
+	t.Logf("TPC-C reasonable-cuts grouping: %d -> %d attribute groups", orig, grouped)
+}

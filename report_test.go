@@ -1,0 +1,52 @@
+package vpart_test
+
+import (
+	"strings"
+	"testing"
+
+	"vpart"
+)
+
+func TestDDLAndReportFacade(t *testing.T) {
+	inst := vpart.TPCC()
+	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ddl, err := vpart.DDL(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CREATE TABLE", "Site 1", "Site 3", "BINARY("} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q", want)
+		}
+	}
+
+	rep, err := vpart.Report(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Vertical partitioning report", "Objective (4)", "### Site 2", "Replicated attributes"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestDDLAndReportRequireASolution(t *testing.T) {
+	if _, err := vpart.DDL(nil); err == nil {
+		t.Error("DDL(nil) accepted")
+	}
+	if _, err := vpart.Report(nil); err == nil {
+		t.Error("Report(nil) accepted")
+	}
+	empty := &vpart.Solution{}
+	if _, err := vpart.DDL(empty); err == nil {
+		t.Error("DDL without a partitioning accepted")
+	}
+	if _, err := vpart.Report(empty); err == nil {
+		t.Error("Report without a partitioning accepted")
+	}
+}
