@@ -7,6 +7,7 @@ package vpart_test
 // the comparison against the paper).
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -190,7 +191,7 @@ func BenchmarkSASolverTPCC(b *testing.B) {
 	inst := vpart.TPCC()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA, Seed: int64(i + 1)})
+		sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa", Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,8 +206,8 @@ func BenchmarkQPSolverTPCC(b *testing.B) {
 	inst := vpart.TPCC()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: 2, Algorithm: vpart.AlgorithmQP, SeedWithSA: true, TimeLimit: time.Minute,
+		sol, err := vpart.Solve(context.Background(), inst, vpart.Options{
+			Sites: 2, Solver: "qp", SeedWithSA: true, TimeLimit: time.Minute,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -222,13 +223,13 @@ func BenchmarkQPSolverTPCC(b *testing.B) {
 func BenchmarkSimulatorTPCC(b *testing.B) {
 	inst := vpart.TPCC()
 	mo := vpart.DefaultModelOptions()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA, Model: &mo})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa", Model: &mo})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := vpart.Simulate(inst, mo, sol.Partitioning, vpart.SimOptions{}); err != nil {
+		if _, err := vpart.Simulate(context.Background(), inst, mo, sol.Partitioning, vpart.SimOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

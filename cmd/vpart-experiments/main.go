@@ -10,22 +10,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"vpart/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vpart-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("vpart-experiments", flag.ContinueOnError)
 	var (
 		table     = fs.String("table", "all", "which table to regenerate: 1..6, ablations, validation or all")
@@ -39,6 +43,7 @@ func run(args []string) error {
 	}
 
 	cfg := experiments.Config{
+		Context:     ctx,
 		Quick:       *quick,
 		Seed:        *seed,
 		QPTimeLimit: *qpTimeout,

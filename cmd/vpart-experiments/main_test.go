@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -34,7 +35,7 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunTable2(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-table", "2"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-table", "2"}) })
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
@@ -45,7 +46,7 @@ func TestRunTable2(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-table", "validation", "-quick", "-qp-timeout", "2s"})
+		return run(context.Background(), []string{"-table", "validation", "-quick", "-qp-timeout", "2s"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -57,7 +58,7 @@ func TestRunValidation(t *testing.T) {
 
 func TestRunTable4Quick(t *testing.T) {
 	out, err := capture(t, func() error {
-		return run([]string{"-table", "4", "-quick", "-qp-timeout", "3s", "-v"})
+		return run(context.Background(), []string{"-table", "4", "-quick", "-qp-timeout", "3s", "-v"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -68,7 +69,7 @@ func TestRunTable4Quick(t *testing.T) {
 }
 
 func TestRunUnknownTable(t *testing.T) {
-	if _, err := capture(t, func() error { return run([]string{"-table", "42"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"-table", "42"}) }); err == nil {
 		t.Fatal("unknown table accepted")
 	}
 }

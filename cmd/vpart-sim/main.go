@@ -10,21 +10,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"vpart"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vpart-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("vpart-sim", flag.ContinueOnError)
 	var (
 		instancePath = fs.String("instance", "", "path to a problem instance JSON file")
@@ -77,8 +81,8 @@ func run(args []string) error {
 			return err
 		}
 	} else {
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: *sites, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: *seed,
+		sol, err := vpart.Solve(ctx, inst, vpart.Options{
+			Sites: *sites, Solver: "sa", Model: &mo, Seed: *seed,
 		})
 		if err != nil {
 			return err
@@ -88,7 +92,7 @@ func run(args []string) error {
 	}
 
 	cost := model.Evaluate(part)
-	meas, err := vpart.Simulate(inst, mo, part, vpart.SimOptions{
+	meas, err := vpart.Simulate(ctx, inst, mo, part, vpart.SimOptions{
 		Rounds: *rounds, RowsPerTable: *rowsPerTable, Concurrent: *concurrent,
 	})
 	if err != nil {

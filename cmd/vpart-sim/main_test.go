@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,7 +39,7 @@ func captureOutput(t *testing.T, f func() error) (string, error) {
 
 func TestSimTPCCWithSASolve(t *testing.T) {
 	out, err := captureOutput(t, func() error {
-		return run([]string{"-tpcc", "-sites", "2", "-rounds", "2"})
+		return run(context.Background(), []string{"-tpcc", "-sites", "2", "-rounds", "2"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -69,7 +70,7 @@ func TestSimWithStoredAssignment(t *testing.T) {
 	if err := vpart.SaveInstance(instPath, inst); err != nil {
 		t.Fatal(err)
 	}
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestSimWithStoredAssignment(t *testing.T) {
 	}
 
 	out, err := captureOutput(t, func() error {
-		return run([]string{"-instance", instPath, "-assignment", layoutPath, "-concurrent"})
+		return run(context.Background(), []string{"-instance", instPath, "-assignment", layoutPath, "-concurrent"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -97,7 +98,7 @@ func TestSimErrors(t *testing.T) {
 		{"-tpcc", "-sites", "0"},               // invalid sites for solving
 	}
 	for i, args := range cases {
-		if _, err := captureOutput(t, func() error { return run(args) }); err == nil {
+		if _, err := captureOutput(t, func() error { return run(context.Background(), args) }); err == nil {
 			t.Errorf("case %d (%v): expected an error", i, args)
 		}
 	}

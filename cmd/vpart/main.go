@@ -1,51 +1,60 @@
 // Command vpart partitions a problem instance onto a number of sites and
-// prints the resulting layout and its cost breakdown.
+// prints the resulting layout and its cost breakdown. A SIGINT cancels the
+// solve context and aborts the running solver promptly.
 //
 // Usage examples:
 //
 //	vpart -tpcc -sites 3 -solver qp
+//	vpart -tpcc -sites 3 -solver portfolio -portfolio-seeds 8
 //	vpart -instance myapp.json -sites 4 -solver sa -p 8 -lambda 0.1
 //	vpart -class rndAt8x15 -sites 2 -disjoint -out layout.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"vpart"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "vpart:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("vpart", flag.ContinueOnError)
 	var (
 		instancePath = fs.String("instance", "", "path to a problem instance JSON file")
 		useTPCC      = fs.Bool("tpcc", false, "use the built-in TPC-C v5 instance")
 		className    = fs.String("class", "", "generate a named random instance class (e.g. rndAt8x15)")
-		seed         = fs.Int64("seed", 1, "random seed for instance generation and the SA solver")
+		seed         = fs.Int64("seed", 1, "random seed for instance generation and the SA solver (0 = derive a distinct seed)")
 		sites        = fs.Int("sites", 2, "number of sites |S|")
-		solver       = fs.String("solver", "sa", "solver: qp (exact) or sa (heuristic)")
+		solver       = fs.String("solver", "sa", "solver: "+strings.Join(vpart.Solvers(), ", "))
 		penalty      = fs.Float64("p", vpart.DefaultPenalty, "network penalty factor p (0 = local placement)")
 		lambda       = fs.Float64("lambda", vpart.DefaultLambda, "cost vs load balancing weight λ in [0,1]")
 		latency      = fs.Float64("latency", 0, "Appendix A latency penalty p_l (0 = disabled)")
 		disjoint     = fs.Bool("disjoint", false, "forbid attribute replication")
 		noGrouping   = fs.Bool("no-grouping", false, "disable the reasonable-cuts attribute grouping")
 		seedWithSA   = fs.Bool("seed-with-sa", true, "seed the QP solver with the SA solution")
-		timeout      = fs.Duration("timeout", 5*time.Minute, "solver time limit (0 = none)")
+		timeout      = fs.Duration("timeout", 5*time.Minute, "soft solver time limit: stop and keep the best incumbent (0 = none)")
 		gap          = fs.Float64("gap", 0.001, "QP relative MIP gap")
+		pfSeeds      = fs.Int("portfolio-seeds", vpart.DefaultPortfolioSASeeds, "portfolio solver: number of concurrent SA seeds")
+		pfQP         = fs.Bool("portfolio-qp", false, "portfolio solver: also race the exact QP solver")
 		layoutOut    = fs.String("out", "", "write the resulting assignment as JSON to this file")
 		ddlOut       = fs.String("ddl", "", "write per-site fragment DDL to this file")
 		reportOut    = fs.String("report", "", "write a markdown advisor report to this file")
 		quiet        = fs.Bool("quiet", false, "only print the cost summary, not the full layout")
-		verbose      = fs.Bool("v", false, "print solver progress")
+		verbose      = fs.Bool("v", false, "print solver progress events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,9 +72,9 @@ func run(args []string) error {
 	mo.Lambda = *lambda
 	mo.LatencyPenalty = *latency
 
-	opts := vpart.SolveOptions{
+	opts := vpart.Options{
 		Sites:           *sites,
-		Algorithm:       vpart.Algorithm(*solver),
+		Solver:          *solver,
 		Model:           &mo,
 		Disjoint:        *disjoint,
 		DisableGrouping: *noGrouping,
@@ -73,14 +82,15 @@ func run(args []string) error {
 		GapTol:          *gap,
 		SeedWithSA:      *seedWithSA,
 		Seed:            *seed,
+		Portfolio:       vpart.PortfolioOptions{SASeeds: *pfSeeds, QP: *pfQP},
 	}
 	if *verbose {
-		opts.Log = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		opts.Progress = func(e vpart.Event) {
+			fmt.Fprintln(os.Stderr, e.String())
 		}
 	}
 
-	sol, err := vpart.Solve(inst, opts)
+	sol, err := vpart.Solve(ctx, inst, opts)
 	if err != nil {
 		return err
 	}
@@ -90,7 +100,7 @@ func run(args []string) error {
 
 	fmt.Printf("solver: %s  sites: %d  attribute groups: %d  runtime: %v\n",
 		sol.Algorithm, *sites, sol.AttributeGroups, sol.Runtime.Round(time.Millisecond))
-	if sol.Algorithm == vpart.AlgorithmQP {
+	if strings.HasSuffix(string(sol.Algorithm), string(vpart.AlgorithmQP)) {
 		fmt.Printf("optimal: %v  gap: %.4f  nodes: %d\n", sol.Optimal, sol.Gap, sol.Nodes)
 	}
 	c := sol.Cost

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -55,7 +56,7 @@ func pipeToFile(t *testing.T, r *os.File) string {
 
 func TestRunTPCCWithSA(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run([]string{"-tpcc", "-sites", "2", "-solver", "sa", "-quiet"})
+		return run(context.Background(), []string{"-tpcc", "-sites", "2", "-solver", "sa", "-quiet"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -71,7 +72,7 @@ func TestRunClassInstanceWithLayout(t *testing.T) {
 	dir := t.TempDir()
 	layout := filepath.Join(dir, "layout.json")
 	out, err := captureStdout(t, func() error {
-		return run([]string{"-class", "rndBt4x15", "-sites", "2", "-solver", "sa", "-out", layout})
+		return run(context.Background(), []string{"-class", "rndBt4x15", "-sites", "2", "-solver", "sa", "-out", layout})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -98,7 +99,7 @@ func TestRunInstanceFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := captureStdout(t, func() error {
-		return run([]string{"-instance", path, "-sites", "2", "-solver", "sa", "-quiet", "-p", "0"})
+		return run(context.Background(), []string{"-instance", path, "-sites", "2", "-solver", "sa", "-quiet", "-p", "0"})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -110,7 +111,7 @@ func TestRunInstanceFile(t *testing.T) {
 
 func TestRunQPSolverOnSmallClass(t *testing.T) {
 	out, err := captureStdout(t, func() error {
-		return run([]string{"-class", "rndBt4x15", "-sites", "2", "-solver", "qp",
+		return run(context.Background(), []string{"-class", "rndBt4x15", "-sites", "2", "-solver", "qp",
 			"-timeout", "10s", "-quiet", "-disjoint"})
 	})
 	if err != nil {
@@ -126,7 +127,7 @@ func TestRunWritesDDLAndReport(t *testing.T) {
 	ddl := filepath.Join(dir, "fragments.sql")
 	rep := filepath.Join(dir, "report.md")
 	_, err := captureStdout(t, func() error {
-		return run([]string{"-tpcc", "-sites", "2", "-solver", "sa", "-quiet", "-ddl", ddl, "-report", rep})
+		return run(context.Background(), []string{"-tpcc", "-sites", "2", "-solver", "sa", "-quiet", "-ddl", ddl, "-report", rep})
 	})
 	if err != nil {
 		t.Fatalf("run failed: %v", err)
@@ -152,7 +153,7 @@ func TestRunErrors(t *testing.T) {
 		{"-tpcc", "-sites", "2", "-solver", "magic"},         // unknown solver
 	}
 	for i, args := range cases {
-		if _, err := captureStdout(t, func() error { return run(args) }); err == nil {
+		if _, err := captureStdout(t, func() error { return run(context.Background(), args) }); err == nil {
 			t.Errorf("case %d (%v): expected an error", i, args)
 		}
 	}

@@ -18,22 +18,55 @@
 //     penalised bytes shipped between sites — is minimised, optionally traded
 //     off against balancing the per-site load with the λ parameter.
 //
-// Two solvers are provided: an exact one (Algorithm "qp") that builds the
-// paper's linearised 0/1 program and solves it with a built-in
-// branch-and-bound MIP solver, and a scalable simulated annealing heuristic
-// (Algorithm "sa"). Both can be combined: the QP solver accepts the SA
-// solution as a starting incumbent.
+// # Solvers and the registry
+//
+// Partitioning algorithms implement the Solver interface and plug into a
+// package-level registry (RegisterSolver, Solvers, LookupSolver). Three are
+// built in:
+//
+//   - "qp" — the exact algorithm: the paper's linearised 0/1 program solved
+//     with the built-in branch-and-bound MIP solver;
+//   - "sa" — the scalable simulated annealing heuristic (Algorithm 1);
+//   - "portfolio" — races several independently seeded SA runs, and
+//     optionally the QP solver, as concurrent goroutines; it cancels the
+//     stragglers once a winner is accepted and returns the best incumbent.
+//
+// Solve selects a solver by name (Options.Solver), so new algorithms become
+// available to every caller — including the bundled CLIs — by registering
+// them, without touching the facade.
+//
+// # Cancellation and progress
+//
+// The whole solve path is context-aware: cancelling the context passed to
+// Solve aborts any solver promptly (even inside a single simplex solve) with
+// an error wrapping ctx.Err(). Options.TimeLimit is the soft counterpart: it
+// stops the search gracefully and returns the best incumbent found so far,
+// marked TimedOut — the semantics the paper's "30 minutes per QP solve"
+// experiments rely on.
+//
+// Running solvers report progress as a typed event stream (Options.Progress)
+// instead of log lines: EventIncumbent carries the cost of every new best
+// solution, EventBound the QP solver's improving lower bound, and
+// EventIteration milestone counters, all stamped with the elapsed time.
 //
 // # Quick start
 //
 //	inst := vpart.TPCC()
-//	sol, err := vpart.Solve(inst, vpart.SolveOptions{
-//	        Sites:     3,
-//	        Algorithm: vpart.AlgorithmSA,
+//	sol, err := vpart.Solve(ctx, inst, vpart.Options{
+//	        Sites:  3,
+//	        Solver: "portfolio",
+//	        Progress: func(e vpart.Event) {
+//	                if e.Kind == vpart.EventIncumbent {
+//	                        fmt.Printf("%s: %.0f after %v\n", e.Solver, e.Cost, e.Elapsed)
+//	                }
+//	        },
 //	})
 //	if err != nil { ... }
 //	fmt.Printf("cost %.0f bytes, %v\n", sol.Cost.Objective, sol.Runtime)
 //	fmt.Println(sol.Partitioning.Format(sol.Model))
+//
+// See examples/quickstart for a runnable version. The pre-registry
+// entry point survives as the deprecated SolveLegacy shim.
 //
 // The package also bundles the TPC-C v5 instance used in the paper's
 // evaluation (TPCC), the paper's random instance generator (RandomInstance,

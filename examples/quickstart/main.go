@@ -1,5 +1,8 @@
 // Quickstart: define a tiny schema and workload by hand, partition it onto
-// two sites with both solvers and print the layouts and costs.
+// two sites with every registered solver — the SA heuristic, the exact QP and
+// the concurrent portfolio — and print the layouts and costs. Solver progress
+// arrives as a typed event stream (incumbent found, bound improved,
+// iteration milestones) instead of log lines.
 //
 // Run with:
 //
@@ -7,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"vpart"
 )
@@ -80,16 +85,44 @@ func main() {
 	single := model.Evaluate(vpart.SingleSitePartitioning(model, 1))
 	fmt.Printf("single-site cost (objective 4): %.0f bytes per workload execution\n\n", single.Objective)
 
-	for _, alg := range []vpart.Algorithm{vpart.AlgorithmSA, vpart.AlgorithmQP} {
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
+	// Solvers plug in through a registry; vpart.Solvers() lists "portfolio",
+	// "qp" and "sa" (plus anything registered via vpart.RegisterSolver).
+	fmt.Printf("registered solvers: %v\n\n", vpart.Solvers())
+
+	// Every solver reports progress as typed events rather than log lines:
+	// new incumbents carry their cost, the QP solver also reports improving
+	// lower bounds, and all events carry the elapsed wall-clock time.
+	progress := func(e vpart.Event) {
+		switch e.Kind {
+		case vpart.EventIncumbent:
+			fmt.Printf("  [%v] %s found incumbent with cost %.0f\n",
+				e.Elapsed.Round(time.Millisecond), e.Solver, e.Cost)
+		case vpart.EventBound:
+			fmt.Printf("  [%v] %s proved lower bound %.0f\n",
+				e.Elapsed.Round(time.Millisecond), e.Solver, e.Bound)
+		}
+	}
+
+	// A cancelled context stops any solver promptly; here it just guards
+	// against runaway solves.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	for _, solver := range []string{"sa", "qp", "portfolio"} {
+		sol, err := vpart.Solve(ctx, inst, vpart.Options{
 			Sites:      2,
-			Algorithm:  alg,
+			Solver:     solver,
 			SeedWithSA: true,
+			Progress:   progress,
+			// The portfolio races 4 SA seeds and the exact QP concurrently,
+			// cancels the stragglers once a winner is accepted, and returns
+			// the best incumbent. Other solvers ignore this field.
+			Portfolio: vpart.PortfolioOptions{SASeeds: 4, QP: true},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("=== %s solver ===\n", alg)
+		fmt.Printf("=== %s solver (winner: %s) ===\n", solver, sol.Algorithm)
 		fmt.Printf("cost: %.0f bytes (%.1f%% below single site), runtime %v\n",
 			sol.Cost.Objective, 100*(1-sol.Cost.Objective/single.Objective), sol.Runtime)
 		fmt.Println(sol.Partitioning.Format(sol.Model))

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,11 +34,12 @@ func main() {
 		}
 		st := inst.Stats()
 
-		baselineSol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 1, Algorithm: vpart.AlgorithmSA})
+		ctx := context.Background()
+		baselineSol, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 1, Solver: "sa"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: sites, Algorithm: vpart.AlgorithmSA})
+		sol, err := vpart.Solve(ctx, inst, vpart.Options{Sites: sites, Solver: "sa"})
 		if err != nil {
 			log.Fatal(err)
 		}

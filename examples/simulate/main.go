@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,18 +19,19 @@ import (
 func main() {
 	inst := vpart.TPCC()
 	mo := vpart.DefaultModelOptions()
+	ctx := context.Background()
 
 	for _, sites := range []int{1, 2, 4} {
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites:     sites,
-			Algorithm: vpart.AlgorithmSA,
-			Model:     &mo,
+		sol, err := vpart.Solve(ctx, inst, vpart.Options{
+			Sites:  sites,
+			Solver: "sa",
+			Model:  &mo,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		meas, err := vpart.Simulate(inst, mo, sol.Partitioning, vpart.SimOptions{
+		meas, err := vpart.Simulate(ctx, inst, mo, sol.Partitioning, vpart.SimOptions{
 			Rounds:     1,
 			Concurrent: sites > 1,
 		})

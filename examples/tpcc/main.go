@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,13 +28,14 @@ func main() {
 	single := model.Evaluate(vpart.SingleSitePartitioning(model, 1))
 	fmt.Printf("single-site cost: %.0f bytes per workload execution\n\n", single.Objective)
 
+	ctx := context.Background()
 	fmt.Printf("%-6s %-10s %12s %12s %10s\n", "|S|", "solver", "cost", "reduction", "time")
 	var threeSite *vpart.Solution
 	for _, sites := range []int{2, 3, 4} {
-		for _, alg := range []vpart.Algorithm{vpart.AlgorithmSA, vpart.AlgorithmQP} {
-			sol, err := vpart.Solve(inst, vpart.SolveOptions{
+		for _, solver := range []string{"sa", "qp"} {
+			sol, err := vpart.Solve(ctx, inst, vpart.Options{
 				Sites:      sites,
-				Algorithm:  alg,
+				Solver:     solver,
 				SeedWithSA: true,
 				TimeLimit:  2 * time.Minute,
 			})
@@ -41,14 +43,14 @@ func main() {
 				log.Fatal(err)
 			}
 			if sol.Partitioning == nil {
-				fmt.Printf("%-6d %-10s %12s\n", sites, alg, "t/o")
+				fmt.Printf("%-6d %-10s %12s\n", sites, solver, "t/o")
 				continue
 			}
 			fmt.Printf("%-6d %-10s %12.0f %11.1f%% %10v\n",
-				sites, alg, sol.Cost.Objective,
+				sites, solver, sol.Cost.Objective,
 				100*(1-sol.Cost.Objective/single.Objective),
 				sol.Runtime.Round(time.Millisecond))
-			if sites == 3 && alg == vpart.AlgorithmQP {
+			if sites == 3 && solver == "qp" {
 				threeSite = sol
 			}
 		}

@@ -1,0 +1,3 @@
+module vpart
+
+go 1.24

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"vpart/internal/core"
@@ -14,7 +15,7 @@ func benchSetup(b *testing.B, sites int) (*core.Model, *core.Partitioning) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := sa.Solve(m, sa.DefaultOptions(sites))
+	res, err := sa.Solve(context.Background(), m, sa.DefaultOptions(sites))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func BenchmarkRunTPCCSequential(b *testing.B) {
 	m, p := benchSetup(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Run(m, p, Options{}); err != nil {
+		if _, _, err := Run(context.Background(), m, p, Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -35,7 +36,7 @@ func BenchmarkRunTPCCConcurrent(b *testing.B) {
 	m, p := benchSetup(b, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Run(m, p, Options{Concurrent: true}); err != nil {
+		if _, _, err := Run(context.Background(), m, p, Options{Concurrent: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func BenchmarkRunTPCCManyRounds(b *testing.B) {
 	m, p := benchSetup(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Run(m, p, Options{Rounds: 16}); err != nil {
+		if _, _, err := Run(context.Background(), m, p, Options{Rounds: 16}); err != nil {
 			b.Fatal(err)
 		}
 	}

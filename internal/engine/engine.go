@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -64,8 +65,13 @@ type Measured struct {
 
 // Run builds a cluster for the partitioning, executes the workload and
 // returns the measurements together with the cluster (whose storage state can
-// be inspected further).
-func Run(m *core.Model, p *core.Partitioning, opts Options) (*Measured, *cluster.Cluster, error) {
+// be inspected further). Cancelling the context stops the run between
+// transactions (sequential mode) or rounds (concurrent mode) with an error
+// wrapping ctx.Err().
+func Run(ctx context.Context, m *core.Model, p *core.Partitioning, opts Options) (*Measured, *cluster.Cluster, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := p.Validate(m); err != nil {
 		return nil, nil, fmt.Errorf("engine: infeasible partitioning: %w", err)
@@ -95,9 +101,15 @@ func Run(m *core.Model, p *core.Partitioning, opts Options) (*Measured, *cluster
 	}
 
 	for round := 0; round < opts.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("engine: %w", err)
+		}
 		if opts.Concurrent {
 			var wg sync.WaitGroup
 			for t := 0; t < m.NumTxns(); t++ {
+				if ctx.Err() != nil {
+					break // stop launching; already-running transactions drain
+				}
 				wg.Add(1)
 				go func(t int) {
 					defer wg.Done()
@@ -105,8 +117,14 @@ func Run(m *core.Model, p *core.Partitioning, opts Options) (*Measured, *cluster
 				}(t)
 			}
 			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("engine: %w", err)
+			}
 		} else {
 			for t := 0; t < m.NumTxns(); t++ {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, fmt.Errorf("engine: %w", err)
+				}
 				execTxn(t)
 			}
 		}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -30,7 +32,7 @@ func TestMeasurementsMatchCostModelSingleSite(t *testing.T) {
 	p := core.SingleSite(m, 1)
 	want := m.Evaluate(p)
 
-	meas, cl, err := Run(m, p, Options{})
+	meas, cl, err := Run(context.Background(), m, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,14 +61,14 @@ func TestMeasurementsMatchCostModelSingleSite(t *testing.T) {
 // solver) the measured bytes equal the analytical cost model exactly.
 func TestMeasurementsMatchCostModelPartitioned(t *testing.T) {
 	m := tpccModel(t)
-	res, err := sa.Solve(m, sa.DefaultOptions(3))
+	res, err := sa.Solve(context.Background(), m, sa.DefaultOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := res.Partitioning
 	want := m.Evaluate(p)
 
-	meas, _, err := Run(m, p, Options{})
+	meas, _, err := Run(context.Background(), m, p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +100,11 @@ func TestMeasurementsMatchCostModelPartitioned(t *testing.T) {
 func TestRoundsScaleLinearly(t *testing.T) {
 	m := tpccModel(t)
 	p := core.SingleSite(m, 1)
-	one, _, err := Run(m, p, Options{Rounds: 1})
+	one, _, err := Run(context.Background(), m, p, Options{Rounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	three, _, err := Run(m, p, Options{Rounds: 3})
+	three, _, err := Run(context.Background(), m, p, Options{Rounds: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,15 +121,15 @@ func TestRoundsScaleLinearly(t *testing.T) {
 // regardless of interleaving).
 func TestConcurrentMatchesSequential(t *testing.T) {
 	m := tpccModel(t)
-	res, err := sa.Solve(m, sa.DefaultOptions(2))
+	res, err := sa.Solve(context.Background(), m, sa.DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, _, err := Run(m, res.Partitioning, Options{Rounds: 2})
+	seq, _, err := Run(context.Background(), m, res.Partitioning, Options{Rounds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, _, err := Run(m, res.Partitioning, Options{Rounds: 2, Concurrent: true})
+	par, _, err := Run(context.Background(), m, res.Partitioning, Options{Rounds: 2, Concurrent: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestConcurrentMatchesSequential(t *testing.T) {
 func TestRunRejectsInfeasiblePartitioning(t *testing.T) {
 	m := tpccModel(t)
 	p := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 2) // nothing placed
-	if _, _, err := Run(m, p, Options{}); err == nil {
+	if _, _, err := Run(context.Background(), m, p, Options{}); err == nil {
 		t.Fatal("infeasible partitioning accepted")
 	}
 }
@@ -169,7 +171,7 @@ func TestRandomPartitioningsMatchModel(t *testing.T) {
 		}
 		p.Repair(m)
 		want := m.Evaluate(p)
-		meas, _, err := Run(m, p, Options{RowsPerTable: 8})
+		meas, _, err := Run(context.Background(), m, p, Options{RowsPerTable: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,5 +182,15 @@ func TestRandomPartitioningsMatchModel(t *testing.T) {
 				meas.ReadBytes, meas.WriteBytes, meas.TransferBytes,
 				want.ReadAccess, want.WriteAccess, want.Transfer)
 		}
+	}
+}
+
+func TestRunHonoursContextCancellation(t *testing.T) {
+	m := tpccModel(t)
+	p := core.SingleSite(m, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Run(ctx, m, p, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }

@@ -21,8 +21,8 @@ func WriteAccountingAblation(cfg Config) (*texttable.Table, error) {
 	for _, acc := range []vpart.WriteAccounting{vpart.WriteAll, vpart.WriteRelevant, vpart.WriteNone} {
 		mo := cfg.modelOptions(cfg.Penalty)
 		mo.WriteAccounting = acc
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: 2, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: 2, Solver: "sa", Model: &mo, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
@@ -50,8 +50,8 @@ func GroupingAblation(cfg Config) (*texttable.Table, error) {
 	for _, disable := range []bool{false, true} {
 		mo := cfg.modelOptions(cfg.Penalty)
 		start := time.Now()
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: 2, Algorithm: vpart.AlgorithmQP, Model: &mo,
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: 2, Solver: "qp", Model: &mo,
 			DisableGrouping: disable, SeedWithSA: true,
 			TimeLimit: cfg.QPTimeLimit, Seed: cfg.Seed,
 		})
@@ -87,8 +87,8 @@ func LatencyAblation(cfg Config) (*texttable.Table, error) {
 	for _, pl := range []float64{0, 100, 10000} {
 		mo := cfg.modelOptions(cfg.Penalty)
 		mo.LatencyPenalty = pl
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: 2, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: 2, Solver: "sa", Model: &mo, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
@@ -116,8 +116,8 @@ func LambdaSweep(cfg Config) (*texttable.Table, error) {
 	for _, lambda := range []float64{0, 0.1, 0.5, 0.9, 1} {
 		mo := cfg.modelOptions(cfg.Penalty)
 		mo.Lambda = lambda
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: 3, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: 3, Solver: "sa", Model: &mo, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
@@ -141,13 +141,13 @@ func SimulatorValidation(cfg Config) (*texttable.Table, error) {
 	inst := vpart.TPCC()
 	for _, sites := range []int{1, 2, 3, 4} {
 		mo := cfg.modelOptions(cfg.Penalty)
-		sol, err := vpart.Solve(inst, vpart.SolveOptions{
-			Sites: sites, Algorithm: vpart.AlgorithmSA, Model: &mo, Seed: cfg.Seed,
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: sites, Solver: "sa", Model: &mo, Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		meas, err := vpart.Simulate(inst, mo, sol.Partitioning, vpart.SimOptions{})
+		meas, err := vpart.Simulate(cfg.ctx(), inst, mo, sol.Partitioning, vpart.SimOptions{})
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -19,6 +20,9 @@ import (
 
 // Config controls the harness.
 type Config struct {
+	// Context, when non-nil, cancels every solver and simulator run the
+	// harness starts (the CLI wires SIGINT here). Nil means Background.
+	Context context.Context
 	// Quick shrinks instance lists and time limits (used by the benchmarks).
 	Quick bool
 	// Seed seeds the random instance generator and the SA solver.
@@ -83,6 +87,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ctx returns the harness context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 func (c Config) logf(format string, args ...interface{}) {
 	if c.Log != nil {
 		c.Log(format, args...)
@@ -111,12 +123,12 @@ type solveResult struct {
 func (c Config) runSA(inst *vpart.Instance, sites int, penalty float64, disjoint bool) (solveResult, error) {
 	mo := c.modelOptions(penalty)
 	start := time.Now()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{
-		Sites:     sites,
-		Algorithm: vpart.AlgorithmSA,
-		Model:     &mo,
-		Disjoint:  disjoint,
-		Seed:      c.Seed,
+	sol, err := vpart.Solve(c.ctx(), inst, vpart.Options{
+		Sites:    sites,
+		Solver:   "sa",
+		Model:    &mo,
+		Disjoint: disjoint,
+		Seed:     c.Seed,
 	})
 	if err != nil {
 		return solveResult{}, err
@@ -135,9 +147,9 @@ func (c Config) runSA(inst *vpart.Instance, sites int, penalty float64, disjoint
 func (c Config) runQP(inst *vpart.Instance, sites int, penalty float64, disjoint bool) (solveResult, error) {
 	mo := c.modelOptions(penalty)
 	start := time.Now()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{
+	sol, err := vpart.Solve(c.ctx(), inst, vpart.Options{
 		Sites:      sites,
-		Algorithm:  vpart.AlgorithmQP,
+		Solver:     "qp",
 		Model:      &mo,
 		Disjoint:   disjoint,
 		Seed:       c.Seed,

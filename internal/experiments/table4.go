@@ -14,9 +14,9 @@ func Table4(cfg Config) (string, error) {
 	cfg = cfg.withDefaults()
 	inst := vpart.TPCC()
 	mo := cfg.modelOptions(cfg.Penalty)
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{
+	sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
 		Sites:      3,
-		Algorithm:  vpart.AlgorithmQP,
+		Solver:     "qp",
 		Model:      &mo,
 		SeedWithSA: true,
 		TimeLimit:  cfg.QPTimeLimit,

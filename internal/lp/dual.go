@@ -11,7 +11,7 @@ func (s *Simplex) dual(cost func(int) float64) Status {
 	stall := 0
 	bland := false
 	for iter := 0; iter < s.opts.MaxIters; iter++ {
-		if iter%64 == 63 && s.deadlineExceeded() {
+		if iter%16 == 15 && s.deadlineExceeded() {
 			return IterLimit
 		}
 		// Leaving row: the basic variable with the largest bound violation.

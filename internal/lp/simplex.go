@@ -52,6 +52,10 @@ type Options struct {
 	// clock passes it. Branch-and-bound uses this to make its overall time
 	// limit binding even when a single LP is slow.
 	Deadline time.Time
+	// Stop, when non-nil, aborts a solve with IterLimit as soon as it returns
+	// true. Branch-and-bound installs a context check here so that a
+	// cancellation interrupts even a single long LP solve.
+	Stop func() bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -148,10 +152,17 @@ func (s *Simplex) Iterations() int { return s.iters }
 // after which solves abort with IterLimit.
 func (s *Simplex) SetDeadline(t time.Time) { s.opts.Deadline = t }
 
-// deadlineExceeded reports whether the configured deadline has passed. It is
-// only consulted every few dozen pivots to keep the clock out of the hot
-// path.
+// SetStop sets (or clears, with nil) the external stop hook consulted
+// alongside the deadline.
+func (s *Simplex) SetStop(stop func() bool) { s.opts.Stop = stop }
+
+// deadlineExceeded reports whether the configured deadline has passed or the
+// external stop hook fired. It is only consulted every few dozen pivots to
+// keep the clock out of the hot path.
 func (s *Simplex) deadlineExceeded() bool {
+	if s.opts.Stop != nil && s.opts.Stop() {
+		return true
+	}
 	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 

@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkKnapsack20(b *testing.B) {
 	m := benchKnapsack(rng, 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Solve(m, Options{})
+		res, err := Solve(context.Background(), m, Options{})
 		if err != nil || res.Status != StatusOptimal {
 			b.Fatalf("unexpected result %v %v", res.Status, err)
 		}
@@ -65,7 +66,7 @@ func BenchmarkAssignment6x6(b *testing.B) {
 	m := &Model{LP: p, Integer: ints}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Solve(m, Options{})
+		res, err := Solve(context.Background(), m, Options{})
 		if err != nil || res.Status != StatusOptimal {
 			b.Fatalf("unexpected result %v %v", res.Status, err)
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"vpart/internal/lp"
+	"vpart/internal/progress"
 )
 
 // Model is a mixed integer program: a linear program plus integrality marks.
@@ -77,8 +78,9 @@ type Options struct {
 	// InitialIncumbent optionally provides a known feasible solution whose
 	// objective is used as the initial upper bound.
 	InitialIncumbent []float64
-	// Log, when non-nil, receives progress lines.
-	Log func(format string, args ...interface{})
+	// Progress, when non-nil, receives typed progress events (new incumbents,
+	// improved bounds, node milestones).
+	Progress progress.Func
 }
 
 func (o Options) withDefaults() Options {

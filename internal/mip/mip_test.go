@@ -1,6 +1,7 @@
 package mip
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestKnapsack(t *testing.T) {
 	}
 	p.AddConstraint(entries, lp.LE, 10)
 
-	res, err := Solve(binaryModel(p), Options{})
+	res, err := Solve(context.Background(), binaryModel(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestAssignment(t *testing.T) {
 		p.AddConstraint(row, lp.EQ, 1)
 		p.AddConstraint(col, lp.EQ, 1)
 	}
-	res, err := Solve(binaryModel(p), Options{})
+	res, err := Solve(context.Background(), binaryModel(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestInfeasibleMIP(t *testing.T) {
 	x := p.AddVar(0, 1, 1, "")
 	y := p.AddVar(0, 1, 1, "")
 	p.AddConstraint([]lp.Entry{{Col: x, Val: 1}, {Col: y, Val: 1}}, lp.GE, 3)
-	res, err := Solve(binaryModel(p), Options{})
+	res, err := Solve(context.Background(), binaryModel(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestIntegerInfeasibleButLPFeasible(t *testing.T) {
 	y := p.AddVar(0, 1, 0, "")
 	// x + y = 1/2 + something unreachable by integers: 2x + 2y = 1.
 	p.AddConstraint([]lp.Entry{{Col: x, Val: 2}, {Col: y, Val: 2}}, lp.EQ, 1)
-	res, err := Solve(binaryModel(p), Options{})
+	res, err := Solve(context.Background(), binaryModel(p), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestUnboundedMIP(t *testing.T) {
 	x := p.AddVar(0, math.Inf(1), -1, "")
 	ints := []bool{true}
 	p.AddConstraint([]lp.Entry{{Col: x, Val: 0}}, lp.LE, 1)
-	res, err := Solve(&Model{LP: p, Integer: ints}, Options{})
+	res, err := Solve(context.Background(), &Model{LP: p, Integer: ints}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestMixedIntegerContinuous(t *testing.T) {
 	c := p.AddVar(0, 10, -0.5, "")
 	p.AddConstraint([]lp.Entry{{Col: x, Val: 1}, {Col: c, Val: 1}}, lp.LE, 2.5)
 	m := &Model{LP: p, Integer: []bool{true, false}}
-	res, err := Solve(m, Options{})
+	res, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,15 +154,15 @@ func TestMixedIntegerContinuous(t *testing.T) {
 }
 
 func TestModelValidate(t *testing.T) {
-	if _, err := Solve(&Model{}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &Model{}, Options{}); err == nil {
 		t.Error("nil LP accepted")
 	}
 	p := lp.NewProblem()
 	p.AddVar(0, 1, 1, "")
-	if _, err := Solve(&Model{LP: p, Integer: []bool{true, true}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &Model{LP: p, Integer: []bool{true, true}}, Options{}); err == nil {
 		t.Error("mismatched integrality marks accepted")
 	}
-	if _, err := Solve(&Model{LP: p, Integer: []bool{true}, Priority: []int{1, 2}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &Model{LP: p, Integer: []bool{true}, Priority: []int{1, 2}}, Options{}); err == nil {
 		t.Error("mismatched priorities accepted")
 	}
 	m := &Model{LP: p, Integer: []bool{true}}
@@ -196,7 +197,7 @@ func TestInitialIncumbentAndHeuristic(t *testing.T) {
 			return out, true
 		},
 	}
-	res, err := Solve(binaryModel(p), opts)
+	res, err := Solve(context.Background(), binaryModel(p), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestNodeAndTimeLimits(t *testing.T) {
 	p, _ := randomBinaryProblem(rng, 18, 10)
 	m := binaryModel(p)
 
-	res, err := Solve(m, Options{MaxNodes: 1})
+	res, err := Solve(context.Background(), m, Options{MaxNodes: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestNodeAndTimeLimits(t *testing.T) {
 		t.Fatalf("node limit ignored: %d nodes", res.Nodes)
 	}
 
-	res, err = Solve(m, Options{TimeLimit: time.Nanosecond})
+	res, err = Solve(context.Background(), m, Options{TimeLimit: time.Nanosecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestRandomBinaryAgainstBruteForce(t *testing.T) {
 		p, x0 := randomBinaryProblem(rng, nVars, nRows)
 		want := bruteForceBinary(p)
 
-		res, err := Solve(binaryModel(p), Options{})
+		res, err := Solve(context.Background(), binaryModel(p), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

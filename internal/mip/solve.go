@@ -2,10 +2,13 @@ package mip
 
 import (
 	"container/heap"
+	"context"
+	"fmt"
 	"math"
 	"time"
 
 	"vpart/internal/lp"
+	"vpart/internal/progress"
 )
 
 // boundChange is a single branching decision.
@@ -52,21 +55,26 @@ func (q *nodeQueue) Pop() interface{} {
 	return n
 }
 
-// Solve runs branch-and-bound on the model.
-func Solve(m *Model, opts Options) (*Result, error) {
+// Solve runs branch-and-bound on the model. The context cancels the search:
+// a cancellation (or a context deadline) aborts promptly — including inside a
+// single long LP solve — and returns an error wrapping ctx.Err(). The softer
+// Options.TimeLimit instead stops the search gracefully and returns the best
+// incumbent found so far.
+func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("mip: %w", err)
 	}
 	opts = opts.withDefaults()
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
-	}
-	logf := func(format string, args ...interface{}) {
-		if opts.Log != nil {
-			opts.Log(format, args...)
-		}
 	}
 
 	nVars := m.LP.NumVars()
@@ -83,6 +91,10 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	if !deadline.IsZero() {
 		// Make the time limit binding even inside a single LP solve.
 		sx.SetDeadline(deadline)
+	}
+	if ctx.Done() != nil {
+		// Make a cancellation binding even inside a single LP solve.
+		sx.SetStop(func() bool { return ctx.Err() != nil })
 	}
 
 	res := &Result{Objective: math.Inf(1), Bound: math.Inf(-1), Gap: math.Inf(1)}
@@ -107,7 +119,12 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		if obj < incumbentObj-1e-12 {
 			incumbentObj = obj
 			incumbent = append([]float64(nil), x[:nVars]...)
-			logf("mip: new incumbent %.6g", obj)
+			opts.Progress.Emit(progress.Event{
+				Kind:      progress.KindIncumbent,
+				Cost:      obj,
+				Iteration: res.Nodes,
+				Elapsed:   time.Since(start),
+			})
 			return true
 		}
 		return false
@@ -178,6 +195,9 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		res.SimplexIters = sx.Iterations()
 		return res, nil
 	case lp.IterLimit:
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mip: %w", err)
+		}
 		// The root relaxation hit the iteration budget or the deadline. Fall
 		// back to whatever incumbent we already have (e.g. the caller's
 		// initial solution) instead of discarding it.
@@ -235,7 +255,11 @@ func Solve(m *Model, opts Options) (*Result, error) {
 	processLP(root, root.bound, sx.X())
 	bestBound := root.bound
 
+	emittedBound := math.Inf(-1)
 	for queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("mip: %w", err)
+		}
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
 			break
 		}
@@ -257,6 +281,16 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		if n.bound >= incumbentObj-1e-12 {
 			continue
 		}
+		if opts.Progress != nil && bestBound > emittedBound+1e-12 && !math.IsInf(bestBound, -1) {
+			emittedBound = bestBound
+			opts.Progress.Emit(progress.Event{
+				Kind:      progress.KindBound,
+				Cost:      incumbentObj,
+				Bound:     bestBound,
+				Iteration: res.Nodes,
+				Elapsed:   time.Since(start),
+			})
+		}
 
 		st := solveNode(n)
 		res.Nodes++
@@ -266,10 +300,17 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		case lp.Unbounded:
 			// A child of a bounded parent cannot be unbounded; treat as
 			// numerical trouble and skip.
-			logf("mip: unexpected unbounded child at depth %d", n.depth)
+			opts.Progress.Messagef(time.Since(start), "unexpected unbounded child at depth %d", n.depth)
 			continue
 		case lp.IterLimit, lp.NeedsRestart:
-			logf("mip: LP iteration trouble at depth %d", n.depth)
+			// The stop hook aborts node LPs with IterLimit on cancellation;
+			// re-check the context so a cancellation that lands in the last
+			// queued node's LP is not mistaken for numerical trouble (which
+			// would let the loop drain and report a falsely optimal result).
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mip: %w", err)
+			}
+			opts.Progress.Messagef(time.Since(start), "LP iteration trouble at depth %d", n.depth)
 			continue
 		}
 		lpObj := sx.Objective()
@@ -317,7 +358,7 @@ func Solve(m *Model, opts Options) (*Result, error) {
 		res.Status = StatusUnknown
 		res.Gap = math.Inf(1)
 	}
-	logf("mip: done status=%v obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d",
+	opts.Progress.Messagef(res.Runtime, "done status=%v obj=%.6g bound=%.6g gap=%.3g nodes=%d iters=%d",
 		res.Status, res.Objective, res.Bound, res.Gap, res.Nodes, res.SimplexIters)
 	return res, nil
 }

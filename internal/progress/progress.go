@@ -1,0 +1,127 @@
+// Package progress defines the typed progress-event stream emitted by the
+// solvers. It replaces the earlier printf-style Log callbacks: instead of
+// pre-formatted lines, observers receive structured events (incumbent found,
+// bound improved, iteration milestones) carrying the cost and the elapsed
+// time, which composable solvers such as the portfolio can tag, merge and
+// forward without parsing text.
+package progress
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a progress event.
+type Kind int
+
+const (
+	// KindMessage is a free-form informational message.
+	KindMessage Kind = iota
+	// KindIncumbent reports a new best feasible solution; Cost carries its
+	// objective value.
+	KindIncumbent
+	// KindBound reports an improved proven lower bound; Bound carries it.
+	KindBound
+	// KindIteration reports an iteration milestone (a temperature level for
+	// the SA solver, a batch of branch-and-bound nodes for the QP solver).
+	KindIteration
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindMessage:
+		return "message"
+	case KindIncumbent:
+		return "incumbent"
+	case KindBound:
+		return "bound"
+	case KindIteration:
+		return "iteration"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is a single progress notification from a running solver.
+type Event struct {
+	// Kind classifies the event.
+	Kind Kind
+	// Solver identifies the emitting solver ("sa", "qp", "portfolio/sa[2]",
+	// ...). Composite solvers prefix their children's tags.
+	Solver string
+	// Cost is the objective value the event refers to: the new incumbent's
+	// objective for KindIncumbent, the current solution's for KindIteration.
+	Cost float64
+	// Bound is the best proven lower bound, when the solver maintains one.
+	Bound float64
+	// Iteration is the emitting solver's iteration counter (inner iterations
+	// for SA, branch-and-bound nodes for the QP solver).
+	Iteration int
+	// Elapsed is the wall-clock time since the solve started.
+	Elapsed time.Duration
+	// Message is free-form detail, always set for KindMessage.
+	Message string
+}
+
+// String renders the event as a human-readable log line, the form the CLIs
+// print under their verbose flags.
+func (e Event) String() string {
+	prefix := e.Solver
+	if prefix == "" {
+		prefix = "solver"
+	}
+	t := e.Elapsed.Round(time.Millisecond)
+	detail := ""
+	if e.Message != "" {
+		detail = ": " + e.Message
+	}
+	switch e.Kind {
+	case KindIncumbent:
+		return fmt.Sprintf("%s: incumbent %.6g (iter %d, t=%v)%s", prefix, e.Cost, e.Iteration, t, detail)
+	case KindBound:
+		return fmt.Sprintf("%s: bound %.6g (iter %d, t=%v)%s", prefix, e.Bound, e.Iteration, t, detail)
+	case KindIteration:
+		if e.Bound != 0 {
+			return fmt.Sprintf("%s: iter %d cost %.6g bound %.6g (t=%v)", prefix, e.Iteration, e.Cost, e.Bound, t)
+		}
+		return fmt.Sprintf("%s: iter %d cost %.6g (t=%v)", prefix, e.Iteration, e.Cost, t)
+	default:
+		return fmt.Sprintf("%s: %s (t=%v)", prefix, e.Message, t)
+	}
+}
+
+// Func receives progress events. A nil Func is valid and drops all events.
+type Func func(Event)
+
+// Emit forwards the event when the receiver is non-nil.
+func (f Func) Emit(e Event) {
+	if f != nil {
+		f(e)
+	}
+}
+
+// Named returns a Func that stamps events with the solver tag before
+// forwarding, filling Solver when empty and prefixing it otherwise (so a
+// portfolio child's "sa" becomes "portfolio/sa[2]"). Returns nil when the
+// receiver is nil, keeping the nil-means-disabled fast path intact.
+func (f Func) Named(solver string) Func {
+	if f == nil {
+		return nil
+	}
+	return func(e Event) {
+		if e.Solver == "" {
+			e.Solver = solver
+		} else {
+			e.Solver = solver + "/" + e.Solver
+		}
+		f(e)
+	}
+}
+
+// Messagef emits a KindMessage event with a formatted message.
+func (f Func) Messagef(elapsed time.Duration, format string, args ...interface{}) {
+	if f != nil {
+		f(Event{Kind: KindMessage, Elapsed: elapsed, Message: fmt.Sprintf(format, args...)})
+	}
+}

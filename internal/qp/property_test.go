@@ -1,6 +1,7 @@
 package qp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,7 +44,7 @@ func TestRandomInstancesAgainstBruteForce(t *testing.T) {
 		}
 		wantBalanced, _ := bruteForce(m, 2, false)
 
-		res, err := Solve(m, DefaultOptions(2))
+		res, err := Solve(context.Background(), m, DefaultOptions(2))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -59,7 +60,7 @@ func TestRandomInstancesAgainstBruteForce(t *testing.T) {
 		wantDisjoint, _ := bruteForce(m, 2, true)
 		opts := DefaultOptions(2)
 		opts.Disjoint = true
-		disj, err := Solve(m, opts)
+		disj, err := Solve(context.Background(), m, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func TestThreeSiteRandomInstance(t *testing.T) {
 		t.Skipf("instance too large for 3-site brute force (|A|=%d)", m.NumAttrs())
 	}
 	want, _ := bruteForce(m, 3, false)
-	res, err := Solve(m, DefaultOptions(3))
+	res, err := Solve(context.Background(), m, DefaultOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}

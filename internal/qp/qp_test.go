@@ -1,12 +1,15 @@
 package qp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
 
 	"vpart/internal/core"
 	"vpart/internal/mip"
+	"vpart/internal/tpcc"
 )
 
 // fixtureInstance mirrors the hand-computed instance used by the core tests:
@@ -129,7 +132,7 @@ func TestSolveMatchesBruteForceTwoSites(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
 	wantBalanced, wantObjective := bruteForce(m, 2, false)
 
-	res, err := Solve(m, DefaultOptions(2))
+	res, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +160,7 @@ func TestSolveMatchesBruteForceThreeTxnsThreeSites(t *testing.T) {
 	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 4, Lambda: 0.1})
 	wantBalanced, _ := bruteForce(m, 2, false)
 
-	res, err := Solve(m, DefaultOptions(2))
+	res, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +178,7 @@ func TestSolveDisjointMatchesBruteForce(t *testing.T) {
 
 	opts := DefaultOptions(2)
 	opts.Disjoint = true
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,13 +195,13 @@ func TestSolveDisjointMatchesBruteForce(t *testing.T) {
 
 func TestDisjointNeverBeatsReplicated(t *testing.T) {
 	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
-	repl, err := Solve(m, DefaultOptions(2))
+	repl, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions(2)
 	opts.Disjoint = true
-	disj, err := Solve(m, opts)
+	disj, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +217,11 @@ func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
 	without := DefaultOptions(2)
 	without.SymmetryBreaking = false
 
-	r1, err := Solve(m, with)
+	r1, err := Solve(context.Background(), m, with)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Solve(m, without)
+	r2, err := Solve(context.Background(), m, without)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +232,7 @@ func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
 
 func TestSingleSiteShortcut(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
-	res, err := Solve(m, DefaultOptions(1))
+	res, err := Solve(context.Background(), m, DefaultOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,11 +247,11 @@ func TestSingleSiteShortcut(t *testing.T) {
 
 func TestMultiSiteNeverWorseThanSingleSite(t *testing.T) {
 	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
-	single, err := Solve(m, DefaultOptions(1))
+	single, err := Solve(context.Background(), m, DefaultOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := Solve(m, DefaultOptions(3))
+	multi, err := Solve(context.Background(), m, DefaultOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +267,7 @@ func TestInitialPartitioningSeed(t *testing.T) {
 	seed := core.SingleSite(m, 2)
 	opts := DefaultOptions(2)
 	opts.InitialPartitioning = seed
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +282,7 @@ func TestInitialPartitioningSeed(t *testing.T) {
 	// An infeasible seed must be rejected.
 	bad := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 2)
 	opts.InitialPartitioning = bad
-	if _, err := Solve(m, opts); err == nil {
+	if _, err := Solve(context.Background(), m, opts); err == nil {
 		t.Fatal("infeasible seed accepted")
 	}
 
@@ -288,7 +291,7 @@ func TestInitialPartitioningSeed(t *testing.T) {
 	opts = DefaultOptions(2)
 	opts.Disjoint = true
 	opts.InitialPartitioning = repl
-	if _, err := Solve(m, opts); err == nil {
+	if _, err := Solve(context.Background(), m, opts); err == nil {
 		t.Fatal("replicated seed accepted in disjoint mode")
 	}
 }
@@ -296,7 +299,7 @@ func TestInitialPartitioningSeed(t *testing.T) {
 func TestLatencyExtensionModel(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1, LatencyPenalty: 50})
 	wantBalanced, _ := bruteForce(m, 2, false)
-	res, err := Solve(m, DefaultOptions(2))
+	res, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +315,7 @@ func TestLambdaExtremes(t *testing.T) {
 	// λ = 1: pure cost minimisation, no load balancing variable.
 	m1 := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 1})
 	wantBalanced, _ := bruteForce(m1, 2, false)
-	res, err := Solve(m1, DefaultOptions(2))
+	res, err := Solve(context.Background(), m1, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +326,7 @@ func TestLambdaExtremes(t *testing.T) {
 	// λ = 0: pure load balancing.
 	m0 := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0})
 	wantBalanced0, _ := bruteForce(m0, 2, false)
-	res0, err := Solve(m0, DefaultOptions(2))
+	res0, err := Solve(context.Background(), m0, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,11 +343,11 @@ func TestPenaltyZeroLocalPlacement(t *testing.T) {
 	instRemote := fixtureInstance()
 	mRemote := mustModel(t, instRemote, core.ModelOptions{Penalty: 8, Lambda: 0.1})
 
-	local, err := Solve(mLocal, DefaultOptions(2))
+	local, err := Solve(context.Background(), mLocal, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	remote, err := Solve(mRemote, DefaultOptions(2))
+	remote, err := Solve(context.Background(), mRemote, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,10 +359,10 @@ func TestPenaltyZeroLocalPlacement(t *testing.T) {
 
 func TestSolveErrors(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
-	if _, err := Solve(nil, DefaultOptions(2)); err == nil {
+	if _, err := Solve(context.Background(), nil, DefaultOptions(2)); err == nil {
 		t.Error("nil model accepted")
 	}
-	if _, err := Solve(m, Options{Sites: 0}); err == nil {
+	if _, err := Solve(context.Background(), m, Options{Sites: 0}); err == nil {
 		t.Error("zero sites accepted")
 	}
 }
@@ -368,7 +371,7 @@ func TestTimeLimitReturnsGracefully(t *testing.T) {
 	m := mustModel(t, widerInstance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
 	opts := DefaultOptions(3)
 	opts.TimeLimit = time.Millisecond
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,5 +403,45 @@ func TestCanonicalizeSites(t *testing.T) {
 		if s > t2 {
 			t.Fatalf("transaction %d on site %d violates symmetry breaking", t2, s)
 		}
+	}
+}
+
+func TestContextCancellationMidSolve(t *testing.T) {
+	// The ungrouped TPC-C model takes the QP solver minutes (the paper gave
+	// it 30), so a cancellation shortly after the start is guaranteed to
+	// interrupt the branch-and-bound — typically inside the root LP, which
+	// the simplex stop hook aborts as well.
+	m := mustModel(t, tpcc.Instance(), core.ModelOptions{Penalty: 8, Lambda: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var cancelledAt time.Time
+	timer := time.AfterFunc(25*time.Millisecond, func() {
+		cancelledAt = time.Now()
+		cancel()
+	})
+	defer timer.Stop()
+
+	res, err := Solve(ctx, m, DefaultOptions(3))
+	if err == nil {
+		t.Fatal("cancelled solve returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled solve returned a result")
+	}
+	if since := time.Since(cancelledAt); since > time.Second {
+		t.Fatalf("solver needed %v to honour the cancellation", since)
+	}
+}
+
+func TestContextAlreadyCancelled(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, m, DefaultOptions(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }

@@ -1,11 +1,13 @@
 package qp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"vpart/internal/core"
 	"vpart/internal/mip"
+	"vpart/internal/progress"
 )
 
 // DefaultGapTol is the relative MIP gap used by the paper (0.1 %).
@@ -32,8 +34,9 @@ type Options struct {
 	// InitialPartitioning optionally seeds the search with a known feasible
 	// solution (for example the SA solver's result).
 	InitialPartitioning *core.Partitioning
-	// Log, when non-nil, receives progress lines.
-	Log func(format string, args ...interface{})
+	// Progress, when non-nil, receives typed progress events (new incumbents,
+	// improved bounds).
+	Progress progress.Func
 }
 
 // DefaultOptions returns the solver configuration used in the paper's
@@ -76,10 +79,18 @@ type Result struct {
 func (r *Result) Optimal() bool { return r.Status == mip.StatusOptimal }
 
 // Solve builds the linearised model (7) for the given cost model and solves
-// it with branch and bound.
-func Solve(m *core.Model, opts Options) (*Result, error) {
+// it with branch and bound. Cancelling the context aborts the search promptly
+// with an error wrapping ctx.Err(); the softer Options.TimeLimit stops it
+// gracefully and keeps the best incumbent.
+func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if m == nil {
 		return nil, fmt.Errorf("qp: nil model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qp: %w", err)
 	}
 	if opts.Sites < 1 {
 		return nil, fmt.Errorf("qp: invalid site count %d", opts.Sites)
@@ -101,7 +112,7 @@ func Solve(m *core.Model, opts Options) (*Result, error) {
 		TimeLimit: opts.TimeLimit,
 		GapTol:    opts.GapTol,
 		MaxNodes:  opts.MaxNodes,
-		Log:       opts.Log,
+		Progress:  opts.Progress,
 		Heuristic: func(x []float64) ([]float64, bool) {
 			return vm.roundingHeuristic(x, prob.NumVars())
 		},
@@ -121,7 +132,7 @@ func Solve(m *core.Model, opts Options) (*Result, error) {
 	}
 
 	model := &mip.Model{LP: prob, Integer: integer, Priority: priority}
-	res, err := mip.Solve(model, mipOpts)
+	res, err := mip.Solve(ctx, model, mipOpts)
 	if err != nil {
 		return nil, err
 	}

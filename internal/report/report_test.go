@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func tpccLayout(t *testing.T, sites int) (*core.Model, *core.Partitioning, core.
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sa.Solve(m, sa.DefaultOptions(sites))
+	res, err := sa.Solve(context.Background(), m, sa.DefaultOptions(sites))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestMarkdownReport(t *testing.T) {
 
 func TestMarkdownDisjointReport(t *testing.T) {
 	m, _, _ := tpccLayout(t, 2)
-	res, err := sa.Solve(m, func() sa.Options {
+	res, err := sa.Solve(context.Background(), m, func() sa.Options {
 		o := sa.DefaultOptions(2)
 		o.Disjoint = true
 		return o

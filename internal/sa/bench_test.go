@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"testing"
 
 	"vpart/internal/core"
@@ -23,7 +24,7 @@ func BenchmarkSolveTPCC3Sites(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := DefaultOptions(3)
 		opts.Seed = int64(i + 1)
-		if _, err := Solve(m, opts); err != nil {
+		if _, err := Solve(context.Background(), m, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +41,7 @@ func BenchmarkSolveLargeRandomInstance(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := DefaultOptions(4)
 		opts.Seed = int64(i + 1)
-		if _, err := Solve(m, opts); err != nil {
+		if _, err := Solve(context.Background(), m, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +64,7 @@ func BenchmarkFindSolutionYGivenX(b *testing.B) {
 func BenchmarkEvaluateNeighbourhoodMove(b *testing.B) {
 	m := benchModel(b, tpcc.Instance())
 	opts := DefaultOptions(4)
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"vpart/internal/core"
+	"vpart/internal/progress"
 )
 
 // Default parameter values (the paper specifies the move fraction and the
@@ -50,7 +51,9 @@ type Options struct {
 	// Sites is the number of sites |S|. Must be ≥ 1.
 	Sites int
 	// Seed seeds the pseudo random generator; runs with equal seeds are
-	// deterministic.
+	// deterministic. The package takes the seed literally (0 included); the
+	// root vpart facade is responsible for deriving distinct seeds when the
+	// caller asks for them.
 	Seed int64
 	// Temperature is the initial temperature τ; zero selects the rule of
 	// Section 5.1 based on the initial solution's cost.
@@ -75,10 +78,12 @@ type Options struct {
 	Disjoint bool
 	// TimeLimit bounds the wall-clock time (0 = none). The paper gives the
 	// heuristic 30 seconds per iteration; a whole-run limit is the practical
-	// equivalent here.
+	// equivalent here. Unlike a context cancellation — which aborts with an
+	// error — hitting the time limit returns the best solution found so far.
 	TimeLimit time.Duration
-	// Log, when non-nil, receives progress lines.
-	Log func(format string, args ...interface{})
+	// Progress, when non-nil, receives typed progress events (new incumbents,
+	// temperature-level milestones).
+	Progress progress.Func
 }
 
 // DefaultOptions returns the solver configuration used in the experiments.

@@ -1,6 +1,8 @@
 package sa
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +10,7 @@ import (
 	"time"
 
 	"vpart/internal/core"
+	"vpart/internal/progress"
 )
 
 func fixtureInstance() *core.Instance {
@@ -96,7 +99,7 @@ func TestSolveFindsNearOptimalSolution(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
 	want := bruteForceBalanced(m, 2)
 
-	res, err := Solve(m, DefaultOptions(2))
+	res, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +124,11 @@ func TestSolveDeterministicForSeed(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
 	opts := DefaultOptions(3)
 	opts.Seed = 42
-	r1, err := Solve(m, opts)
+	r1, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Solve(m, opts)
+	r2, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +137,7 @@ func TestSolveDeterministicForSeed(t *testing.T) {
 			r1.Cost.Balanced, r1.Iterations, r2.Cost.Balanced, r2.Iterations)
 	}
 	opts.Seed = 43
-	r3, err := Solve(m, opts)
+	r3, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +153,7 @@ func TestSolveDisjointMode(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
 	opts := DefaultOptions(2)
 	opts.Disjoint = true
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,13 +167,13 @@ func TestSolveDisjointMode(t *testing.T) {
 
 func TestDisjointNeverBeatsReplicated(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
-	repl, err := Solve(m, DefaultOptions(2))
+	repl, err := Solve(context.Background(), m, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions(2)
 	opts.Disjoint = true
-	disj, err := Solve(m, opts)
+	disj, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +186,7 @@ func TestDisjointNeverBeatsReplicated(t *testing.T) {
 
 func TestSingleSiteShortcut(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
-	res, err := Solve(m, DefaultOptions(1))
+	res, err := Solve(context.Background(), m, DefaultOptions(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,8 +198,8 @@ func TestSingleSiteShortcut(t *testing.T) {
 
 func TestMoreSitesNeverMuchWorse(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
-	single, _ := Solve(m, DefaultOptions(1))
-	multi, err := Solve(m, DefaultOptions(3))
+	single, _ := Solve(context.Background(), m, DefaultOptions(1))
+	multi, err := Solve(context.Background(), m, DefaultOptions(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +219,7 @@ func TestOptionsValidation(t *testing.T) {
 		{Sites: 2, Temperature: -1},
 	}
 	for i, o := range bad {
-		if _, err := Solve(m, o); err == nil {
+		if _, err := Solve(context.Background(), m, o); err == nil {
 			t.Errorf("case %d: invalid options accepted: %+v", i, o)
 		}
 	}
@@ -226,7 +229,7 @@ func TestTimeLimit(t *testing.T) {
 	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
 	opts := DefaultOptions(3)
 	opts.TimeLimit = time.Nanosecond
-	res, err := Solve(m, opts)
+	res, err := Solve(context.Background(), m, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +316,7 @@ func TestSolveAlwaysFeasibleProperty(t *testing.T) {
 		opts.InnerLoops = 10
 		opts.MaxOuterLoops = 6
 		opts.Disjoint = r.Intn(2) == 0
-		res, err := Solve(m, opts)
+		res, err := Solve(context.Background(), m, opts)
 		if err != nil {
 			t.Logf("solve error: %v", err)
 			return false
@@ -328,5 +331,49 @@ func TestSolveAlwaysFeasibleProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestContextCancellationMidSolve(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel from inside the progress stream: the callback runs synchronously
+	// in the solver goroutine, so the cancellation is guaranteed to land
+	// mid-solve regardless of machine speed.
+	opts := DefaultOptions(2)
+	var cancelledAt time.Time
+	opts.Progress = func(progress.Event) {
+		if cancelledAt.IsZero() {
+			cancelledAt = time.Now()
+			cancel()
+		}
+	}
+
+	res, err := Solve(ctx, m, opts)
+	if err == nil {
+		t.Fatal("cancelled solve returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled solve returned a result")
+	}
+	if cancelledAt.IsZero() {
+		t.Fatal("no progress event was emitted before the solve ended")
+	}
+	if since := time.Since(cancelledAt); since > time.Second {
+		t.Fatalf("solver needed %v to honour the cancellation", since)
+	}
+}
+
+func TestContextAlreadyCancelled(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, m, DefaultOptions(2)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }

@@ -1,18 +1,30 @@
 package sa
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
 	"vpart/internal/core"
+	"vpart/internal/progress"
 )
 
 // Solve runs the simulated annealing heuristic (Algorithm 1) on the model.
-func Solve(m *core.Model, opts Options) (*Result, error) {
+// Cancelling the context aborts the run promptly with an error wrapping
+// ctx.Err(); the softer Options.TimeLimit instead stops the search gracefully
+// and returns the best solution found so far.
+func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sa: %w", err)
 	}
 	start := time.Now()
 	if opts.Sites == 1 {
@@ -23,11 +35,6 @@ func Solve(m *core.Model, opts Options) (*Result, error) {
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	s := newSolver(m, opts)
-	logf := func(format string, args ...interface{}) {
-		if opts.Log != nil {
-			opts.Log(format, args...)
-		}
-	}
 
 	cur := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
 	s.randomX(rng, cur)
@@ -62,6 +69,9 @@ outer:
 		res.OuterLoops++
 		improvedThisLevel := false
 		for i := 0; i < opts.InnerLoops; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sa: %w", err)
+			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				res.TimedOut = true
 				break outer
@@ -88,11 +98,23 @@ outer:
 					bestCost = candCost
 					res.Improved++
 					improvedThisLevel = true
+					opts.Progress.Emit(progress.Event{
+						Kind:      progress.KindIncumbent,
+						Cost:      bestCost,
+						Iteration: res.Iterations,
+						Elapsed:   time.Since(start),
+					})
 				}
 			}
 			fixX = !fixX
 		}
-		logf("sa: level %d τ=%.4g cur=%.6g best=%.6g", outer, tau, curCost, bestCost)
+		opts.Progress.Emit(progress.Event{
+			Kind:      progress.KindIteration,
+			Cost:      curCost,
+			Iteration: res.Iterations,
+			Elapsed:   time.Since(start),
+			Message:   fmt.Sprintf("level %d τ=%.4g best=%.6g", outer, tau, bestCost),
+		})
 		tau *= opts.Rho
 		if improvedThisLevel {
 			noImprove = 0

@@ -1,6 +1,7 @@
 package vpart_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestDDLAndReportFacade(t *testing.T) {
 	inst := vpart.TPCC()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}

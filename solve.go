@@ -1,15 +1,13 @@
 package vpart
 
 import (
-	"fmt"
+	"context"
 	"time"
-
-	"vpart/internal/core"
-	"vpart/internal/qp"
-	"vpart/internal/sa"
 )
 
-// Algorithm selects the partitioning algorithm.
+// Algorithm names a registered solver. It survives from the pre-registry API,
+// where it selected one of two hard-coded algorithms; today any name listed
+// by Solvers() is valid.
 type Algorithm string
 
 const (
@@ -18,39 +16,13 @@ const (
 	AlgorithmQP Algorithm = "qp"
 	// AlgorithmSA is the simulated annealing heuristic of Section 3.
 	AlgorithmSA Algorithm = "sa"
+	// AlgorithmPortfolio races several SA seeds (and optionally the QP
+	// solver) concurrently and returns the best incumbent.
+	AlgorithmPortfolio Algorithm = "portfolio"
 )
 
-// SolveOptions configure a Solve call.
-type SolveOptions struct {
-	// Sites is the number of sites |S| (≥ 1). Required.
-	Sites int
-	// Algorithm selects the solver; empty defaults to AlgorithmSA.
-	Algorithm Algorithm
-	// Model are the cost model parameters. The zero value selects the paper's
-	// defaults (p = 8, λ = 0.1, "access all attributes").
-	Model *ModelOptions
-	// Disjoint forbids attribute replication.
-	Disjoint bool
-	// DisableGrouping switches off the reasonable-cuts attribute grouping
-	// preprocessing (Section 4). Grouping never changes the optimum; it only
-	// shrinks the problem, so it is on by default.
-	DisableGrouping bool
-	// TimeLimit bounds the solver's wall-clock time (0 = none). The paper
-	// gives the QP solver 30 minutes.
-	TimeLimit time.Duration
-	// GapTol is the QP solver's relative MIP gap; zero selects the paper's
-	// 0.1 %.
-	GapTol float64
-	// SeedWithSA runs the SA heuristic first and uses its solution as the QP
-	// solver's initial incumbent. Ignored for AlgorithmSA.
-	SeedWithSA bool
-	// Seed seeds the SA heuristic's random generator.
-	Seed int64
-	// Log receives progress lines when non-nil.
-	Log func(format string, args ...interface{})
-}
-
-// Solution is the result of a Solve call.
+// Solution is the result of a Solve call, expressed over the original
+// (ungrouped) instance.
 type Solution struct {
 	// Partitioning is the best partitioning found, expressed over the
 	// original (ungrouped) instance. Nil if the solver found none within its
@@ -62,8 +34,14 @@ type Solution struct {
 	// Model is the compiled cost model of the original instance (useful for
 	// formatting and further evaluation).
 	Model *Model
-	// Algorithm is the solver that produced the solution.
+	// Algorithm is the registered name of the solver that produced the
+	// solution (for the portfolio, the winning child, e.g.
+	// "portfolio/sa[2]").
 	Algorithm Algorithm
+	// Seed is the SA seed that produced the solution: the value passed in
+	// Options.Seed, or the derived seed when that was zero. Zero for the
+	// pure QP path, which uses no randomness.
+	Seed int64
 	// Optimal reports whether the solution was proven optimal within the MIP
 	// gap (always false for the SA heuristic).
 	Optimal bool
@@ -76,138 +54,73 @@ type Solution struct {
 	// grouping is disabled).
 	AttributeGroups int
 	// Nodes, Gap and Bound are filled by the QP solver (branch-and-bound
-	// statistics); Iterations is filled by the SA solver.
+	// statistics); Iterations is filled by the SA solver (for the portfolio,
+	// the total across all concurrent runs).
 	Nodes      int
 	Gap        float64
 	Bound      float64
 	Iterations int
 }
 
-// Solve partitions the instance onto opts.Sites sites with the selected
-// algorithm and returns the best partitioning found together with its cost.
-func Solve(inst *Instance, opts SolveOptions) (*Solution, error) {
-	start := time.Now()
-	if inst == nil {
-		return nil, fmt.Errorf("vpart: nil instance")
-	}
-	if opts.Sites < 1 {
-		return nil, fmt.Errorf("vpart: invalid site count %d", opts.Sites)
-	}
-	if opts.Algorithm == "" {
-		opts.Algorithm = AlgorithmSA
-	}
-	if opts.Algorithm != AlgorithmQP && opts.Algorithm != AlgorithmSA {
-		return nil, fmt.Errorf("vpart: unknown algorithm %q", opts.Algorithm)
-	}
-	mo := DefaultModelOptions()
-	if opts.Model != nil {
-		mo = *opts.Model
-	}
-	if opts.Algorithm == AlgorithmQP && mo.WriteAccounting == WriteRelevant {
-		return nil, fmt.Errorf("vpart: the QP solver does not support the %q write accounting (use the SA solver or WriteAll/WriteNone)", mo.WriteAccounting)
-	}
-
-	// Compile the original model (used for final evaluation and formatting).
-	origModel, err := core.NewModel(inst, mo)
-	if err != nil {
-		return nil, err
-	}
-
-	// Reasonable-cuts preprocessing.
-	solveInst := inst
-	var grouping *Grouping
-	if !opts.DisableGrouping {
-		grouping, err = core.GroupAttributes(inst)
-		if err != nil {
-			return nil, err
-		}
-		solveInst = grouping.Grouped
-	}
-	solveModel := origModel
-	if grouping != nil {
-		solveModel, err = core.NewModel(solveInst, mo)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	sol := &Solution{
-		Model:           origModel,
-		Algorithm:       opts.Algorithm,
-		AttributeGroups: solveModel.NumAttrs(),
-	}
-
-	var solved *Partitioning
-	switch opts.Algorithm {
-	case AlgorithmSA:
-		saOpts := saOptionsFor(opts)
-		res, err := sa.Solve(solveModel, saOpts)
-		if err != nil {
-			return nil, err
-		}
-		solved = res.Partitioning
-		sol.Iterations = res.Iterations
-		sol.TimedOut = res.TimedOut
-
-	case AlgorithmQP:
-		qpOpts := qp.DefaultOptions(opts.Sites)
-		qpOpts.TimeLimit = opts.TimeLimit
-		qpOpts.Disjoint = opts.Disjoint
-		qpOpts.Log = opts.Log
-		if opts.GapTol != 0 {
-			qpOpts.GapTol = opts.GapTol
-		}
-		if opts.SeedWithSA {
-			saOpts := saOptionsFor(opts)
-			seedRes, err := sa.Solve(solveModel, saOpts)
-			if err != nil {
-				return nil, err
-			}
-			qpOpts.InitialPartitioning = seedRes.Partitioning
-		}
-		res, err := qp.Solve(solveModel, qpOpts)
-		if err != nil {
-			return nil, err
-		}
-		sol.Optimal = res.Optimal()
-		sol.TimedOut = res.TimedOut
-		sol.Nodes = res.Nodes
-		sol.Gap = res.Gap
-		sol.Bound = res.Bound
-		if res.Partitioning == nil {
-			// Time-out without any integer solution (the paper's "t/o").
-			sol.Runtime = time.Since(start)
-			return sol, nil
-		}
-		solved = res.Partitioning
-	}
-
-	// Expand the grouped solution back to the original attribute space.
-	final := solved
-	if grouping != nil {
-		final, err = grouping.Expand(solveModel, origModel, solved)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := final.Validate(origModel); err != nil {
-		return nil, fmt.Errorf("vpart: solver returned an infeasible partitioning: %w", err)
-	}
-	sol.Partitioning = final
-	sol.Cost = origModel.Evaluate(final)
-	sol.Runtime = time.Since(start)
-	return sol, nil
+// SolveOptions configure a SolveLegacy call.
+//
+// Deprecated: use Options with Solve, which replaces the printf-style Log
+// hook with a typed progress-event stream and the bespoke TimeLimit with a
+// context (keeping TimeLimit as a soft budget).
+type SolveOptions struct {
+	// Sites is the number of sites |S| (≥ 1). Required.
+	Sites int
+	// Algorithm selects the solver; empty defaults to AlgorithmSA.
+	Algorithm Algorithm
+	// Model are the cost model parameters. The zero value selects the paper's
+	// defaults (p = 8, λ = 0.1, "access all attributes").
+	Model *ModelOptions
+	// Disjoint forbids attribute replication.
+	Disjoint bool
+	// DisableGrouping switches off the reasonable-cuts attribute grouping
+	// preprocessing (Section 4).
+	DisableGrouping bool
+	// TimeLimit bounds the solver's wall-clock time (0 = none). The paper
+	// gives the QP solver 30 minutes.
+	TimeLimit time.Duration
+	// GapTol is the QP solver's relative MIP gap; zero selects the paper's
+	// 0.1 %.
+	GapTol float64
+	// SeedWithSA runs the SA heuristic first and uses its solution as the QP
+	// solver's initial incumbent. Ignored for AlgorithmSA.
+	SeedWithSA bool
+	// Seed seeds the SA heuristic's random generator. For backwards
+	// compatibility SolveLegacy maps a zero seed to 1 (two Seed-0 legacy
+	// solves are identical); the new API instead derives a distinct seed.
+	Seed int64
+	// Log receives progress lines when non-nil.
+	Log func(format string, args ...interface{})
 }
 
-// saOptionsFor derives the SA solver options from the facade options.
-func saOptionsFor(opts SolveOptions) sa.Options {
-	o := sa.DefaultOptions(opts.Sites)
-	o.Seed = opts.Seed
+// SolveLegacy partitions the instance with the pre-registry options struct.
+// It adapts SolveOptions to the context-aware API: TimeLimit keeps its soft
+// stop-and-return-best semantics, Log receives the rendered form of every
+// progress event, and a zero Seed maps to 1 exactly as before.
+//
+// Deprecated: use Solve with a context.Context and Options.
+func SolveLegacy(inst *Instance, opts SolveOptions) (*Solution, error) {
+	o := Options{
+		Sites:           opts.Sites,
+		Solver:          string(opts.Algorithm),
+		Model:           opts.Model,
+		Disjoint:        opts.Disjoint,
+		DisableGrouping: opts.DisableGrouping,
+		TimeLimit:       opts.TimeLimit,
+		GapTol:          opts.GapTol,
+		SeedWithSA:      opts.SeedWithSA,
+		Seed:            opts.Seed,
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	o.TimeLimit = opts.TimeLimit
-	o.Disjoint = opts.Disjoint
-	o.Log = opts.Log
-	return o
+	if opts.Log != nil {
+		log := opts.Log
+		o.Progress = func(e Event) { log("%s", e.String()) }
+	}
+	return Solve(context.Background(), inst, o)
 }

@@ -1,0 +1,401 @@
+package vpart
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vpart/internal/core"
+	"vpart/internal/progress"
+	"vpart/internal/qp"
+	"vpart/internal/sa"
+)
+
+// Progress-event types, re-exported from internal/progress. Solvers emit a
+// typed event stream instead of pre-formatted log lines: incumbent-found,
+// bound-improved and iteration events carrying the cost and the elapsed time.
+type (
+	// Event is a single progress notification from a running solver.
+	Event = progress.Event
+	// EventKind classifies progress events.
+	EventKind = progress.Kind
+	// ProgressFunc receives progress events. It is called synchronously from
+	// the solver goroutine (the portfolio solver calls it from several), so it
+	// must be fast and, for the portfolio, safe for concurrent use.
+	ProgressFunc = progress.Func
+)
+
+// Progress event kinds.
+const (
+	// EventMessage is a free-form informational message.
+	EventMessage = progress.KindMessage
+	// EventIncumbent reports a new best feasible solution.
+	EventIncumbent = progress.KindIncumbent
+	// EventBound reports an improved proven lower bound.
+	EventBound = progress.KindBound
+	// EventIteration reports an iteration milestone.
+	EventIteration = progress.KindIteration
+)
+
+// Options configure a Solve call. The zero value of every field except Sites
+// selects a sensible default, so Options{Sites: 3} is a valid configuration.
+type Options struct {
+	// Sites is the number of sites |S| (≥ 1). Required.
+	Sites int
+	// Solver names the registered solver to run; empty selects "sa". See
+	// Solvers() for the available names.
+	Solver string
+	// Model are the cost model parameters. The zero value selects the paper's
+	// defaults (p = 8, λ = 0.1, "access all attributes").
+	Model *ModelOptions
+	// Disjoint forbids attribute replication.
+	Disjoint bool
+	// DisableGrouping switches off the reasonable-cuts attribute grouping
+	// preprocessing (Section 4). Grouping never changes the optimum; it only
+	// shrinks the problem, so it is on by default.
+	DisableGrouping bool
+	// TimeLimit is a soft wall-clock budget (0 = none): when it expires the
+	// solver stops gracefully and returns the best incumbent found so far,
+	// marked TimedOut. For a hard stop — an error wrapping ctx.Err() and no
+	// result — cancel the context instead.
+	TimeLimit time.Duration
+	// GapTol is the QP solver's relative MIP gap; zero selects the paper's
+	// 0.1 %.
+	GapTol float64
+	// SeedWithSA runs the SA heuristic first and uses its solution as the QP
+	// solver's initial incumbent. Ignored by the SA solver.
+	SeedWithSA bool
+	// Seed seeds the SA heuristic's random generator. Zero means "derive a
+	// distinct seed": every Seed-0 solve in a process draws a fresh seed from
+	// a package-level counter, so repeated calls (and the portfolio's
+	// concurrent runs) explore different trajectories. Set a non-zero seed
+	// for reproducible runs.
+	Seed int64
+	// Portfolio configures the "portfolio" solver; other solvers ignore it.
+	Portfolio PortfolioOptions
+	// Progress, when non-nil, receives typed progress events from the
+	// running solver(s).
+	Progress ProgressFunc
+}
+
+// Result is the outcome of a Solver run over a compiled (possibly grouped)
+// cost model. The root Solve facade expands it back to the original
+// attribute space and wraps it into a Solution.
+type Result struct {
+	// Partitioning is the best partitioning found over the model the solver
+	// was given. Nil if the solver found none within its limits (the paper's
+	// "t/o" entries).
+	Partitioning *Partitioning
+	// Cost is the cost breakdown of Partitioning under that model.
+	Cost Cost
+	// Solver is the name of the solver that produced the result (for the
+	// portfolio, the name of the winning child, e.g. "portfolio/sa[2]").
+	Solver string
+	// Seed is the SA seed that produced the result (0 for the pure QP path).
+	Seed int64
+	// Optimal reports whether the solution was proven optimal within the MIP
+	// gap (always false for the SA heuristic).
+	Optimal bool
+	// TimedOut reports whether a soft time limit stopped the search.
+	TimedOut bool
+	// Runtime is the solver's wall-clock time.
+	Runtime time.Duration
+	// Nodes, Gap and Bound are branch-and-bound statistics (QP); Iterations
+	// counts SA inner iterations.
+	Nodes      int
+	Gap        float64
+	Bound      float64
+	Iterations int
+}
+
+// Solver is a partitioning algorithm. Implementations solve the compiled
+// cost model m — already grouped by the reasonable-cuts preprocessing when
+// the caller enabled it — and must honour ctx: a cancellation aborts the run
+// promptly with an error wrapping ctx.Err().
+//
+// Register implementations with RegisterSolver to make them available to
+// Solve under their Name.
+type Solver interface {
+	// Name is the registry key, e.g. "qp", "sa" or "portfolio".
+	Name() string
+	// Solve runs the algorithm on the model.
+	Solve(ctx context.Context, m *Model, opts Options) (*Result, error)
+}
+
+// OptionsValidator is an optional interface a Solver may implement to reject
+// unsupported configurations cheaply: the Solve facade consults it before
+// compiling any cost model, so an invalid option errors immediately instead
+// of after seconds of model building on a large instance.
+type OptionsValidator interface {
+	ValidateOptions(opts Options, model ModelOptions) error
+}
+
+// The package-level solver registry. The built-in solvers register
+// themselves; external packages may add their own via RegisterSolver.
+var solverRegistry = struct {
+	sync.RWMutex
+	byName map[string]Solver
+}{byName: make(map[string]Solver)}
+
+// RegisterSolver adds a solver to the registry under s.Name(). It panics on
+// an empty name or a duplicate registration, mirroring database/sql.Register.
+func RegisterSolver(s Solver) {
+	if s == nil {
+		panic("vpart: RegisterSolver called with nil solver")
+	}
+	name := s.Name()
+	if name == "" {
+		panic("vpart: RegisterSolver called with empty solver name")
+	}
+	solverRegistry.Lock()
+	defer solverRegistry.Unlock()
+	if _, dup := solverRegistry.byName[name]; dup {
+		panic(fmt.Sprintf("vpart: RegisterSolver called twice for solver %q", name))
+	}
+	solverRegistry.byName[name] = s
+}
+
+// Solvers returns the sorted names of all registered solvers; at minimum
+// "portfolio", "qp" and "sa".
+func Solvers() []string {
+	solverRegistry.RLock()
+	defer solverRegistry.RUnlock()
+	names := make([]string, 0, len(solverRegistry.byName))
+	for name := range solverRegistry.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupSolver returns the registered solver with the given name.
+func LookupSolver(name string) (Solver, bool) {
+	solverRegistry.RLock()
+	defer solverRegistry.RUnlock()
+	s, ok := solverRegistry.byName[name]
+	return s, ok
+}
+
+func init() {
+	RegisterSolver(saSolver{})
+	RegisterSolver(qpSolver{})
+	RegisterSolver(portfolioSolver{})
+}
+
+// seedCounter backs the Seed-0 "derive a distinct seed" semantics.
+var seedCounter atomic.Int64
+
+// effectiveSeed returns seed unchanged when non-zero and the next derived
+// seed otherwise. The derived sequence starts at 1, so the first Seed-0
+// solve of a process matches the historical behaviour (which silently mapped
+// 0 to 1).
+func effectiveSeed(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	return seedCounter.Add(1)
+}
+
+// Solve partitions the instance onto opts.Sites sites with the selected
+// registered solver (opts.Solver, default "sa") and returns the best
+// partitioning found together with its cost.
+//
+// Cancelling ctx aborts the solver promptly and returns an error wrapping
+// ctx.Err(). The softer opts.TimeLimit instead returns the best incumbent
+// found so far.
+func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if inst == nil {
+		return nil, fmt.Errorf("vpart: nil instance")
+	}
+	if opts.Sites < 1 {
+		return nil, fmt.Errorf("vpart: invalid site count %d", opts.Sites)
+	}
+	// Fail fast before the O(instance) model compilation and grouping below.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vpart: %w", err)
+	}
+	name := opts.Solver
+	if name == "" {
+		name = "sa"
+	}
+	solver, ok := LookupSolver(name)
+	if !ok {
+		return nil, fmt.Errorf("vpart: unknown solver %q (registered: %v)", name, Solvers())
+	}
+	mo := DefaultModelOptions()
+	if opts.Model != nil {
+		mo = *opts.Model
+	}
+	if v, ok := solver.(OptionsValidator); ok {
+		if err := v.ValidateOptions(opts, mo); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compile the original model (used for final evaluation and formatting).
+	origModel, err := core.NewModel(inst, mo)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reasonable-cuts preprocessing.
+	solveInst := inst
+	var grouping *Grouping
+	if !opts.DisableGrouping {
+		grouping, err = core.GroupAttributes(inst)
+		if err != nil {
+			return nil, err
+		}
+		solveInst = grouping.Grouped
+	}
+	solveModel := origModel
+	if grouping != nil {
+		solveModel, err = core.NewModel(solveInst, mo)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := solver.Solve(ctx, solveModel, opts)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("vpart: solver %q returned no result", name)
+	}
+
+	sol := &Solution{
+		Model:           origModel,
+		Algorithm:       Algorithm(res.Solver),
+		Seed:            res.Seed,
+		AttributeGroups: solveModel.NumAttrs(),
+		Optimal:         res.Optimal,
+		TimedOut:        res.TimedOut,
+		Nodes:           res.Nodes,
+		Gap:             res.Gap,
+		Bound:           res.Bound,
+		Iterations:      res.Iterations,
+	}
+	if sol.Algorithm == "" {
+		sol.Algorithm = Algorithm(name)
+	}
+	if res.Partitioning == nil {
+		// Time-out without any integer solution (the paper's "t/o").
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	}
+
+	// Expand the grouped solution back to the original attribute space.
+	final := res.Partitioning
+	if grouping != nil {
+		final, err = grouping.Expand(solveModel, origModel, res.Partitioning)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := final.Validate(origModel); err != nil {
+		return nil, fmt.Errorf("vpart: solver returned an infeasible partitioning: %w", err)
+	}
+	sol.Partitioning = final
+	sol.Cost = origModel.Evaluate(final)
+	sol.Runtime = time.Since(start)
+	return sol, nil
+}
+
+// saSolver adapts internal/sa to the Solver interface.
+type saSolver struct{}
+
+func (saSolver) Name() string { return "sa" }
+
+func (saSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	so := saOptions(opts, effectiveSeed(opts.Seed))
+	so.Progress = opts.Progress.Named("sa")
+	res, err := sa.Solve(ctx, m, so)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Partitioning: res.Partitioning,
+		Cost:         res.Cost,
+		Solver:       "sa",
+		Seed:         so.Seed,
+		TimedOut:     res.TimedOut,
+		Runtime:      res.Runtime,
+		Iterations:   res.Iterations,
+	}, nil
+}
+
+// saOptions derives the internal SA options from the facade options and a
+// concrete (already derived) seed.
+func saOptions(opts Options, seed int64) sa.Options {
+	so := sa.DefaultOptions(opts.Sites)
+	so.Seed = seed
+	so.TimeLimit = opts.TimeLimit
+	so.Disjoint = opts.Disjoint
+	return so
+}
+
+// errQPWriteRelevant is the shared rejection for the one write-accounting
+// mode the QP linearisation cannot express.
+func errQPWriteRelevant() error {
+	return fmt.Errorf("vpart: the QP solver does not support the %q write accounting (use the SA solver or WriteAll/WriteNone)", WriteRelevant)
+}
+
+// qpSolver adapts internal/qp to the Solver interface.
+type qpSolver struct{}
+
+func (qpSolver) Name() string { return "qp" }
+
+func (qpSolver) ValidateOptions(_ Options, mo ModelOptions) error {
+	if mo.WriteAccounting == WriteRelevant {
+		return errQPWriteRelevant()
+	}
+	return nil
+}
+
+func (qpSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	if m.Options().WriteAccounting == WriteRelevant {
+		return nil, errQPWriteRelevant()
+	}
+	qo := qp.DefaultOptions(opts.Sites)
+	qo.TimeLimit = opts.TimeLimit
+	qo.Disjoint = opts.Disjoint
+	qo.Progress = opts.Progress.Named("qp")
+	if opts.GapTol != 0 {
+		qo.GapTol = opts.GapTol
+	}
+	seed := int64(0)
+	if opts.SeedWithSA {
+		seed = effectiveSeed(opts.Seed)
+		so := saOptions(opts, seed)
+		so.Progress = opts.Progress.Named("qp/sa-seed")
+		seedRes, err := sa.Solve(ctx, m, so)
+		if err != nil {
+			return nil, err
+		}
+		qo.InitialPartitioning = seedRes.Partitioning
+	}
+	res, err := qp.Solve(ctx, m, qo)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Partitioning: res.Partitioning,
+		Cost:         res.Cost,
+		Solver:       "qp",
+		Seed:         seed,
+		Optimal:      res.Optimal(),
+		TimedOut:     res.TimedOut,
+		Runtime:      res.Runtime,
+		Nodes:        res.Nodes,
+		Gap:          res.Gap,
+		Bound:        res.Bound,
+	}, nil
+}

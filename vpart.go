@@ -1,6 +1,7 @@
 package vpart
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -176,13 +177,14 @@ func Evaluate(inst *Instance, opts ModelOptions, p *Partitioning) (Cost, error) 
 // Simulate executes the instance's workload against an H-store-like cluster
 // simulator partitioned according to p, and returns the measured bytes. The
 // measured quantities equal the analytical cost model's A_R, A_W and B for
-// feasible partitionings.
-func Simulate(inst *Instance, opts ModelOptions, p *Partitioning, simOpts SimOptions) (*SimResult, error) {
+// feasible partitionings. Cancelling the context stops the run with an error
+// wrapping ctx.Err().
+func Simulate(ctx context.Context, inst *Instance, opts ModelOptions, p *Partitioning, simOpts SimOptions) (*SimResult, error) {
 	m, err := core.NewModel(inst, opts)
 	if err != nil {
 		return nil, err
 	}
-	meas, _, err := engine.Run(m, p, simOpts)
+	meas, _, err := engine.Run(ctx, m, p, simOpts)
 	return meas, err
 }
 

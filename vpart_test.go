@@ -2,6 +2,7 @@ package vpart_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -23,14 +24,14 @@ func TestTPCCInstance(t *testing.T) {
 
 func TestSolveSAOnTPCC(t *testing.T) {
 	inst := vpart.TPCC()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sol.Partitioning == nil {
 		t.Fatal("no partitioning")
 	}
-	single, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 1, Algorithm: vpart.AlgorithmSA})
+	single, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 1, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,9 +57,9 @@ func TestSolveSAOnTPCC(t *testing.T) {
 
 func TestSolveQPOnTPCCMatchesSAOrBetter(t *testing.T) {
 	inst := vpart.TPCC()
-	qpSol, err := vpart.Solve(inst, vpart.SolveOptions{
+	qpSol, err := vpart.Solve(context.Background(), inst, vpart.Options{
 		Sites:      2,
-		Algorithm:  vpart.AlgorithmQP,
+		Solver:     "qp",
 		SeedWithSA: true,
 		TimeLimit:  2 * time.Minute,
 	})
@@ -71,7 +72,7 @@ func TestSolveQPOnTPCCMatchesSAOrBetter(t *testing.T) {
 	if !qpSol.Optimal {
 		t.Logf("QP did not prove optimality within the limit (gap %.3g)", qpSol.Gap)
 	}
-	saSol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA})
+	saSol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +83,14 @@ func TestSolveQPOnTPCCMatchesSAOrBetter(t *testing.T) {
 
 func TestSolveDisjointAndGroupingToggles(t *testing.T) {
 	inst := vpart.TPCC()
-	dis, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA, Disjoint: true})
+	dis, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa", Disjoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !dis.Partitioning.IsDisjoint() {
 		t.Fatal("disjoint solve returned replicas")
 	}
-	ungrouped, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA, DisableGrouping: true})
+	ungrouped, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa", DisableGrouping: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,22 +101,22 @@ func TestSolveDisjointAndGroupingToggles(t *testing.T) {
 
 func TestSolveErrors(t *testing.T) {
 	inst := vpart.TPCC()
-	if _, err := vpart.Solve(nil, vpart.SolveOptions{Sites: 2}); err == nil {
+	if _, err := vpart.Solve(context.Background(), nil, vpart.Options{Sites: 2}); err == nil {
 		t.Error("nil instance accepted")
 	}
-	if _, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 0}); err == nil {
+	if _, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 0}); err == nil {
 		t.Error("zero sites accepted")
 	}
-	if _, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: "branch-and-pray"}); err == nil {
+	if _, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "branch-and-pray"}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	mo := vpart.DefaultModelOptions()
 	mo.WriteAccounting = vpart.WriteRelevant
-	if _, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmQP, Model: &mo}); err == nil {
+	if _, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "qp", Model: &mo}); err == nil {
 		t.Error("QP with relevant-attributes accounting accepted")
 	}
 	// The SA solver supports the relevant-attributes accounting.
-	if _, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA, Model: &mo}); err != nil {
+	if _, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa", Model: &mo}); err != nil {
 		t.Errorf("SA with relevant-attributes accounting rejected: %v", err)
 	}
 }
@@ -149,7 +150,7 @@ func TestRandomInstanceFacade(t *testing.T) {
 
 func TestEvaluateAndSimulateAgree(t *testing.T) {
 	inst := vpart.TPCC()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestEvaluateAndSimulateAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meas, err := vpart.Simulate(inst, vpart.DefaultModelOptions(), sol.Partitioning, vpart.SimOptions{})
+	meas, err := vpart.Simulate(context.Background(), inst, vpart.DefaultModelOptions(), sol.Partitioning, vpart.SimOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestQueryConstructorsExported(t *testing.T) {
 
 func TestPartitioningFormatViaFacade(t *testing.T) {
 	inst := vpart.TPCC()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 3, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 3, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestPartitioningFormatViaFacade(t *testing.T) {
 
 func TestAssignmentRoundTripViaFacade(t *testing.T) {
 	inst := vpart.TPCC()
-	sol, err := vpart.Solve(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA})
+	sol, err := vpart.Solve(context.Background(), inst, vpart.Options{Sites: 2, Solver: "sa"})
 	if err != nil {
 		t.Fatal(err)
 	}
