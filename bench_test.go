@@ -245,3 +245,28 @@ func BenchmarkRandomInstanceGeneration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluatorApplyTPCC measures one incremental Apply+Undo round trip
+// of a transaction move on TPC-C — the hot operation of the SA inner loop —
+// for comparison with BenchmarkCostEvaluationTPCC (the full re-evaluation it
+// replaces). Steady state must be allocation-free.
+func BenchmarkEvaluatorApplyTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	m, err := vpart.NewModel(inst, vpart.DefaultModelOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := vpart.NewEvaluator(m, vpart.FullReplicationPartitioning(m, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nT := m.NumTxns()
+	ev.ApplyMoveTxn(0, 1) // warm the journal capacity
+	ev.Undo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.ApplyMoveTxn(i%nT, (i+1)%4)
+		ev.Undo()
+	}
+}

@@ -1,0 +1,166 @@
+// Command vpart-bench measures the performance of the evaluation layer and
+// the SA hot loop and writes the results to a JSON file (BENCH_evaluator.json
+// by default), so the perf trajectory of the incremental Evaluator can be
+// tracked across PRs:
+//
+//   - ns/op of a full Model.Evaluate versus one incremental Evaluator
+//     MoveTxn apply+undo round trip on TPC-C and rndAt64x200,
+//   - SA iterations per second on both instances,
+//   - the speedup over the recorded pre-Evaluator baseline.
+//
+// Run with:
+//
+//	go run ./cmd/vpart-bench [-out BENCH_evaluator.json] [-quick]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vpart"
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/sa"
+	"vpart/internal/tpcc"
+)
+
+// baselineSAItersPerSec is the SA iteration throughput of the
+// clone-and-re-evaluate hot loop, measured at commit db10ace (the last
+// commit before the incremental Evaluator) on the reference machine with
+// seed 1, default options, 3 sites for TPC-C and 8 for rndAt64x200.
+var baselineSAItersPerSec = map[string]float64{
+	"tpcc":        77316.6,
+	"rndAt64x200": 992.6,
+}
+
+type report struct {
+	Generated        string             `json:"generated"`
+	GoVersion        string             `json:"go_version"`
+	Quick            bool               `json:"quick,omitempty"`
+	EvaluateNsPerOp  map[string]float64 `json:"evaluate_ns_per_op"`
+	ApplyNsPerOp     map[string]float64 `json:"apply_ns_per_op"`
+	SAItersPerSec    map[string]float64 `json:"sa_iters_per_sec"`
+	BaselineItersSec map[string]float64 `json:"baseline_sa_iters_per_sec"`
+	SASpeedup        map[string]float64 `json:"sa_speedup"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vpart-bench", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_evaluator.json", "output JSON path")
+	quick := fs.Bool("quick", false, "fewer SA measurement runs (CI smoke)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runs := 3
+	if *quick {
+		runs = 1
+	}
+
+	instances := map[string]struct {
+		inst  *core.Instance
+		sites int
+	}{
+		"tpcc":        {tpcc.Instance(), 3},
+		"rndAt64x200": {mustRnd(), 8},
+	}
+
+	rep := report{
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:        runtime.Version(),
+		Quick:            *quick,
+		EvaluateNsPerOp:  map[string]float64{},
+		ApplyNsPerOp:     map[string]float64{},
+		SAItersPerSec:    map[string]float64{},
+		BaselineItersSec: baselineSAItersPerSec,
+		SASpeedup:        map[string]float64{},
+	}
+
+	for name, in := range instances {
+		m, err := core.NewModel(in.inst, core.DefaultModelOptions())
+		if err != nil {
+			return err
+		}
+		p := core.FullReplication(m, in.sites)
+
+		rep.EvaluateNsPerOp[name] = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c := m.Evaluate(p); c.Objective <= 0 {
+					panic("bad cost")
+				}
+			}
+		})
+
+		ev, err := vpart.NewEvaluator(m, p)
+		if err != nil {
+			return err
+		}
+		nT := m.NumTxns()
+		// One op = one incremental MoveTxn apply + undo round trip (the
+		// reject path of the SA loop, its most common operation) — the same
+		// op BenchmarkEvaluatorApplyTPCC measures, so the numbers stay
+		// comparable across the harness and `go test -bench`.
+		rep.ApplyNsPerOp[name] = nsPerOp(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev.ApplyMoveTxn(i%nT, (i+1)%in.sites)
+				ev.Undo()
+			}
+		})
+
+		best := 0.0
+		for r := 0; r < runs; r++ {
+			opts := sa.DefaultOptions(in.sites)
+			opts.Seed = int64(r + 1)
+			start := time.Now()
+			res, err := sa.Solve(context.Background(), m, opts)
+			if err != nil {
+				return err
+			}
+			if ips := float64(res.Iterations) / time.Since(start).Seconds(); ips > best {
+				best = ips
+			}
+		}
+		rep.SAItersPerSec[name] = best
+		if base := baselineSAItersPerSec[name]; base > 0 {
+			rep.SASpeedup[name] = best / base
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s", *out, buf)
+	return nil
+}
+
+// nsPerOp measures a benchmark body with the standard testing harness, so
+// the numbers are methodologically identical to `go test -bench`.
+func nsPerOp(body func(b *testing.B)) float64 {
+	return float64(testing.Benchmark(body).NsPerOp())
+}
+
+func mustRnd() *core.Instance {
+	inst, err := randgen.Generate(randgen.ClassA(64, 200, 10), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}

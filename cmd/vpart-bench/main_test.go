@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuickRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-quick", "-out", out}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	for _, inst := range []string{"tpcc", "rndAt64x200"} {
+		if rep.EvaluateNsPerOp[inst] <= 0 || rep.ApplyNsPerOp[inst] <= 0 {
+			t.Errorf("%s: missing evaluate/apply timings: %+v", inst, rep)
+		}
+		if rep.SAItersPerSec[inst] <= 0 {
+			t.Errorf("%s: missing SA throughput", inst)
+		}
+		if rep.SASpeedup[inst] <= 0 {
+			t.Errorf("%s: missing speedup vs baseline", inst)
+		}
+		// The incremental apply must beat a full evaluation comfortably.
+		if rep.ApplyNsPerOp[inst] >= rep.EvaluateNsPerOp[inst] {
+			t.Errorf("%s: incremental apply (%.0f ns) not faster than full Evaluate (%.0f ns)",
+				inst, rep.ApplyNsPerOp[inst], rep.EvaluateNsPerOp[inst])
+		}
+	}
+}

@@ -35,6 +35,30 @@
 // available to every caller — including the bundled CLIs — by registering
 // them, without touching the facade.
 //
+// # Cost evaluation, full and incremental
+//
+// NewModel compiles an instance into the paper's Section 2 cost model;
+// Model.Evaluate prices any Partitioning from scratch and is the reference
+// oracle for every cost in the package. Local search, however, prices
+// thousands of small edits per second, so the package also exposes the
+// incremental Evaluator: NewEvaluator(model, partitioning) compiles the
+// current solution once, and Apply then re-prices a typed move — MoveTxn
+// relocates a transaction, AddReplica/DropReplica edit an attribute's
+// replica set — in time proportional to the cost terms the move actually
+// touches (via attribute→transaction and attribute→write-query reverse
+// indices compiled into the Model), returning the delta of the balanced
+// objective (6). All three WriteAccounting modes, the per-site work vector
+// and the Appendix A latency extension are maintained exactly.
+//
+// Moves are journalled: Undo reverts everything applied since the last
+// Commit, which is what a Metropolis accept/reject step needs; Snapshot and
+// Restore save and reinstate whole states for best-incumbent tracking. The
+// SA solver's hot loop is built entirely on this API — it performs no
+// Partitioning.Clone and no full Model.Evaluate per iteration — and any
+// future local-search solver (tabu, genetic, ...) can reuse it unchanged.
+// Evaluator.Cost assembles the full Cost breakdown of the current state on
+// demand, matching Model.Evaluate to floating point accumulation order.
+//
 // # Cancellation and progress
 //
 // The whole solve path is context-aware: cancelling the context passed to

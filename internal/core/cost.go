@@ -90,26 +90,23 @@ func (m *Model) Evaluate(p *Partitioning) Cost {
 
 	// B: write queries transfer the attributes they write to every replica
 	// site except the site of their own transaction.
+	gross := 0.0
 	for a := 0; a < m.NumAttrs(); a++ {
 		if m.transferTotal[a] == 0 {
 			continue
 		}
-		c.Transfer += m.transferTotal[a] * float64(p.Replicas(a))
+		gross += m.transferTotal[a] * float64(p.Replicas(a))
 	}
+	c.Transfer = gross
 	for t := 0; t < m.NumTxns(); t++ {
 		site := p.TxnSite[t]
-		for a := 0; a < m.NumAttrs(); a++ {
-			if m.transferOwn[a][t] != 0 && p.AttrSites[a][site] {
-				c.Transfer -= m.transferOwn[a][t]
+		for _, tc := range m.txnTerms[t] {
+			if tc.Xfer != 0 && p.AttrSites[tc.Attr][site] {
+				c.Transfer -= tc.Xfer
 			}
 		}
 	}
-	if c.Transfer < 0 {
-		// Guard against floating point cancellation noise.
-		if c.Transfer > -1e-9 {
-			c.Transfer = 0
-		}
-	}
+	c.Transfer = clampTransfer(c.Transfer, gross)
 
 	// Appendix A latency extension.
 	if m.opts.LatencyPenalty > 0 {
@@ -125,6 +122,25 @@ func (m *Model) Evaluate(p *Partitioning) Cost {
 	c.Objective = c.ReadAccess + c.WriteAccess + m.opts.Penalty*c.Transfer + c.Latency
 	c.Balanced = m.opts.Lambda*c.Objective + (1-m.opts.Lambda)*c.MaxWork
 	return c
+}
+
+// transferNoise bounds the relative floating point cancellation allowed in
+// the transfer term B: the gross Σ_a transferTotal(a)·replicas(a) and the
+// per-transaction own-site savings cancel almost exactly for local layouts.
+const transferNoise = 1e-9
+
+// clampTransfer zeroes cancellation noise in the computed transfer term. A
+// negative value beyond the noise tolerance cannot result from rounding — the
+// own-site savings can never exceed the gross transfer — so it is surfaced as
+// a violated model invariant instead of silently producing a negative cost.
+func clampTransfer(transfer, gross float64) float64 {
+	if transfer >= 0 {
+		return transfer
+	}
+	if transfer >= -transferNoise*(1+gross) {
+		return 0
+	}
+	panic(fmt.Sprintf("core: transfer term %g is negative beyond cancellation noise (gross transfer %g): model invariant violated", transfer, gross))
 }
 
 // relevantWriteAccess implements the "access relevant attributes" accounting:
@@ -208,7 +224,8 @@ func (m *Model) ObjectiveOnly(p *Partitioning) float64 {
 			}
 		}
 		// c1 also carries -p·transferOwn for attributes with no read term;
-		// txnTerms only contains non-zero c1/c3 entries so nothing is missed.
+		// txnTerms contains every non-zero c1/c3/transfer-own entry so nothing
+		// is missed (pure transfer entries have C1 = 0 when p = 0).
 	}
 	for a := 0; a < m.NumAttrs(); a++ {
 		c2 := m.C2(a)

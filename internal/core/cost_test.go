@@ -282,3 +282,26 @@ func TestReplicationDeltaMatchesCoefficients(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// clampTransfer must zero cancellation noise but loudly reject genuinely
+// negative transfer sums (a violated model invariant), instead of the old
+// behaviour of letting them through as a negative cost.
+func TestClampTransferGuard(t *testing.T) {
+	if got := clampTransfer(12.5, 100); got != 12.5 {
+		t.Fatalf("positive transfer altered: %g", got)
+	}
+	if got := clampTransfer(-1e-12, 1); got != 0 {
+		t.Fatalf("tiny absolute noise not clamped: %g", got)
+	}
+	// Noise scales with the gross transfer: -1e-6 is an honest rounding
+	// artefact when the cancelled terms are in the 1e4 range.
+	if got := clampTransfer(-1e-6, 1e4); got != 0 {
+		t.Fatalf("scale-relative noise not clamped: %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("large negative transfer did not panic")
+		}
+	}()
+	clampTransfer(-1.0, 100)
+}

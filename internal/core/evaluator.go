@@ -1,0 +1,659 @@
+package core
+
+import "fmt"
+
+// Move is a single incremental edit of a partitioning understood by the
+// Evaluator: MoveTxn, AddReplica or DropReplica. The interface is sealed; the
+// three concrete types are the whole neighbourhood vocabulary of the paper's
+// local-search solvers.
+type Move interface{ isMove() }
+
+// MoveTxn relocates transaction Txn to primary site Site (the x part of a
+// solution). Moving a transaction to its current site is a recorded no-op.
+type MoveTxn struct{ Txn, Site int }
+
+// AddReplica stores attribute Attr on site Site (extends the y part). Adding
+// a replica that already exists is a recorded no-op.
+type AddReplica struct{ Attr, Site int }
+
+// DropReplica removes attribute Attr from site Site. Dropping a replica that
+// does not exist is a recorded no-op. Dropping the last replica of an
+// attribute is allowed — the cost stays well defined — but yields an
+// infeasible partitioning, exactly as Model.Evaluate would score it.
+type DropReplica struct{ Attr, Site int }
+
+func (MoveTxn) isMove()     {}
+func (AddReplica) isMove()  {}
+func (DropReplica) isMove() {}
+
+// moveKind tags journal records.
+type moveKind uint8
+
+const (
+	mkMoveTxn moveKind = iota
+	mkAddReplica
+	mkDropReplica
+)
+
+// undoRec is one journal entry: the move that was applied plus the exact
+// scalar state right before it, so Undo restores the accumulators bitwise
+// instead of relying on floating point arithmetic to invert itself.
+type undoRec struct {
+	kind moveKind
+	noop bool
+	// x is the transaction (mkMoveTxn) or attribute (mkAdd/DropReplica);
+	// site is the move's target site; prevSite the transaction's old site.
+	x, site, prevSite int32
+	// Scalar accumulators before the move.
+	readAccess, writeAccess, transfer, transferGross, latencyUnits float64
+	// work0 is siteWork[site] before the move; work1 is siteWork[prevSite]
+	// (mkMoveTxn only).
+	work0, work1 float64
+	// betaMark is the length of the betaLog when the move was applied
+	// (WriteRelevant only): Undo restores the per-access sums logged past it.
+	betaMark int32
+}
+
+// betaRec is one WriteRelevant per-access sum before a replica flip touched
+// it; logged so Undo restores betaSum bitwise like every other accumulator.
+type betaRec struct {
+	idx  int32
+	prev float64
+}
+
+// Evaluator incrementally re-evaluates the cost of a partitioning under a
+// stream of Moves. It owns a private copy of the partitioning it was created
+// from and keeps the full Cost breakdown — ReadAccess, WriteAccess under all
+// three WriteAccounting modes, Transfer, per-site work and the Appendix A
+// latency extension — consistent after every Apply in time proportional to
+// the cost terms touching the moved transaction or attribute, instead of the
+// O(attrs·txns) full Model.Evaluate.
+//
+// Moves are journalled: Undo reverts everything applied since the last
+// Commit (or Restore), Commit accepts the batch. Snapshot and Restore give
+// O(attrs·sites) best-incumbent bookkeeping for local-search solvers.
+//
+// Model.Evaluate remains the reference oracle: after any move sequence,
+// Cost() equals Model.Evaluate(Partitioning()) up to floating point
+// accumulation order.
+//
+// An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	m *Model
+	p *Partitioning
+
+	// replicas[a] caches Σ_s y[a][s].
+	replicas []int32
+
+	readAccess    float64
+	writeAccess   float64
+	transfer      float64 // raw B, may carry cancellation noise below zero
+	transferGross float64 // Σ_a transferTotal(a)·replicas(a), for the clamp
+	latencyUnits  float64
+	siteWork      []float64
+
+	// Latency counters (LatencyPenalty > 0 only): per write query the number
+	// of (written-attribute occurrence, replica site) pairs in total and on
+	// sites other than the owning transaction's site. ψ_q = qRemote[q] > 0.
+	qTotal, qRemote []int32
+
+	// WriteRelevant counters (that accounting mode only), indexed
+	// access·sites+site: the number of written attributes of the access stored
+	// on the site, and the fraction weight of the access's table stored there.
+	alphaCnt []int32
+	betaSum  []float64
+	// betaLog records every betaSum entry's prior value per uncommitted flip,
+	// so Undo restores the sums bitwise instead of arithmetically.
+	betaLog []betaRec
+
+	journal []undoRec
+}
+
+// NewEvaluator compiles an incremental evaluator for the partitioning under
+// the model. The partitioning is deep-copied — later mutations of p are not
+// seen; edit through Apply instead. Only the dimensions of p are validated
+// (an infeasible partitioning still has a well defined cost).
+func NewEvaluator(m *Model, p *Partitioning) (*Evaluator, error) {
+	if p.Sites <= 0 {
+		return nil, fmt.Errorf("evaluator: non-positive site count %d", p.Sites)
+	}
+	if len(p.TxnSite) != m.NumTxns() {
+		return nil, fmt.Errorf("evaluator: %d transactions, model has %d", len(p.TxnSite), m.NumTxns())
+	}
+	if len(p.AttrSites) != m.NumAttrs() {
+		return nil, fmt.Errorf("evaluator: %d attributes, model has %d", len(p.AttrSites), m.NumAttrs())
+	}
+	for a := range p.AttrSites {
+		if len(p.AttrSites[a]) != p.Sites {
+			return nil, fmt.Errorf("evaluator: attribute %s has %d site slots, want %d",
+				m.Attr(a).Qualified, len(p.AttrSites[a]), p.Sites)
+		}
+	}
+	for t, s := range p.TxnSite {
+		if s < 0 || s >= p.Sites {
+			return nil, fmt.Errorf("evaluator: transaction %q assigned to invalid site %d", m.TxnName(t), s)
+		}
+	}
+	e := &Evaluator{
+		m:        m,
+		p:        p.Clone(),
+		replicas: make([]int32, m.NumAttrs()),
+		siteWork: make([]float64, p.Sites),
+	}
+	if m.opts.LatencyPenalty > 0 {
+		e.qTotal = make([]int32, len(m.writeQFreq))
+		e.qRemote = make([]int32, len(m.writeQFreq))
+	}
+	if m.opts.WriteAccounting == WriteRelevant {
+		e.alphaCnt = make([]int32, m.numWriteAcc*p.Sites)
+		e.betaSum = make([]float64, m.numWriteAcc*p.Sites)
+	}
+	e.reinit()
+	return e, nil
+}
+
+// reinit computes every accumulator from scratch (the one full evaluation an
+// Evaluator ever performs).
+func (e *Evaluator) reinit() {
+	m, p := e.m, e.p
+	S := p.Sites
+
+	e.readAccess, e.writeAccess, e.transfer, e.transferGross, e.latencyUnits = 0, 0, 0, 0, 0
+	for s := range e.siteWork {
+		e.siteWork[s] = 0
+	}
+	for a := range p.AttrSites {
+		e.replicas[a] = int32(p.Replicas(a))
+	}
+
+	// A_R, the read part of the site work and the own-site transfer savings.
+	for t := 0; t < m.NumTxns(); t++ {
+		st := p.TxnSite[t]
+		for _, tc := range m.txnTerms[t] {
+			if !p.AttrSites[tc.Attr][st] {
+				continue
+			}
+			e.readAccess += tc.C3
+			e.siteWork[st] += tc.C3
+			e.transfer -= tc.Xfer
+		}
+	}
+
+	// The write part of the site work, gross transfer and WriteAll A_W.
+	for a := 0; a < m.NumAttrs(); a++ {
+		if c4 := m.C4(a); c4 != 0 {
+			for s := 0; s < S; s++ {
+				if p.AttrSites[a][s] {
+					e.siteWork[s] += c4
+				}
+			}
+		}
+		if m.opts.WriteAccounting == WriteAll {
+			e.writeAccess += m.writeLocal[a] * float64(e.replicas[a])
+		}
+		if tt := m.transferTotal[a]; tt != 0 {
+			g := tt * float64(e.replicas[a])
+			e.transfer += g
+			e.transferGross += g
+		}
+	}
+
+	// WriteRelevant per-access counters and A_W.
+	if m.opts.WriteAccounting == WriteRelevant {
+		acc := 0
+		for _, q := range m.queries {
+			if !q.write {
+				continue
+			}
+			for _, qa := range q.accesses {
+				for s := 0; s < S; s++ {
+					idx := acc*S + s
+					e.alphaCnt[idx] = 0
+					e.betaSum[idx] = 0
+					for _, a := range qa.attrs {
+						if p.AttrSites[a][s] {
+							e.alphaCnt[idx]++
+						}
+					}
+					for _, a := range m.tableAttrs[qa.table] {
+						if p.AttrSites[a][s] {
+							e.betaSum[idx] += float64(m.attrs[a].Width) * q.freq * qa.rows
+						}
+					}
+					if e.alphaCnt[idx] > 0 {
+						e.writeAccess += e.betaSum[idx]
+					}
+				}
+				acc++
+			}
+		}
+	}
+
+	// Appendix A latency counters.
+	if m.opts.LatencyPenalty > 0 {
+		for q := range m.writeQFreq {
+			st := p.TxnSite[m.writeQTxn[q]]
+			total, own := int32(0), int32(0)
+			for _, ar := range m.writeQAlpha[q] {
+				total += ar.mult * e.replicas[ar.attr]
+				if p.AttrSites[ar.attr][st] {
+					own += ar.mult
+				}
+			}
+			e.qTotal[q] = total
+			e.qRemote[q] = total - own
+			if e.qRemote[q] > 0 {
+				e.latencyUnits += m.writeQFreq[q]
+			}
+		}
+	}
+}
+
+// Model returns the model the evaluator scores against.
+func (e *Evaluator) Model() *Model { return e.m }
+
+// Partitioning returns the evaluator's live working partitioning. It is owned
+// by the evaluator: treat it as read-only and edit through Apply.
+func (e *Evaluator) Partitioning() *Partitioning { return e.p }
+
+// Pending returns the number of moves applied since the last Commit (the
+// size of the batch Undo would revert). No-op moves count.
+func (e *Evaluator) Pending() int { return len(e.journal) }
+
+// Apply applies a move and returns the resulting change of the balanced
+// objective (6) — the value local-search solvers feed into their Metropolis
+// test. The move is journalled; revert it (with the rest of the uncommitted
+// batch) with Undo or accept it with Commit.
+func (e *Evaluator) Apply(mv Move) float64 {
+	switch mv := mv.(type) {
+	case MoveTxn:
+		return e.ApplyMoveTxn(mv.Txn, mv.Site)
+	case AddReplica:
+		return e.ApplyAddReplica(mv.Attr, mv.Site)
+	case DropReplica:
+		return e.ApplyDropReplica(mv.Attr, mv.Site)
+	default:
+		panic(fmt.Sprintf("core: unknown move type %T", mv))
+	}
+}
+
+// checkSite panics on an out-of-range site index (an invalid site would
+// silently corrupt the accumulators otherwise).
+func (e *Evaluator) checkSite(s int) {
+	if s < 0 || s >= e.p.Sites {
+		panic(fmt.Sprintf("core: move targets invalid site %d of %d", s, e.p.Sites))
+	}
+}
+
+// ApplyMoveTxn is Apply(MoveTxn{t, s}) without the interface boxing — the
+// allocation-free form hot loops should call.
+func (e *Evaluator) ApplyMoveTxn(t, s int) float64 {
+	e.checkSite(s)
+	old := e.p.TxnSite[t]
+	rec := undoRec{
+		kind: mkMoveTxn, x: int32(t), site: int32(s), prevSite: int32(old),
+		readAccess: e.readAccess, writeAccess: e.writeAccess,
+		transfer: e.transfer, transferGross: e.transferGross,
+		latencyUnits: e.latencyUnits,
+		work0:        e.siteWork[s], work1: e.siteWork[old],
+		betaMark: int32(len(e.betaLog)),
+	}
+	if s == old {
+		rec.noop = true
+		e.journal = append(e.journal, rec)
+		return 0
+	}
+	b0 := e.balancedRaw()
+	e.moveTxn(t, s)
+	e.journal = append(e.journal, rec)
+	return e.balancedRaw() - b0
+}
+
+// ApplyAddReplica is Apply(AddReplica{a, s}) without the interface boxing.
+func (e *Evaluator) ApplyAddReplica(a, s int) float64 {
+	e.checkSite(s)
+	rec := undoRec{
+		kind: mkAddReplica, x: int32(a), site: int32(s),
+		readAccess: e.readAccess, writeAccess: e.writeAccess,
+		transfer: e.transfer, transferGross: e.transferGross,
+		latencyUnits: e.latencyUnits,
+		work0:        e.siteWork[s],
+		betaMark:     int32(len(e.betaLog)),
+	}
+	if e.p.AttrSites[a][s] {
+		rec.noop = true
+		e.journal = append(e.journal, rec)
+		return 0
+	}
+	b0 := e.balancedRaw()
+	e.flipReplica(a, s, true)
+	e.journal = append(e.journal, rec)
+	return e.balancedRaw() - b0
+}
+
+// ApplyDropReplica is Apply(DropReplica{a, s}) without the interface boxing.
+func (e *Evaluator) ApplyDropReplica(a, s int) float64 {
+	e.checkSite(s)
+	rec := undoRec{
+		kind: mkDropReplica, x: int32(a), site: int32(s),
+		readAccess: e.readAccess, writeAccess: e.writeAccess,
+		transfer: e.transfer, transferGross: e.transferGross,
+		latencyUnits: e.latencyUnits,
+		work0:        e.siteWork[s],
+		betaMark:     int32(len(e.betaLog)),
+	}
+	if !e.p.AttrSites[a][s] {
+		rec.noop = true
+		e.journal = append(e.journal, rec)
+		return 0
+	}
+	b0 := e.balancedRaw()
+	e.flipReplica(a, s, false)
+	e.journal = append(e.journal, rec)
+	return e.balancedRaw() - b0
+}
+
+// Undo reverts every move applied since the last Commit (or Restore), in
+// reverse order. The scalar accumulators are restored bitwise from the
+// journal, so an apply-undo cycle is exact.
+func (e *Evaluator) Undo() {
+	for i := len(e.journal) - 1; i >= 0; i-- {
+		rec := &e.journal[i]
+		if !rec.noop {
+			switch rec.kind {
+			case mkMoveTxn:
+				e.moveTxn(int(rec.x), int(rec.prevSite))
+				e.siteWork[rec.prevSite] = rec.work1
+			case mkAddReplica:
+				e.flipReplica(int(rec.x), int(rec.site), false)
+			case mkDropReplica:
+				e.flipReplica(int(rec.x), int(rec.site), true)
+			}
+			// Restore the WriteRelevant per-access sums bitwise from the log.
+			// The inverse flip above appended mirror entries; walking the log
+			// backwards to the move's mark assigns the oldest — true — prior
+			// value of every touched sum last.
+			for j := len(e.betaLog) - 1; j >= int(rec.betaMark); j-- {
+				e.betaSum[e.betaLog[j].idx] = e.betaLog[j].prev
+			}
+			e.betaLog = e.betaLog[:rec.betaMark]
+			e.siteWork[rec.site] = rec.work0
+			e.readAccess = rec.readAccess
+			e.writeAccess = rec.writeAccess
+			e.transfer = rec.transfer
+			e.transferGross = rec.transferGross
+			e.latencyUnits = rec.latencyUnits
+		}
+	}
+	e.journal = e.journal[:0]
+	e.betaLog = e.betaLog[:0]
+}
+
+// Commit accepts the uncommitted move batch: the journal is cleared and the
+// moves can no longer be undone.
+func (e *Evaluator) Commit() {
+	e.journal = e.journal[:0]
+	e.betaLog = e.betaLog[:0]
+}
+
+// moveTxn relocates transaction t to site sNew, updating every accumulator.
+func (e *Evaluator) moveTxn(t, sNew int) {
+	m := e.m
+	p := e.p
+	sOld := p.TxnSite[t]
+	for _, tc := range m.txnTerms[t] {
+		row := p.AttrSites[tc.Attr]
+		if row[sOld] {
+			e.readAccess -= tc.C3
+			e.siteWork[sOld] -= tc.C3
+			e.transfer += tc.Xfer
+		}
+		if row[sNew] {
+			e.readAccess += tc.C3
+			e.siteWork[sNew] += tc.C3
+			e.transfer -= tc.Xfer
+		}
+	}
+	p.TxnSite[t] = sNew
+	if m.opts.LatencyPenalty > 0 {
+		for _, q := range m.txnWriteQ[t] {
+			own := int32(0)
+			for _, ar := range m.writeQAlpha[q] {
+				if p.AttrSites[ar.attr][sNew] {
+					own += ar.mult
+				}
+			}
+			remote := e.qTotal[q] - own
+			was, now := e.qRemote[q] > 0, remote > 0
+			e.qRemote[q] = remote
+			if was != now {
+				if now {
+					e.latencyUnits += m.writeQFreq[q]
+				} else {
+					e.latencyUnits -= m.writeQFreq[q]
+				}
+			}
+		}
+	}
+}
+
+// flipReplica stores (on) or removes (off) attribute a on site s, updating
+// every accumulator. The current bit must differ from on.
+func (e *Evaluator) flipReplica(a, s int, on bool) {
+	m := e.m
+	p := e.p
+	sign := -1.0
+	if on {
+		sign = 1.0
+		e.replicas[a]++
+	} else {
+		e.replicas[a]--
+	}
+	p.AttrSites[a][s] = on
+
+	if c4 := m.C4(a); c4 != 0 {
+		e.siteWork[s] += sign * c4
+	}
+	switch m.opts.WriteAccounting {
+	case WriteAll:
+		if w := m.writeLocal[a]; w != 0 {
+			e.writeAccess += sign * w
+		}
+	case WriteRelevant:
+		S := p.Sites
+		for _, ref := range m.attrWriteAcc[a] {
+			idx := int(ref.access)*S + s
+			before := 0.0
+			if e.alphaCnt[idx] > 0 {
+				before = e.betaSum[idx]
+			}
+			e.betaLog = append(e.betaLog, betaRec{idx: int32(idx), prev: e.betaSum[idx]})
+			e.betaSum[idx] += sign * ref.weight
+			if ref.alpha {
+				if on {
+					e.alphaCnt[idx]++
+				} else {
+					e.alphaCnt[idx]--
+				}
+			}
+			after := 0.0
+			if e.alphaCnt[idx] > 0 {
+				after = e.betaSum[idx]
+			}
+			e.writeAccess += after - before
+		}
+	}
+
+	for _, at := range m.attrTerms[a] {
+		if p.TxnSite[at.Txn] != s {
+			continue
+		}
+		e.readAccess += sign * at.C3
+		e.siteWork[s] += sign * at.C3
+		e.transfer -= sign * at.Xfer
+	}
+	if tt := m.transferTotal[a]; tt != 0 {
+		e.transfer += sign * tt
+		e.transferGross += sign * tt
+	}
+
+	if m.opts.LatencyPenalty > 0 {
+		for _, qr := range m.attrWriteQ[a] {
+			q := qr.query
+			if on {
+				e.qTotal[q] += qr.mult
+			} else {
+				e.qTotal[q] -= qr.mult
+			}
+			if p.TxnSite[m.writeQTxn[q]] == s {
+				continue
+			}
+			was := e.qRemote[q] > 0
+			if on {
+				e.qRemote[q] += qr.mult
+			} else {
+				e.qRemote[q] -= qr.mult
+			}
+			now := e.qRemote[q] > 0
+			if was != now {
+				if now {
+					e.latencyUnits += m.writeQFreq[q]
+				} else {
+					e.latencyUnits -= m.writeQFreq[q]
+				}
+			}
+		}
+	}
+}
+
+// balancedRaw computes the balanced objective (6) from the accumulators with
+// the raw (unclamped) transfer term. Deltas of consecutive calls are exact
+// regardless of the clamp, which only matters at B ≈ 0.
+func (e *Evaluator) balancedRaw() float64 {
+	mw := 0.0
+	for _, w := range e.siteWork {
+		if w > mw {
+			mw = w
+		}
+	}
+	m := e.m
+	obj := e.readAccess + e.writeAccess + m.opts.Penalty*e.transfer +
+		m.opts.LatencyPenalty*e.latencyUnits
+	return m.opts.Lambda*obj + (1-m.opts.Lambda)*mw
+}
+
+// Balanced returns the balanced objective (6) of the current state, equal to
+// Cost().Balanced but without allocating. O(sites).
+func (e *Evaluator) Balanced() float64 {
+	mw := 0.0
+	for _, w := range e.siteWork {
+		if w > mw {
+			mw = w
+		}
+	}
+	m := e.m
+	obj := e.readAccess + e.writeAccess +
+		m.opts.Penalty*clampTransfer(e.transfer, e.transferGross) +
+		m.opts.LatencyPenalty*e.latencyUnits
+	return m.opts.Lambda*obj + (1-m.opts.Lambda)*mw
+}
+
+// Cost assembles the full cost breakdown of the current state from the
+// accumulators. O(sites) — this is cheap enough to call per iteration.
+func (e *Evaluator) Cost() Cost {
+	m := e.m
+	c := Cost{
+		ReadAccess:  e.readAccess,
+		WriteAccess: e.writeAccess,
+		Transfer:    clampTransfer(e.transfer, e.transferGross),
+		SiteWork:    append([]float64(nil), e.siteWork...),
+	}
+	for _, w := range c.SiteWork {
+		if w > c.MaxWork {
+			c.MaxWork = w
+		}
+	}
+	if m.opts.LatencyPenalty > 0 {
+		c.LatencyUnits = e.latencyUnits
+		c.Latency = m.opts.LatencyPenalty * c.LatencyUnits
+	}
+	c.Objective = c.ReadAccess + c.WriteAccess + m.opts.Penalty*c.Transfer + c.Latency
+	c.Balanced = m.opts.Lambda*c.Objective + (1-m.opts.Lambda)*c.MaxWork
+	return c
+}
+
+// EvalSnapshot is a saved Evaluator state used for best-incumbent tracking.
+// Snapshots are only valid for the evaluator (or an identically shaped one
+// over the same model) that produced them.
+type EvalSnapshot struct {
+	sites    int
+	txnSite  []int
+	attrBits []bool // AttrSites flattened attr-major
+	replicas []int32
+
+	readAccess, writeAccess, transfer, transferGross, latencyUnits float64
+
+	siteWork []float64
+	qTotal   []int32
+	qRemote  []int32
+	alphaCnt []int32
+	betaSum  []float64
+}
+
+// Snapshot captures the complete current state (including uncommitted moves)
+// into a fresh snapshot. O(attrs·sites).
+func (e *Evaluator) Snapshot() *EvalSnapshot {
+	s := &EvalSnapshot{}
+	e.SnapshotTo(s)
+	return s
+}
+
+// SnapshotTo captures the current state into snap, reusing its buffers — the
+// allocation-free form for hot loops that keep one best-incumbent snapshot.
+func (e *Evaluator) SnapshotTo(snap *EvalSnapshot) {
+	S := e.p.Sites
+	snap.sites = S
+	snap.txnSite = append(snap.txnSite[:0], e.p.TxnSite...)
+	snap.attrBits = snap.attrBits[:0]
+	for _, row := range e.p.AttrSites {
+		snap.attrBits = append(snap.attrBits, row...)
+	}
+	snap.replicas = append(snap.replicas[:0], e.replicas...)
+	snap.readAccess = e.readAccess
+	snap.writeAccess = e.writeAccess
+	snap.transfer = e.transfer
+	snap.transferGross = e.transferGross
+	snap.latencyUnits = e.latencyUnits
+	snap.siteWork = append(snap.siteWork[:0], e.siteWork...)
+	snap.qTotal = append(snap.qTotal[:0], e.qTotal...)
+	snap.qRemote = append(snap.qRemote[:0], e.qRemote...)
+	snap.alphaCnt = append(snap.alphaCnt[:0], e.alphaCnt...)
+	snap.betaSum = append(snap.betaSum[:0], e.betaSum...)
+}
+
+// Restore reinstates a snapshot bitwise. Any uncommitted moves are discarded
+// (the journal is cleared — moves applied before the Restore can no longer be
+// undone).
+func (e *Evaluator) Restore(snap *EvalSnapshot) {
+	if snap.sites != e.p.Sites || len(snap.txnSite) != len(e.p.TxnSite) ||
+		len(snap.attrBits) != len(e.p.AttrSites)*e.p.Sites {
+		panic("core: Restore called with a snapshot from a differently shaped evaluator")
+	}
+	copy(e.p.TxnSite, snap.txnSite)
+	for a, row := range e.p.AttrSites {
+		copy(row, snap.attrBits[a*snap.sites:(a+1)*snap.sites])
+	}
+	copy(e.replicas, snap.replicas)
+	e.readAccess = snap.readAccess
+	e.writeAccess = snap.writeAccess
+	e.transfer = snap.transfer
+	e.transferGross = snap.transferGross
+	e.latencyUnits = snap.latencyUnits
+	copy(e.siteWork, snap.siteWork)
+	copy(e.qTotal, snap.qTotal)
+	copy(e.qRemote, snap.qRemote)
+	copy(e.alphaCnt, snap.alphaCnt)
+	copy(e.betaSum, snap.betaSum)
+	e.journal = e.journal[:0]
+	e.betaLog = e.betaLog[:0]
+}

@@ -122,7 +122,7 @@ type queryInfo struct {
 	accesses []queryAccess
 }
 
-// TermCoef is a sparse (attribute, coefficient) pair used when iterating the
+// TermCoef is a sparse (attribute, coefficient) tuple used when iterating the
 // non-zero cost terms of a single transaction.
 type TermCoef struct {
 	Attr int
@@ -130,6 +130,45 @@ type TermCoef struct {
 	C1 float64
 	// C3 is the load coefficient c3(a,t) of equation (5).
 	C3 float64
+	// Xfer is the transfer weight Σ_q W(a,q)·α(a,q)·γ(q,t)·δ_q saved when a is
+	// co-located with t (TransferOwn).
+	Xfer float64
+}
+
+// AttrTermCoef is the attribute-side transpose of TermCoef: one entry per
+// transaction with a non-zero c3(a,t) or TransferOwn(a,t) for attribute a. The
+// incremental Evaluator walks these lists to re-account a replica change in
+// time proportional to the terms actually touched.
+type AttrTermCoef struct {
+	Txn int
+	// C3 is the load coefficient c3(a,t) of equation (5).
+	C3 float64
+	// Xfer is TransferOwn(a,t).
+	Xfer float64
+}
+
+// alphaRef is one written attribute of a write query with its number of
+// occurrences across the query's table accesses.
+type alphaRef struct {
+	attr int32
+	mult int32
+}
+
+// attrQueryRef says attribute `attr` appears `mult` times in the α set of
+// write query `query`.
+type attrQueryRef struct {
+	query int32
+	mult  int32
+}
+
+// attrAccessRef links an attribute to one write-query table access over the
+// attribute's table: weight is the fraction weight w_a·f_q·n_{r,q} the
+// attribute contributes to the "access relevant attributes" accounting, and
+// alpha reports whether the access actually writes the attribute.
+type attrAccessRef struct {
+	access int32
+	alpha  bool
+	weight float64
 }
 
 // Model is the compiled cost model of an instance: the indicator constants
@@ -163,8 +202,26 @@ type Model struct {
 	phi [][]bool
 	// txnReadAttrs[t] lists the attributes with phi[a][t] = true, sorted.
 	txnReadAttrs [][]int
-	// txnTerms[t] lists the attributes with a non-zero c1(a,t) or c3(a,t).
+	// txnTerms[t] lists the attributes with a non-zero c1(a,t), c3(a,t) or
+	// transferOwn(a,t).
 	txnTerms [][]TermCoef
+
+	// Reverse indices compiled for the incremental Evaluator:
+	//
+	//   attrTerms[a]    — transactions with a non-zero c3(a,t) or transferOwn
+	//   attrWriteQ[a]   — write queries whose α set contains a (with count)
+	//   txnWriteQ[t]    — write queries belonging to transaction t
+	//   attrWriteAcc[a] — write-query table accesses over a's table
+	attrTerms    [][]AttrTermCoef
+	attrWriteQ   [][]attrQueryRef
+	txnWriteQ    [][]int32
+	attrWriteAcc [][]attrAccessRef
+	// writeQFreq/writeQTxn/writeQAlpha describe the compiled write queries in
+	// evaluator-friendly form; numWriteAcc counts their table accesses.
+	writeQFreq  []float64
+	writeQTxn   []int32
+	writeQAlpha [][]alphaRef
+	numWriteAcc int
 }
 
 // NewModel compiles an instance into a cost model. The instance is validated
@@ -182,6 +239,7 @@ func NewModel(inst *Instance, opts ModelOptions) (*Model, error) {
 		return nil, err
 	}
 	m.compileCoefficients()
+	m.compileEvalIndices()
 	return m, nil
 }
 
@@ -289,9 +347,75 @@ func (m *Model) compileCoefficients() {
 			}
 			c1 := m.readLocal[a][t] - m.opts.Penalty*m.transferOwn[a][t]
 			c3 := m.readLocal[a][t]
-			if c1 != 0 || c3 != 0 {
-				m.txnTerms[t] = append(m.txnTerms[t], TermCoef{Attr: a, C1: c1, C3: c3})
+			xfer := m.transferOwn[a][t]
+			if c1 != 0 || c3 != 0 || xfer != 0 {
+				m.txnTerms[t] = append(m.txnTerms[t], TermCoef{Attr: a, C1: c1, C3: c3, Xfer: xfer})
 			}
+		}
+	}
+}
+
+// compileEvalIndices builds the reverse indices the incremental Evaluator
+// walks: the attribute-side transpose of txnTerms and the write-query
+// catalogue used by the "access relevant attributes" accounting and the
+// Appendix A latency extension.
+func (m *Model) compileEvalIndices() {
+	nA, nT := len(m.attrs), len(m.txnNames)
+	m.attrTerms = make([][]AttrTermCoef, nA)
+	for t := 0; t < nT; t++ {
+		for _, tc := range m.txnTerms[t] {
+			if tc.C3 != 0 || tc.Xfer != 0 {
+				m.attrTerms[tc.Attr] = append(m.attrTerms[tc.Attr],
+					AttrTermCoef{Txn: t, C3: tc.C3, Xfer: tc.Xfer})
+			}
+		}
+	}
+
+	m.attrWriteQ = make([][]attrQueryRef, nA)
+	m.txnWriteQ = make([][]int32, nT)
+	m.attrWriteAcc = make([][]attrAccessRef, nA)
+	for _, q := range m.queries {
+		if !q.write {
+			continue
+		}
+		qid := int32(len(m.writeQFreq))
+		m.writeQFreq = append(m.writeQFreq, q.freq)
+		m.writeQTxn = append(m.writeQTxn, int32(q.txn))
+		m.txnWriteQ[q.txn] = append(m.txnWriteQ[q.txn], qid)
+		// α multiplicities across the query's accesses; attrs are kept sorted
+		// so the compiled lists are deterministic.
+		var alpha []alphaRef
+		for _, acc := range q.accesses {
+			accID := int32(m.numWriteAcc)
+			m.numWriteAcc++
+			for _, a := range m.tableAttrs[acc.table] {
+				ref := attrAccessRef{
+					access: accID,
+					weight: float64(m.attrs[a].Width) * q.freq * acc.rows,
+				}
+				for _, wa := range acc.attrs {
+					if wa == a {
+						ref.alpha = true
+						break
+					}
+				}
+				m.attrWriteAcc[a] = append(m.attrWriteAcc[a], ref)
+			}
+			for _, a := range acc.attrs {
+				i := sort.Search(len(alpha), func(i int) bool { return int(alpha[i].attr) >= a })
+				if i < len(alpha) && int(alpha[i].attr) == a {
+					alpha[i].mult++
+					continue
+				}
+				alpha = append(alpha, alphaRef{})
+				copy(alpha[i+1:], alpha[i:])
+				alpha[i] = alphaRef{attr: int32(a), mult: 1}
+			}
+		}
+		m.writeQAlpha = append(m.writeQAlpha, alpha)
+		for _, ar := range alpha {
+			m.attrWriteQ[ar.attr] = append(m.attrWriteQ[ar.attr],
+				attrQueryRef{query: qid, mult: ar.mult})
 		}
 	}
 }
@@ -363,9 +487,13 @@ func (m *Model) Phi(a, t int) bool { return m.phi[a][t] }
 // transaction t (sorted, do not modify).
 func (m *Model) TxnReadAttrs(t int) []int { return m.txnReadAttrs[t] }
 
-// TxnTerms returns the attributes with a non-zero c1 or c3 coefficient for
-// transaction t (do not modify).
+// TxnTerms returns the attributes with a non-zero c1, c3 or transfer-own
+// coefficient for transaction t (do not modify).
 func (m *Model) TxnTerms(t int) []TermCoef { return m.txnTerms[t] }
+
+// AttrTerms returns the transactions with a non-zero c3 or transfer-own
+// coefficient for attribute a (the transpose of TxnTerms; do not modify).
+func (m *Model) AttrTerms(a int) []AttrTermCoef { return m.attrTerms[a] }
 
 // C1 returns the quadratic coefficient c1(a,t) of objective (4):
 //

@@ -74,6 +74,18 @@ func (p *Partitioning) Clone() *Partitioning {
 	return c
 }
 
+// CopyFrom copies src's assignment into p without allocating. The two
+// partitionings must have equal dimensions.
+func (p *Partitioning) CopyFrom(src *Partitioning) {
+	if p.Sites != src.Sites || len(p.TxnSite) != len(src.TxnSite) || len(p.AttrSites) != len(src.AttrSites) {
+		panic("partitioning: CopyFrom with mismatching dimensions")
+	}
+	copy(p.TxnSite, src.TxnSite)
+	for a := range src.AttrSites {
+		copy(p.AttrSites[a], src.AttrSites[a])
+	}
+}
+
 // Replicas returns the number of sites attribute a is stored on.
 func (p *Partitioning) Replicas(a int) int {
 	n := 0

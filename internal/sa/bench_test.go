@@ -2,6 +2,7 @@ package sa
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 
 	"vpart/internal/core"
@@ -61,6 +62,9 @@ func BenchmarkFindSolutionYGivenX(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateNeighbourhoodMove prices one neighbourhood move the way
+// the pre-Evaluator hot loop did — clone, mutate, repair, full re-evaluate —
+// and is kept as the comparison baseline for BenchmarkPerturbApplyUndo.
 func BenchmarkEvaluateNeighbourhoodMove(b *testing.B) {
 	m := benchModel(b, tpcc.Instance())
 	opts := DefaultOptions(4)
@@ -77,5 +81,57 @@ func BenchmarkEvaluateNeighbourhoodMove(b *testing.B) {
 		if cost := m.Evaluate(c); cost.Objective <= 0 {
 			b.Fatal("bad cost")
 		}
+	}
+}
+
+// BenchmarkSolveRndAt64x200 measures a full SA solve of the paper's largest
+// random instance family — the headline workload of the incremental
+// evaluator refactor (see BENCH_evaluator.json for the tracked numbers).
+func BenchmarkSolveRndAt64x200(b *testing.B) {
+	inst, err := randgen.Generate(randgen.ClassA(64, 200, 10), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := benchModel(b, inst)
+	iters, secs := 0, 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultOptions(8)
+		opts.Seed = int64(i + 1)
+		res, err := Solve(context.Background(), m, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		iters += res.Iterations
+		secs += res.Runtime.Seconds()
+	}
+	b.ReportMetric(float64(iters)/secs, "iters/sec")
+}
+
+// BenchmarkPerturbApplyUndo measures the steady state of the move-based
+// inner loop — propose a neighbourhood batch against the evaluator, then
+// reject it — and reports its allocations (which must be zero once warm).
+func BenchmarkPerturbApplyUndo(b *testing.B) {
+	m := benchModel(b, tpcc.Instance())
+	opts := DefaultOptions(4)
+	s := newSolver(m, opts)
+	rng := rand.New(rand.NewSource(1))
+	p := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 4)
+	s.randomX(rng, p)
+	s.findSolution(p, "x")
+	p.Repair(m)
+	ev, err := core.NewEvaluator(m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ { // warm up buffer capacities
+		s.perturb(rng, ev)
+		ev.Undo()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.perturb(rng, ev)
+		ev.Undo()
 	}
 }

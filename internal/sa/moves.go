@@ -1,0 +1,151 @@
+package sa
+
+// The move-based neighbourhood: perturbations and greedy intensification are
+// proposed as typed move batches against one incremental core.Evaluator
+// instead of mutating cloned partitionings. Every helper reuses the solver's
+// scratch buffers so the steady-state inner loop is allocation-free.
+
+import (
+	"math/rand"
+
+	"vpart/internal/core"
+)
+
+// perturb proposes one neighbourhood move of Algorithm 1 as a batch of
+// evaluator moves and returns its balanced-objective delta: a MoveFraction
+// share of the transactions (components in disjoint mode) is relocated —
+// dragging along AddReplica repair moves for the attributes the relocated
+// transactions read — and the replication of a MoveFraction share of the
+// attributes is extended (relocated, in disjoint mode). The caller decides
+// the batch's fate with ev.Commit or ev.Undo.
+func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
+	if s.sites < 2 {
+		return 0
+	}
+	p := ev.Partitioning()
+	delta := 0.0
+
+	// x-part: relocate transactions, repairing single-sitedness as we go.
+	if s.opts.Disjoint {
+		n := moveCount(len(s.components), s.opts.MoveFraction)
+		for i := 0; i < n; i++ {
+			ci := rng.Intn(len(s.components))
+			st := rng.Intn(s.sites)
+			comp := s.components[ci]
+			old := p.TxnSite[comp[0]]
+			if st == old {
+				continue
+			}
+			for _, t := range comp {
+				delta += ev.ApplyMoveTxn(t, st)
+			}
+			// The component's read attributes move with it (replication is
+			// forbidden in disjoint mode).
+			for _, a := range s.compAttrs[ci] {
+				delta += ev.ApplyAddReplica(a, st)
+				delta += ev.ApplyDropReplica(a, old)
+			}
+		}
+	} else {
+		n := moveCount(len(p.TxnSite), s.opts.MoveFraction)
+		for i := 0; i < n; i++ {
+			t := rng.Intn(len(p.TxnSite))
+			st := rng.Intn(s.sites)
+			if st == p.TxnSite[t] {
+				continue
+			}
+			delta += ev.ApplyMoveTxn(t, st)
+			for _, a := range s.m.TxnReadAttrs(t) {
+				if !p.AttrSites[a][st] {
+					delta += ev.ApplyAddReplica(a, st)
+				}
+			}
+		}
+	}
+
+	// y-part: extend the replication of random attributes (the paper's
+	// neighbourhood); in disjoint mode relocate unread attributes instead.
+	nA := len(p.AttrSites)
+	n := moveCount(nA, s.opts.MoveFraction)
+	for i := 0; i < n; i++ {
+		a := rng.Intn(nA)
+		if s.opts.Disjoint {
+			if len(s.readersOf[a]) > 0 {
+				continue
+			}
+			st := rng.Intn(s.sites)
+			if p.AttrSites[a][st] {
+				continue
+			}
+			old := attrSite(p, a)
+			delta += ev.ApplyAddReplica(a, st)
+			delta += ev.ApplyDropReplica(a, old)
+			continue
+		}
+		s.missing = s.missing[:0]
+		for st, on := range p.AttrSites[a] {
+			if !on {
+				s.missing = append(s.missing, st)
+			}
+		}
+		if len(s.missing) == 0 {
+			continue
+		}
+		delta += ev.ApplyAddReplica(a, s.missing[rng.Intn(len(s.missing))])
+	}
+	return delta
+}
+
+// intensify runs one findSolution(fix) pass of Algorithm 1 — the greedy
+// re-optimisation of the vector that is not fixed — on a scratch copy of the
+// evaluator's state and applies the outcome as one diffed move batch,
+// returning its delta. The caller commits or undoes the batch.
+func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
+	p := ev.Partitioning()
+	if s.scratch == nil {
+		s.scratch = p.Clone()
+	} else {
+		s.scratch.CopyFrom(p)
+	}
+	if fixX {
+		s.findSolution(s.scratch, "x")
+	} else {
+		s.findSolution(s.scratch, "y")
+	}
+
+	delta := 0.0
+	for t, st := range s.scratch.TxnSite {
+		if p.TxnSite[t] != st {
+			delta += ev.ApplyMoveTxn(t, st)
+		}
+	}
+	// Additions before removals, so attributes keep at least one replica at
+	// every intermediate step of the batch.
+	for a, row := range s.scratch.AttrSites {
+		cur := p.AttrSites[a]
+		for st := range row {
+			if row[st] && !cur[st] {
+				delta += ev.ApplyAddReplica(a, st)
+			}
+		}
+	}
+	for a, row := range s.scratch.AttrSites {
+		cur := p.AttrSites[a]
+		for st := range row {
+			if !row[st] && cur[st] {
+				delta += ev.ApplyDropReplica(a, st)
+			}
+		}
+	}
+	return delta
+}
+
+// attrSite returns the site of a non-replicated attribute (disjoint mode).
+func attrSite(p *core.Partitioning, a int) int {
+	for st, on := range p.AttrSites[a] {
+		if on {
+			return st
+		}
+	}
+	return 0
+}

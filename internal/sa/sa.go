@@ -14,6 +14,16 @@
 // The subproblems ("findSolution" in Algorithm 1) are solved with fast greedy
 // optimisers by default; they account for both the cost term (λ) and the
 // load-balancing term (1−λ) of objective (6).
+//
+// The hot loop is move-based: every candidate is proposed as a batch of typed
+// moves (transaction relocations, replica additions/relocations plus the
+// repair moves that keep reads single-sited) applied to one incremental
+// core.Evaluator, whose balanced-objective delta feeds the Metropolis test
+// directly. The greedy findSolution passes are applied the same way — as a
+// move batch diffed against the current state — every IntensifyEvery
+// iterations, alternating the fixed vector. The loop performs no
+// Partitioning.Clone and no full Model.Evaluate per iteration; Model.Evaluate
+// remains the reference oracle for the returned result.
 package sa
 
 import (
@@ -41,6 +51,9 @@ const (
 	// DefaultNoImprovementLimit stops the search after this many consecutive
 	// temperature levels without improving the best solution.
 	DefaultNoImprovementLimit = 12
+	// DefaultIntensifyEvery is the number of inner iterations between two
+	// greedy findSolution re-optimisation passes in the move-based hot loop.
+	DefaultIntensifyEvery = 8
 	// DefaultAcceptWorsePct is the relative degradation accepted with 50 %
 	// probability at the initial temperature (Section 5.1 uses 5 %).
 	DefaultAcceptWorsePct = 0.05
@@ -72,6 +85,12 @@ type Options struct {
 	// MoveFraction is the fraction of transactions/attributes perturbed per
 	// move; zero means DefaultMoveFraction.
 	MoveFraction float64
+	// IntensifyEvery is the number of inner iterations between two greedy
+	// findSolution re-optimisation passes (Algorithm 1's subproblem step,
+	// applied to the evaluator as a diffed move batch, alternating the fixed
+	// vector). Zero means DefaultIntensifyEvery; a negative value disables
+	// intensification entirely (pure move-based annealing).
+	IntensifyEvery int
 	// Disjoint forbids attribute replication. In this mode transactions that
 	// share read attributes are moved as one component (single-sitedness
 	// without replication forces them onto the same site).
@@ -106,6 +125,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MoveFraction == 0 {
 		o.MoveFraction = DefaultMoveFraction
+	}
+	if o.IntensifyEvery == 0 {
+		o.IntensifyEvery = DefaultIntensifyEvery
 	}
 	return o
 }

@@ -11,6 +11,7 @@ import (
 
 	"vpart/internal/core"
 	"vpart/internal/progress"
+	"vpart/internal/tpcc"
 )
 
 func fixtureInstance() *core.Instance {
@@ -375,5 +376,73 @@ func TestContextAlreadyCancelled(t *testing.T) {
 	cancel()
 	if _, err := Solve(ctx, m, DefaultOptions(2)); !errors.Is(err, context.Canceled) {
 		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestTPCCQualityNoWorseThanCloneLoop guards against delta-accounting drift
+// changing the search behaviour: on TPC-C with fixed seeds the move-based
+// loop must reach a best balanced cost no worse than the values recorded
+// with the clone-and-re-evaluate loop at commit db10ace (identical model
+// options, no grouping).
+func TestTPCCQualityNoWorseThanCloneLoop(t *testing.T) {
+	m, err := core.NewModel(tpcc.Instance(), core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := map[int]float64{ // sites -> pre-refactor best balanced cost
+		2: 18971.0,
+		3: 17839.6,
+		4: 17839.6,
+	}
+	for sites, want := range recorded {
+		for _, seed := range []int64{1, 2, 3} {
+			opts := DefaultOptions(sites)
+			opts.Seed = seed
+			res, err := Solve(context.Background(), m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost.Balanced > want+1e-6 {
+				t.Errorf("sites=%d seed=%d: balanced cost %.6f worse than the pre-refactor %.6f",
+					sites, seed, res.Cost.Balanced, want)
+			}
+		}
+	}
+}
+
+// TestPerturbSteadyStateAllocationFree pins down the scratch-buffer reuse:
+// once warmed up, a perturb propose/undo cycle — the steady state of the SA
+// inner loop — must not allocate at all.
+func TestPerturbSteadyStateAllocationFree(t *testing.T) {
+	m, err := core.NewModel(tpcc.Instance(), core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, disjoint := range []bool{false, true} {
+		opts := DefaultOptions(4)
+		opts.Disjoint = disjoint
+		s := newSolver(m, opts)
+		rng := rand.New(rand.NewSource(1))
+		p := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), 4)
+		s.randomX(rng, p)
+		s.findSolution(p, "x")
+		p.Repair(m)
+		ev, err := core.NewEvaluator(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up buffer capacities (journal, missing, intensify scratch).
+		for i := 0; i < 50; i++ {
+			s.perturb(rng, ev)
+			ev.Undo()
+			s.intensify(ev, i%2 == 0)
+			ev.Undo()
+		}
+		if allocs := testing.AllocsPerRun(200, func() {
+			s.perturb(rng, ev)
+			ev.Undo()
+		}); allocs != 0 {
+			t.Errorf("disjoint=%v: perturb/undo cycle allocates %.1f objects per run", disjoint, allocs)
+		}
 	}
 }

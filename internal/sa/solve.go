@@ -15,6 +15,11 @@ import (
 // Cancelling the context aborts the run promptly with an error wrapping
 // ctx.Err(); the softer Options.TimeLimit instead stops the search gracefully
 // and returns the best solution found so far.
+//
+// The inner loop is move-based: candidates are proposed as typed move batches
+// against one incremental core.Evaluator and accepted or rejected on the
+// evaluator's balanced-objective delta, so no Partitioning.Clone and no full
+// Model.Evaluate happens per iteration (see the package documentation).
 func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -40,9 +45,13 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	s.randomX(rng, cur)
 	s.findSolution(cur, "x")
 	cur.Repair(m)
-	curCost := m.Evaluate(cur).Balanced
+	ev, err := core.NewEvaluator(m, cur)
+	if err != nil {
+		return nil, fmt.Errorf("sa: %w", err)
+	}
+	curCost := ev.Balanced()
 
-	best := cur.Clone()
+	best := ev.Snapshot()
 	bestCost := curCost
 
 	res := &Result{}
@@ -64,10 +73,31 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 
 	fixX := true
 	noImprove := 0
+	improvedThisLevel := false
+	// commitBatch accepts the evaluator's pending move batch and tracks the
+	// best incumbent via an O(attrs·sites) snapshot, taken only on strict
+	// improvements.
+	commitBatch := func() {
+		ev.Commit()
+		curCost = ev.Balanced()
+		res.Accepted++
+		if curCost < bestCost-1e-12 {
+			bestCost = curCost
+			ev.SnapshotTo(best)
+			res.Improved++
+			improvedThisLevel = true
+			opts.Progress.Emit(progress.Event{
+				Kind:      progress.KindIncumbent,
+				Cost:      bestCost,
+				Iteration: res.Iterations,
+				Elapsed:   time.Since(start),
+			})
+		}
+	}
 outer:
 	for outer := 0; outer < opts.MaxOuterLoops; outer++ {
 		res.OuterLoops++
-		improvedThisLevel := false
+		improvedThisLevel = false
 		for i := 0; i < opts.InnerLoops; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sa: %w", err)
@@ -78,35 +108,27 @@ outer:
 			}
 			res.Iterations++
 
-			cand := cur.Clone()
-			s.perturbX(rng, cand)
-			s.perturbY(rng, cand)
-			if fixX {
-				s.findSolution(cand, "x")
-			} else {
-				s.findSolution(cand, "y")
-			}
-			cand.Repair(m)
-			candCost := m.Evaluate(cand).Balanced
-
-			delta := candCost - curCost
+			// Neighbourhood move: perturb x and y as one batch of evaluator
+			// moves and run the Metropolis test on its delta.
+			delta := s.perturb(rng, ev)
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/tau) {
-				cur, curCost = cand, candCost
-				res.Accepted++
-				if candCost < bestCost-1e-12 {
-					best = cand.Clone()
-					bestCost = candCost
-					res.Improved++
-					improvedThisLevel = true
-					opts.Progress.Emit(progress.Event{
-						Kind:      progress.KindIncumbent,
-						Cost:      bestCost,
-						Iteration: res.Iterations,
-						Elapsed:   time.Since(start),
-					})
+				commitBatch()
+			} else {
+				ev.Undo()
+			}
+
+			// The findSolution(fix) step of Algorithm 1, amortised: greedily
+			// re-optimise the non-fixed vector and apply the outcome as one
+			// diffed move batch, subject to the same Metropolis test.
+			if opts.IntensifyEvery > 0 && res.Iterations%opts.IntensifyEvery == 0 {
+				delta := s.intensify(ev, fixX)
+				fixX = !fixX
+				if delta <= 0 || rng.Float64() < math.Exp(-delta/tau) {
+					commitBatch()
+				} else {
+					ev.Undo()
 				}
 			}
-			fixX = !fixX
 		}
 		opts.Progress.Emit(progress.Event{
 			Kind:      progress.KindIteration,
@@ -129,15 +151,26 @@ outer:
 		}
 	}
 
-	best.Repair(m)
-	res.Partitioning = best
-	res.Cost = m.Evaluate(best)
+	// Return the best incumbent, polished with one greedy pass per subproblem
+	// (kept only when it strictly improves).
+	ev.Restore(best)
+	for _, fx := range []bool{true, false} {
+		if d := s.intensify(ev, fx); d < -1e-12 {
+			ev.Commit()
+		} else {
+			ev.Undo()
+		}
+	}
+	final := ev.Partitioning().Clone()
+	final.Repair(m)
+	res.Partitioning = final
+	res.Cost = m.Evaluate(final)
 	res.Runtime = time.Since(start)
 	return res, nil
 }
 
 // findSolution implements the findSolution(fix) step of Algorithm 1: it
-// re-optimises the vector that is not fixed.
+// re-optimises the vector that is not fixed, writing into p.
 func (s *solver) findSolution(p *core.Partitioning, fix string) {
 	if fix == "x" {
 		// x is fixed, optimise y.
@@ -166,66 +199,6 @@ func (s *solver) randomX(rng *rand.Rand, p *core.Partitioning) {
 	}
 	for t := range p.TxnSite {
 		p.TxnSite[t] = rng.Intn(s.sites)
-	}
-}
-
-// perturbX relocates a MoveFraction share of the transactions (components in
-// disjoint mode) to random other sites.
-func (s *solver) perturbX(rng *rand.Rand, p *core.Partitioning) {
-	if s.sites < 2 {
-		return
-	}
-	if s.opts.Disjoint {
-		n := moveCount(len(s.components), s.opts.MoveFraction)
-		for i := 0; i < n; i++ {
-			comp := s.components[rng.Intn(len(s.components))]
-			st := rng.Intn(s.sites)
-			for _, t := range comp {
-				p.TxnSite[t] = st
-			}
-		}
-		return
-	}
-	n := moveCount(len(p.TxnSite), s.opts.MoveFraction)
-	for i := 0; i < n; i++ {
-		t := rng.Intn(len(p.TxnSite))
-		p.TxnSite[t] = rng.Intn(s.sites)
-	}
-}
-
-// perturbY extends the replication of a MoveFraction share of the attributes
-// (the paper's neighbourhood for y). In disjoint mode it instead relocates
-// unread attributes, since replication is forbidden there.
-func (s *solver) perturbY(rng *rand.Rand, p *core.Partitioning) {
-	if s.sites < 2 {
-		return
-	}
-	nA := len(p.AttrSites)
-	n := moveCount(nA, s.opts.MoveFraction)
-	for i := 0; i < n; i++ {
-		a := rng.Intn(nA)
-		if s.opts.Disjoint {
-			if len(s.readersOf[a]) > 0 {
-				continue
-			}
-			st := rng.Intn(s.sites)
-			for k := range p.AttrSites[a] {
-				p.AttrSites[a][k] = false
-			}
-			p.AttrSites[a][st] = true
-			continue
-		}
-		// Extended replication: add one replica on a site not yet holding a.
-		var missing []int
-		for st, on := range p.AttrSites[a] {
-			if !on {
-				missing = append(missing, st)
-			}
-		}
-		if len(missing) == 0 {
-			continue
-		}
-		p.AttrSites[a][missing[rng.Intn(len(missing))]] = true
 	}
 }
 

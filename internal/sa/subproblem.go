@@ -22,10 +22,24 @@ type solver struct {
 	// used in disjoint mode where they must co-locate.
 	components [][]int
 	compOf     []int
+	// compAttrs[ci] lists the attributes read by component ci's members; in
+	// disjoint mode they relocate together with the component.
+	compAttrs [][]int
+
+	// Scratch buffers reused across iterations so the steady-state inner loop
+	// does not allocate.
+	scratch *core.Partitioning // intensify's findSolution target
+	missing []int              // perturb: candidate sites for a new replica
+	txnsOn  [][]int            // greedy passes: transactions per site
+	work    []float64          // greedy passes: running site work
+	order   []int              // greedy passes: processing order
+	weights []float64          // greedy passes: ordering weights
 }
 
 func newSolver(m *core.Model, opts Options) *solver {
 	s := &solver{m: m, sites: opts.Sites, opts: opts}
+	s.txnsOn = make([][]int, s.sites)
+	s.work = make([]float64, s.sites)
 	nA, nT := m.NumAttrs(), m.NumTxns()
 	s.readersOf = make([][]int, nA)
 	for t := 0; t < nT; t++ {
@@ -63,7 +77,33 @@ func newSolver(m *core.Model, opts Options) *solver {
 		s.compOf[t] = ci
 		s.components[ci] = append(s.components[ci], t)
 	}
+	s.compAttrs = make([][]int, len(s.components))
+	for a, readers := range s.readersOf {
+		if len(readers) > 0 {
+			ci := s.compOf[readers[0]]
+			s.compAttrs[ci] = append(s.compAttrs[ci], a)
+		}
+	}
 	return s
+}
+
+// txnsBySite fills the reusable per-site transaction lists for p.
+func (s *solver) txnsBySite(p *core.Partitioning) [][]int {
+	for st := range s.txnsOn {
+		s.txnsOn[st] = s.txnsOn[st][:0]
+	}
+	for t, st := range p.TxnSite {
+		s.txnsOn[st] = append(s.txnsOn[st], t)
+	}
+	return s.txnsOn
+}
+
+// resetWork zeroes and returns the reusable per-site work accumulator.
+func (s *solver) resetWork() []float64 {
+	for i := range s.work {
+		s.work[i] = 0
+	}
+	return s.work
 }
 
 // lambda returns λ of the model.
@@ -86,10 +126,7 @@ func (s *solver) solveYGivenX(p *core.Partitioning) {
 
 	// Marginal objective-(4) cost of placing attribute a on site st:
 	// C2(a) + Σ_{t on st} C1(a,t). Build the per-site transaction lists once.
-	txnsOn := make([][]int, s.sites)
-	for t, st := range p.TxnSite {
-		txnsOn[st] = append(txnsOn[st], t)
-	}
+	txnsOn := s.txnsBySite(p)
 	costOf := func(a, st int) float64 {
 		c := m.C2(a)
 		for _, t := range txnsOn[st] {
@@ -105,7 +142,7 @@ func (s *solver) solveYGivenX(p *core.Partitioning) {
 		return l
 	}
 
-	work := make([]float64, s.sites)
+	work := s.resetWork()
 	maxWork := func() float64 {
 		mw := 0.0
 		for _, w := range work {
@@ -133,12 +170,13 @@ func (s *solver) solveYGivenX(p *core.Partitioning) {
 
 	// Process unplaced attributes in decreasing weight order (LPT-style) so
 	// the load balancing term is handled sensibly.
-	order := make([]int, 0, nA)
+	order := s.order[:0]
 	for a := 0; a < nA; a++ {
 		if p.Replicas(a) == 0 {
 			order = append(order, a)
 		}
 	}
+	s.order = order
 	sort.Slice(order, func(i, j int) bool {
 		wi := m.C4(order[i]) + m.C2(order[i])
 		wj := m.C4(order[j]) + m.C2(order[j])
@@ -199,7 +237,7 @@ func (s *solver) solveXGivenY(p *core.Partitioning) {
 	lam := s.lambda()
 
 	// Base work per site from the write part (independent of x).
-	work := make([]float64, s.sites)
+	work := s.resetWork()
 	for a := 0; a < m.NumAttrs(); a++ {
 		if c4 := m.C4(a); c4 != 0 {
 			for st := 0; st < s.sites; st++ {
@@ -230,14 +268,17 @@ func (s *solver) solveXGivenY(p *core.Partitioning) {
 
 	// Order transactions by decreasing read weight so heavy transactions are
 	// placed while sites are still balanced.
-	order := make([]int, m.NumTxns())
-	weights := make([]float64, m.NumTxns())
-	for t := range order {
-		order[t] = t
+	order := s.order[:0]
+	weights := s.weights[:0]
+	for t := 0; t < m.NumTxns(); t++ {
+		order = append(order, t)
+		w := 0.0
 		for _, tc := range m.TxnTerms(t) {
-			weights[t] += tc.C3
+			w += tc.C3
 		}
+		weights = append(weights, w)
 	}
+	s.order, s.weights = order, weights
 	sort.Slice(order, func(i, j int) bool {
 		if weights[order[i]] != weights[order[j]] {
 			return weights[order[i]] > weights[order[j]]
@@ -365,11 +406,8 @@ func (s *solver) solveYGivenXDisjoint(p *core.Partitioning) {
 			p.AttrSites[a][st] = false
 		}
 	}
-	txnsOn := make([][]int, s.sites)
-	for t, st := range p.TxnSite {
-		txnsOn[st] = append(txnsOn[st], t)
-	}
-	work := make([]float64, s.sites)
+	txnsOn := s.txnsBySite(p)
+	work := s.resetWork()
 	cur := 0.0
 	place := func(a, st int) {
 		p.AttrSites[a][st] = true
@@ -382,7 +420,7 @@ func (s *solver) solveYGivenXDisjoint(p *core.Partitioning) {
 			cur = work[st]
 		}
 	}
-	var unread []int
+	unread := s.order[:0]
 	for a := 0; a < nA; a++ {
 		if len(s.readersOf[a]) > 0 {
 			place(a, p.TxnSite[s.readersOf[a][0]])
@@ -390,6 +428,7 @@ func (s *solver) solveYGivenXDisjoint(p *core.Partitioning) {
 			unread = append(unread, a)
 		}
 	}
+	s.order = unread
 	for _, a := range unread {
 		best, bestScore := 0, 0.0
 		for st := 0; st < s.sites; st++ {

@@ -72,11 +72,12 @@ func TestSolveUnknownSolver(t *testing.T) {
 }
 
 // cancellationInstance is large enough that every solver is still busy tens
-// of milliseconds into the solve (SA alone needs seconds on it), making a
-// delayed cancellation land reliably mid-solve.
+// of milliseconds into the solve (a full SA run on it takes around a second
+// even with the incremental move-based loop), making a delayed cancellation
+// land reliably mid-solve.
 func cancellationInstance(t *testing.T) *vpart.Instance {
 	t.Helper()
-	inst, err := vpart.RandomInstance(vpart.ClassA(16, 100, 10), 1)
+	inst, err := vpart.RandomInstance(vpart.ClassA(64, 400, 10), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -49,6 +49,28 @@ type (
 
 	// Partitioning assigns transactions and attributes to sites.
 	Partitioning = core.Partitioning
+	// Evaluator incrementally re-evaluates the cost of a partitioning under
+	// typed moves; Apply returns the balanced-objective delta in time
+	// proportional to the cost terms the move touches, with Undo/Commit batch
+	// semantics and Snapshot/Restore best-incumbent bookkeeping. It is the
+	// evaluation engine behind the SA solver's hot loop; Model.Evaluate stays
+	// the reference oracle.
+	Evaluator = core.Evaluator
+	// EvalSnapshot is a saved Evaluator state (see Evaluator.Snapshot).
+	EvalSnapshot = core.EvalSnapshot
+	// Move is a single incremental edit of a partitioning: MoveTxn,
+	// AddReplica or DropReplica.
+	Move = core.Move
+	// MoveTxn relocates a transaction to a new primary site.
+	MoveTxn = core.MoveTxn
+	// AddReplica stores an attribute on an additional site.
+	AddReplica = core.AddReplica
+	// DropReplica removes an attribute replica from a site.
+	DropReplica = core.DropReplica
+	// TermCoef is a sparse per-transaction cost term (see Model.TxnTerms).
+	TermCoef = core.TermCoef
+	// AttrTermCoef is a sparse per-attribute cost term (see Model.AttrTerms).
+	AttrTermCoef = core.AttrTermCoef
 	// Assignment is the name-based, serialisable form of a partitioning.
 	Assignment = core.Assignment
 	// QualifiedAttr is a "Table.Attr" reference.
@@ -100,6 +122,9 @@ var (
 var (
 	// NewModel compiles an instance into a cost model.
 	NewModel = core.NewModel
+	// NewEvaluator compiles an incremental evaluator for a partitioning under
+	// a model. The partitioning is deep-copied; edit through Evaluator.Apply.
+	NewEvaluator = core.NewEvaluator
 	// DefaultModelOptions returns p = 8, λ = 0.1, "access all attributes".
 	DefaultModelOptions = core.DefaultModelOptions
 	// GroupAttributes computes the reasonable-cuts attribute grouping.

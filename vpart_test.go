@@ -228,3 +228,51 @@ func TestAssignmentRoundTripViaFacade(t *testing.T) {
 		t.Fatal("assignment round trip changed the cost")
 	}
 }
+
+// TestEvaluatorFacade exercises the incremental evaluation API as exported
+// from the root package: typed moves through Apply, delta consistency with
+// Evaluate, Undo and Snapshot/Restore.
+func TestEvaluatorFacade(t *testing.T) {
+	inst := vpart.TPCC()
+	m, err := vpart.NewModel(inst, vpart.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vpart.FullReplicationPartitioning(m, 3)
+	ev, err := vpart.NewEvaluator(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ev.Cost()
+	if got := m.Evaluate(p); got.Balanced != before.Balanced {
+		t.Fatalf("initial evaluator cost %g != Evaluate %g", before.Balanced, got.Balanced)
+	}
+	moves := []vpart.Move{
+		vpart.MoveTxn{Txn: 0, Site: 2},
+		vpart.DropReplica{Attr: 0, Site: 1},
+		vpart.AddReplica{Attr: 0, Site: 1},
+	}
+	delta := 0.0
+	for _, mv := range moves {
+		delta += ev.Apply(mv)
+	}
+	after := ev.Cost()
+	if diff := after.Balanced - (before.Balanced + delta); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("deltas inconsistent: %g vs %g", after.Balanced, before.Balanced+delta)
+	}
+	oracle := m.Evaluate(ev.Partitioning())
+	if diff := after.Balanced - oracle.Balanced; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("evaluator %g disagrees with Evaluate %g", after.Balanced, oracle.Balanced)
+	}
+	ev.Undo()
+	if got := ev.Cost().Balanced; got != before.Balanced {
+		t.Fatalf("Undo did not restore the cost: %g vs %g", got, before.Balanced)
+	}
+	snap := ev.Snapshot()
+	ev.Apply(vpart.MoveTxn{Txn: 1, Site: 0})
+	ev.Commit()
+	ev.Restore(snap)
+	if got := ev.Cost().Balanced; got != before.Balanced {
+		t.Fatalf("Restore did not reinstate the snapshot: %g vs %g", got, before.Balanced)
+	}
+}
