@@ -37,3 +37,30 @@ func TestQuickRunWritesReport(t *testing.T) {
 		}
 	}
 }
+
+func TestDecomposeSuiteWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "decompose.json")
+	if err := run([]string{"-decompose", "-quick", "-out", out}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep decomposeReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if rep.Shards < 8 {
+		t.Errorf("bench instance split into %d shards, want >= 8", rep.Shards)
+	}
+	if rep.MonolithicSeconds <= 0 || rep.DecomposeSeconds <= 0 || rep.WallClockSpeedup <= 0 {
+		t.Errorf("missing timings: %+v", rep)
+	}
+	if rep.MonolithicCost <= 0 || rep.DecomposeCost <= 0 {
+		t.Errorf("missing costs: %+v", rep)
+	}
+	if len(rep.ShardAttrs) != rep.Shards {
+		t.Errorf("%d shard sizes for %d shards", len(rep.ShardAttrs), rep.Shards)
+	}
+}

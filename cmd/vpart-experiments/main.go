@@ -98,6 +98,7 @@ func run(ctx context.Context, args []string) error {
 			wrap(experiments.GroupingAblation),
 			wrap(experiments.LatencyAblation),
 			wrap(experiments.LambdaSweep),
+			wrap(experiments.DecompositionAblation),
 		} {
 			tbl, err := f(cfg)
 			if err != nil {

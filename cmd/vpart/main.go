@@ -45,6 +45,9 @@ func run(ctx context.Context, args []string) error {
 		latency      = fs.Float64("latency", 0, "Appendix A latency penalty p_l (0 = disabled)")
 		disjoint     = fs.Bool("disjoint", false, "forbid attribute replication")
 		noGrouping   = fs.Bool("no-grouping", false, "disable the reasonable-cuts attribute grouping")
+		preprocess   = fs.String("preprocess", "", "preprocessing pipeline: group, none or decompose (empty = group unless -no-grouping)")
+		dcSolver     = fs.String("decompose-solver", "", "decompose meta-solver: inner solver per shard (default portfolio)")
+		dcWorkers    = fs.Int("decompose-workers", 0, "decompose meta-solver: max concurrently solved shards (0 = GOMAXPROCS)")
 		seedWithSA   = fs.Bool("seed-with-sa", true, "seed the QP solver with the SA solution")
 		timeout      = fs.Duration("timeout", 5*time.Minute, "soft solver time limit: stop and keep the best incumbent (0 = none)")
 		gap          = fs.Float64("gap", 0.001, "QP relative MIP gap")
@@ -82,7 +85,9 @@ func run(ctx context.Context, args []string) error {
 		GapTol:          *gap,
 		SeedWithSA:      *seedWithSA,
 		Seed:            *seed,
+		Preprocess:      *preprocess,
 		Portfolio:       vpart.PortfolioOptions{SASeeds: *pfSeeds, QP: *pfQP},
+		Decompose:       vpart.DecomposeOptions{Solver: *dcSolver, Workers: *dcWorkers},
 	}
 	if *verbose {
 		opts.Progress = func(e vpart.Event) {
@@ -98,8 +103,15 @@ func run(ctx context.Context, args []string) error {
 		return fmt.Errorf("no feasible partitioning found within the limits (status: timed out)")
 	}
 
-	fmt.Printf("solver: %s  sites: %d  attribute groups: %d  runtime: %v\n",
-		sol.Algorithm, *sites, sol.AttributeGroups, sol.Runtime.Round(time.Millisecond))
+	fmt.Printf("solver: %s  sites: %d  attribute groups: %d (of %d attributes)  runtime: %v\n",
+		sol.Algorithm, *sites, sol.AttributeGroups, st.Attributes, sol.Runtime.Round(time.Millisecond))
+	if len(sol.Shards) > 0 {
+		fmt.Printf("decomposed into %d shard(s):\n", len(sol.Shards))
+		for _, sh := range sol.Shards {
+			fmt.Printf("  shard %d: %d tables, %d attr groups, %d txns  solver=%s  objective=%.0f  (%v)\n",
+				sh.Shard, sh.Tables, sh.Attrs, sh.Txns, sh.Solver, sh.Objective, sh.Runtime.Round(time.Millisecond))
+		}
+	}
 	if strings.HasSuffix(string(sol.Algorithm), string(vpart.AlgorithmQP)) {
 		fmt.Printf("optimal: %v  gap: %.4f  nodes: %d\n", sol.Optimal, sol.Gap, sol.Nodes)
 	}

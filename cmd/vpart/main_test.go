@@ -172,3 +172,21 @@ func TestLoadInstanceHelper(t *testing.T) {
 		t.Errorf("class selection failed: %v", err)
 	}
 }
+
+func TestRunDecomposePreprocess(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(context.Background(), []string{
+			"-class", "rndAt32x120c4", "-sites", "2", "-solver", "sa",
+			"-preprocess", "decompose", "-seed", "1", "-quiet",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "solver: decompose/sa") {
+		t.Errorf("output missing decompose solver tag:\n%s", out)
+	}
+	if !strings.Contains(out, "decomposed into") || !strings.Contains(out, "shard 0:") {
+		t.Errorf("output missing shard report:\n%s", out)
+	}
+}

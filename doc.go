@@ -29,11 +29,44 @@
 //   - "sa" — the scalable simulated annealing heuristic (Algorithm 1);
 //   - "portfolio" — races several independently seeded SA runs, and
 //     optionally the QP solver, as concurrent goroutines; it cancels the
-//     stragglers once a winner is accepted and returns the best incumbent.
+//     stragglers once a winner is accepted and returns the best incumbent;
+//   - "decompose" — splits the instance into the independent components of
+//     its access graph and solves them concurrently (see below).
 //
 // Solve selects a solver by name (Options.Solver), so new algorithms become
 // available to every caller — including the bundled CLIs — by registering
 // them, without touching the facade.
+//
+// # Preprocessing: reasonable cuts and decomposition
+//
+// Two cost-preserving reductions run before any solver. The reasonable-cuts
+// grouping of Section 4 (GroupAttributes) merges attributes of a table that
+// every query treats identically; it is on by default and never changes the
+// optimum. On top of it, DecomposeInstance splits the grouped instance into
+// the connected components of its table–transaction access graph: two tables
+// are connected when some transaction accesses both. Components share no
+// term of objective (4) — every Section 2 coefficient is a sum over (query,
+// table) accesses, and the β terms couple a query to all attributes of an
+// accessed table but never beyond it — so each component is a standalone
+// Instance that can be solved independently, and
+// Decomposition.MergeSolutions lifts the per-shard partitionings back
+// exactly: the merged breakdown is the original model's evaluation of the
+// merged partitioning, bit for bit. One caveat: the load-balancing term of
+// objective (6) couples the components through the shared sites, so for
+// λ < 1 independently optimal shards are a (usually excellent) heuristic
+// for (6), not a proven optimum — unlike grouping, which preserves the
+// optimum unconditionally.
+//
+// The "decompose" meta-solver runs this pipeline inside the registry: shards
+// are solved concurrently on a bounded worker pool (Options.Decompose
+// configures the inner solver — portfolio by default — and the pool width),
+// progress events are re-tagged with shard ids ("decompose/shard[2]/sa"),
+// and per-shard outcomes are reported in Solution.Shards. Alternatively,
+// Options.Preprocess = PreprocessDecompose wraps any registered solver in
+// the same pipeline: each shard is solved by Options.Solver. Besides the
+// concurrency, every SA shard works on a strictly smaller move space, which
+// tends to both speed up the solve and improve the solution on decomposable
+// workloads (see BENCH_decompose.json and examples/decompose).
 //
 // # Cost evaluation, full and incremental
 //

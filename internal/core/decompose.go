@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Component is one independent sub-instance of a Decomposition: a set of
+// tables and transactions of the source instance that share no cost term with
+// the rest of the workload.
+type Component struct {
+	// Instance is the component as a standalone, solvable instance. Its
+	// tables and transactions appear in the same relative order as in the
+	// source instance, so a model compiled from it numbers them consistently
+	// with Tables/Txns/Attrs below.
+	Instance *Instance
+	// Tables are the source-instance table indices of the component,
+	// ascending.
+	Tables []int
+	// Txns are the source-instance transaction indices of the component,
+	// ascending.
+	Txns []int
+	// Attrs are the source-instance global attribute ids of the component in
+	// shard-model order: Attrs[i] is the source id of the shard model's
+	// attribute i (global ids follow the table/attribute declaration order,
+	// exactly as Model numbers them).
+	Attrs []int
+}
+
+// Decomposition is the result of the preprocessing pipeline of Decompose:
+// the optional reasonable-cuts grouping followed by the split of the
+// (grouped) instance into the connected components of its access graph.
+//
+// Two tables are connected when some transaction accesses both; a
+// transaction is connected to every table its queries access. Components of
+// this graph share no term of objective (4) — every coefficient of the
+// Section 2 model (read/write access, transfer, per-site work, latency) is a
+// sum over (query, table) accesses, and the β terms couple a query to all
+// attributes of an accessed table but never beyond it — so merging per-shard
+// solutions is exact: every cost of the merged partitioning is reproduced
+// bit for bit, and the additive terms are the sums of the shard terms.
+//
+// Note the one caveat for optimality (not for cost accounting): the
+// load-balancing term of objective (6), (1−λ)·max-site-work, couples the
+// components through the shared sites, so independently optimal shards need
+// not compose into the optimum of (6) when λ < 1. The merged cost itself is
+// still exact — MergeSolutions evaluates the merged partitioning under the
+// full model, max-site-work included.
+type Decomposition struct {
+	// Original is the instance Decompose was called with.
+	Original *Instance
+	// Grouping is the reasonable-cuts grouping applied before splitting; nil
+	// when grouping was disabled.
+	Grouping *Grouping
+	// Source is the instance that was split: Grouping.Grouped when grouping
+	// ran, Original otherwise.
+	Source *Instance
+	// Components are the independent sub-instances, ordered by their first
+	// table's index in the source schema. Every transaction belongs to
+	// exactly one component.
+	Components []Component
+	// OrphanTables are the source-instance table indices no query accesses.
+	// They form cost-free components of their own and are not solved; Merge
+	// places their attributes on site 0, which contributes exactly zero under
+	// every accounting mode.
+	OrphanTables []int
+	// OrphanAttrs are the source-instance global attribute ids of the orphan
+	// tables.
+	OrphanAttrs []int
+}
+
+// Decompose splits an instance into independently solvable sub-instances:
+// when group is true it first applies the reasonable-cuts grouping of
+// Section 4 (GroupAttributes), then it computes the connected components of
+// the table–transaction access graph of the (grouped) instance. Solving
+// every component separately and merging the results with MergeSolutions is
+// cost-exact: the merged cost breakdown equals the source model's evaluation
+// of the merged partitioning (see the Decomposition note on the
+// load-balancing term for the optimality caveat).
+func Decompose(inst *Instance, group bool) (*Decomposition, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Decomposition{Original: inst, Source: inst}
+	if group {
+		g, err := GroupAttributes(inst)
+		if err != nil {
+			return nil, err
+		}
+		d.Grouping = g
+		d.Source = g.Grouped
+	}
+	src := d.Source
+
+	nTab := len(src.Schema.Tables)
+	nTxn := len(src.Workload.Transactions)
+	tblIndex := make(map[string]int, nTab)
+	for i, t := range src.Schema.Tables {
+		tblIndex[t.Name] = i
+	}
+
+	// Union-find over tables [0,nTab) and transactions [nTab,nTab+nTxn): a
+	// transaction is unioned with every table its queries access.
+	parent := make([]int, nTab+nTxn)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for ti, txn := range src.Workload.Transactions {
+		for _, q := range txn.Queries {
+			for _, acc := range q.Accesses {
+				union(nTab+ti, tblIndex[acc.Table])
+			}
+		}
+	}
+
+	// Global attribute ids of the source instance follow the table/attribute
+	// declaration order, exactly as Model.compileCatalogue numbers them.
+	attrBase := make([]int, nTab)
+	next := 0
+	for i, t := range src.Schema.Tables {
+		attrBase[i] = next
+		next += len(t.Attributes)
+	}
+
+	// Group tables and transactions by component root, ordering components by
+	// their first table's index. A component always contains at least one
+	// table (every query accesses one); a table accessed by no query forms an
+	// orphan component without transactions.
+	compOf := make(map[int]int) // union-find root -> component index
+	type members struct{ tables, txns []int }
+	var comps []*members
+	for ti := 0; ti < nTab; ti++ {
+		root := find(ti)
+		ci, ok := compOf[root]
+		if !ok {
+			ci = len(comps)
+			compOf[root] = ci
+			comps = append(comps, &members{})
+		}
+		comps[ci].tables = append(comps[ci].tables, ti)
+	}
+	for xi := 0; xi < nTxn; xi++ {
+		ci := compOf[find(nTab+xi)]
+		comps[ci].txns = append(comps[ci].txns, xi)
+	}
+
+	var solvable []*members
+	for _, c := range comps {
+		if len(c.txns) == 0 {
+			for _, ti := range c.tables {
+				d.OrphanTables = append(d.OrphanTables, ti)
+				for ai := range src.Schema.Tables[ti].Attributes {
+					d.OrphanAttrs = append(d.OrphanAttrs, attrBase[ti]+ai)
+				}
+			}
+			continue
+		}
+		solvable = append(solvable, c)
+	}
+
+	n := len(solvable)
+	for i, c := range solvable {
+		comp := Component{Tables: c.tables, Txns: c.txns}
+		shard := &Instance{Name: fmt.Sprintf("%s [shard %d/%d]", src.Name, i+1, n)}
+		for _, ti := range c.tables {
+			shard.Schema.Tables = append(shard.Schema.Tables, src.Schema.Tables[ti])
+			for ai := range src.Schema.Tables[ti].Attributes {
+				comp.Attrs = append(comp.Attrs, attrBase[ti]+ai)
+			}
+		}
+		for _, xi := range c.txns {
+			shard.Workload.Transactions = append(shard.Workload.Transactions, src.Workload.Transactions[xi])
+		}
+		if err := shard.Validate(); err != nil {
+			return nil, fmt.Errorf("decompose: component %d is invalid: %w", i, err)
+		}
+		comp.Instance = shard
+		d.Components = append(d.Components, comp)
+	}
+	return d, nil
+}
+
+// NumShards returns the number of solvable components.
+func (d *Decomposition) NumShards() int { return len(d.Components) }
+
+// MergeSolutions lifts per-shard partitionings back to the source instance
+// and prices the merged partitioning. m must be compiled from Source, and
+// parts[i] must be a feasible partitioning of Components[i] (all with the
+// same site count). Orphan-table attributes are placed on site 0, which adds
+// exactly zero cost.
+//
+// The merge is exact: the returned Cost is the source model's Evaluate of the
+// merged partitioning, and because components share no cost term it also
+// equals the sum of the per-shard breakdowns (with the per-site work vectors
+// added element-wise and the max/objective terms recomputed).
+//
+// When the decomposition was built with grouping, the merged partitioning is
+// expressed over the grouped instance; use Grouping.Expand to map it back to
+// Original.
+func (d *Decomposition) MergeSolutions(m *Model, parts []*Partitioning) (*Partitioning, Cost, error) {
+	if m.Instance() != d.Source {
+		return nil, Cost{}, fmt.Errorf("decompose: model was not compiled from this decomposition's source instance")
+	}
+	if len(parts) != len(d.Components) {
+		return nil, Cost{}, fmt.Errorf("decompose: %d shard partitionings for %d components", len(parts), len(d.Components))
+	}
+	sites := 0
+	for i, p := range parts {
+		comp := &d.Components[i]
+		if p == nil {
+			return nil, Cost{}, fmt.Errorf("decompose: shard %d has no partitioning", i)
+		}
+		if len(p.TxnSite) != len(comp.Txns) || len(p.AttrSites) != len(comp.Attrs) {
+			return nil, Cost{}, fmt.Errorf("decompose: shard %d partitioning has %d txns × %d attrs, component has %d × %d",
+				i, len(p.TxnSite), len(p.AttrSites), len(comp.Txns), len(comp.Attrs))
+		}
+		if i == 0 {
+			sites = p.Sites
+		} else if p.Sites != sites {
+			return nil, Cost{}, fmt.Errorf("decompose: shard %d uses %d sites, shard 0 uses %d", i, p.Sites, sites)
+		}
+	}
+	if sites < 1 {
+		return nil, Cost{}, fmt.Errorf("decompose: no shards to merge")
+	}
+
+	merged := NewPartitioning(d.Source.NumTransactions(), d.Source.NumAttributes(), sites)
+	for i, p := range parts {
+		comp := &d.Components[i]
+		for lt, site := range p.TxnSite {
+			merged.TxnSite[comp.Txns[lt]] = site
+		}
+		for la, row := range p.AttrSites {
+			copy(merged.AttrSites[comp.Attrs[la]], row)
+		}
+	}
+	for _, a := range d.OrphanAttrs {
+		merged.AttrSites[a][0] = true
+	}
+	if err := merged.Validate(m); err != nil {
+		return nil, Cost{}, fmt.Errorf("decompose: merged partitioning is infeasible: %w", err)
+	}
+	return merged, m.Evaluate(merged), nil
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomComponentInstance builds a random instance whose tables are split
+// into `banks` banks with every transaction confined to one bank, so the
+// access graph has at least `banks` components (plus any orphan tables). All
+// statistics are small integers, so cost sums are exact in float64 and the
+// per-shard breakdowns must add up to the merged breakdown bit-for-bit.
+func randomComponentInstance(rng *rand.Rand, banks int) *Instance {
+	tablesPerBank := 1 + rng.Intn(3)
+	nTables := banks * tablesPerBank
+	inst := &Instance{Name: fmt.Sprintf("rnd-comp-%d", banks)}
+	widths := []int{2, 4, 8}
+	for ti := 0; ti < nTables; ti++ {
+		tbl := Table{Name: fmt.Sprintf("T%02d", ti)}
+		for ai := 0; ai < 1+rng.Intn(4); ai++ {
+			tbl.Attributes = append(tbl.Attributes, Attribute{
+				Name:  fmt.Sprintf("a%d", ai),
+				Width: widths[rng.Intn(len(widths))],
+			})
+		}
+		inst.Schema.Tables = append(inst.Schema.Tables, tbl)
+	}
+	nTxns := banks * (1 + rng.Intn(3))
+	for xi := 0; xi < nTxns; xi++ {
+		bank := xi % banks
+		txn := Transaction{Name: fmt.Sprintf("txn%02d", xi)}
+		for qi := 0; qi < 1+rng.Intn(3); qi++ {
+			ti := bank*tablesPerBank + rng.Intn(tablesPerBank)
+			tbl := &inst.Schema.Tables[ti]
+			var attrs []string
+			for _, a := range tbl.Attributes {
+				if rng.Intn(2) == 0 {
+					attrs = append(attrs, a.Name)
+				}
+			}
+			if len(attrs) == 0 {
+				attrs = []string{tbl.Attributes[0].Name}
+			}
+			kind := Read
+			if rng.Intn(3) == 0 {
+				kind = Write
+			}
+			txn.Queries = append(txn.Queries, Query{
+				Name:      fmt.Sprintf("q%d", qi),
+				Kind:      kind,
+				Frequency: float64(1 + rng.Intn(3)),
+				Accesses: []TableAccess{{
+					Table:      tbl.Name,
+					Attributes: attrs,
+					Rows:       float64(1 + rng.Intn(5)),
+				}},
+			})
+		}
+		inst.Workload.Transactions = append(inst.Workload.Transactions, txn)
+	}
+	return inst
+}
+
+// randomFeasible fills a partitioning with random transaction sites and
+// random replica sets and repairs it into feasibility.
+func randomFeasible(rng *rand.Rand, m *Model, sites int) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+	for t := range p.TxnSite {
+		p.TxnSite[t] = rng.Intn(sites)
+	}
+	for a := range p.AttrSites {
+		for s := 0; s < sites; s++ {
+			p.AttrSites[a][s] = rng.Intn(3) == 0
+		}
+	}
+	p.Repair(m)
+	return p
+}
+
+func TestDecomposeSingleComponent(t *testing.T) {
+	d, err := Decompose(testInstance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != 1 {
+		t.Fatalf("fixture decomposed into %d shards, want 1 (R and S are joined by T1)", d.NumShards())
+	}
+	c := d.Components[0]
+	if len(c.Tables) != 2 || len(c.Txns) != 2 || len(c.Attrs) != 5 {
+		t.Fatalf("component dims = %d tables, %d txns, %d attrs", len(c.Tables), len(c.Txns), len(c.Attrs))
+	}
+	if len(d.OrphanTables) != 0 {
+		t.Fatalf("unexpected orphan tables %v", d.OrphanTables)
+	}
+	if !strings.Contains(c.Instance.Name, "shard 1/1") {
+		t.Errorf("shard name %q missing shard tag", c.Instance.Name)
+	}
+}
+
+func TestDecomposeSplitsAndMergesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	modes := []ModelOptions{
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteAll},
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteRelevant},
+		{Penalty: 2, Lambda: 0.5, WriteAccounting: WriteNone, LatencyPenalty: 10},
+	}
+	for trial := 0; trial < 40; trial++ {
+		banks := 1 + rng.Intn(4)
+		inst := randomComponentInstance(rng, banks)
+		mo := modes[trial%len(modes)]
+		d, err := Decompose(inst, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumShards() < banks {
+			t.Fatalf("trial %d: %d shards for %d banks", trial, d.NumShards(), banks)
+		}
+		m, err := NewModel(inst, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Check the component structure: tables and transactions partition
+		// the instance.
+		seenTbl := make(map[int]bool)
+		seenTxn := make(map[int]bool)
+		for _, c := range d.Components {
+			for _, ti := range c.Tables {
+				if seenTbl[ti] {
+					t.Fatalf("trial %d: table %d in two components", trial, ti)
+				}
+				seenTbl[ti] = true
+			}
+			for _, xi := range c.Txns {
+				if seenTxn[xi] {
+					t.Fatalf("trial %d: txn %d in two components", trial, xi)
+				}
+				seenTxn[xi] = true
+			}
+		}
+		for _, ti := range d.OrphanTables {
+			if seenTbl[ti] {
+				t.Fatalf("trial %d: orphan table %d also in a component", trial, ti)
+			}
+			seenTbl[ti] = true
+		}
+		if len(seenTbl) != len(inst.Schema.Tables) || len(seenTxn) != inst.NumTransactions() {
+			t.Fatalf("trial %d: components cover %d/%d tables, %d/%d txns",
+				trial, len(seenTbl), len(inst.Schema.Tables), len(seenTxn), inst.NumTransactions())
+		}
+
+		// Solve nothing: random feasible shard partitionings are enough to
+		// check merge exactness.
+		sites := 2 + rng.Intn(3)
+		parts := make([]*Partitioning, d.NumShards())
+		var sum Cost
+		sum.SiteWork = make([]float64, sites)
+		for i, c := range d.Components {
+			sm, err := NewModel(c.Instance, mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[i] = randomFeasible(rng, sm, sites)
+			sc := sm.Evaluate(parts[i])
+			sum.ReadAccess += sc.ReadAccess
+			sum.WriteAccess += sc.WriteAccess
+			sum.Transfer += sc.Transfer
+			sum.LatencyUnits += sc.LatencyUnits
+			sum.Latency += sc.Latency
+			for s := 0; s < sites; s++ {
+				sum.SiteWork[s] += sc.SiteWork[s]
+			}
+		}
+
+		merged, cost, err := d.MergeSolutions(m, parts)
+		if err != nil {
+			t.Fatalf("trial %d: merge: %v", trial, err)
+		}
+		if err := merged.Validate(m); err != nil {
+			t.Fatalf("trial %d: merged partitioning infeasible: %v", trial, err)
+		}
+		// The returned cost is the source model's own evaluation...
+		if direct := m.Evaluate(merged); !costEqual(cost, direct) {
+			t.Fatalf("trial %d: MergeSolutions cost %v != Evaluate %v", trial, cost, direct)
+		}
+		// ...and because every statistic is integer-valued, the per-shard
+		// breakdowns must add up to it exactly, term by term.
+		if sum.ReadAccess != cost.ReadAccess || sum.WriteAccess != cost.WriteAccess ||
+			sum.Transfer != cost.Transfer || sum.Latency != cost.Latency {
+			t.Fatalf("trial %d: shard sums (AR=%g AW=%g B=%g L=%g) != merged (AR=%g AW=%g B=%g L=%g)",
+				trial, sum.ReadAccess, sum.WriteAccess, sum.Transfer, sum.Latency,
+				cost.ReadAccess, cost.WriteAccess, cost.Transfer, cost.Latency)
+		}
+		for s := 0; s < sites; s++ {
+			if sum.SiteWork[s] != cost.SiteWork[s] {
+				t.Fatalf("trial %d: site %d work %g != %g", trial, s, sum.SiteWork[s], cost.SiteWork[s])
+			}
+		}
+	}
+}
+
+// costEqual compares two Cost breakdowns field by field (SiteWork included).
+func costEqual(a, b Cost) bool {
+	if a.ReadAccess != b.ReadAccess || a.WriteAccess != b.WriteAccess ||
+		a.Transfer != b.Transfer || a.LatencyUnits != b.LatencyUnits ||
+		a.Latency != b.Latency || a.MaxWork != b.MaxWork ||
+		a.Objective != b.Objective || a.Balanced != b.Balanced ||
+		len(a.SiteWork) != len(b.SiteWork) {
+		return false
+	}
+	for i := range a.SiteWork {
+		if a.SiteWork[i] != b.SiteWork[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDecomposeWithGroupingIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mo := DefaultModelOptions()
+	for trial := 0; trial < 10; trial++ {
+		inst := randomComponentInstance(rng, 1+rng.Intn(3))
+		d, err := Decompose(inst, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Grouping == nil || d.Source != d.Grouping.Grouped {
+			t.Fatal("grouped decomposition lost its grouping")
+		}
+		gm, err := NewModel(d.Source, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		om, err := NewModel(inst, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites := 2 + rng.Intn(2)
+		parts := make([]*Partitioning, d.NumShards())
+		for i, c := range d.Components {
+			sm, err := NewModel(c.Instance, mo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts[i] = randomFeasible(rng, sm, sites)
+		}
+		merged, cost, err := d.MergeSolutions(gm, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expanding through the grouping must preserve the cost exactly
+		// (Section 4: grouping never changes a solution's cost).
+		expanded, err := d.Grouping.Expand(gm, om, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ec := om.Evaluate(expanded); !costEqual(ec, cost) {
+			t.Fatalf("trial %d: expanded cost %v != merged cost %v", trial, ec, cost)
+		}
+	}
+}
+
+func TestDecomposeOrphanTables(t *testing.T) {
+	inst := testInstance()
+	inst.Schema.Tables = append(inst.Schema.Tables, Table{
+		Name:       "Z",
+		Attributes: []Attribute{{Name: "z1", Width: 4}, {Name: "z2", Width: 8}},
+	})
+	d, err := Decompose(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() != 1 {
+		t.Fatalf("%d shards, want 1", d.NumShards())
+	}
+	if len(d.OrphanTables) != 1 || len(d.OrphanAttrs) != 2 {
+		t.Fatalf("orphans: tables %v attrs %v", d.OrphanTables, d.OrphanAttrs)
+	}
+	m, err := NewModel(inst, DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewModel(d.Components[0].Instance, DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := randomFeasible(rand.New(rand.NewSource(1)), sm, 2)
+	shardCost := sm.Evaluate(part)
+	merged, cost, err := d.MergeSolutions(m, []*Partitioning{part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range d.OrphanAttrs {
+		if !merged.AttrSites[a][0] || merged.Replicas(a) != 1 {
+			t.Errorf("orphan attr %d not pinned to site 0", a)
+		}
+	}
+	// Orphan attributes must contribute exactly zero cost.
+	if cost.Objective != shardCost.Objective || cost.Balanced != shardCost.Balanced {
+		t.Errorf("orphan table changed the cost: merged %v, shard %v", cost, shardCost)
+	}
+}
+
+func TestMergeSolutionsErrors(t *testing.T) {
+	inst := testInstance()
+	d, err := Decompose(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := DefaultModelOptions()
+	m, err := NewModel(inst, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewModel(d.Components[0].Instance, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := randomFeasible(rand.New(rand.NewSource(3)), sm, 2)
+
+	otherModel, err := NewModel(randomComponentInstance(rand.New(rand.NewSource(5)), 1), mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.MergeSolutions(otherModel, []*Partitioning{good}); err == nil {
+		t.Error("foreign model accepted")
+	}
+	if _, _, err := d.MergeSolutions(m, nil); err == nil {
+		t.Error("missing shard partitionings accepted")
+	}
+	if _, _, err := d.MergeSolutions(m, []*Partitioning{nil}); err == nil {
+		t.Error("nil shard partitioning accepted")
+	}
+	bad := NewPartitioning(1, 1, 2)
+	if _, _, err := d.MergeSolutions(m, []*Partitioning{bad}); err == nil {
+		t.Error("mismatched shard dimensions accepted")
+	}
+	infeasible := good.Clone()
+	for s := range infeasible.AttrSites[0] {
+		infeasible.AttrSites[0][s] = false
+	}
+	if _, _, err := d.MergeSolutions(m, []*Partitioning{infeasible}); err == nil {
+		t.Error("infeasible merged partitioning accepted")
+	}
+}

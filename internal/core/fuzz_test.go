@@ -1,0 +1,70 @@
+// The fuzz target lives in the external test package so that the seed corpus
+// can be drawn from the TPC-C and randgen packages, which themselves import
+// core.
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/tpcc"
+)
+
+// FuzzInstanceJSON checks the JSON round-trip of problem instances: any
+// bytes that decode into a valid instance must re-encode and decode to the
+// identical serialised form (a fixed point after one round trip), and the
+// decoded instance must always pass validation — DecodeInstance must never
+// hand back an instance the solvers would choke on.
+func FuzzInstanceJSON(f *testing.F) {
+	seed := func(inst *core.Instance) {
+		var buf bytes.Buffer
+		if err := core.EncodeInstance(&buf, inst); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(tpcc.Instance())
+	for _, params := range []randgen.Params{
+		randgen.DefaultParams(5, 3),
+		randgen.ClassA(4, 6, 10),
+		randgen.ClassB(4, 6, 50),
+		randgen.MultiComponent(2, 4, 4, 10),
+	} {
+		inst, err := randgen.Generate(params, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed(inst)
+	}
+	// A few malformed documents steer the fuzzer towards the error paths.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","schema":{"tables":[]},"workload":{"transactions":[]}}`))
+	f.Add([]byte(`{"name":"x","unknown":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := core.DecodeInstance(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input: rejecting it is the correct behaviour
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("DecodeInstance returned an invalid instance: %v", err)
+		}
+		var first bytes.Buffer
+		if err := core.EncodeInstance(&first, inst); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		inst2, err := core.DecodeInstance(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of re-encoded instance failed: %v", err)
+		}
+		var second bytes.Buffer
+		if err := core.EncodeInstance(&second, inst2); err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round trip is not a fixed point:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -132,6 +132,58 @@ func LambdaSweep(cfg Config) (*texttable.Table, error) {
 	return tbl, nil
 }
 
+// DecompositionAblation exercises the decomposition pipeline on a
+// multi-component random instance: it reports the grouped and per-shard
+// sizes and compares the monolithic SA solve against the decompose-wrapped
+// one (each shard solved independently, merged exactly).
+func DecompositionAblation(cfg Config) (*texttable.Table, error) {
+	cfg = cfg.withDefaults()
+	class := vpart.MultiComponentClass(4, 32, 120, 10)
+	if cfg.Quick {
+		class = vpart.MultiComponentClass(4, 16, 60, 10)
+	}
+	inst, err := vpart.RandomInstance(class, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := inst.Stats()
+	tbl := texttable.New(
+		fmt.Sprintf("Ablation: decomposition pipeline (%s, |A|=%d, |T|=%d, |S|=4, SA solver)",
+			st.Name, st.Attributes, st.Transactions),
+		"Pipeline", "Shards", "Attr groups", "Objective(4)", "Iterations", "Time (s)")
+	for _, pre := range []string{"", vpart.PreprocessDecompose} {
+		mo := cfg.modelOptions(cfg.Penalty)
+		start := time.Now()
+		sol, err := vpart.Solve(cfg.ctx(), inst, vpart.Options{
+			Sites: 4, Solver: "sa", Model: &mo, Seed: cfg.Seed, Preprocess: pre,
+		})
+		if err != nil {
+			return nil, err
+		}
+		label, shards := "monolithic", "1"
+		if pre == vpart.PreprocessDecompose {
+			label = "decompose"
+			shards = fmt.Sprintf("%d", len(sol.Shards))
+		}
+		tbl.AddRow(label, shards,
+			fmt.Sprintf("%d", sol.AttributeGroups),
+			fmt.Sprintf("%.0f", sol.Cost.Objective),
+			fmt.Sprintf("%d", sol.Iterations),
+			fmt.Sprintf("%.2f", time.Since(start).Seconds()),
+		)
+		// Per-shard size rows document how the instance splits.
+		for _, sh := range sol.Shards {
+			tbl.AddRow(fmt.Sprintf("  shard %d", sh.Shard), "",
+				fmt.Sprintf("%d", sh.Attrs),
+				fmt.Sprintf("%.0f", sh.Objective),
+				fmt.Sprintf("%d", sh.Iterations),
+				fmt.Sprintf("%.2f", sh.Runtime.Seconds()),
+			)
+		}
+	}
+	return tbl, nil
+}
+
 // SimulatorValidation cross-checks the analytical cost model against the
 // execution simulator on the TPC-C partitionings produced by the SA solver.
 func SimulatorValidation(cfg Config) (*texttable.Table, error) {

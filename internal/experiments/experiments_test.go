@@ -194,3 +194,17 @@ func TestWriteSections(t *testing.T) {
 		t.Fatal("sections not written")
 	}
 }
+
+func TestDecompositionAblation(t *testing.T) {
+	tbl, err := DecompositionAblation(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "monolithic") || !strings.Contains(out, "decompose") {
+		t.Errorf("decomposition ablation missing pipeline rows:\n%s", out)
+	}
+	if !strings.Contains(out, "shard 0") {
+		t.Errorf("decomposition ablation missing per-shard rows:\n%s", out)
+	}
+}

@@ -65,6 +65,10 @@ func RunAll(cfg Config) ([]Section, error) {
 	if err := addTable("Ablation: lambda sweep", ls, err); err != nil {
 		return nil, err
 	}
+	da, err := DecompositionAblation(cfg)
+	if err := addTable("Ablation: decomposition", da, err); err != nil {
+		return nil, err
+	}
 	sv, err := SimulatorValidation(cfg)
 	if err := addTable("Validation: simulator", sv, err); err != nil {
 		return nil, err

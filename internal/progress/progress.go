@@ -7,6 +7,7 @@
 package progress
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -116,6 +117,24 @@ func (f Func) Named(solver string) Func {
 			e.Solver = solver + "/" + e.Solver
 		}
 		f(e)
+	}
+}
+
+// Until returns a Func that forwards events only while ctx is alive: once
+// ctx is cancelled (or its deadline passes), every later event is dropped.
+// Composite solvers wrap their children's streams with it so that stragglers
+// cancelled after a run has concluded cannot emit stale events. The check is
+// made at emission time, so an event already being forwarded when the
+// cancellation happens may still be delivered. Returns nil when the receiver
+// is nil, keeping the nil-means-disabled fast path intact.
+func (f Func) Until(ctx context.Context) Func {
+	if f == nil {
+		return nil
+	}
+	return func(e Event) {
+		if ctx.Err() == nil {
+			f(e)
+		}
 	}
 }
 

@@ -1,0 +1,154 @@
+package progress
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindMessage:   "message",
+		KindIncumbent: "incumbent",
+		KindBound:     "bound",
+		KindIteration: "iteration",
+		Kind(99):      "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Kind: KindIncumbent, Solver: "sa", Cost: 42, Iteration: 7, Elapsed: time.Second},
+			[]string{"sa:", "incumbent 42", "iter 7"}},
+		{Event{Kind: KindBound, Solver: "qp", Bound: 10},
+			[]string{"qp:", "bound 10"}},
+		{Event{Kind: KindIteration, Solver: "sa", Iteration: 3, Cost: 5},
+			[]string{"iter 3", "cost 5"}},
+		{Event{Kind: KindIteration, Solver: "qp", Iteration: 3, Cost: 5, Bound: 4},
+			[]string{"bound 4"}},
+		{Event{Kind: KindMessage, Message: "hello"},
+			[]string{"solver:", "hello"}}, // empty tag falls back to "solver"
+	}
+	for _, c := range cases {
+		s := c.e.String()
+		for _, want := range c.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("event %+v renders %q, missing %q", c.e, s, want)
+			}
+		}
+	}
+}
+
+func TestNilFuncIsSafe(t *testing.T) {
+	var f Func
+	f.Emit(Event{Kind: KindMessage, Message: "dropped"}) // must not panic
+	f.Messagef(0, "also %s", "dropped")
+	if f.Named("x") != nil {
+		t.Error("nil Func.Named returned a non-nil func")
+	}
+	if f.Until(context.Background()) != nil {
+		t.Error("nil Func.Until returned a non-nil func")
+	}
+}
+
+// TestEmitPreservesOrder checks the synchronous delivery contract: events
+// arrive in emission order, one call per Emit.
+func TestEmitPreservesOrder(t *testing.T) {
+	var got []int
+	f := Func(func(e Event) { got = append(got, e.Iteration) })
+	for i := 0; i < 100; i++ {
+		f.Emit(Event{Kind: KindIteration, Iteration: i})
+	}
+	if len(got) != 100 {
+		t.Fatalf("%d events delivered, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("event %d arrived out of order (iteration %d)", i, v)
+		}
+	}
+}
+
+func TestNamedFillsEmptyTag(t *testing.T) {
+	var got Event
+	f := Func(func(e Event) { got = e }).Named("sa")
+	f.Emit(Event{Kind: KindIncumbent})
+	if got.Solver != "sa" {
+		t.Errorf("empty tag filled with %q, want sa", got.Solver)
+	}
+}
+
+// TestNamedShardRetagging checks the composition the decompose meta-solver
+// relies on: wrapping an inner solver's stream with a shard tag prefixes
+// every event with "decompose/shard[i]".
+func TestNamedShardRetagging(t *testing.T) {
+	var got []string
+	sink := Func(func(e Event) { got = append(got, e.Solver) })
+	for shard := 0; shard < 3; shard++ {
+		inner := sink.Named(fmt.Sprintf("decompose/shard[%d]", shard)).Named("sa")
+		inner.Emit(Event{Kind: KindIncumbent})
+	}
+	want := []string{"decompose/shard[0]/sa", "decompose/shard[1]/sa", "decompose/shard[2]/sa"}
+	if len(got) != len(want) {
+		t.Fatalf("%d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d tagged %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestUntilDropsEventsAfterCancellation checks the gate the decompose
+// meta-solver places on its stream: events emitted after the context is
+// cancelled are dropped.
+func TestUntilDropsEventsAfterCancellation(t *testing.T) {
+	var got []string
+	ctx, cancel := context.WithCancel(context.Background())
+	f := Func(func(e Event) { got = append(got, e.Message) }).Until(ctx)
+
+	f.Emit(Event{Kind: KindMessage, Message: "before"})
+	f.Messagef(0, "also %s", "before")
+	cancel()
+	f.Emit(Event{Kind: KindMessage, Message: "after"})
+	f.Emit(Event{Kind: KindIncumbent, Message: "straggler"})
+
+	if len(got) != 2 || got[0] != "before" || got[1] != "also before" {
+		t.Fatalf("delivered %v, want exactly the two pre-cancellation events", got)
+	}
+}
+
+// TestUntilComposesWithNamed: gating then tagging keeps both behaviours.
+func TestUntilComposesWithNamed(t *testing.T) {
+	var got []Event
+	ctx, cancel := context.WithCancel(context.Background())
+	f := Func(func(e Event) { got = append(got, e) }).Until(ctx).Named("decompose/shard[1]")
+	f.Emit(Event{Kind: KindIncumbent, Solver: "sa"})
+	cancel()
+	f.Emit(Event{Kind: KindIncumbent, Solver: "sa"})
+	if len(got) != 1 {
+		t.Fatalf("%d events delivered, want 1", len(got))
+	}
+	if got[0].Solver != "decompose/shard[1]/sa" {
+		t.Errorf("tag %q", got[0].Solver)
+	}
+}
+
+func TestMessagef(t *testing.T) {
+	var got Event
+	f := Func(func(e Event) { got = e })
+	f.Messagef(3*time.Second, "step %d of %d", 2, 5)
+	if got.Kind != KindMessage || got.Message != "step 2 of 5" || got.Elapsed != 3*time.Second {
+		t.Errorf("Messagef produced %+v", got)
+	}
+}

@@ -48,8 +48,22 @@ func ClassB(tables, transactions, updatePercent int) Params {
 	}
 }
 
+// MultiComponent returns a ClassA-style workload whose access graph splits
+// into at least the given number of independent components (the tables are
+// divided into that many banks and every transaction stays inside one bank).
+// These instances exercise the decomposition pipeline: each component can be
+// solved independently and concurrently. The name carries a "c<k>" suffix,
+// e.g. "rndAt32x120c4".
+func MultiComponent(components, tables, transactions, updatePercent int) Params {
+	p := ClassA(tables, transactions, updatePercent)
+	p.Components = components
+	p.Name = fmt.Sprintf("%sc%d", p.Name, components)
+	return p
+}
+
 // NamedClasses returns every named random instance class used in the paper's
-// Tables 2, 3, 5 and 6, in the order they appear in Table 3.
+// Tables 2, 3, 5 and 6, in the order they appear in Table 3, followed by the
+// multi-component decomposition classes of this reproduction.
 func NamedClasses() []Params {
 	var out []Params
 	for _, txns := range []int{15, 100} {
@@ -64,6 +78,11 @@ func NamedClasses() []Params {
 		}
 	}
 	out = append(out, ClassB(16, 15, 50)) // rndBt16x15u50 (Table 6)
+	// Multi-component decomposition families (not part of the paper).
+	out = append(out,
+		MultiComponent(4, 32, 120, 10),
+		MultiComponent(8, 64, 240, 10),
+	)
 	return out
 }
 

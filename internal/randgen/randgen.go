@@ -41,6 +41,13 @@ type Params struct {
 	// uniformly from 1..MaxRowsPerQuery (default 10, matching the TPC-C
 	// assumption for iterated queries).
 	MaxRowsPerQuery int
+	// Components, when ≥ 2, forces the instance's table–transaction access
+	// graph to split into at least that many independent components: the
+	// tables are divided into Components contiguous banks and every
+	// transaction draws all of its table references from a single bank
+	// (assigned round-robin). 0 or 1 keeps the paper's unconstrained
+	// workload. Requires Components ≤ Tables and Components ≤ Transactions.
+	Components int
 }
 
 // DefaultParams returns the default parameter values of Table 1 (the bold
@@ -98,6 +105,15 @@ func (p Params) Validate() error {
 			return fmt.Errorf("randgen: non-positive attribute width %d", w)
 		}
 	}
+	if p.Components < 0 {
+		return fmt.Errorf("randgen: negative component count %d", p.Components)
+	}
+	if p.Components > p.Tables {
+		return fmt.Errorf("randgen: %d components need at least as many tables, got %d", p.Components, p.Tables)
+	}
+	if p.Components > p.Transactions {
+		return fmt.Errorf("randgen: %d components need at least as many transactions, got %d", p.Components, p.Transactions)
+	}
 	return nil
 }
 
@@ -128,13 +144,18 @@ func Generate(p Params, seed int64) (*core.Instance, error) {
 		inst.Schema.Tables = append(inst.Schema.Tables, tbl)
 	}
 
-	// Workload.
+	// Workload. With Components ≥ 2 every transaction is confined to one
+	// contiguous table bank (round-robin over the banks), which keeps the
+	// banks mutually unreachable in the access graph; otherwise all tables
+	// are fair game, exactly as before.
+	banks := tableBanks(p)
 	for t := 0; t < p.Transactions; t++ {
 		txn := core.Transaction{Name: fmt.Sprintf("txn%03d", t)}
+		bank := banks[t%len(banks)]
 		nQueries := 1 + rng.Intn(p.MaxQueriesPerTxn)
 		for q := 0; q < nQueries; q++ {
 			isUpdate := rng.Intn(100) < p.UpdatePercent
-			queries := generateQuery(rng, &inst.Schema, p, fmt.Sprintf("q%02d", q), isUpdate)
+			queries := generateQuery(rng, &inst.Schema, p, fmt.Sprintf("q%02d", q), isUpdate, bank)
 			txn.Queries = append(txn.Queries, queries...)
 		}
 		inst.Workload.Transactions = append(inst.Workload.Transactions, txn)
@@ -146,15 +167,36 @@ func Generate(p Params, seed int64) (*core.Instance, error) {
 	return inst, nil
 }
 
-// generateQuery builds one query (two sub-queries for updates): it picks
-// 1..MaxTableRefsPerQuery distinct tables and distributes
-// 1..MaxAttrRefsPerQuery attribute references over them.
-func generateQuery(rng *rand.Rand, schema *core.Schema, p Params, name string, isUpdate bool) []core.Query {
-	nTables := 1 + rng.Intn(p.MaxTableRefsPerQuery)
-	if nTables > len(schema.Tables) {
-		nTables = len(schema.Tables)
+// tableBanks splits the table indices into Components contiguous banks (one
+// bank with every table when Components ≤ 1).
+func tableBanks(p Params) [][]int {
+	c := p.Components
+	if c <= 1 {
+		c = 1
 	}
-	tableIdx := rng.Perm(len(schema.Tables))[:nTables]
+	banks := make([][]int, c)
+	for b := 0; b < c; b++ {
+		lo, hi := b*p.Tables/c, (b+1)*p.Tables/c
+		for ti := lo; ti < hi; ti++ {
+			banks[b] = append(banks[b], ti)
+		}
+	}
+	return banks
+}
+
+// generateQuery builds one query (two sub-queries for updates): it picks
+// 1..MaxTableRefsPerQuery distinct tables from the allowed bank and
+// distributes 1..MaxAttrRefsPerQuery attribute references over them.
+func generateQuery(rng *rand.Rand, schema *core.Schema, p Params, name string, isUpdate bool, bank []int) []core.Query {
+	nTables := 1 + rng.Intn(p.MaxTableRefsPerQuery)
+	if nTables > len(bank) {
+		nTables = len(bank)
+	}
+	perm := rng.Perm(len(bank))[:nTables]
+	tableIdx := make([]int, nTables)
+	for i, bi := range perm {
+		tableIdx[i] = bank[bi]
+	}
 
 	nAttrRefs := 1 + rng.Intn(p.MaxAttrRefsPerQuery)
 	rows := float64(1 + rng.Intn(p.MaxRowsPerQuery))

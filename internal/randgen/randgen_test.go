@@ -2,6 +2,7 @@ package randgen
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -141,8 +142,8 @@ func TestParamsValidation(t *testing.T) {
 
 func TestNamedClasses(t *testing.T) {
 	classes := NamedClasses()
-	if len(classes) != 22 {
-		t.Fatalf("NamedClasses returned %d classes, want 22", len(classes))
+	if len(classes) != 24 {
+		t.Fatalf("NamedClasses returned %d classes, want 24", len(classes))
 	}
 	seen := map[string]bool{}
 	for _, c := range classes {
@@ -154,7 +155,7 @@ func TestNamedClasses(t *testing.T) {
 			t.Errorf("class %q invalid: %v", c.Name, err)
 		}
 	}
-	for _, want := range []string{"rndAt8x15", "rndAt64x100", "rndBt4x15", "rndAt8x15u50", "rndBt16x15u50"} {
+	for _, want := range []string{"rndAt8x15", "rndAt64x100", "rndBt4x15", "rndAt8x15u50", "rndBt16x15u50", "rndAt32x120c4", "rndAt64x240c8"} {
 		if !seen[want] {
 			t.Errorf("class %q missing", want)
 		}
@@ -212,5 +213,50 @@ func TestGeneratedInstancesAlwaysCompile(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestComponentsKnob(t *testing.T) {
+	p := MultiComponent(4, 32, 120, 10)
+	if p.Name != "rndAt32x120c4" {
+		t.Fatalf("MultiComponent name = %q", p.Name)
+	}
+	inst, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.Decompose(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumShards() < 4 {
+		t.Fatalf("instance splits into %d components, want >= 4", d.NumShards())
+	}
+	// The knob must not disturb the unconstrained generator: Components 0
+	// and 1 draw the identical random sequence.
+	a := DefaultParams(10, 6)
+	b := a
+	b.Components = 1
+	ia, err := Generate(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := Generate(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ia, ib) {
+		t.Error("Components=1 changed the generated instance")
+	}
+	// Invalid component counts are rejected.
+	for _, bad := range []Params{
+		MultiComponent(5, 4, 10, 10), // more components than tables
+		MultiComponent(5, 10, 4, 10), // more components than transactions
+		{Transactions: 1, Tables: 1, MaxQueriesPerTxn: 1, MaxAttrsPerTable: 1,
+			MaxTableRefsPerQuery: 1, MaxAttrRefsPerQuery: 1, Components: -1},
+	} {
+		if _, err := Generate(bad, 1); err == nil {
+			t.Errorf("invalid params accepted: %+v", bad)
+		}
 	}
 }

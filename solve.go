@@ -60,6 +60,9 @@ type Solution struct {
 	Gap        float64
 	Bound      float64
 	Iterations int
+	// Shards reports the per-component outcomes when the decompose
+	// meta-solver ran (directly or via Options.Preprocess); nil otherwise.
+	Shards []ShardInfo
 }
 
 // SolveOptions configure a SolveLegacy call.

@@ -74,8 +74,19 @@ type Options struct {
 	// concurrent runs) explore different trajectories. Set a non-zero seed
 	// for reproducible runs.
 	Seed int64
+	// Preprocess selects the preprocessing pipeline applied before the
+	// solver runs: PreprocessGroup (the default, reasonable-cuts grouping),
+	// PreprocessNone (no preprocessing, same as DisableGrouping) or
+	// PreprocessDecompose (grouping plus a split into independent components,
+	// each solved concurrently with the selected Solver — or Decompose.Solver
+	// when set — and merged exactly). Empty keeps the historical behaviour:
+	// grouping unless DisableGrouping.
+	Preprocess string
 	// Portfolio configures the "portfolio" solver; other solvers ignore it.
 	Portfolio PortfolioOptions
+	// Decompose configures the "decompose" meta-solver; other solvers ignore
+	// it.
+	Decompose DecomposeOptions
 	// Progress, when non-nil, receives typed progress events from the
 	// running solver(s).
 	Progress ProgressFunc
@@ -109,6 +120,9 @@ type Result struct {
 	Gap        float64
 	Bound      float64
 	Iterations int
+	// Shards reports the per-component outcomes of the decompose meta-solver
+	// (nil for every other solver).
+	Shards []ShardInfo
 }
 
 // Solver is a partitioning algorithm. Implementations solve the compiled
@@ -183,6 +197,7 @@ func init() {
 	RegisterSolver(saSolver{})
 	RegisterSolver(qpSolver{})
 	RegisterSolver(portfolioSolver{})
+	RegisterSolver(decomposeSolver{})
 }
 
 // seedCounter backs the Seed-0 "derive a distinct seed" semantics.
@@ -224,6 +239,31 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 	name := opts.Solver
 	if name == "" {
 		name = "sa"
+	}
+	// Resolve the preprocessing pipeline. PreprocessDecompose wraps the
+	// selected solver in the decompose meta-solver, so any registered solver
+	// gains grouping + component-split preprocessing without knowing about it.
+	switch opts.Preprocess {
+	case "":
+		// Historical behaviour: grouping unless DisableGrouping.
+	case PreprocessGroup:
+		if opts.DisableGrouping {
+			return nil, fmt.Errorf("vpart: Preprocess %q contradicts DisableGrouping", PreprocessGroup)
+		}
+	case PreprocessNone:
+		opts.DisableGrouping = true
+	case PreprocessDecompose:
+		if name != "decompose" {
+			// An explicitly configured shard solver wins; otherwise the
+			// selected solver is the one being wrapped.
+			if opts.Decompose.Solver == "" {
+				opts.Decompose.Solver = name
+			}
+			name = "decompose"
+		}
+	default:
+		return nil, fmt.Errorf("vpart: unknown preprocess pipeline %q (want %q, %q or %q)",
+			opts.Preprocess, PreprocessGroup, PreprocessNone, PreprocessDecompose)
 	}
 	solver, ok := LookupSolver(name)
 	if !ok {
@@ -282,6 +322,7 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 		Gap:             res.Gap,
 		Bound:           res.Bound,
 		Iterations:      res.Iterations,
+		Shards:          res.Shards,
 	}
 	if sol.Algorithm == "" {
 		sol.Algorithm = Algorithm(name)

@@ -173,6 +173,13 @@ func ClassB(tables, transactions, updatePercent int) RandomParams {
 	return randgen.ClassB(tables, transactions, updatePercent)
 }
 
+// MultiComponentClass returns a ClassA-style workload whose access graph
+// splits into at least the given number of independent components (e.g.
+// "rndAt32x120c4"); these instances exercise the decomposition pipeline.
+func MultiComponentClass(components, tables, transactions, updatePercent int) RandomParams {
+	return randgen.MultiComponent(components, tables, transactions, updatePercent)
+}
+
 // NamedRandomClasses returns every named random instance class of the
 // paper's Table 2 (plus the 64-table variants of Table 3).
 func NamedRandomClasses() []RandomParams { return randgen.NamedClasses() }
