@@ -13,10 +13,20 @@
 // meta-solver (per-shard SA on a worker pool) — and writes
 // BENCH_decompose.json with the wall-clock speedup and both costs.
 //
+// With -online it replays a drift trace (randgen.Drift) through a
+// vpart.Session and compares warm re-solving (seeded from the previous
+// incumbent) against cold solving from scratch at every step, writing
+// BENCH_online.json. The run fails if warm re-solving ever ends costlier
+// than the cold solve (beyond 1 % in full mode, at all in -quick mode), so
+// the CI smoke step doubles as a regression gate for the warm-start path.
+// Both pipelines run the single-threaded SA solver with fixed seeds, so the
+// costs are deterministic and the wall-clock comparison is single-core.
+//
 // Run with:
 //
 //	go run ./cmd/vpart-bench [-out BENCH_evaluator.json] [-quick]
 //	go run ./cmd/vpart-bench -decompose [-out BENCH_decompose.json] [-quick]
+//	go run ./cmd/vpart-bench -online [-out BENCH_online.json] [-quick]
 package main
 
 import (
@@ -68,6 +78,7 @@ func run(args []string) error {
 	out := fs.String("out", "", "output JSON path (default BENCH_evaluator.json, BENCH_decompose.json with -decompose)")
 	quick := fs.Bool("quick", false, "fewer SA measurement runs (CI smoke)")
 	decomposeSuite := fs.Bool("decompose", false, "benchmark the decomposition pipeline instead of the evaluator")
+	online := fs.Bool("online", false, "benchmark warm re-solving over a drift trace instead of the evaluator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +92,12 @@ func run(args []string) error {
 			*out = "BENCH_decompose.json"
 		}
 		return runDecomposeSuite(*out, runs, *quick)
+	}
+	if *online {
+		if *out == "" {
+			*out = "BENCH_online.json"
+		}
+		return runOnlineSuite(*out, runs, *quick)
 	}
 	if *out == "" {
 		*out = "BENCH_evaluator.json"
@@ -257,6 +274,213 @@ func runDecomposeSuite(out string, runs int, quick bool) error {
 		rep.ShardAttrs = append(rep.ShardAttrs, sh.Attrs)
 		rep.ShardRuntimeSeconds += sh.Runtime.Seconds()
 	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s", out, buf)
+	return nil
+}
+
+// onlineStep is one drift step of the BENCH_online.json report: the cold
+// solve-from-scratch versus the warm session re-solve on the same instance.
+type onlineStep struct {
+	Step     int `json:"step"`
+	DeltaOps int `json:"delta_ops"`
+	// StaleCost prices the previous incumbent under the drifted workload —
+	// the do-nothing baseline both solves compete against. Costs are the
+	// balanced objective (6), the quantity the solvers minimise; the
+	// objective-(4) breakdowns ride along for reference.
+	StaleCost     float64 `json:"stale_cost"`
+	WarmCost      float64 `json:"warm_cost"`
+	ColdCost      float64 `json:"cold_cost"`
+	WarmObjective float64 `json:"warm_objective"`
+	ColdObjective float64 `json:"cold_objective"`
+	// CostPercent is 100·warm/cold (≤ 100 means warm matched or beat cold).
+	CostPercent float64 `json:"warm_vs_cold_cost_percent"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	// TimeRatio is warm/cold wall clock (the acceptance target is ≤ 0.5).
+	TimeRatio float64 `json:"warm_vs_cold_time_ratio"`
+	WarmIters int     `json:"warm_iterations"`
+	ColdIters int     `json:"cold_iterations"`
+	WarmStart bool    `json:"warm_start"`
+}
+
+// onlineReport is the BENCH_online.json schema.
+type onlineReport struct {
+	Generated    string  `json:"generated"`
+	GoVersion    string  `json:"go_version"`
+	CPUs         int     `json:"cpus"`
+	Quick        bool    `json:"quick,omitempty"`
+	Instance     string  `json:"instance"`
+	Attributes   int     `json:"attributes"`
+	Transactions int     `json:"transactions"`
+	Sites        int     `json:"sites"`
+	Solver       string  `json:"solver"`
+	DriftSteps   int     `json:"drift_steps"`
+	Churn        float64 `json:"churn"`
+	DriftSeed    int64   `json:"drift_seed"`
+	SolveSeed    int64   `json:"solve_seed"`
+	Runs         int     `json:"runs"`
+
+	// The session anchors on one high-effort initial solve (a portfolio of
+	// SA seeds) and then tracks drift with cheap warm re-solves; the
+	// per-step cold baseline re-runs the plain SA solver from scratch.
+	InitialSolver  string       `json:"initial_solver"`
+	InitialSeconds float64      `json:"initial_solve_seconds"`
+	InitialCost    float64      `json:"initial_cost"`
+	Steps          []onlineStep `json:"steps"`
+
+	WarmTotalSeconds float64 `json:"warm_total_seconds"`
+	ColdTotalSeconds float64 `json:"cold_total_seconds"`
+	// TimeRatio is total warm / total cold wall clock over the whole trace.
+	TimeRatio float64 `json:"warm_vs_cold_time_ratio"`
+	// MaxCostPercent is the worst per-step 100·warm/cold.
+	MaxCostPercent float64 `json:"max_warm_vs_cold_cost_percent"`
+}
+
+// runOnlineSuite replays a drift trace through a Session (warm) and through
+// per-step from-scratch solves (cold). Costs are deterministic (fixed seeds,
+// single-threaded SA); wall clocks take the per-step minimum over `runs`
+// repetitions of the whole trace. The suite fails when warm re-solving ends
+// costlier than cold at any step — beyond 1 % in full mode, at all in quick
+// mode — making it a regression gate for the warm-start path.
+func runOnlineSuite(out string, runs int, quick bool) error {
+	class := randgen.ClassA(64, 200, 10)
+	sites, steps, churn := 8, 10, 0.05
+	if quick {
+		class = randgen.ClassA(16, 60, 10)
+		sites, steps, churn = 4, 5, 0.05
+	}
+	const driftSeed, solveSeed = 2, 1
+	inst, err := randgen.Generate(class, 1)
+	if err != nil {
+		return err
+	}
+	st := inst.Stats()
+	trace, err := vpart.Drift(inst, steps, churn, driftSeed)
+	if err != nil {
+		return err
+	}
+
+	rep := onlineReport{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		CPUs:         runtime.NumCPU(),
+		Quick:        quick,
+		Instance:     st.Name,
+		Attributes:   st.Attributes,
+		Transactions: st.Transactions,
+		Sites:        sites,
+		Solver:       "sa",
+		DriftSteps:   steps,
+		Churn:        churn,
+		DriftSeed:    driftSeed,
+		SolveSeed:    solveSeed,
+		Runs:         runs,
+		Steps:        make([]onlineStep, steps),
+	}
+	ctx := context.Background()
+
+	rep.InitialSolver = "portfolio"
+	for r := 0; r < runs; r++ {
+		sess, err := vpart.NewSession(inst, vpart.Options{Sites: sites, Solver: "sa", Seed: solveSeed})
+		if err != nil {
+			return err
+		}
+		// The anchor: one thorough portfolio solve the session then tracks.
+		start := time.Now()
+		initial, err := vpart.Solve(ctx, inst, vpart.Options{
+			Sites: sites, Solver: "portfolio", Seed: solveSeed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := sess.Adopt(initial); err != nil {
+			return err
+		}
+		if sec := time.Since(start).Seconds(); r == 0 || sec < rep.InitialSeconds {
+			rep.InitialSeconds = sec
+		}
+		rep.InitialCost = initial.Cost.Balanced
+
+		for k, delta := range trace {
+			if err := sess.Apply(delta); err != nil {
+				return err
+			}
+			start = time.Now()
+			warmSol, stats, err := sess.Resolve(ctx)
+			if err != nil {
+				return err
+			}
+			warmSec := time.Since(start).Seconds()
+
+			start = time.Now()
+			coldSol, err := vpart.Solve(ctx, sess.Instance(), vpart.Options{
+				Sites: sites, Solver: "sa", Seed: solveSeed,
+			})
+			if err != nil {
+				return err
+			}
+			coldSec := time.Since(start).Seconds()
+
+			step := &rep.Steps[k]
+			if r == 0 {
+				*step = onlineStep{
+					Step:          k + 1,
+					DeltaOps:      stats.DeltaOps,
+					StaleCost:     stats.StaleCost.Balanced,
+					WarmCost:      warmSol.Cost.Balanced,
+					ColdCost:      coldSol.Cost.Balanced,
+					WarmObjective: warmSol.Cost.Objective,
+					ColdObjective: coldSol.Cost.Objective,
+					WarmSeconds:   warmSec,
+					ColdSeconds:   coldSec,
+					WarmIters:     warmSol.Iterations,
+					ColdIters:     coldSol.Iterations,
+					WarmStart:     warmSol.WarmStart,
+				}
+			} else {
+				// Fixed seeds: costs must replay identically; keep the best
+				// wall clock of each pipeline.
+				if step.WarmCost != warmSol.Cost.Balanced || step.ColdCost != coldSol.Cost.Balanced {
+					return fmt.Errorf("online: step %d costs not deterministic across runs", k+1)
+				}
+				if warmSec < step.WarmSeconds {
+					step.WarmSeconds = warmSec
+				}
+				if coldSec < step.ColdSeconds {
+					step.ColdSeconds = coldSec
+				}
+			}
+		}
+	}
+
+	tol := 1.01 // full mode: the acceptance criterion is "within 1 %"
+	if quick {
+		tol = 1 + 1e-9 // quick mode: warm must reach at-or-below cold cost
+	}
+	for i := range rep.Steps {
+		step := &rep.Steps[i]
+		step.CostPercent = 100 * step.WarmCost / step.ColdCost
+		step.TimeRatio = step.WarmSeconds / step.ColdSeconds
+		rep.WarmTotalSeconds += step.WarmSeconds
+		rep.ColdTotalSeconds += step.ColdSeconds
+		if step.CostPercent > rep.MaxCostPercent {
+			rep.MaxCostPercent = step.CostPercent
+		}
+		if step.WarmCost > step.ColdCost*tol {
+			return fmt.Errorf("online: step %d warm cost %.6g exceeds cold cost %.6g (%.2f%%)",
+				step.Step, step.WarmCost, step.ColdCost, step.CostPercent)
+		}
+	}
+	rep.TimeRatio = rep.WarmTotalSeconds / rep.ColdTotalSeconds
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOnlineSuiteWritesReport runs the quick online suite end to end: it
+// doubles as the warm-≤-cold regression gate (runOnlineSuite fails when the
+// warm re-solve ends costlier than the cold solve at any drift step).
+func TestOnlineSuiteWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "online.json")
+	if err := run([]string{"-online", "-quick", "-out", out}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep onlineReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Steps) != rep.DriftSteps || rep.DriftSteps == 0 {
+		t.Fatalf("%d step reports for %d drift steps", len(rep.Steps), rep.DriftSteps)
+	}
+	if rep.InitialCost <= 0 || rep.InitialSeconds <= 0 || rep.InitialSolver == "" {
+		t.Errorf("missing initial-solve info: %+v", rep)
+	}
+	for _, s := range rep.Steps {
+		if s.WarmCost <= 0 || s.ColdCost <= 0 || s.StaleCost <= 0 {
+			t.Errorf("step %d: missing costs: %+v", s.Step, s)
+		}
+		if s.WarmSeconds <= 0 || s.ColdSeconds <= 0 {
+			t.Errorf("step %d: missing timings: %+v", s.Step, s)
+		}
+		if !s.WarmStart {
+			t.Errorf("step %d: warm resolve did not come out of the warm path", s.Step)
+		}
+		if s.WarmCost > s.ColdCost {
+			t.Errorf("step %d: warm cost %.6g above cold cost %.6g escaped the suite's own gate",
+				s.Step, s.WarmCost, s.ColdCost)
+		}
+	}
+	if rep.MaxCostPercent <= 0 || rep.TimeRatio <= 0 {
+		t.Errorf("missing aggregates: %+v", rep)
+	}
+}

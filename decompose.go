@@ -7,6 +7,7 @@ import (
 
 	"vpart/internal/core"
 	"vpart/internal/decompose"
+	"vpart/internal/seeds"
 )
 
 // Preprocessing pipelines for Options.Preprocess.
@@ -106,26 +107,28 @@ func (d decomposeSolver) Solve(ctx context.Context, m *Model, opts Options) (*Re
 	}
 
 	// Reserve the base seed once so every shard derives deterministically
-	// from it: shard i runs with base+i (remapping an accidental 0, which
-	// would mean "derive a fresh seed" downstream). A single-component
+	// from it: shard i runs with seeds.Derive(base, i). A single-component
 	// instance therefore solves with exactly the seed a direct solve would
 	// use, keeping the decompose-wrapped result bit-identical to it.
 	base := effectiveSeed(opts.Seed)
-	shardSeed := func(i int) int64 {
-		if s := base + int64(i); s != 0 {
-			return s
-		}
-		return base - 1
-	}
 
 	res, err := decompose.Solve(ctx, m, decompose.Options{
 		Workers:  opts.Decompose.Workers,
+		Warm:     warmHint(opts),
+		Dirty:    opts.WarmDirty,
 		Progress: opts.Progress,
-		SolveShard: func(ctx context.Context, shard int, sm *Model, prog ProgressFunc) (*decompose.ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *Model, warm *Partitioning, prog ProgressFunc) (*decompose.ShardOutcome, error) {
 			shardOpts := opts
 			shardOpts.Solver = name
-			shardOpts.Seed = shardSeed(shard)
+			shardOpts.Seed = seeds.Derive(base, shard)
 			shardOpts.Progress = prog
+			shardOpts.WarmDirty = nil
+			if warm != nil {
+				// The shard hint is already projected onto the shard model.
+				shardOpts.Warm = &Solution{Partitioning: warm}
+			} else {
+				shardOpts.Warm = nil
+			}
 			if !deadline.IsZero() {
 				remaining := time.Until(deadline)
 				if remaining < time.Millisecond {
@@ -172,6 +175,7 @@ func (d decomposeSolver) Solve(ctx context.Context, m *Model, opts Options) (*Re
 		Runtime:      res.Runtime,
 		Iterations:   res.Iterations,
 		Nodes:        res.Nodes,
+		WarmStart:    warmHint(opts) != nil,
 		Shards:       res.Shards,
 	}, nil
 }

@@ -92,6 +92,40 @@
 // Evaluator.Cost assembles the full Cost breakdown of the current state on
 // demand, matching Model.Evaluate to floating point accumulation order.
 //
+// # Online re-partitioning: deltas, warm starts and sessions
+//
+// The paper treats the workload as a frozen input; a serving system does
+// not. The package therefore models workload drift as first-class data: a
+// WorkloadDelta is an ordered batch of typed edits — AddQuery, RemoveQuery,
+// ScaleFreq, AddAttr — turning one instance into the next. ApplyDelta
+// applies it to a plain instance (copy-on-write, the input is never
+// mutated); Model.Patch applies it to an already compiled model in place,
+// re-summing exactly the coefficient cells the delta touches in compiled
+// order, so the patched model is bit-for-bit the model a full recompile
+// would produce (property-tested across all write-accounting modes).
+//
+// Solves can start from where the last one ended: Options.Warm carries a
+// previous Solution, and every built-in solver exploits it. The SA
+// heuristic anneals from the hint in refinement mode — fine-grained moves
+// and a cool initial temperature instead of the from-scratch schedule; the
+// QP solver prunes against the hint as its initial incumbent; the portfolio
+// races warm-seeded against cold-seeded children so a stale basin cannot
+// trap the search; and the decompose meta-solver, given Options.WarmDirty
+// (the table/transaction names the deltas touched, see WorkloadDelta.Touch),
+// re-solves only the components containing a dirty name and reuses the
+// projection of the previous solution for the rest, verbatim.
+//
+// Session ties the loop together: it owns the current instance, an
+// incrementally patched model and the incumbent solution. Apply feeds in a
+// delta; Resolve re-partitions warm and reports per-resolve stats — the
+// stale-incumbent baseline, whether the warm path won, shards reused, and
+// the incumbent cost trajectory. Adopt installs an externally computed
+// solution as the warm anchor (a one-off high-effort portfolio run, or a
+// persisted layout after a restart). Drift generates deterministic drift
+// traces; cmd/vpart-bench -online replays one and shows warm re-solving
+// tracking below the cold-solve cost at a fraction of its wall clock (see
+// BENCH_online.json and examples/online).
+//
 // # Cancellation and progress
 //
 // The whole solve path is context-aware: cancelling the context passed to
@@ -122,8 +156,13 @@
 //	fmt.Printf("cost %.0f bytes, %v\n", sol.Cost.Objective, sol.Runtime)
 //	fmt.Println(sol.Partitioning.Format(sol.Model))
 //
-// See examples/quickstart for a runnable version. The pre-registry
-// entry point survives as the deprecated SolveLegacy shim.
+// See examples/quickstart for a runnable version. The pre-registry entry
+// point — the deprecated SolveLegacy shim and its SolveOptions struct —
+// has been removed: migrate to Solve(ctx, inst, Options), which keeps
+// TimeLimit's soft stop-and-return-best semantics, replaces the printf Log
+// hook with the typed Options.Progress stream, and derives distinct seeds
+// for Seed-0 calls (pass Seed: 1 explicitly for the old zero-seed
+// behaviour).
 //
 // The package also bundles the TPC-C v5 instance used in the paper's
 // evaluation (TPCC), the paper's random instance generator (RandomInstance,

@@ -196,6 +196,30 @@ func Decompose(inst *Instance, group bool) (*Decomposition, error) {
 // NumShards returns the number of solvable components.
 func (d *Decomposition) NumShards() int { return len(d.Components) }
 
+// ProjectSolution restricts a partitioning of the source instance to
+// component i: the inverse of the merge step, used to seed a shard's solver
+// from a previous merged incumbent (and to reuse untouched shards outright).
+// A feasible source partitioning projects to a feasible shard partitioning —
+// a transaction's read attributes all belong to its own component.
+func (d *Decomposition) ProjectSolution(i int, p *Partitioning) (*Partitioning, error) {
+	if i < 0 || i >= len(d.Components) {
+		return nil, fmt.Errorf("decompose: component %d out of range [0,%d)", i, len(d.Components))
+	}
+	comp := &d.Components[i]
+	if len(p.TxnSite) != d.Source.NumTransactions() || len(p.AttrSites) != d.Source.NumAttributes() {
+		return nil, fmt.Errorf("decompose: partitioning has %d txns × %d attrs, source has %d × %d",
+			len(p.TxnSite), len(p.AttrSites), d.Source.NumTransactions(), d.Source.NumAttributes())
+	}
+	out := NewPartitioning(len(comp.Txns), len(comp.Attrs), p.Sites)
+	for lt, t := range comp.Txns {
+		out.TxnSite[lt] = p.TxnSite[t]
+	}
+	for la, a := range comp.Attrs {
+		copy(out.AttrSites[la], p.AttrSites[a])
+	}
+	return out, nil
+}
+
 // MergeSolutions lifts per-shard partitionings back to the source instance
 // and prices the merged partitioning. m must be compiled from Source, and
 // parts[i] must be a feasible partitioning of Components[i] (all with the

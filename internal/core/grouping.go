@@ -145,6 +145,45 @@ func (g *Grouping) Reduction() (original, grouped int) {
 	return g.Original.NumAttributes(), g.Grouped.NumAttributes()
 }
 
+// Reduce is the inverse of Expand: it converts a partitioning of the
+// original model into a partitioning of the grouped model. Every group's
+// site set is the union of its members' site sets — for a partitioning that
+// came out of a grouped solve (all members equal) this is lossless; for an
+// arbitrary warm hint it is the tightest grouped layout covering it. The
+// result is not repaired; callers seeding a solver should Repair it under the
+// grouped model.
+func (g *Grouping) Reduce(originalModel, groupedModel *Model, p *Partitioning) (*Partitioning, error) {
+	if groupedModel.Instance() != g.Grouped {
+		return nil, fmt.Errorf("grouping: grouped model was not compiled from this grouping")
+	}
+	if originalModel.Instance() != g.Original {
+		return nil, fmt.Errorf("grouping: original model was not compiled from this grouping")
+	}
+	if len(p.TxnSite) != originalModel.NumTxns() || len(p.AttrSites) != originalModel.NumAttrs() {
+		return nil, fmt.Errorf("grouping: partitioning has %d txns × %d attrs, original model has %d × %d",
+			len(p.TxnSite), len(p.AttrSites), originalModel.NumTxns(), originalModel.NumAttrs())
+	}
+	out := NewPartitioning(groupedModel.NumTxns(), groupedModel.NumAttrs(), p.Sites)
+	copy(out.TxnSite, p.TxnSite)
+	for a := 0; a < originalModel.NumAttrs(); a++ {
+		orig := originalModel.Attr(a).Qualified
+		group, ok := g.GroupOf[orig]
+		if !ok {
+			return nil, fmt.Errorf("grouping: attribute %s has no group", orig)
+		}
+		gid, ok := groupedModel.AttrID(group)
+		if !ok {
+			return nil, fmt.Errorf("grouping: group %s missing from grouped model", group)
+		}
+		for s, on := range p.AttrSites[a] {
+			if on {
+				out.AttrSites[gid][s] = true
+			}
+		}
+	}
+	return out, nil
+}
+
 // Expand converts a partitioning of the grouped model back into a
 // partitioning of the original model: every original attribute inherits the
 // site set of its group; transaction placement is copied unchanged.

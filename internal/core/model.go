@@ -243,6 +243,21 @@ func NewModel(inst *Instance, opts ModelOptions) (*Model, error) {
 	return m, nil
 }
 
+// recompile rebuilds every compiled structure from m.inst and m.opts. It is
+// the from-scratch fallback of Patch for ops the incremental path does not
+// cover.
+func (m *Model) recompile() error {
+	inst, opts := m.inst, m.opts
+	*m = Model{inst: inst, opts: opts}
+	m.compileCatalogue()
+	if err := m.compileQueries(); err != nil {
+		return err
+	}
+	m.compileCoefficients()
+	m.compileEvalIndices()
+	return nil
+}
+
 func (m *Model) compileCatalogue() {
 	sch := &m.inst.Schema
 	m.attrIndex = make(map[QualifiedAttr]int)
@@ -360,6 +375,13 @@ func (m *Model) compileCoefficients() {
 // catalogue used by the "access relevant attributes" accounting and the
 // Appendix A latency extension.
 func (m *Model) compileEvalIndices() {
+	m.compileAttrTerms()
+	m.compileWriteIndices()
+}
+
+// compileAttrTerms rebuilds attrTerms, the attribute-side transpose of
+// txnTerms, from scratch.
+func (m *Model) compileAttrTerms() {
 	nA, nT := len(m.attrs), len(m.txnNames)
 	m.attrTerms = make([][]AttrTermCoef, nA)
 	for t := 0; t < nT; t++ {
@@ -370,7 +392,17 @@ func (m *Model) compileEvalIndices() {
 			}
 		}
 	}
+}
 
+// compileWriteIndices rebuilds the write-query catalogue (attrWriteQ,
+// txnWriteQ, attrWriteAcc, writeQFreq/writeQTxn/writeQAlpha, numWriteAcc)
+// from the compiled query list.
+func (m *Model) compileWriteIndices() {
+	nA, nT := len(m.attrs), len(m.txnNames)
+	m.writeQFreq = nil
+	m.writeQTxn = nil
+	m.writeQAlpha = nil
+	m.numWriteAcc = 0
 	m.attrWriteQ = make([][]attrQueryRef, nA)
 	m.txnWriteQ = make([][]int32, nT)
 	m.attrWriteAcc = make([][]attrAccessRef, nA)

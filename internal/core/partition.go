@@ -213,6 +213,36 @@ func (p *Partitioning) Repair(m *Model) int {
 	return changed
 }
 
+// AdaptPartitioning fits a partitioning (typically a previous incumbent) to
+// the model's current dimensions, for warm-starting a solve after workload
+// deltas grew the instance: new transactions land on site 0, new attributes
+// are placed by Repair, and single-sitedness is repaired. Dimensions only
+// ever grow under WorkloadDelta, so a partitioning with more transactions or
+// attributes than the model is rejected. The input is never mutated; the
+// returned partitioning is feasible for m.
+func AdaptPartitioning(m *Model, p *Partitioning) (*Partitioning, error) {
+	if p == nil {
+		return nil, fmt.Errorf("adapt: nil partitioning")
+	}
+	if p.Sites <= 0 {
+		return nil, fmt.Errorf("adapt: non-positive site count %d", p.Sites)
+	}
+	if len(p.TxnSite) > m.NumTxns() || len(p.AttrSites) > m.NumAttrs() {
+		return nil, fmt.Errorf("adapt: partitioning has %d txns × %d attrs, model only %d × %d (dimensions cannot shrink)",
+			len(p.TxnSite), len(p.AttrSites), m.NumTxns(), m.NumAttrs())
+	}
+	out := NewPartitioning(m.NumTxns(), m.NumAttrs(), p.Sites)
+	copy(out.TxnSite, p.TxnSite)
+	for a := range p.AttrSites {
+		if len(p.AttrSites[a]) != p.Sites {
+			return nil, fmt.Errorf("adapt: attribute %d has %d site slots, want %d", a, len(p.AttrSites[a]), p.Sites)
+		}
+		copy(out.AttrSites[a], p.AttrSites[a])
+	}
+	out.Repair(m)
+	return out, nil
+}
+
 // Format renders the partitioning in the style of the paper's Table 4: one
 // section per site with the transactions executed there followed by the
 // attributes stored there.

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Patch applies a workload delta to the compiled model in place, op by op:
+// the instance is replaced by its patched successor (ApplyDelta semantics)
+// and the compiled coefficient tables and reverse indices are updated
+// incrementally instead of recompiling the whole model.
+//
+// The patched model is indistinguishable from NewModel(ApplyDelta(inst, d),
+// opts) — bit for bit, including every floating point coefficient: touched
+// cells are recomputed by re-summing their defining queries in compiled
+// order, never by subtracting contributions (floating point addition does not
+// invert), so Model.Evaluate of any partitioning returns byte-identical costs
+// on the patched and the recompiled model. Tests assert this oracle property
+// across all write-accounting modes.
+//
+// Cost: a query op touches the coefficients of its transaction and of the
+// attributes of the tables it accesses; the per-cell recomputation is
+// proportional to those terms, plus one pass over the transaction's query
+// block (and, for write queries, one pass over the query list to preserve
+// global summation order and rebuild the write-query catalogue). AddAttr on
+// the schema's last table is incremental; on any earlier table the attribute
+// ids of every later table shift, so the model falls back to a full
+// recompile.
+//
+// Patch mutates the model: outstanding Evaluators compiled from it (and any
+// retained TxnTerms/AttrTerms slices) are invalidated and must be rebuilt.
+// The whole delta is validated up front, so on error the model is left
+// unchanged.
+func (m *Model) Patch(d WorkloadDelta) error {
+	// Dry-run the full delta first: a multi-op delta failing on a later op
+	// must not leave the earlier ops half-applied.
+	if _, err := ApplyDelta(m.inst, d); err != nil {
+		return err
+	}
+	for _, op := range d.Ops {
+		// Re-apply op by op; after the dry run above this cannot fail.
+		next, err := applyOp(m.inst, op)
+		if err != nil {
+			return err
+		}
+		switch op := op.(type) {
+		case AddQuery:
+			err = m.patchAddQuery(next, op)
+		case RemoveQuery:
+			err = m.patchRemoveQuery(next, op)
+		case ScaleFreq:
+			err = m.patchScaleFreq(next, op)
+		case AddAttr:
+			err = m.patchAddAttr(next, op)
+		default:
+			err = fmt.Errorf("patch: unknown op type %T", op)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// txnIndex returns the compiled index of the named transaction, or -1.
+func (m *Model) txnIndex(name string) int {
+	for i, n := range m.txnNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendTxn grows every per-transaction structure by one empty slot for a
+// transaction appended to the workload.
+func (m *Model) appendTxn(name string) int {
+	t := len(m.txnNames)
+	m.txnNames = append(m.txnNames, name)
+	for a := range m.readLocal {
+		m.readLocal[a] = append(m.readLocal[a], 0)
+		m.transferOwn[a] = append(m.transferOwn[a], 0)
+		m.phi[a] = append(m.phi[a], false)
+	}
+	m.txnReadAttrs = append(m.txnReadAttrs, nil)
+	m.txnTerms = append(m.txnTerms, nil)
+	m.txnWriteQ = append(m.txnWriteQ, nil)
+	return t
+}
+
+// compileQueryInfo compiles a single workload query of transaction t the way
+// compileQueries does.
+func (m *Model) compileQueryInfo(t int, q *Query) (queryInfo, error) {
+	qi := queryInfo{
+		name:  m.txnNames[t] + "/" + q.Name,
+		txn:   t,
+		write: q.IsWrite(),
+		freq:  q.Frequency,
+	}
+	tblIndex := make(map[string]int, len(q.Accesses))
+	for i, tbl := range m.tableNames {
+		tblIndex[tbl] = i
+	}
+	for _, acc := range q.Accesses {
+		tid, ok := tblIndex[acc.Table]
+		if !ok {
+			return qi, fmt.Errorf("patch: query %s references unknown table %q", qi.name, acc.Table)
+		}
+		ca := queryAccess{table: tid, rows: acc.Rows}
+		for _, an := range acc.Attributes {
+			aid, ok := m.attrIndex[QualifiedAttr{Table: acc.Table, Attr: an}]
+			if !ok {
+				return qi, fmt.Errorf("patch: query %s references unknown attribute %s.%s", qi.name, acc.Table, an)
+			}
+			ca.attrs = append(ca.attrs, aid)
+		}
+		sort.Ints(ca.attrs)
+		qi.accesses = append(qi.accesses, ca)
+	}
+	return qi, nil
+}
+
+// queryPos locates the compiled index of query "txn/name" of transaction t,
+// or -1. The compiled list is transaction-major, so the scan is confined to
+// t's block.
+func (m *Model) queryPos(t int, name string) int {
+	full := m.txnNames[t] + "/" + name
+	lo := sort.Search(len(m.queries), func(i int) bool { return m.queries[i].txn >= t })
+	for i := lo; i < len(m.queries) && m.queries[i].txn == t; i++ {
+		if m.queries[i].name == full {
+			return i
+		}
+	}
+	return -1
+}
+
+// txnBlockEnd returns the compiled index one past the last query of
+// transaction t (the insertion point that keeps the list transaction-major).
+func (m *Model) txnBlockEnd(t int) int {
+	return sort.Search(len(m.queries), func(i int) bool { return m.queries[i].txn > t })
+}
+
+func (m *Model) patchAddQuery(next *Instance, op AddQuery) error {
+	t := m.txnIndex(op.Txn)
+	if t < 0 {
+		t = m.appendTxn(op.Txn)
+	}
+	qi, err := m.compileQueryInfo(t, &op.Query)
+	if err != nil {
+		return err
+	}
+	pos := m.txnBlockEnd(t)
+	m.queries = append(m.queries, queryInfo{})
+	copy(m.queries[pos+1:], m.queries[pos:])
+	m.queries[pos] = qi
+	m.inst = next
+	m.repatchQueryTerms(t, qi.accesses, qi.write)
+	return nil
+}
+
+func (m *Model) patchRemoveQuery(next *Instance, op RemoveQuery) error {
+	t := m.txnIndex(op.Txn)
+	pos := -1
+	if t >= 0 {
+		pos = m.queryPos(t, op.Query)
+	}
+	if pos < 0 {
+		return fmt.Errorf("patch: compiled model has no query %s/%s", op.Txn, op.Query)
+	}
+	removed := m.queries[pos]
+	m.queries = append(m.queries[:pos], m.queries[pos+1:]...)
+	m.inst = next
+	m.repatchQueryTerms(t, removed.accesses, removed.write)
+	return nil
+}
+
+func (m *Model) patchScaleFreq(next *Instance, op ScaleFreq) error {
+	t := m.txnIndex(op.Txn)
+	pos := -1
+	if t >= 0 {
+		pos = m.queryPos(t, op.Query)
+	}
+	if pos < 0 {
+		return fmt.Errorf("patch: compiled model has no query %s/%s", op.Txn, op.Query)
+	}
+	// Take the scaled frequency from the patched instance rather than
+	// re-multiplying here, so the compiled value is the exact float the
+	// recompile oracle would read.
+	nq, err := findQuery(next, op.Txn, op.Query)
+	if err != nil {
+		return err
+	}
+	m.queries[pos].freq = nq.Frequency
+	q := m.queries[pos]
+	m.inst = next
+	m.repatchQueryTerms(t, q.accesses, q.write)
+	return nil
+}
+
+// repatchQueryTerms recomputes every compiled coefficient a query edit on
+// transaction t over the given table accesses can have changed. The touched
+// cells are re-summed from the patched query list in compiled order, making
+// them bit-identical to a full recompile.
+func (m *Model) repatchQueryTerms(t int, accesses []queryAccess, write bool) {
+	// The touched attributes: every attribute of every accessed table (the β
+	// terms couple a query to whole tables).
+	touchedTables := make(map[int]bool, len(accesses))
+	var touched []int
+	for _, acc := range accesses {
+		if !touchedTables[acc.table] {
+			touchedTables[acc.table] = true
+			touched = append(touched, m.tableAttrs[acc.table]...)
+		}
+	}
+	sort.Ints(touched)
+
+	// Zero the touched cells...
+	for _, a := range touched {
+		m.readLocal[a][t] = 0
+		m.transferOwn[a][t] = 0
+		m.phi[a][t] = false
+		if write {
+			m.writeLocal[a] = 0
+			m.transferTotal[a] = 0
+		}
+	}
+	// ...and re-sum the transaction-local ones from t's query block, in
+	// compiled order (a cell only ever receives contributions from queries of
+	// its own transaction, so the block order is the global order restricted
+	// to the cell).
+	for i := range m.queries {
+		q := &m.queries[i]
+		if q.txn != t {
+			continue
+		}
+		for _, acc := range q.accesses {
+			if !touchedTables[acc.table] {
+				continue
+			}
+			if q.write {
+				for _, a := range acc.attrs {
+					m.transferOwn[a][t] += float64(m.attrs[a].Width) * q.freq * acc.rows
+				}
+				continue
+			}
+			for _, a := range m.tableAttrs[acc.table] {
+				m.readLocal[a][t] += float64(m.attrs[a].Width) * q.freq * acc.rows
+			}
+			for _, a := range acc.attrs {
+				m.phi[a][t] = true
+			}
+		}
+	}
+	// The global write sums span transactions, so preserving their compiled
+	// summation order needs one pass over the whole query list.
+	if write {
+		for i := range m.queries {
+			q := &m.queries[i]
+			if !q.write {
+				continue
+			}
+			for _, acc := range q.accesses {
+				if !touchedTables[acc.table] {
+					continue
+				}
+				for _, a := range m.tableAttrs[acc.table] {
+					m.writeLocal[a] += float64(m.attrs[a].Width) * q.freq * acc.rows
+				}
+				for _, a := range acc.attrs {
+					m.transferTotal[a] += float64(m.attrs[a].Width) * q.freq * acc.rows
+				}
+			}
+		}
+	}
+
+	m.rebuildTxnTerms(t)
+	for _, a := range touched {
+		m.repatchAttrTerm(a, t)
+	}
+	if write {
+		// A write query appeared, disappeared or changed frequency: rebuild
+		// the write-query catalogue (ids are dense in compiled order, so a
+		// structural change renumbers them).
+		m.compileWriteIndices()
+	}
+}
+
+// rebuildTxnTerms recomputes txnReadAttrs[t] and txnTerms[t] from the
+// coefficient matrices, exactly as compileCoefficients does.
+func (m *Model) rebuildTxnTerms(t int) {
+	nA := len(m.attrs)
+	m.txnReadAttrs[t] = m.txnReadAttrs[t][:0]
+	m.txnTerms[t] = m.txnTerms[t][:0]
+	for a := 0; a < nA; a++ {
+		if m.phi[a][t] {
+			m.txnReadAttrs[t] = append(m.txnReadAttrs[t], a)
+		}
+		c1 := m.readLocal[a][t] - m.opts.Penalty*m.transferOwn[a][t]
+		c3 := m.readLocal[a][t]
+		xfer := m.transferOwn[a][t]
+		if c1 != 0 || c3 != 0 || xfer != 0 {
+			m.txnTerms[t] = append(m.txnTerms[t], TermCoef{Attr: a, C1: c1, C3: c3, Xfer: xfer})
+		}
+	}
+}
+
+// repatchAttrTerm splices attribute a's transposed term for transaction t
+// (attrTerms entries stay sorted by transaction, as compileAttrTerms emits
+// them).
+func (m *Model) repatchAttrTerm(a, t int) {
+	c3 := m.readLocal[a][t]
+	xfer := m.transferOwn[a][t]
+	terms := m.attrTerms[a]
+	i := sort.Search(len(terms), func(i int) bool { return terms[i].Txn >= t })
+	present := i < len(terms) && terms[i].Txn == t
+	want := c3 != 0 || xfer != 0
+	switch {
+	case want && present:
+		terms[i].C3, terms[i].Xfer = c3, xfer
+	case want:
+		terms = append(terms, AttrTermCoef{})
+		copy(terms[i+1:], terms[i:])
+		terms[i] = AttrTermCoef{Txn: t, C3: c3, Xfer: xfer}
+		m.attrTerms[a] = terms
+	case present:
+		m.attrTerms[a] = append(terms[:i], terms[i+1:]...)
+	}
+}
+
+func (m *Model) patchAddAttr(next *Instance, op AddAttr) error {
+	ti := -1
+	for i, n := range m.tableNames {
+		if n == op.Table {
+			ti = i
+			break
+		}
+	}
+	if ti < 0 {
+		return fmt.Errorf("patch: compiled model has no table %q", op.Table)
+	}
+	m.inst = next
+	if ti != len(m.tableNames)-1 {
+		// The new attribute's global id lands before the attributes of every
+		// later table; the renumbering touches all compiled indices, so
+		// recompile from the patched instance.
+		return m.recompile()
+	}
+
+	id := len(m.attrs)
+	nT := len(m.txnNames)
+	q := QualifiedAttr{Table: op.Table, Attr: op.Attr.Name}
+	m.attrs = append(m.attrs, AttrInfo{ID: id, Table: ti, Qualified: q, Width: op.Attr.Width})
+	m.attrIndex[q] = id
+	m.tableAttrs[ti] = append(m.tableAttrs[ti], id)
+	m.readLocal = append(m.readLocal, make([]float64, nT))
+	m.transferOwn = append(m.transferOwn, make([]float64, nT))
+	m.phi = append(m.phi, make([]bool, nT))
+	m.writeLocal = append(m.writeLocal, 0)
+	m.transferTotal = append(m.transferTotal, 0)
+	m.attrTerms = append(m.attrTerms, nil)
+	m.attrWriteQ = append(m.attrWriteQ, nil)
+	m.attrWriteAcc = append(m.attrWriteAcc, nil)
+
+	// The new attribute is referenced by no query (α = 0 everywhere) but is
+	// part of its table's fractions (β = 1 for every query accessing it). One
+	// pass over the query list in compiled order accumulates its β sums and
+	// write-access refs bit-identically to a recompile.
+	accID := 0
+	for i := range m.queries {
+		qu := &m.queries[i]
+		for _, acc := range qu.accesses {
+			thisAcc := accID
+			if qu.write {
+				accID++
+			}
+			if acc.table != ti {
+				continue
+			}
+			w := float64(op.Attr.Width) * qu.freq * acc.rows
+			if qu.write {
+				m.writeLocal[id] += w
+				m.attrWriteAcc[id] = append(m.attrWriteAcc[id],
+					attrAccessRef{access: int32(thisAcc), weight: w})
+			} else {
+				m.readLocal[id][qu.txn] += w
+			}
+		}
+	}
+	// β-only terms: c1 = c3 = readLocal (transferOwn is zero), appended at
+	// the end of each txnTerms list — the new id is the largest, so the
+	// ascending-attribute order is preserved.
+	for t := 0; t < nT; t++ {
+		if rl := m.readLocal[id][t]; rl != 0 {
+			m.txnTerms[t] = append(m.txnTerms[t], TermCoef{Attr: id, C1: rl, C3: rl})
+			m.attrTerms[id] = append(m.attrTerms[id], AttrTermCoef{Txn: t, C3: rl})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randInstance builds a small random but valid instance: a hand-rolled
+// generator (internal tests cannot import randgen — it would cycle).
+func randInstance(rng *rand.Rand, tables, txns int) *Instance {
+	inst := &Instance{Name: fmt.Sprintf("patch-rnd-%dx%d", tables, txns)}
+	for ti := 0; ti < tables; ti++ {
+		tbl := Table{Name: fmt.Sprintf("T%02d", ti)}
+		for ai := 0; ai < 2+rng.Intn(5); ai++ {
+			tbl.Attributes = append(tbl.Attributes, Attribute{
+				Name:  fmt.Sprintf("a%02d", ai),
+				Width: 4 * (1 + rng.Intn(3)),
+			})
+		}
+		inst.Schema.Tables = append(inst.Schema.Tables, tbl)
+	}
+	for xi := 0; xi < txns; xi++ {
+		txn := Transaction{Name: fmt.Sprintf("txn%02d", xi)}
+		for qi := 0; qi < 1+rng.Intn(3); qi++ {
+			txn.Queries = append(txn.Queries, randQuery(rng, inst, fmt.Sprintf("q%02d", qi)))
+		}
+		inst.Workload.Transactions = append(inst.Workload.Transactions, txn)
+	}
+	if err := inst.Validate(); err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// randQuery draws a random read or write query over 1-2 distinct tables of
+// the instance.
+func randQuery(rng *rand.Rand, inst *Instance, name string) Query {
+	kind := Read
+	if rng.Intn(100) < 35 {
+		kind = Write
+	}
+	q := Query{Name: name, Kind: kind, Frequency: float64(1+rng.Intn(8)) * 0.5}
+	nTab := 1 + rng.Intn(2)
+	perm := rng.Perm(len(inst.Schema.Tables))[:nTab]
+	for _, ti := range perm {
+		tbl := inst.Schema.Tables[ti]
+		seen := map[string]bool{}
+		var attrs []string
+		for i := 0; i < 1+rng.Intn(len(tbl.Attributes)); i++ {
+			a := tbl.Attributes[rng.Intn(len(tbl.Attributes))].Name
+			if !seen[a] {
+				seen[a] = true
+				attrs = append(attrs, a)
+			}
+		}
+		q.Accesses = append(q.Accesses, TableAccess{
+			Table:      tbl.Name,
+			Attributes: attrs,
+			Rows:       float64(1 + rng.Intn(10)),
+		})
+	}
+	return q
+}
+
+// randDelta draws a valid random delta against inst, applying ops to a shadow
+// as it goes so later ops address the patched state.
+func randDelta(rng *rand.Rand, inst *Instance, ops int) WorkloadDelta {
+	var d WorkloadDelta
+	cur := inst
+	for len(d.Ops) < ops {
+		var op DeltaOp
+		switch k := rng.Intn(10); {
+		case k < 4: // scale a frequency
+			tx := cur.Workload.Transactions[rng.Intn(len(cur.Workload.Transactions))]
+			q := tx.Queries[rng.Intn(len(tx.Queries))]
+			op = ScaleFreq{Txn: tx.Name, Query: q.Name, Factor: 0.25 + rng.Float64()*3}
+		case k < 6: // add a query to an existing transaction
+			tx := cur.Workload.Transactions[rng.Intn(len(cur.Workload.Transactions))]
+			op = AddQuery{Txn: tx.Name, Query: randQuery(rng, cur, fmt.Sprintf("dq%03d", len(d.Ops)))}
+		case k < 7: // add a query to a brand-new transaction
+			op = AddQuery{
+				Txn:   fmt.Sprintf("dtxn%03d", len(d.Ops)),
+				Query: randQuery(rng, cur, "q00"),
+			}
+		case k < 9: // remove a query (never the last one of its transaction)
+			tx := cur.Workload.Transactions[rng.Intn(len(cur.Workload.Transactions))]
+			if len(tx.Queries) < 2 {
+				continue
+			}
+			op = RemoveQuery{Txn: tx.Name, Query: tx.Queries[rng.Intn(len(tx.Queries))].Name}
+		default: // grow a table
+			ti := rng.Intn(len(cur.Schema.Tables))
+			op = AddAttr{
+				Table: cur.Schema.Tables[ti].Name,
+				Attr:  Attribute{Name: fmt.Sprintf("da%03d", len(d.Ops)), Width: 4},
+			}
+		}
+		next, err := ApplyDelta(cur, WorkloadDelta{Ops: []DeltaOp{op}})
+		if err != nil {
+			panic(err)
+		}
+		cur = next
+		d.Ops = append(d.Ops, op)
+	}
+	return d
+}
+
+// requireSameFloats compares two float slices bitwise.
+func requireSameFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %v (bits %x), want %v (bits %x)",
+				what, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// requireIdenticalModels asserts every compiled structure of got matches want
+// bitwise: the Patch-versus-recompile oracle.
+func requireIdenticalModels(t *testing.T, got, want *Model) {
+	t.Helper()
+	if got.NumAttrs() != want.NumAttrs() || got.NumTxns() != want.NumTxns() ||
+		got.NumTables() != want.NumTables() || got.NumQueries() != want.NumQueries() {
+		t.Fatalf("dimensions %d/%d/%d/%d, want %d/%d/%d/%d",
+			got.NumAttrs(), got.NumTxns(), got.NumTables(), got.NumQueries(),
+			want.NumAttrs(), want.NumTxns(), want.NumTables(), want.NumQueries())
+	}
+	for a := range want.attrs {
+		if got.attrs[a] != want.attrs[a] {
+			t.Fatalf("attrs[%d] = %+v, want %+v", a, got.attrs[a], want.attrs[a])
+		}
+		requireSameFloats(t, fmt.Sprintf("readLocal[%d]", a), got.readLocal[a], want.readLocal[a])
+		requireSameFloats(t, fmt.Sprintf("transferOwn[%d]", a), got.transferOwn[a], want.transferOwn[a])
+		for x := range want.phi[a] {
+			if got.phi[a][x] != want.phi[a][x] {
+				t.Fatalf("phi[%d][%d] = %v, want %v", a, x, got.phi[a][x], want.phi[a][x])
+			}
+		}
+		if len(got.attrTerms[a]) != len(want.attrTerms[a]) {
+			t.Fatalf("attrTerms[%d] has %d entries, want %d", a, len(got.attrTerms[a]), len(want.attrTerms[a]))
+		}
+		for i, at := range want.attrTerms[a] {
+			if got.attrTerms[a][i] != at {
+				t.Fatalf("attrTerms[%d][%d] = %+v, want %+v", a, i, got.attrTerms[a][i], at)
+			}
+		}
+		if len(got.attrWriteQ[a]) != len(want.attrWriteQ[a]) {
+			t.Fatalf("attrWriteQ[%d] has %d entries, want %d", a, len(got.attrWriteQ[a]), len(want.attrWriteQ[a]))
+		}
+		for i, ref := range want.attrWriteQ[a] {
+			if got.attrWriteQ[a][i] != ref {
+				t.Fatalf("attrWriteQ[%d][%d] = %+v, want %+v", a, i, got.attrWriteQ[a][i], ref)
+			}
+		}
+		if len(got.attrWriteAcc[a]) != len(want.attrWriteAcc[a]) {
+			t.Fatalf("attrWriteAcc[%d] has %d entries, want %d", a, len(got.attrWriteAcc[a]), len(want.attrWriteAcc[a]))
+		}
+		for i, ref := range want.attrWriteAcc[a] {
+			if got.attrWriteAcc[a][i] != ref {
+				t.Fatalf("attrWriteAcc[%d][%d] = %+v, want %+v", a, i, got.attrWriteAcc[a][i], ref)
+			}
+		}
+	}
+	requireSameFloats(t, "writeLocal", got.writeLocal, want.writeLocal)
+	requireSameFloats(t, "transferTotal", got.transferTotal, want.transferTotal)
+	requireSameFloats(t, "writeQFreq", got.writeQFreq, want.writeQFreq)
+	for x := range want.txnNames {
+		if got.txnNames[x] != want.txnNames[x] {
+			t.Fatalf("txnNames[%d] = %q, want %q", x, got.txnNames[x], want.txnNames[x])
+		}
+		if len(got.txnTerms[x]) != len(want.txnTerms[x]) {
+			t.Fatalf("txnTerms[%d] has %d entries, want %d", x, len(got.txnTerms[x]), len(want.txnTerms[x]))
+		}
+		for i, tc := range want.txnTerms[x] {
+			if got.txnTerms[x][i] != tc {
+				t.Fatalf("txnTerms[%d][%d] = %+v, want %+v", x, i, got.txnTerms[x][i], tc)
+			}
+		}
+		if len(got.txnReadAttrs[x]) != len(want.txnReadAttrs[x]) {
+			t.Fatalf("txnReadAttrs[%d] has %d entries, want %d", x, len(got.txnReadAttrs[x]), len(want.txnReadAttrs[x]))
+		}
+		for i, a := range want.txnReadAttrs[x] {
+			if got.txnReadAttrs[x][i] != a {
+				t.Fatalf("txnReadAttrs[%d][%d] = %d, want %d", x, i, got.txnReadAttrs[x][i], a)
+			}
+		}
+		if len(got.txnWriteQ[x]) != len(want.txnWriteQ[x]) {
+			t.Fatalf("txnWriteQ[%d] has %d entries, want %d", x, len(got.txnWriteQ[x]), len(want.txnWriteQ[x]))
+		}
+		for i, qid := range want.txnWriteQ[x] {
+			if got.txnWriteQ[x][i] != qid {
+				t.Fatalf("txnWriteQ[%d][%d] = %d, want %d", x, i, got.txnWriteQ[x][i], qid)
+			}
+		}
+	}
+	if got.numWriteAcc != want.numWriteAcc {
+		t.Fatalf("numWriteAcc = %d, want %d", got.numWriteAcc, want.numWriteAcc)
+	}
+	if len(got.queries) != len(want.queries) {
+		t.Fatalf("%d compiled queries, want %d", len(got.queries), len(want.queries))
+	}
+	for i := range want.queries {
+		g, w := &got.queries[i], &want.queries[i]
+		if g.name != w.name || g.txn != w.txn || g.write != w.write ||
+			math.Float64bits(g.freq) != math.Float64bits(w.freq) {
+			t.Fatalf("queries[%d] = %+v, want %+v", i, *g, *w)
+		}
+	}
+	for i, alpha := range want.writeQAlpha {
+		if len(got.writeQAlpha[i]) != len(alpha) {
+			t.Fatalf("writeQAlpha[%d] has %d entries, want %d", i, len(got.writeQAlpha[i]), len(alpha))
+		}
+		for j, ar := range alpha {
+			if got.writeQAlpha[i][j] != ar {
+				t.Fatalf("writeQAlpha[%d][%d] = %+v, want %+v", i, j, got.writeQAlpha[i][j], ar)
+			}
+		}
+	}
+}
+
+// requireSameCost compares two cost breakdowns bitwise.
+func requireSameCost(t *testing.T, got, want Cost) {
+	t.Helper()
+	same := func(what string, g, w float64) {
+		t.Helper()
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Fatalf("%s = %v, want %v (bitwise)", what, g, w)
+		}
+	}
+	same("ReadAccess", got.ReadAccess, want.ReadAccess)
+	same("WriteAccess", got.WriteAccess, want.WriteAccess)
+	same("Transfer", got.Transfer, want.Transfer)
+	same("MaxWork", got.MaxWork, want.MaxWork)
+	same("LatencyUnits", got.LatencyUnits, want.LatencyUnits)
+	same("Objective", got.Objective, want.Objective)
+	same("Balanced", got.Balanced, want.Balanced)
+	requireSameFloats(t, "SiteWork", got.SiteWork, want.SiteWork)
+}
+
+// randFeasible draws a random feasible partitioning of the model.
+func randFeasible(rng *rand.Rand, m *Model, sites int) *Partitioning {
+	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), sites)
+	for x := range p.TxnSite {
+		p.TxnSite[x] = rng.Intn(sites)
+	}
+	for a := range p.AttrSites {
+		p.AttrSites[a][rng.Intn(sites)] = true
+		if rng.Intn(3) == 0 {
+			p.AttrSites[a][rng.Intn(sites)] = true
+		}
+	}
+	p.Repair(m)
+	return p
+}
+
+// TestPatchMatchesRecompile is the oracle property: Model.Patch followed by
+// Evaluate matches a full recompile plus Evaluate byte for byte, across all
+// three write-accounting modes (plus the latency extension), for random
+// instances, random deltas and random partitionings.
+func TestPatchMatchesRecompile(t *testing.T) {
+	modes := []ModelOptions{
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteAll},
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteRelevant},
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteNone},
+		{Penalty: 8, Lambda: 0.1, WriteAccounting: WriteAll, LatencyPenalty: 100},
+	}
+	for mi, mo := range modes {
+		mo := mo
+		t.Run(fmt.Sprintf("%s-lat%g", mo.WriteAccounting, mo.LatencyPenalty), func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000*mi + trial)))
+				inst := randInstance(rng, 2+rng.Intn(4), 2+rng.Intn(5))
+				patched, err := NewModel(inst, mo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delta := randDelta(rng, inst, 1+rng.Intn(6))
+				if err := patched.Patch(delta); err != nil {
+					t.Fatalf("trial %d: patch: %v", trial, err)
+				}
+				wantInst, err := ApplyDelta(inst, delta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle, err := NewModel(wantInst, mo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireIdenticalModels(t, patched, oracle)
+				for probe := 0; probe < 4; probe++ {
+					sites := 2 + rng.Intn(3)
+					p := randFeasible(rng, oracle, sites)
+					requireSameCost(t, patched.Evaluate(p), oracle.Evaluate(p))
+				}
+				// The patched instance itself must equal the ApplyDelta result
+				// structurally (it is rebuilt through the same op applications).
+				if err := patched.Instance().Validate(); err != nil {
+					t.Fatalf("patched instance invalid: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestPatchEvaluatorConsistency checks that an Evaluator compiled from a
+// patched model agrees with the patched model's Evaluate.
+func TestPatchEvaluatorConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inst := randInstance(rng, 4, 6)
+	for _, wa := range []WriteAccounting{WriteAll, WriteRelevant, WriteNone} {
+		mo := ModelOptions{Penalty: 8, Lambda: 0.1, WriteAccounting: wa, LatencyPenalty: 50}
+		m, err := NewModel(inst, mo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Patch(randDelta(rng, inst, 4)); err != nil {
+			t.Fatal(err)
+		}
+		p := randFeasible(rng, m, 3)
+		ev, err := NewEvaluator(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				ev.ApplyMoveTxn(rng.Intn(m.NumTxns()), rng.Intn(3))
+			case 1:
+				ev.ApplyAddReplica(rng.Intn(m.NumAttrs()), rng.Intn(3))
+			case 2:
+				a := rng.Intn(m.NumAttrs())
+				if ev.Partitioning().Replicas(a) > 1 {
+					ev.ApplyDropReplica(a, rng.Intn(3))
+				}
+			}
+			ev.Commit()
+		}
+		got, want := ev.Cost(), m.Evaluate(ev.Partitioning())
+		if math.Abs(got.Balanced-want.Balanced) > 1e-6*(1+math.Abs(want.Balanced)) {
+			t.Fatalf("%v: evaluator balanced %v, Evaluate %v", wa, got.Balanced, want.Balanced)
+		}
+	}
+}
+
+// TestPatchAddAttrNonLastTableRecompiles covers the recompile fallback:
+// growing any table but the last shifts attribute ids.
+func TestPatchAddAttrNonLastTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := randInstance(rng, 3, 4)
+	mo := DefaultModelOptions()
+	m, err := NewModel(inst, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := WorkloadDelta{Ops: []DeltaOp{
+		AddAttr{Table: inst.Schema.Tables[0].Name, Attr: Attribute{Name: "zz", Width: 8}},
+	}}
+	if err := m.Patch(delta); err != nil {
+		t.Fatal(err)
+	}
+	wantInst, err := ApplyDelta(inst, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewModel(wantInst, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalModels(t, m, oracle)
+}
+
+// TestApplyDeltaErrors exercises the validation paths.
+func TestApplyDeltaErrors(t *testing.T) {
+	inst := &Instance{
+		Name: "mini",
+		Schema: Schema{Tables: []Table{
+			{Name: "T", Attributes: []Attribute{{Name: "a", Width: 4}}},
+		}},
+		Workload: Workload{Transactions: []Transaction{
+			{Name: "x", Queries: []Query{NewRead("q", "T", []string{"a"}, 1, 1)}},
+		}},
+	}
+	cases := []struct {
+		name string
+		op   DeltaOp
+	}{
+		{"remove last query", RemoveQuery{Txn: "x", Query: "q"}},
+		{"remove unknown query", RemoveQuery{Txn: "x", Query: "nope"}},
+		{"remove unknown txn", RemoveQuery{Txn: "nope", Query: "q"}},
+		{"scale unknown query", ScaleFreq{Txn: "x", Query: "nope", Factor: 2}},
+		{"scale non-positive", ScaleFreq{Txn: "x", Query: "q", Factor: 0}},
+		{"add duplicate query", AddQuery{Txn: "x", Query: NewRead("q", "T", []string{"a"}, 1, 1)}},
+		{"add query unknown table", AddQuery{Txn: "x", Query: NewRead("q2", "U", []string{"a"}, 1, 1)}},
+		{"add query unknown attr", AddQuery{Txn: "x", Query: NewRead("q2", "T", []string{"zz"}, 1, 1)}},
+		{"add attr unknown table", AddAttr{Table: "U", Attr: Attribute{Name: "b", Width: 4}}},
+		{"add duplicate attr", AddAttr{Table: "T", Attr: Attribute{Name: "a", Width: 4}}},
+		{"add attr bad width", AddAttr{Table: "T", Attr: Attribute{Name: "b", Width: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ApplyDelta(inst, WorkloadDelta{Ops: []DeltaOp{tc.op}}); err == nil {
+				t.Fatalf("op %s applied without error", tc.op)
+			}
+			m, err := NewModel(inst, DefaultModelOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Patch(WorkloadDelta{Ops: []DeltaOp{tc.op}}); err == nil {
+				t.Fatalf("op %s patched without error", tc.op)
+			}
+		})
+	}
+	// The failed ops must not have mutated the source instance.
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Workload.Transactions[0].Queries) != 1 || len(inst.Schema.Tables[0].Attributes) != 1 {
+		t.Fatal("failed delta mutated the source instance")
+	}
+}
+
+// TestPatchMultiOpFailureIsAtomic: a delta whose later op fails must leave
+// the model (and its coefficients) exactly as before — no half-applied
+// earlier ops.
+func TestPatchMultiOpFailureIsAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inst := randInstance(rng, 3, 4)
+	mo := DefaultModelOptions()
+	m, err := NewModel(inst, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewModel(inst, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := inst.Workload.Transactions[0]
+	bad := WorkloadDelta{Ops: []DeltaOp{
+		ScaleFreq{Txn: tx.Name, Query: tx.Queries[0].Name, Factor: 4}, // valid
+		RemoveQuery{Txn: tx.Name, Query: "no-such-query"},             // fails
+	}}
+	if err := m.Patch(bad); err == nil {
+		t.Fatal("invalid multi-op delta patched without error")
+	}
+	requireIdenticalModels(t, m, oracle)
+	if m.Instance() != inst {
+		t.Fatal("failed Patch replaced the model's instance")
+	}
+}
+
+// TestDirtySetTouch checks the dirty marking used for shard reuse.
+func TestDirtySetTouch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inst := randInstance(rng, 3, 4)
+	tx := inst.Workload.Transactions[1]
+	q := tx.Queries[0]
+	d := WorkloadDelta{Ops: []DeltaOp{
+		ScaleFreq{Txn: tx.Name, Query: q.Name, Factor: 2},
+		AddAttr{Table: inst.Schema.Tables[2].Name, Attr: Attribute{Name: "fresh", Width: 4}},
+	}}
+	ds := NewDirtySet()
+	if err := d.Touch(inst, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Txns[tx.Name] {
+		t.Errorf("transaction %q not marked dirty", tx.Name)
+	}
+	for _, acc := range q.Accesses {
+		if !ds.Tables[acc.Table] {
+			t.Errorf("table %q not marked dirty", acc.Table)
+		}
+	}
+	if !ds.Tables[inst.Schema.Tables[2].Name] {
+		t.Errorf("grown table not marked dirty")
+	}
+	if ds.Empty() {
+		t.Error("Empty() on a non-empty set")
+	}
+	if !ds.Touches([]string{inst.Schema.Tables[2].Name}, nil) {
+		t.Error("Touches missed a dirty table")
+	}
+	if ds.Touches([]string{"no-such-table"}, []string{"no-such-txn"}) {
+		t.Error("Touches reported a clean component dirty")
+	}
+	clone := ds.Clone()
+	clone.Tables["extra"] = true
+	if ds.Tables["extra"] {
+		t.Error("Clone shares maps with the original")
+	}
+}

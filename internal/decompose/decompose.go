@@ -24,6 +24,10 @@ import (
 
 // ShardOutcome is what the inner solver reports for one shard.
 type ShardOutcome struct {
+	// Reused marks a shard that was not solved at all: its component was
+	// untouched by the workload deltas since the warm solution, so the warm
+	// solution's projection was taken over verbatim.
+	Reused bool
 	// Partitioning is the best partitioning of the shard model; nil when the
 	// inner solver timed out without an incumbent.
 	Partitioning *core.Partitioning
@@ -64,20 +68,34 @@ type ShardInfo struct {
 	// Iterations and Nodes are the inner solver's search statistics.
 	Iterations int
 	Nodes      int
+	// Reused marks a shard whose previous solution was taken over verbatim
+	// because no workload delta touched its component.
+	Reused bool
 	// Runtime is the shard's wall-clock solve time (excluding queueing).
 	Runtime time.Duration
 }
 
 // SolveShardFunc solves one shard. It receives the component index, the
-// compiled shard model and a progress func already re-tagged with the shard
+// compiled shard model, the projection of the warm solution onto the shard
+// (nil for cold solves) and a progress func already re-tagged with the shard
 // id ("decompose/shard[i]/..."); it must honour ctx.
-type SolveShardFunc func(ctx context.Context, shard int, m *core.Model, prog progress.Func) (*ShardOutcome, error)
+type SolveShardFunc func(ctx context.Context, shard int, m *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error)
 
 // Options configure a decompose run.
 type Options struct {
 	// Workers bounds the number of concurrently solved shards; 0 means
 	// GOMAXPROCS. The pool never exceeds the shard count.
 	Workers int
+	// Warm, when non-nil, is a previous solution over the source model. Each
+	// shard's solver is seeded with its projection, and — when Dirty is also
+	// set — shards whose component no delta touched are not solved at all:
+	// the projection is reused verbatim (marked Reused in the shard info).
+	// Ignored when its dimensions do not match the source model.
+	Warm *core.Partitioning
+	// Dirty lists the table and transaction names the workload deltas since
+	// Warm touched. nil means unknown (every shard is re-solved, warm-seeded);
+	// an empty set means nothing changed and every shard is reusable.
+	Dirty *core.DirtySet
 	// Progress receives the meta-solver's own events (tagged "decompose")
 	// and the shards' re-tagged streams. It may be called from several
 	// worker goroutines concurrently. No events are delivered after the run
@@ -97,6 +115,9 @@ type Result struct {
 	Cost core.Cost
 	// Shards reports the per-component outcomes, indexed by component.
 	Shards []ShardInfo
+	// ShardsReused counts the shards whose previous solution was reused
+	// without solving (warm runs over a dirty set only).
+	ShardsReused int
 	// Optimal reports whether the merged solution is proven optimal: only
 	// when there is a single shard whose inner solve was optimal (per-shard
 	// optima do not compose through the load-balancing term for λ < 1).
@@ -144,6 +165,56 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 		Message: fmt.Sprintf("split into %d shard(s), %d orphan table(s)", n, len(d.OrphanTables)),
 	})
 
+	// Warm start: project the previous solution onto every component. The
+	// projection can only fail on a dimension mismatch (a stale hint the
+	// caller did not adapt), in which case the whole hint is dropped.
+	var warmShards []*core.Partitioning
+	if opts.Warm != nil {
+		warmShards = make([]*core.Partitioning, n)
+		for i := range warmShards {
+			wp, err := d.ProjectSolution(i, opts.Warm)
+			if err != nil {
+				prog.Emit(progress.Event{
+					Kind:    progress.KindMessage,
+					Solver:  "decompose",
+					Elapsed: time.Since(start),
+					Message: fmt.Sprintf("dropping warm hint: %v", err),
+				})
+				warmShards = nil
+				break
+			}
+			warmShards[i] = wp
+		}
+	}
+	// With a dirty set, clean components skip the solver entirely: their
+	// sub-instance is untouched by the deltas, so the projected previous
+	// solution is exactly as good as it was.
+	reuse := make([]bool, n)
+	reused := 0
+	if warmShards != nil && opts.Dirty != nil {
+		for i := range reuse {
+			shard := d.Components[i].Instance
+			tables := make([]string, len(shard.Schema.Tables))
+			for j, t := range shard.Schema.Tables {
+				tables[j] = t.Name
+			}
+			txns := make([]string, len(shard.Workload.Transactions))
+			for j, t := range shard.Workload.Transactions {
+				txns[j] = t.Name
+			}
+			if !opts.Dirty.Touches(tables, txns) {
+				reuse[i] = true
+				reused++
+			}
+		}
+		prog.Emit(progress.Event{
+			Kind:    progress.KindMessage,
+			Solver:  "decompose",
+			Elapsed: time.Since(start),
+			Message: fmt.Sprintf("reusing %d of %d shard(s) untouched by the workload deltas", reused, n),
+		})
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -163,7 +234,11 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 				if runCtx.Err() != nil {
 					continue // drain without solving once the run is cancelled
 				}
-				states[i] = solveOne(runCtx, d, i, m.Options(), prog, opts.SolveShard)
+				var warm *core.Partitioning
+				if warmShards != nil {
+					warm = warmShards[i]
+				}
+				states[i] = solveOne(runCtx, d, i, m.Options(), prog, opts.SolveShard, warm, reuse[i])
 				if states[i].err != nil {
 					cancel() // first failure stops the remaining shards
 				}
@@ -229,8 +304,12 @@ feed:
 			TimedOut:   out.TimedOut,
 			Iterations: out.Iterations,
 			Nodes:      out.Nodes,
+			Reused:     out.Reused,
 			Runtime:    states[i].runtime,
 		})
+		if out.Reused {
+			res.ShardsReused++
+		}
 		res.TimedOut = res.TimedOut || out.TimedOut
 		res.Iterations += out.Iterations
 		res.Nodes += out.Nodes
@@ -272,15 +351,31 @@ type shardState struct {
 	err     error
 }
 
-// solveOne compiles and solves a single shard.
-func solveOne(ctx context.Context, d *core.Decomposition, i int, mo core.ModelOptions, prog progress.Func, solve SolveShardFunc) (st shardState) {
+// solveOne compiles and solves (or, for a clean component of a warm run,
+// reuses) a single shard.
+func solveOne(ctx context.Context, d *core.Decomposition, i int, mo core.ModelOptions, prog progress.Func, solve SolveShardFunc, warm *core.Partitioning, reuse bool) (st shardState) {
 	start := time.Now()
 	sm, err := core.NewModel(d.Components[i].Instance, mo)
 	if err != nil {
 		st.err = err
 		return st
 	}
-	out, err := solve(ctx, i, sm, prog.Named(fmt.Sprintf("decompose/shard[%d]", i)))
+	if reuse && warm != nil {
+		// Validate rather than trust: an infeasible projection (impossible for
+		// hints produced by this pipeline, but cheap to check) falls back to a
+		// warm-seeded solve.
+		if err := warm.Validate(sm); err == nil {
+			st.outcome = &ShardOutcome{
+				Reused:       true,
+				Partitioning: warm,
+				Cost:         sm.Evaluate(warm),
+				Solver:       "reused",
+			}
+			st.runtime = time.Since(start)
+			return st
+		}
+	}
+	out, err := solve(ctx, i, sm, warm, prog.Named(fmt.Sprintf("decompose/shard[%d]", i)))
 	st.runtime = time.Since(start)
 	if err != nil {
 		st.err = err

@@ -55,7 +55,7 @@ func TestSolvePoolMergesAllShards(t *testing.T) {
 	var calls atomic.Int32
 	res, err := Solve(context.Background(), m, Options{
 		Workers: 2,
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			calls.Add(1)
 			prog.Emit(progress.Event{Kind: progress.KindIncumbent, Cost: 1})
 			return greedyShard(sm), nil
@@ -87,7 +87,7 @@ func TestSolveShardErrorCancelsRemaining(t *testing.T) {
 	var sawCancelled atomic.Bool
 	_, err := Solve(context.Background(), m, Options{
 		Workers: 1, // serial pool: shard 2 fails, later shards must not run
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			if shard >= 3 {
 				sawCancelled.Store(true)
 			}
@@ -109,7 +109,7 @@ func TestSolveContextCancellation(t *testing.T) {
 	m := testModel(t, multiInstance(4))
 	ctx, cancel := context.WithCancel(context.Background())
 	_, err := Solve(ctx, m, Options{
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			cancel()
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -123,7 +123,7 @@ func TestSolveContextCancellation(t *testing.T) {
 func TestSolveTimeoutWithoutIncumbent(t *testing.T) {
 	m := testModel(t, multiInstance(3))
 	res, err := Solve(context.Background(), m, Options{
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			if shard == 1 {
 				return &ShardOutcome{TimedOut: true, Solver: "stub"}, nil // t/o, no incumbent
 			}
@@ -147,7 +147,7 @@ func TestSolveTimeoutWithoutIncumbent(t *testing.T) {
 func TestSolveSingleShardOptimal(t *testing.T) {
 	m := testModel(t, multiInstance(1))
 	res, err := Solve(context.Background(), m, Options{
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			out := greedyShard(sm)
 			out.Optimal = true
 			return out, nil
@@ -167,7 +167,7 @@ func TestSolveRejectsMissingCallback(t *testing.T) {
 		t.Error("missing SolveShard accepted")
 	}
 	if _, err := Solve(context.Background(), m, Options{
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			return nil, nil
 		},
 	}); err == nil {
@@ -193,7 +193,7 @@ func TestSolveProgressShardTags(t *testing.T) {
 			tags = append(tags, e.Solver)
 			mu.Unlock()
 		},
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			prog.Emit(progress.Event{Kind: progress.KindIncumbent, Solver: "inner", Cost: 1})
 			return greedyShard(sm), nil
 		},
@@ -219,7 +219,7 @@ func TestSolveManyShardsStress(t *testing.T) {
 	m := testModel(t, multiInstance(32))
 	res, err := Solve(context.Background(), m, Options{
 		Workers: 8,
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			// Random feasible layout per shard keeps the merge non-trivial
 			// (per-shard rng: the pool runs shards concurrently).
 			rng := rand.New(rand.NewSource(int64(shard)))
@@ -248,7 +248,7 @@ func TestSolveShardErrorAttribution(t *testing.T) {
 	started := make(chan struct{})
 	_, err := Solve(context.Background(), m, Options{
 		Workers: 2,
-		SolveShard: func(ctx context.Context, shard int, sm *core.Model, prog progress.Func) (*ShardOutcome, error) {
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
 			if shard == 0 {
 				// Long-running shard: aborts only when shard 1's failure
 				// cancels the pool.

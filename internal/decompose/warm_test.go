@@ -1,0 +1,174 @@
+package decompose
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/progress"
+)
+
+// warmFixture solves the multi-component fixture once, returning the merged
+// partitioning to reuse as a warm hint.
+func warmFixture(t *testing.T, m *core.Model) *core.Partitioning {
+	t.Helper()
+	res, err := Solve(context.Background(), m, Options{
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
+			return greedyShard(sm), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Partitioning
+}
+
+// TestWarmReusesCleanShards: with a warm solution and a dirty set naming one
+// component's transaction, only that component is re-solved; the rest reuse
+// the projection verbatim and the merged cost is bit-identical where
+// untouched.
+func TestWarmReusesCleanShards(t *testing.T) {
+	m := testModel(t, multiInstance(5))
+	prev := warmFixture(t, m)
+
+	dirty := core.NewDirtySet()
+	dirty.Txns["txn2"] = true
+
+	var solved atomic.Int32
+	var sawWarm atomic.Int32
+	res, err := Solve(context.Background(), m, Options{
+		Warm:  prev,
+		Dirty: dirty,
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
+			solved.Add(1)
+			if shard != 2 {
+				t.Errorf("clean shard %d was re-solved", shard)
+			}
+			if warm == nil {
+				t.Error("dirty shard received no warm projection")
+			} else {
+				sawWarm.Add(1)
+				if err := warm.Validate(sm); err != nil {
+					t.Errorf("warm projection infeasible: %v", err)
+				}
+			}
+			return greedyShard(sm), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solved.Load() != 1 || sawWarm.Load() != 1 {
+		t.Errorf("inner solver ran %d time(s) (warm %d), want 1", solved.Load(), sawWarm.Load())
+	}
+	if res.ShardsReused != 4 {
+		t.Errorf("ShardsReused = %d, want 4", res.ShardsReused)
+	}
+	reused := 0
+	for _, sh := range res.Shards {
+		if sh.Reused {
+			reused++
+			if sh.Solver != "reused" {
+				t.Errorf("reused shard %d tagged %q", sh.Shard, sh.Solver)
+			}
+		}
+	}
+	if reused != 4 {
+		t.Errorf("%d shard infos marked Reused, want 4", reused)
+	}
+	if res.Partitioning == nil {
+		t.Fatal("warm run returned no partitioning")
+	}
+	// The merged result must equal the source model's evaluation, exactly as
+	// for cold runs.
+	if got, want := res.Cost.Objective, m.Evaluate(res.Partitioning).Objective; math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("merged cost %g != direct evaluation %g", got, want)
+	}
+}
+
+// TestWarmEmptyDirtySetReusesEverything: nothing dirty means the previous
+// solution comes back verbatim without a single inner solve.
+func TestWarmEmptyDirtySetReusesEverything(t *testing.T) {
+	m := testModel(t, multiInstance(4))
+	prev := warmFixture(t, m)
+
+	var solved atomic.Int32
+	res, err := Solve(context.Background(), m, Options{
+		Warm:  prev,
+		Dirty: core.NewDirtySet(),
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
+			solved.Add(1)
+			return greedyShard(sm), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solved.Load() != 0 {
+		t.Errorf("inner solver ran %d time(s) with an empty dirty set", solved.Load())
+	}
+	if res.ShardsReused != 4 {
+		t.Errorf("ShardsReused = %d, want 4", res.ShardsReused)
+	}
+	for x, s := range prev.TxnSite {
+		if res.Partitioning.TxnSite[x] != s {
+			t.Fatal("all-reused merge differs from the previous solution")
+		}
+	}
+}
+
+// TestWarmWithoutDirtySeedsEveryShard: Warm alone (Dirty nil) re-solves all
+// shards but hands each its projection.
+func TestWarmWithoutDirtySeedsEveryShard(t *testing.T) {
+	m := testModel(t, multiInstance(3))
+	prev := warmFixture(t, m)
+
+	var warmSeen atomic.Int32
+	res, err := Solve(context.Background(), m, Options{
+		Warm: prev,
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
+			if warm != nil {
+				warmSeen.Add(1)
+			}
+			return greedyShard(sm), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSeen.Load() != 3 {
+		t.Errorf("%d shards received a warm projection, want 3", warmSeen.Load())
+	}
+	if res.ShardsReused != 0 {
+		t.Errorf("ShardsReused = %d without a dirty set", res.ShardsReused)
+	}
+}
+
+// TestWarmMismatchedHintIsDropped: a hint with stale dimensions falls back
+// to a cold solve instead of failing.
+func TestWarmMismatchedHintIsDropped(t *testing.T) {
+	m := testModel(t, multiInstance(3))
+	stale := core.NewPartitioning(1, 2, 2) // wrong dimensions
+	var warmSeen atomic.Int32
+	res, err := Solve(context.Background(), m, Options{
+		Warm:  stale,
+		Dirty: core.NewDirtySet(),
+		SolveShard: func(ctx context.Context, shard int, sm *core.Model, warm *core.Partitioning, prog progress.Func) (*ShardOutcome, error) {
+			if warm != nil {
+				warmSeen.Add(1)
+			}
+			return greedyShard(sm), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmSeen.Load() != 0 {
+		t.Errorf("%d shards received a projection of a mismatched hint", warmSeen.Load())
+	}
+	if res.ShardsReused != 0 || res.Partitioning == nil {
+		t.Errorf("mismatched hint not handled as a cold solve: %+v", res)
+	}
+}

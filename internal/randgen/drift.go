@@ -1,0 +1,150 @@
+package randgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vpart/internal/core"
+)
+
+// Drift default mix: per perturbed transaction, the probability of each kind
+// of edit. The remainder after scale+add+remove re-scales a frequency, so the
+// mix always sums to one.
+const (
+	driftScalePct  = 50 // re-weight an existing query
+	driftAddPct    = 25 // add a query over tables the transaction already uses
+	driftRemovePct = 15 // retire a query (never a transaction's last)
+	// driftAddAttrPct is the per-step probability of one schema growth op
+	// (a table gaining a column), independent of the per-transaction mix.
+	driftAddAttrPct = 20
+)
+
+// Drift generates a deterministic sequence of `steps` workload deltas for an
+// instance: the drift trace the online re-partitioning benchmarks replay.
+// Each step perturbs about churn·|T| transactions (at least one): mostly
+// frequency re-weighting (log-uniform factors in [1/4, 4]), plus query
+// additions and removals, and occasionally a table grows an attribute.
+//
+// Added queries only reference tables their transaction already accesses, so
+// a step never links previously independent components of the access graph —
+// the component count of a multi-component instance can only grow (a removal
+// may split a component), never shrink. That keeps drift traces honest for
+// the decompose meta-solver's shard-reuse path.
+//
+// The returned deltas apply in sequence: deltas[i] applies to the instance
+// produced by deltas[0..i-1]. Equal seeds produce equal traces; inst is not
+// mutated.
+func Drift(inst *core.Instance, steps int, churn float64, seed int64) ([]core.WorkloadDelta, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("randgen: negative drift steps %d", steps)
+	}
+	if churn < 0 || churn > 1 {
+		return nil, fmt.Errorf("randgen: drift churn %g outside [0,1]", churn)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := inst
+	deltas := make([]core.WorkloadDelta, 0, steps)
+	names := 0 // global counter keeping generated query/attribute names unique
+
+	perStep := int(math.Round(churn * float64(inst.NumTransactions())))
+	if perStep < 1 {
+		perStep = 1
+	}
+
+	for s := 0; s < steps; s++ {
+		var d core.WorkloadDelta
+		for i := 0; i < perStep; i++ {
+			ti := rng.Intn(len(cur.Workload.Transactions))
+			tx := &cur.Workload.Transactions[ti]
+			op := driftTxnOp(rng, cur, tx, &names)
+			next, err := core.ApplyDelta(cur, core.WorkloadDelta{Ops: []core.DeltaOp{op}})
+			if err != nil {
+				return nil, fmt.Errorf("randgen: drift step %d: %w", s, err)
+			}
+			cur = next
+			d.Ops = append(d.Ops, op)
+		}
+		if rng.Intn(100) < driftAddAttrPct {
+			names++
+			op := core.AddAttr{
+				Table: cur.Schema.Tables[rng.Intn(len(cur.Schema.Tables))].Name,
+				Attr:  core.Attribute{Name: fmt.Sprintf("drift_a%04d", names), Width: 4 * (1 + rng.Intn(2))},
+			}
+			next, err := core.ApplyDelta(cur, core.WorkloadDelta{Ops: []core.DeltaOp{op}})
+			if err != nil {
+				return nil, fmt.Errorf("randgen: drift step %d: %w", s, err)
+			}
+			cur = next
+			d.Ops = append(d.Ops, op)
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, nil
+}
+
+// driftTxnOp draws one workload edit against transaction tx of cur.
+func driftTxnOp(rng *rand.Rand, cur *core.Instance, tx *core.Transaction, names *int) core.DeltaOp {
+	k := rng.Intn(100)
+	switch {
+	case k < driftScalePct:
+		// fall through to the frequency re-scale below
+	case k < driftScalePct+driftAddPct:
+		*names++
+		return core.AddQuery{Txn: tx.Name, Query: driftQuery(rng, cur, tx, fmt.Sprintf("drift%04d", *names))}
+	case k < driftScalePct+driftAddPct+driftRemovePct:
+		if len(tx.Queries) >= 2 {
+			return core.RemoveQuery{Txn: tx.Name, Query: tx.Queries[rng.Intn(len(tx.Queries))].Name}
+		}
+		// A single-query transaction cannot shrink; re-weight instead.
+	}
+	q := tx.Queries[rng.Intn(len(tx.Queries))]
+	// Log-uniform factor in [1/4, 4]: up- and down-weighting symmetric.
+	return core.ScaleFreq{Txn: tx.Name, Query: q.Name, Factor: 0.25 * math.Pow(16, rng.Float64())}
+}
+
+// driftQuery builds a fresh query over a subset of the tables the
+// transaction already accesses (never linking new tables into the
+// transaction's component).
+func driftQuery(rng *rand.Rand, cur *core.Instance, tx *core.Transaction, name string) core.Query {
+	// The transaction's current table set, in first-use order.
+	seen := map[string]bool{}
+	var tables []string
+	for _, q := range tx.Queries {
+		for _, acc := range q.Accesses {
+			if !seen[acc.Table] {
+				seen[acc.Table] = true
+				tables = append(tables, acc.Table)
+			}
+		}
+	}
+	nTab := 1
+	if len(tables) > 1 && rng.Intn(2) == 0 {
+		nTab = 2
+	}
+	perm := rng.Perm(len(tables))[:nTab]
+
+	kind := core.Read
+	if rng.Intn(100) < 20 {
+		kind = core.Write
+	}
+	q := core.Query{Name: name, Kind: kind, Frequency: 0.5 + rng.Float64()*2}
+	rows := float64(1 + rng.Intn(10))
+	for _, pi := range perm {
+		tbl, _ := cur.Schema.Table(tables[pi])
+		attrSeen := map[string]bool{}
+		var attrs []string
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			a := tbl.Attributes[rng.Intn(len(tbl.Attributes))].Name
+			if !attrSeen[a] {
+				attrSeen[a] = true
+				attrs = append(attrs, a)
+			}
+		}
+		q.Accesses = append(q.Accesses, core.TableAccess{Table: tbl.Name, Attributes: attrs, Rows: rows})
+	}
+	return q
+}

@@ -1,0 +1,113 @@
+package randgen
+
+import (
+	"reflect"
+	"testing"
+
+	"vpart/internal/core"
+)
+
+func TestDriftDeterministicAndValid(t *testing.T) {
+	inst, err := Generate(ClassA(8, 30, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Drift(inst, 12, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Drift(inst, 12, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Drift calls with equal seeds disagree")
+	}
+	if len(a) != 12 {
+		t.Fatalf("%d deltas, want 12", len(a))
+	}
+
+	// Applying the whole trace keeps the instance valid, and each step
+	// touches roughly churn·|T| transactions.
+	cur := inst
+	for i, d := range a {
+		if len(d.Ops) == 0 {
+			t.Fatalf("step %d is empty", i)
+		}
+		next, err := core.ApplyDelta(cur, d)
+		if err != nil {
+			t.Fatalf("step %d does not apply: %v", i, err)
+		}
+		if err := next.Validate(); err != nil {
+			t.Fatalf("step %d produced an invalid instance: %v", i, err)
+		}
+		cur = next
+	}
+	if cur == inst {
+		t.Fatal("trace did not change the instance")
+	}
+
+	// A different seed gives a different trace.
+	c, err := Drift(inst, 12, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seeds 7 and 8 produced identical traces")
+	}
+}
+
+// TestDriftNeverMergesComponents: added queries only use tables their
+// transaction already accesses, so a drift trace cannot link independent
+// components — the component count of a multi-component instance never
+// decreases.
+func TestDriftNeverMergesComponents(t *testing.T) {
+	inst, err := Generate(MultiComponent(4, 16, 40, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := core.Decompose(inst, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d0.NumShards()
+	if before < 4 {
+		t.Fatalf("seed instance has %d components, want ≥ 4", before)
+	}
+	trace, err := Drift(inst, 20, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := inst
+	for _, d := range trace {
+		if cur, err = core.ApplyDelta(cur, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dN, err := core.Decompose(cur, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dN.NumShards() < before {
+		t.Fatalf("drift merged components: %d before, %d after", before, dN.NumShards())
+	}
+}
+
+func TestDriftArgumentValidation(t *testing.T) {
+	inst, err := Generate(ClassA(4, 8, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drift(inst, -1, 0.1, 1); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := Drift(inst, 3, -0.1, 1); err == nil {
+		t.Error("negative churn accepted")
+	}
+	if _, err := Drift(inst, 3, 1.5, 1); err == nil {
+		t.Error("churn > 1 accepted")
+	}
+	if ds, err := Drift(inst, 0, 0.1, 1); err != nil || len(ds) != 0 {
+		t.Errorf("zero steps: %v, %d deltas", err, len(ds))
+	}
+}

@@ -57,6 +57,24 @@ const (
 	// DefaultAcceptWorsePct is the relative degradation accepted with 50 %
 	// probability at the initial temperature (Section 5.1 uses 5 %).
 	DefaultAcceptWorsePct = 0.05
+	// DefaultWarmAcceptWorsePct replaces DefaultAcceptWorsePct in the τ₀ rule
+	// for warm-started runs (Options.Initial): the hint is assumed to be near
+	// a good basin, so the annealing starts cooler and refines instead of
+	// first destroying the incumbent.
+	DefaultWarmAcceptWorsePct = 0.01
+	// DefaultWarmMoveFraction replaces DefaultMoveFraction for warm-started
+	// runs: a cool anneal can only make progress with fine-grained moves —
+	// the default 10 % batches produce deltas far above a refinement
+	// temperature, so every proposal would be rejected and the run would
+	// return the hint unchanged. Near-single-element moves keep the
+	// Metropolis test meaningful (and each iteration an order of magnitude
+	// cheaper).
+	DefaultWarmMoveFraction = 0.01
+	// DefaultWarmNoImprovementLimit replaces DefaultNoImprovementLimit for
+	// warm-started runs: a refinement that has stopped improving is done —
+	// waiting the cold default out roughly doubles the wall clock for no
+	// measurable quality gain (the point of warm re-solving is to be fast).
+	DefaultWarmNoImprovementLimit = 6
 )
 
 // Options control the SA solver.
@@ -91,6 +109,16 @@ type Options struct {
 	// vector). Zero means DefaultIntensifyEvery; a negative value disables
 	// intensification entirely (pure move-based annealing).
 	IntensifyEvery int
+	// Initial, when non-nil, warm-starts the search from the given
+	// partitioning instead of a random assignment: the hint is copied,
+	// repaired against the model and becomes the first incumbent, and the
+	// default initial temperature drops to the DefaultWarmAcceptWorsePct rule
+	// so the annealing refines the hint instead of melting it. The hint's
+	// dimensions must match the model (adapt stale incumbents with
+	// core.AdaptPartitioning first) and its site count must equal Sites. In
+	// disjoint mode only the transaction assignment is taken from the hint;
+	// the attribute assignment is rebuilt disjointly around it.
+	Initial *core.Partitioning
 	// Disjoint forbids attribute replication. In this mode transactions that
 	// share read attributes are moved as one component (single-sitedness
 	// without replication forces them onto the same site).
@@ -121,10 +149,18 @@ func (o Options) withDefaults() Options {
 		o.MaxOuterLoops = DefaultMaxOuterLoops
 	}
 	if o.NoImprovementLimit == 0 {
-		o.NoImprovementLimit = DefaultNoImprovementLimit
+		if o.Initial != nil {
+			o.NoImprovementLimit = DefaultWarmNoImprovementLimit
+		} else {
+			o.NoImprovementLimit = DefaultNoImprovementLimit
+		}
 	}
 	if o.MoveFraction == 0 {
-		o.MoveFraction = DefaultMoveFraction
+		if o.Initial != nil {
+			o.MoveFraction = DefaultWarmMoveFraction
+		} else {
+			o.MoveFraction = DefaultMoveFraction
+		}
 	}
 	if o.IntensifyEvery == 0 {
 		o.IntensifyEvery = DefaultIntensifyEvery
@@ -168,4 +204,6 @@ type Result struct {
 	Runtime time.Duration
 	// TimedOut reports whether the time limit stopped the search.
 	TimedOut bool
+	// WarmStart reports whether the run was seeded from Options.Initial.
+	WarmStart bool
 }

@@ -41,10 +41,30 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	s := newSolver(m, opts)
 
-	cur := core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
-	s.randomX(rng, cur)
-	s.findSolution(cur, "x")
-	cur.Repair(m)
+	var cur *core.Partitioning
+	warm := opts.Initial != nil
+	if warm {
+		init := opts.Initial
+		if init.Sites != opts.Sites {
+			return nil, fmt.Errorf("sa: warm start uses %d sites, options say %d", init.Sites, opts.Sites)
+		}
+		if len(init.TxnSite) != m.NumTxns() || len(init.AttrSites) != m.NumAttrs() {
+			return nil, fmt.Errorf("sa: warm start has %d txns × %d attrs, model has %d × %d",
+				len(init.TxnSite), len(init.AttrSites), m.NumTxns(), m.NumAttrs())
+		}
+		cur = init.Clone()
+		if opts.Disjoint {
+			// Keep the hint's transaction assignment; rebuild the attribute
+			// assignment disjointly (the hint may carry replicas).
+			s.findSolution(cur, "x")
+		}
+		cur.Repair(m)
+	} else {
+		cur = core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
+		s.randomX(rng, cur)
+		s.findSolution(cur, "x")
+		cur.Repair(m)
+	}
 	ev, err := core.NewEvaluator(m, cur)
 	if err != nil {
 		return nil, fmt.Errorf("sa: %w", err)
@@ -54,12 +74,17 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	best := ev.Snapshot()
 	bestCost := curCost
 
-	res := &Result{}
+	res := &Result{WarmStart: warm}
 	tau := opts.Temperature
 	if tau == 0 {
 		// Section 5.1: accept a 5 % worse solution with probability 50 % at
-		// the initial temperature.
-		tau = DefaultAcceptWorsePct * bestCost / math.Ln2
+		// the initial temperature. Warm starts begin an order of magnitude
+		// cooler — the hint is already in a good basin.
+		pct := DefaultAcceptWorsePct
+		if warm {
+			pct = DefaultWarmAcceptWorsePct
+		}
+		tau = pct * bestCost / math.Ln2
 		if tau <= 0 {
 			tau = 1
 		}

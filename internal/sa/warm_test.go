@@ -1,0 +1,82 @@
+package sa
+
+import (
+	"context"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/tpcc"
+)
+
+// TestWarmStartUsesInitial: a warm-started run must report WarmStart, never
+// end worse than its (repaired) hint, and keep the hint untouched.
+func TestWarmStartUsesInitial(t *testing.T) {
+	m := mustModel(t, tpcc.Instance(), core.DefaultModelOptions())
+	sites := 3
+
+	cold, err := Solve(context.Background(), m, Options{Sites: sites, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStart {
+		t.Error("cold run reports WarmStart")
+	}
+
+	hint := cold.Partitioning.Clone()
+	hintCopy := hint.Clone()
+	warm, err := Solve(context.Background(), m, Options{Sites: sites, Seed: 2, Initial: hint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStart {
+		t.Error("warm run does not report WarmStart")
+	}
+	if warm.Cost.Balanced > cold.Cost.Balanced+1e-9 {
+		t.Errorf("warm run ended at %.6f, worse than its hint's %.6f", warm.Cost.Balanced, cold.Cost.Balanced)
+	}
+	for a := range hint.AttrSites {
+		for s := range hint.AttrSites[a] {
+			if hint.AttrSites[a][s] != hintCopy.AttrSites[a][s] {
+				t.Fatal("warm solve mutated the caller's hint")
+			}
+		}
+	}
+
+	// Warm runs use the refinement defaults: fine-grained moves and a cool
+	// initial temperature (iteration counts are not comparable to cold runs
+	// because the per-iteration batch is an order of magnitude smaller).
+	if warm.InitialTemperature >= cold.InitialTemperature {
+		t.Errorf("warm τ₀ %.3g not below cold τ₀ %.3g", warm.InitialTemperature, cold.InitialTemperature)
+	}
+}
+
+// TestWarmStartDimensionChecks: hints must match the model and site count.
+func TestWarmStartDimensionChecks(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
+	good := core.SingleSite(m, 2)
+
+	if _, err := Solve(context.Background(), m, Options{Sites: 3, Seed: 1, Initial: good}); err == nil {
+		t.Error("site-count mismatch accepted")
+	}
+	bad := core.NewPartitioning(m.NumTxns()+1, m.NumAttrs(), 2)
+	if _, err := Solve(context.Background(), m, Options{Sites: 2, Seed: 1, Initial: bad}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+// TestWarmStartDisjoint: in disjoint mode the hint's transaction assignment
+// is kept and the attribute assignment is rebuilt without replicas.
+func TestWarmStartDisjoint(t *testing.T) {
+	m := mustModel(t, fixtureInstance(), core.DefaultModelOptions())
+	hint := core.FullReplication(m, 2) // heavily replicated hint
+	res, err := Solve(context.Background(), m, Options{Sites: 2, Seed: 1, Disjoint: true, Initial: hint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partitioning.IsDisjoint() {
+		t.Error("disjoint warm solve returned a replicated partitioning")
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package seeds holds the seed-derivation rule shared by the composite
+// solvers: the portfolio derives one seed per raced child and the decompose
+// meta-solver one per shard, both from a single reserved base seed, so a run
+// with a fixed non-zero base is fully deterministic.
+package seeds
+
+// Derive returns the i-th derived seed of the block anchored at base:
+// base + i, except that an exact 0 — possible with a negative fixed base —
+// is remapped to base - 1, because a zero seed means "derive a fresh seed
+// from the process counter" downstream and would break determinism. The
+// remap target base - 1 lies outside the block, so no two children of a
+// block can collide.
+//
+// The rule is frozen: derived seeds are part of the reproducibility contract
+// (fixed-seed regression tests across packages depend on the exact values),
+// so changes here are breaking.
+func Derive(base int64, i int) int64 {
+	if s := base + int64(i); s != 0 {
+		return s
+	}
+	return base - 1
+}

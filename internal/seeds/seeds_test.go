@@ -1,0 +1,50 @@
+package seeds
+
+import "testing"
+
+// TestDeriveFixedVectors freezes the derivation rule: these exact values are
+// what the portfolio's children and the decompose shards have always used, so
+// any change here silently invalidates every fixed-seed regression test in
+// the repository.
+func TestDeriveFixedVectors(t *testing.T) {
+	cases := []struct {
+		base int64
+		i    int
+		want int64
+	}{
+		{1, 0, 1},
+		{1, 1, 2},
+		{1, 7, 8},
+		{42, 3, 45},
+		{-5, 0, -5},
+		{-5, 4, -1},
+		{-5, 5, -6}, // base+i == 0 remaps to base-1
+		{-1, 1, -2}, // ditto
+		{0, 0, -1},  // a zero base's own slot remaps too
+		{0, 3, 3},
+		{9223372036854775807, 0, 9223372036854775807},
+	}
+	for _, c := range cases {
+		if got := Derive(c.base, c.i); got != c.want {
+			t.Errorf("Derive(%d, %d) = %d, want %d", c.base, c.i, got, c.want)
+		}
+	}
+}
+
+// TestDeriveNoCollisions checks that a block of derived seeds never contains
+// duplicates, including across the 0-remap.
+func TestDeriveNoCollisions(t *testing.T) {
+	for _, base := range []int64{1, 0, -1, -3, -16, 100} {
+		seen := map[int64]int{}
+		for i := 0; i < 16; i++ {
+			s := Derive(base, i)
+			if s == 0 {
+				t.Errorf("Derive(%d, %d) = 0, the reserved derive-fresh sentinel", base, i)
+			}
+			if j, dup := seen[s]; dup {
+				t.Errorf("Derive(%d, %d) = Derive(%d, %d) = %d", base, i, base, j, s)
+			}
+			seen[s] = i
+		}
+	}
+}

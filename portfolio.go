@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"vpart/internal/seeds"
 )
 
 // DefaultPortfolioSASeeds is the number of concurrent SA runs the portfolio
@@ -20,6 +22,13 @@ type PortfolioOptions struct {
 	// Options.Seed (or a derived seed when it is zero), so a portfolio run
 	// with a fixed non-zero seed is deterministic.
 	SASeeds int
+	// WarmSeeds is the number of SA runs seeded from the Options.Warm hint
+	// when one is present (the remaining SASeeds-WarmSeeds runs start cold,
+	// keeping the race honest: a drifted workload whose old incumbent traps
+	// the warm children in a stale basin is still explored from scratch).
+	// Zero means 1; values above SASeeds are clamped. Ignored without a warm
+	// hint.
+	WarmSeeds int
 	// QP additionally races the exact QP solver. When it proves gap-free
 	// optimality the still-running SA seeds are cancelled immediately —
 	// their results cannot beat a proven optimum.
@@ -84,20 +93,24 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 	}
 	// Reserve a whole block of derived seeds (one per child, including the
 	// QP child's SA-seeding run) so that later Seed-0 solves in this process
-	// cannot replay one of the children's trajectories.
+	// cannot replay one of the children's trajectories. Child i draws
+	// seeds.Derive(base, i).
 	base := opts.Seed
 	if base == 0 {
 		base = seedCounter.Add(int64(total)) - int64(total) + 1
 	}
-	// childSeed maps child index i to its seed: base+i, except that a seed
-	// of exactly 0 (possible with a fixed negative base) would mean "derive
-	// from the process counter" downstream and break determinism — remap it
-	// to base-1, which no other child uses.
-	childSeed := func(i int) int64 {
-		if s := base + int64(i); s != 0 {
-			return s
+	// With a warm hint the first WarmSeeds children anneal from the hint
+	// (cooler start, local refinement) while the rest start cold — the race
+	// decides whether the previous incumbent's basin still wins.
+	warmChildren := 0
+	if warmHint(opts) != nil {
+		warmChildren = opts.Portfolio.WarmSeeds
+		if warmChildren <= 0 {
+			warmChildren = 1
 		}
-		return base - 1
+		if warmChildren > n {
+			warmChildren = n
+		}
 	}
 	outcomes := make(chan childOutcome, total)
 
@@ -109,10 +122,18 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 	}
 
 	for i := 0; i < n; i++ {
+		warm := i < warmChildren
 		tag := fmt.Sprintf("sa[%d]", i)
+		if warm {
+			tag = fmt.Sprintf("sa+warm[%d]", i)
+		}
 		childOpts := opts
 		childOpts.Solver = "sa"
-		childOpts.Seed = childSeed(i)
+		childOpts.Seed = seeds.Derive(base, i)
+		if !warm {
+			childOpts.Warm = nil
+		}
+		childOpts.WarmDirty = nil
 		childOpts.Progress = retag(opts.Progress, "portfolio/"+tag)
 		launch(i, tag, saChild, childOpts)
 	}
@@ -122,7 +143,8 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 		// The QP child's optional SA-seeding run gets its own seed outside
 		// the raced block, so with SeedWithSA it explores a trajectory none
 		// of the SA children already cover.
-		childOpts.Seed = childSeed(n)
+		childOpts.Seed = seeds.Derive(base, n)
+		childOpts.WarmDirty = nil
 		childOpts.Progress = opts.Progress.Named("portfolio")
 		launch(n, "qp", qpChild, childOpts)
 	}

@@ -1,0 +1,303 @@
+package vpart
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"vpart/internal/core"
+)
+
+// Workload-delta types, re-exported from internal/core. A WorkloadDelta is
+// an ordered batch of typed edits — AddQuery, RemoveQuery, ScaleFreq,
+// AddAttr — turning one instance into the next; it is the unit of drift a
+// Session consumes.
+type (
+	// WorkloadDelta is an ordered batch of workload/schema edits.
+	WorkloadDelta = core.WorkloadDelta
+	// DeltaOp is a single edit (sealed: AddQuery, RemoveQuery, ScaleFreq or
+	// AddAttr).
+	DeltaOp = core.DeltaOp
+	// AddQuery appends a query to a transaction (creating the transaction
+	// when it does not exist yet).
+	AddQuery = core.AddQuery
+	// RemoveQuery removes a named query (never a transaction's last one).
+	RemoveQuery = core.RemoveQuery
+	// ScaleFreq multiplies a query's frequency by a positive factor.
+	ScaleFreq = core.ScaleFreq
+	// AddAttr appends an attribute to an existing table.
+	AddAttr = core.AddAttr
+	// DirtySet accumulates the table and transaction names deltas touched;
+	// the decompose meta-solver re-solves only components containing a dirty
+	// name (see Options.WarmDirty).
+	DirtySet = core.DirtySet
+)
+
+// ApplyDelta returns a new instance with the delta applied; the input is not
+// mutated. Sessions apply deltas for you — use this directly to build drift
+// traces or to patch instances outside a session.
+func ApplyDelta(inst *Instance, d WorkloadDelta) (*Instance, error) {
+	return core.ApplyDelta(inst, d)
+}
+
+// NewDirtySet returns an empty dirty set for manual Options.WarmDirty
+// bookkeeping (sessions maintain one internally).
+func NewDirtySet() *DirtySet { return core.NewDirtySet() }
+
+// TrajectoryPoint is one incumbent improvement observed during a resolve.
+type TrajectoryPoint struct {
+	// Elapsed is the time since the resolve started.
+	Elapsed time.Duration
+	// Cost is the incumbent's objective value as reported by the solver
+	// (balanced objective (6) for the built-in solvers).
+	Cost float64
+	// Solver tags the emitting solver ("sa", "portfolio/sa+warm[0]", ...).
+	Solver string
+}
+
+// ResolveStats reports what one Session.Resolve did.
+type ResolveStats struct {
+	// Resolve is the 1-based resolve counter of the session.
+	Resolve int
+	// DeltaOps is the number of delta ops applied since the previous
+	// resolve (0 on the first).
+	DeltaOps int
+	// Warm reports whether the resolve was seeded from the previous
+	// incumbent; WarmStart whether the winning solver run actually came out
+	// of that warm path (false when a cold-seeded portfolio child beat the
+	// warm children).
+	Warm      bool
+	WarmStart bool
+	// StaleCost is the previous incumbent's cost breakdown re-priced under
+	// the current (drifted) workload — the "do nothing" baseline a resolve
+	// competes against. Zero value on cold resolves.
+	StaleCost Cost
+	// Cost is the new incumbent's cost breakdown.
+	Cost Cost
+	// ShardsTotal/ShardsReused report the decompose meta-solver's component
+	// count and how many of them were reused verbatim (both zero for
+	// non-decomposing solvers).
+	ShardsTotal  int
+	ShardsReused int
+	// Solver names the winning solver run, Seed its SA seed.
+	Solver string
+	Seed   int64
+	// Runtime is the resolve's wall-clock time.
+	Runtime time.Duration
+	// Trajectory lists the incumbent improvements observed during the
+	// resolve, in arrival order (concurrent solvers interleave).
+	Trajectory []TrajectoryPoint
+}
+
+// Session owns a live partitioning problem: the current instance, a compiled
+// cost model kept up to date by incremental patching, and the current
+// incumbent solution. Workload drift is fed in as typed deltas (Apply);
+// Resolve then re-partitions warm — seeding the configured solver from the
+// incumbent and, for the decompose meta-solver, re-solving only the
+// components the deltas since the last resolve touched.
+//
+// A Session is safe for concurrent use; Apply and Resolve serialise.
+//
+//	sess, _ := vpart.NewSession(inst, vpart.Options{Sites: 4, Solver: "portfolio"})
+//	sol, _, _ := sess.Resolve(ctx)                    // cold first solve
+//	_ = sess.Apply(vpart.WorkloadDelta{Ops: []vpart.DeltaOp{
+//	        vpart.ScaleFreq{Txn: "NewOrder", Query: "q01", Factor: 4},
+//	}})
+//	sol, stats, _ := sess.Resolve(ctx)                // warm re-solve
+//	fmt.Println(stats.Runtime, stats.ShardsReused, stats.Cost.Objective)
+type Session struct {
+	mu sync.Mutex
+
+	opts      Options
+	inst      *Instance
+	model     *Model // patched incrementally on Apply; prices StaleCost
+	incumbent *Solution
+	dirty     *DirtySet
+	pending   int // delta ops since the last successful resolve
+	resolves  int
+}
+
+// NewSession validates the instance and options, compiles the cost model and
+// returns a session with no incumbent (the first Resolve runs cold). The
+// options are the base configuration of every resolve: Sites, Solver, Model,
+// Preprocess, TimeLimit, Seed and the rest of Options keep their Solve
+// semantics; Warm and WarmDirty are managed by the session and must be unset.
+func NewSession(inst *Instance, opts Options) (*Session, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("vpart: session: nil instance")
+	}
+	if opts.Sites < 1 {
+		return nil, fmt.Errorf("vpart: session: invalid site count %d", opts.Sites)
+	}
+	if opts.Warm != nil || opts.WarmDirty != nil {
+		return nil, fmt.Errorf("vpart: session: Options.Warm and Options.WarmDirty are session-managed; leave them unset")
+	}
+	mo := DefaultModelOptions()
+	if opts.Model != nil {
+		mo = *opts.Model
+	}
+	model, err := NewModel(inst, mo)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		opts:  opts,
+		inst:  inst,
+		model: model,
+		dirty: NewDirtySet(),
+	}, nil
+}
+
+// Instance returns the current (drifted) instance. Treat it as read-only;
+// mutate through Apply.
+func (s *Session) Instance() *Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inst
+}
+
+// Incumbent returns the current incumbent solution, nil before the first
+// successful Resolve. The incumbent is expressed over the instance of the
+// resolve that produced it — after Apply it may lag the current instance
+// until the next Resolve.
+func (s *Session) Incumbent() *Solution {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.incumbent
+}
+
+// Pending returns the number of delta ops applied since the last successful
+// resolve.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}
+
+// Adopt installs an externally computed solution as the session's incumbent
+// — the warm anchor of every following Resolve. Typical uses: seeding the
+// session with a one-off high-effort solve (a portfolio or QP run) before
+// switching to cheap per-delta re-solves, or restoring a persisted layout
+// after a restart. The solution must use the session's site count and is
+// adapted to the current instance (it may predate grown dimensions) and
+// re-priced under the current model; drift bookkeeping resets, so the next
+// Resolve treats the adopted layout as current. On error the session is
+// unchanged.
+func (s *Session) Adopt(sol *Solution) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sol == nil || sol.Partitioning == nil {
+		return fmt.Errorf("vpart: session: cannot adopt a solution without a partitioning")
+	}
+	if sol.Partitioning.Sites != s.opts.Sites {
+		return fmt.Errorf("vpart: session: adopted solution uses %d sites, session uses %d",
+			sol.Partitioning.Sites, s.opts.Sites)
+	}
+	adapted, err := core.AdaptPartitioning(s.model, sol.Partitioning)
+	if err != nil {
+		return fmt.Errorf("vpart: session: %w", err)
+	}
+	cp := *sol
+	cp.Partitioning = adapted
+	cp.Cost = s.model.Evaluate(adapted)
+	s.incumbent = &cp
+	s.dirty = NewDirtySet()
+	s.pending = 0
+	return nil
+}
+
+// Apply feeds workload drift into the session: the delta is validated and
+// applied to the current instance, the compiled model is patched
+// incrementally (in time proportional to the terms the delta touches, not
+// the instance size), and the touched table/transaction names are accumulated
+// for the next resolve's shard reuse. On error the session is unchanged.
+func (s *Session) Apply(delta WorkloadDelta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Touch validates the delta against the current instance as a side
+	// effect; record into a scratch set so a failed delta marks nothing.
+	scratch := s.dirty.Clone()
+	if err := delta.Touch(s.inst, scratch); err != nil {
+		return fmt.Errorf("vpart: session: %w", err)
+	}
+	if err := s.model.Patch(delta); err != nil {
+		return fmt.Errorf("vpart: session: %w", err)
+	}
+	s.inst = s.model.Instance()
+	s.dirty = scratch
+	s.pending += len(delta.Ops)
+	return nil
+}
+
+// Resolve re-partitions the current instance and installs the result as the
+// new incumbent. The first resolve runs cold; later resolves warm-start the
+// configured solver from the incumbent and hand the decompose meta-solver
+// the set of tables/transactions the deltas since the last resolve touched,
+// so untouched components are reused instead of re-solved. The returned
+// stats report what happened (warm-vs-cold winner, shards reused, the cost
+// trajectory and the stale-incumbent baseline).
+//
+// Resolve holds the session lock for its duration: concurrent Apply calls
+// block until the solve finishes. Cancelling ctx aborts the solve with an
+// error and leaves the previous incumbent in place.
+func (s *Session) Resolve(ctx context.Context) (*Solution, ResolveStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	stats := ResolveStats{
+		Resolve:  s.resolves + 1,
+		DeltaOps: s.pending,
+	}
+	opts := s.opts
+	if s.incumbent != nil {
+		opts.Warm = s.incumbent
+		opts.WarmDirty = s.dirty.Clone()
+		stats.Warm = true
+		// The "do nothing" baseline: the previous layout re-priced under the
+		// drifted workload (adapted to any grown dimensions).
+		if adapted, err := core.AdaptPartitioning(s.model, s.incumbent.Partitioning); err == nil {
+			stats.StaleCost = s.model.Evaluate(adapted)
+		}
+	}
+
+	var trajMu sync.Mutex
+	user := opts.Progress
+	opts.Progress = func(e Event) {
+		if e.Kind == EventIncumbent {
+			trajMu.Lock()
+			stats.Trajectory = append(stats.Trajectory, TrajectoryPoint{
+				Elapsed: e.Elapsed,
+				Cost:    e.Cost,
+				Solver:  e.Solver,
+			})
+			trajMu.Unlock()
+		}
+		if user != nil {
+			user(e)
+		}
+	}
+
+	sol, err := Solve(ctx, s.inst, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	if sol.Partitioning == nil {
+		// A time-out without any incumbent does not replace the session's.
+		return sol, stats, fmt.Errorf("vpart: session: resolve %d found no feasible partitioning within its limits", stats.Resolve)
+	}
+
+	s.incumbent = sol
+	s.dirty = NewDirtySet()
+	s.pending = 0
+	s.resolves++
+
+	stats.WarmStart = sol.WarmStart
+	stats.Cost = sol.Cost
+	stats.ShardsTotal = len(sol.Shards)
+	stats.ShardsReused = sol.ShardsReused()
+	stats.Solver = string(sol.Algorithm)
+	stats.Seed = sol.Seed
+	stats.Runtime = sol.Runtime
+	return sol, stats, nil
+}

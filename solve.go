@@ -1,7 +1,6 @@
 package vpart
 
 import (
-	"context"
 	"time"
 )
 
@@ -47,6 +46,11 @@ type Solution struct {
 	Optimal bool
 	// TimedOut reports whether a time limit stopped the search.
 	TimedOut bool
+	// WarmStart reports whether the solution came out of the warm-start
+	// path: the winning solver run was seeded from Options.Warm (for the
+	// portfolio, the warm-seeded child won the race; for decompose, the run
+	// reused or warm-seeded its shards).
+	WarmStart bool
 	// Runtime is the wall-clock solve time (including grouping and seeding).
 	Runtime time.Duration
 	// AttributeGroups is the number of attribute groups after the
@@ -65,65 +69,15 @@ type Solution struct {
 	Shards []ShardInfo
 }
 
-// SolveOptions configure a SolveLegacy call.
-//
-// Deprecated: use Options with Solve, which replaces the printf-style Log
-// hook with a typed progress-event stream and the bespoke TimeLimit with a
-// context (keeping TimeLimit as a soft budget).
-type SolveOptions struct {
-	// Sites is the number of sites |S| (≥ 1). Required.
-	Sites int
-	// Algorithm selects the solver; empty defaults to AlgorithmSA.
-	Algorithm Algorithm
-	// Model are the cost model parameters. The zero value selects the paper's
-	// defaults (p = 8, λ = 0.1, "access all attributes").
-	Model *ModelOptions
-	// Disjoint forbids attribute replication.
-	Disjoint bool
-	// DisableGrouping switches off the reasonable-cuts attribute grouping
-	// preprocessing (Section 4).
-	DisableGrouping bool
-	// TimeLimit bounds the solver's wall-clock time (0 = none). The paper
-	// gives the QP solver 30 minutes.
-	TimeLimit time.Duration
-	// GapTol is the QP solver's relative MIP gap; zero selects the paper's
-	// 0.1 %.
-	GapTol float64
-	// SeedWithSA runs the SA heuristic first and uses its solution as the QP
-	// solver's initial incumbent. Ignored for AlgorithmSA.
-	SeedWithSA bool
-	// Seed seeds the SA heuristic's random generator. For backwards
-	// compatibility SolveLegacy maps a zero seed to 1 (two Seed-0 legacy
-	// solves are identical); the new API instead derives a distinct seed.
-	Seed int64
-	// Log receives progress lines when non-nil.
-	Log func(format string, args ...interface{})
-}
-
-// SolveLegacy partitions the instance with the pre-registry options struct.
-// It adapts SolveOptions to the context-aware API: TimeLimit keeps its soft
-// stop-and-return-best semantics, Log receives the rendered form of every
-// progress event, and a zero Seed maps to 1 exactly as before.
-//
-// Deprecated: use Solve with a context.Context and Options.
-func SolveLegacy(inst *Instance, opts SolveOptions) (*Solution, error) {
-	o := Options{
-		Sites:           opts.Sites,
-		Solver:          string(opts.Algorithm),
-		Model:           opts.Model,
-		Disjoint:        opts.Disjoint,
-		DisableGrouping: opts.DisableGrouping,
-		TimeLimit:       opts.TimeLimit,
-		GapTol:          opts.GapTol,
-		SeedWithSA:      opts.SeedWithSA,
-		Seed:            opts.Seed,
+// ShardsReused counts the decompose shards whose previous solution was
+// reused verbatim because no workload delta touched their component (always
+// zero outside warm decompose runs).
+func (s *Solution) ShardsReused() int {
+	n := 0
+	for _, sh := range s.Shards {
+		if sh.Reused {
+			n++
+		}
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if opts.Log != nil {
-		log := opts.Log
-		o.Progress = func(e Event) { log("%s", e.String()) }
-	}
-	return Solve(context.Background(), inst, o)
+	return n
 }

@@ -74,6 +74,29 @@ type Options struct {
 	// concurrent runs) explore different trajectories. Set a non-zero seed
 	// for reproducible runs.
 	Seed int64
+	// Warm, when non-nil, is a warm-start hint: a previous Solution for the
+	// same (or a delta-patched) instance and the same site count. The SA
+	// solver seeds its move-based hot loop from the hint (with a cooler
+	// initial temperature) instead of a random start, the QP solver takes it
+	// as its initial incumbent, the portfolio races warm- and cold-seeded
+	// children, and the decompose meta-solver seeds every shard with the
+	// hint's projection — reusing untouched shards outright when WarmDirty is
+	// set. Hints with a different site count, or that cannot be adapted to
+	// the instance, are silently ignored (the solve falls back to cold).
+	//
+	// Callers pass the hint over the original instance; the Solve facade
+	// adapts it to grown dimensions and rewrites it into the (grouped) solve
+	// space, so Solver implementations always receive Warm.Partitioning
+	// expressed over their model — the Partitioning field is the only field
+	// of the hint that is forwarded.
+	Warm *Solution
+	// WarmDirty lists the table and transaction names the workload deltas
+	// since Warm touched (see WorkloadDelta.Touch). The decompose meta-solver
+	// re-solves only the components containing a dirty name and reuses the
+	// warm solution for the rest; an empty (non-nil) set therefore reuses
+	// everything. nil means unknown: every shard is re-solved, warm-seeded.
+	// Ignored without Warm and by the non-decomposing solvers.
+	WarmDirty *DirtySet
 	// Preprocess selects the preprocessing pipeline applied before the
 	// solver runs: PreprocessGroup (the default, reasonable-cuts grouping),
 	// PreprocessNone (no preprocessing, same as DisableGrouping) or
@@ -120,6 +143,10 @@ type Result struct {
 	Gap        float64
 	Bound      float64
 	Iterations int
+	// WarmStart reports whether the result came out of the warm-start path:
+	// an SA run seeded from Options.Warm, a portfolio whose winning child was
+	// warm-seeded, or a decompose run that reused or warm-seeded its shards.
+	WarmStart bool
 	// Shards reports the per-component outcomes of the decompose meta-solver
 	// (nil for every other solver).
 	Shards []ShardInfo
@@ -303,6 +330,19 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 		}
 	}
 
+	// Rewrite the warm hint into the solver's space: adapt it to dimensions
+	// the workload deltas may have grown, reduce it under the grouping, and
+	// repair it, so solvers receive a feasible partitioning over their model.
+	if opts.Warm != nil {
+		if hint := warmToSolveSpace(opts.Warm, origModel, solveModel, grouping, opts.Sites); hint != nil {
+			opts.Warm = &Solution{Partitioning: hint}
+		} else {
+			opts.Warm, opts.WarmDirty = nil, nil
+		}
+	} else {
+		opts.WarmDirty = nil
+	}
+
 	res, err := solver.Solve(ctx, solveModel, opts)
 	if err != nil {
 		return nil, err
@@ -322,6 +362,7 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 		Gap:             res.Gap,
 		Bound:           res.Bound,
 		Iterations:      res.Iterations,
+		WarmStart:       res.WarmStart,
 		Shards:          res.Shards,
 	}
 	if sol.Algorithm == "" {
@@ -350,6 +391,40 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 	return sol, nil
 }
 
+// warmToSolveSpace maps a caller-supplied warm hint (expressed over the
+// original instance) into the space the solver works in: adapted to the
+// original model's — possibly delta-grown — dimensions, reduced under the
+// grouping when one is active, and repaired to feasibility. A hint that does
+// not fit (wrong site count, shrunken dimensions) yields nil, which makes the
+// solve fall back to a cold start.
+func warmToSolveSpace(warm *Solution, origModel, solveModel *Model, grouping *Grouping, sites int) *Partitioning {
+	if warm.Partitioning == nil || warm.Partitioning.Sites != sites {
+		return nil
+	}
+	adapted, err := core.AdaptPartitioning(origModel, warm.Partitioning)
+	if err != nil {
+		return nil
+	}
+	if grouping == nil {
+		return adapted
+	}
+	reduced, err := grouping.Reduce(origModel, solveModel, adapted)
+	if err != nil {
+		return nil
+	}
+	reduced.Repair(solveModel)
+	return reduced
+}
+
+// warmHint extracts the solver-space warm partitioning from the options, nil
+// when the solve is cold.
+func warmHint(opts Options) *core.Partitioning {
+	if opts.Warm == nil {
+		return nil
+	}
+	return opts.Warm.Partitioning
+}
+
 // saSolver adapts internal/sa to the Solver interface.
 type saSolver struct{}
 
@@ -370,6 +445,7 @@ func (saSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, err
 		TimedOut:     res.TimedOut,
 		Runtime:      res.Runtime,
 		Iterations:   res.Iterations,
+		WarmStart:    res.WarmStart,
 	}, nil
 }
 
@@ -380,6 +456,7 @@ func saOptions(opts Options, seed int64) sa.Options {
 	so.Seed = seed
 	so.TimeLimit = opts.TimeLimit
 	so.Disjoint = opts.Disjoint
+	so.Initial = warmHint(opts)
 	return so
 }
 
@@ -413,7 +490,9 @@ func (qpSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, err
 		qo.GapTol = opts.GapTol
 	}
 	seed := int64(0)
-	if opts.SeedWithSA {
+	warm := false
+	switch {
+	case opts.SeedWithSA:
 		seed = effectiveSeed(opts.Seed)
 		so := saOptions(opts, seed)
 		so.Progress = opts.Progress.Named("qp/sa-seed")
@@ -422,6 +501,12 @@ func (qpSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, err
 			return nil, err
 		}
 		qo.InitialPartitioning = seedRes.Partitioning
+		warm = seedRes.WarmStart
+	case warmHint(opts) != nil:
+		// A warm hint is a ready-made initial incumbent: branch-and-bound
+		// starts pruning against its cost immediately.
+		qo.InitialPartitioning = warmHint(opts)
+		warm = true
 	}
 	res, err := qp.Solve(ctx, m, qo)
 	if err != nil {
@@ -438,5 +523,6 @@ func (qpSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, err
 		Nodes:        res.Nodes,
 		Gap:          res.Gap,
 		Bound:        res.Bound,
+		WarmStart:    warm,
 	}, nil
 }

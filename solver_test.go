@@ -141,19 +141,19 @@ func TestSolveAlreadyCancelledContext(t *testing.T) {
 	}
 }
 
-func TestLegacyShimTimeLimitStillSoft(t *testing.T) {
+func TestTimeLimitIsSoft(t *testing.T) {
 	inst := cancellationInstance(t)
-	// Under the deprecated shim a time limit must keep its historical
-	// semantics: stop the search gracefully and return the best incumbent
-	// (no error), flagged TimedOut.
-	sol, err := vpart.SolveLegacy(inst, vpart.SolveOptions{
+	ctx := context.Background()
+	// Options.TimeLimit stops the search gracefully and returns the best
+	// incumbent (no error), flagged TimedOut.
+	sol, err := vpart.Solve(ctx, inst, vpart.Options{
 		Sites:           3,
-		Algorithm:       vpart.AlgorithmSA,
+		Solver:          "sa",
 		DisableGrouping: true,
 		TimeLimit:       50 * time.Millisecond,
 	})
 	if err != nil {
-		t.Fatalf("legacy time-limited solve failed: %v", err)
+		t.Fatalf("time-limited solve failed: %v", err)
 	}
 	if !sol.TimedOut {
 		t.Error("50ms SA run on a large instance did not report TimedOut")
@@ -164,35 +164,36 @@ func TestLegacyShimTimeLimitStillSoft(t *testing.T) {
 
 	// Same for the QP solver, where a time-out may legitimately yield no
 	// incumbent at all (the paper's "t/o" entries) — but never an error.
-	qpSol, err := vpart.SolveLegacy(inst, vpart.SolveOptions{
+	qpSol, err := vpart.Solve(ctx, inst, vpart.Options{
 		Sites:           3,
-		Algorithm:       vpart.AlgorithmQP,
+		Solver:          "qp",
 		DisableGrouping: true,
 		TimeLimit:       100 * time.Millisecond,
 	})
 	if err != nil {
-		t.Fatalf("legacy time-limited QP solve failed: %v", err)
+		t.Fatalf("time-limited QP solve failed: %v", err)
 	}
 	if !qpSol.TimedOut && !qpSol.Optimal {
 		t.Error("QP run neither finished nor reported TimedOut")
 	}
 }
 
-func TestLegacyShimSeedZeroMeansOne(t *testing.T) {
+func TestFixedSeedIsDeterministic(t *testing.T) {
 	inst := vpart.TPCC()
-	zero, err := vpart.SolveLegacy(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA})
+	ctx := context.Background()
+	a, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 2, Solver: "sa", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	one, err := vpart.SolveLegacy(inst, vpart.SolveOptions{Sites: 2, Algorithm: vpart.AlgorithmSA, Seed: 1})
+	b, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 2, Solver: "sa", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if zero.Seed != 1 || one.Seed != 1 {
-		t.Fatalf("legacy seeds = %d and %d, want 1 and 1", zero.Seed, one.Seed)
+	if a.Seed != 1 || b.Seed != 1 {
+		t.Fatalf("seeds = %d and %d, want 1 and 1", a.Seed, b.Seed)
 	}
-	if zero.Cost.Objective != one.Cost.Objective {
-		t.Fatal("legacy Seed-0 run differs from the Seed-1 run")
+	if a.Cost.Objective != b.Cost.Objective {
+		t.Fatal("two Seed-1 runs disagree")
 	}
 }
 

@@ -193,6 +193,16 @@ func RandomInstance(params RandomParams, seed int64) (*Instance, error) {
 	return randgen.Generate(params, seed)
 }
 
+// Drift generates a deterministic sequence of workload deltas for an
+// instance — the drift traces the online re-partitioning benchmarks and
+// examples replay through a Session. Each of the steps deltas perturbs about
+// churn·|T| transactions (frequency re-weighting, query additions/removals,
+// occasional schema growth); deltas apply in sequence. Equal seeds give
+// equal traces.
+func Drift(inst *Instance, steps int, churn float64, seed int64) ([]WorkloadDelta, error) {
+	return randgen.Drift(inst, steps, churn, seed)
+}
+
 // Evaluate compiles a model for the instance and evaluates the cost of a
 // partitioning under it.
 func Evaluate(inst *Instance, opts ModelOptions, p *Partitioning) (Cost, error) {
