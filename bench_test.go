@@ -15,6 +15,21 @@ import (
 	"vpart/internal/experiments"
 )
 
+// tpccConstraints is a representative constraint set for the constrained
+// benchmarks: a transaction pin, an attribute pin, a forbid and a generous
+// capacity, so every constraint code path is active.
+func tpccConstraints(tb testing.TB, inst *vpart.Instance) *vpart.Constraints {
+	tb.Helper()
+	txn := inst.Workload.Transactions[0].Name
+	tbl := inst.Schema.Tables[0]
+	return &vpart.Constraints{
+		PinTxns:        []vpart.PinTxn{{Txn: txn, Site: 1}},
+		PinAttrs:       []vpart.PinAttr{{Attr: vpart.QualifiedAttr{Table: tbl.Name, Attr: tbl.Attributes[0].Name}, Site: 0}},
+		ForbidAttrs:    []vpart.ForbidAttr{{Attr: vpart.QualifiedAttr{Table: tbl.Name, Attr: tbl.Attributes[1].Name}, Site: 3}},
+		SiteCapacities: []vpart.SiteCapacity{{Site: 2, Bytes: 1 << 20}},
+	}
+}
+
 // benchConfig is the harness configuration used by the table benchmarks:
 // quick instance lists with a short per-solve QP limit so a full -bench=.
 // run stays in the minutes range.
@@ -268,5 +283,64 @@ func BenchmarkEvaluatorApplyTPCC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ev.ApplyMoveTxn(i%nT, (i+1)%4)
 		ev.Undo()
+	}
+}
+
+// BenchmarkEvaluatorApplyConstrainedTPCC is the constrained twin of
+// BenchmarkEvaluatorApplyTPCC and the hot-loop guard of the constraints API:
+// with a compiled constraint set the Allow checks plus Apply+Undo must stay
+// allocation-free (asserted, not just reported — the benchmark fails on any
+// steady-state allocation).
+func BenchmarkEvaluatorApplyConstrainedTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	m, err := vpart.NewModelConstrained(inst, vpart.DefaultModelOptions(), tpccConstraints(b, inst))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := vpart.NewEvaluator(m, vpart.FullReplicationPartitioning(m, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nT := m.NumTxns()
+	ev.ApplyMoveTxn(1, 1) // warm the journal capacity
+	ev.Undo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, s := i%nT, (i+1)%4
+		if ev.AllowMoveTxn(t, s) {
+			ev.ApplyMoveTxn(t, s)
+		}
+		_ = ev.AllowAddReplica(i%m.NumAttrs(), s)
+		ev.Undo()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if ev.AllowMoveTxn(1, 1) {
+			ev.ApplyMoveTxn(1, 1)
+		}
+		ev.Undo()
+	}); allocs != 0 {
+		b.Fatalf("constrained hot loop allocates %.1f per iteration, want 0", allocs)
+	}
+}
+
+// BenchmarkSASolverConstrainedTPCC measures a full constrained SA solve —
+// the end-to-end cost of the constraints machinery relative to
+// BenchmarkSASolverTPCC.
+func BenchmarkSASolverConstrainedTPCC(b *testing.B) {
+	inst := vpart.TPCC()
+	cons := tpccConstraints(b, inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := vpart.Solve(context.Background(), inst, vpart.Options{
+			Sites: 4, Solver: "sa", Seed: int64(i + 1), Constraints: cons,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Partitioning == nil {
+			b.Fatal("no solution")
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -44,6 +45,8 @@ func run(ctx context.Context, args []string) error {
 		lambda       = fs.Float64("lambda", vpart.DefaultLambda, "cost vs load balancing weight λ in [0,1]")
 		latency      = fs.Float64("latency", 0, "Appendix A latency penalty p_l (0 = disabled)")
 		disjoint     = fs.Bool("disjoint", false, "forbid attribute replication")
+		consPath     = fs.String("constraints", "", "path to a placement-constraints JSON file")
+		pins         = fs.String("pin", "", "comma-separated pins, e.g. 'txn=NewOrder:1,attr=WAREHOUSE.W_ID:0' (0-based sites; merged into -constraints)")
 		noGrouping   = fs.Bool("no-grouping", false, "disable the reasonable-cuts attribute grouping")
 		preprocess   = fs.String("preprocess", "", "preprocessing pipeline: group, none or decompose (empty = group unless -no-grouping)")
 		dcSolver     = fs.String("decompose-solver", "", "decompose meta-solver: inner solver per shard (default portfolio)")
@@ -75,6 +78,14 @@ func run(ctx context.Context, args []string) error {
 	mo.Lambda = *lambda
 	mo.LatencyPenalty = *latency
 
+	cons, err := loadConstraints(*consPath, *pins)
+	if err != nil {
+		return err
+	}
+	if !cons.Empty() {
+		fmt.Printf("constraints: %s\n", cons)
+	}
+
 	opts := vpart.Options{
 		Sites:           *sites,
 		Solver:          *solver,
@@ -86,6 +97,7 @@ func run(ctx context.Context, args []string) error {
 		SeedWithSA:      *seedWithSA,
 		Seed:            *seed,
 		Preprocess:      *preprocess,
+		Constraints:     cons,
 		Portfolio:       vpart.PortfolioOptions{SASeeds: *pfSeeds, QP: *pfQP},
 		Decompose:       vpart.DecomposeOptions{Solver: *dcSolver, Workers: *dcWorkers},
 	}
@@ -160,6 +172,56 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("report written to %s\n", *reportOut)
 	}
 	return nil
+}
+
+// loadConstraints combines the -constraints file with the -pin shorthand
+// specs into one constraint set (nil when both are empty).
+func loadConstraints(path, pins string) (*vpart.Constraints, error) {
+	var cons *vpart.Constraints
+	if path != "" {
+		var err error
+		cons, err = vpart.LoadConstraints(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if pins == "" {
+		return cons, nil
+	}
+	if cons == nil {
+		cons = &vpart.Constraints{}
+	}
+	for _, spec := range strings.Split(pins, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid -pin spec %q (want txn=NAME:SITE or attr=TABLE.ATTR:SITE)", spec)
+		}
+		ref, siteStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("invalid -pin spec %q: missing :SITE", spec)
+		}
+		site, err := strconv.Atoi(siteStr)
+		if err != nil || site < 0 {
+			return nil, fmt.Errorf("invalid -pin spec %q: bad site %q", spec, siteStr)
+		}
+		switch kind {
+		case "txn":
+			cons.PinTxns = append(cons.PinTxns, vpart.PinTxn{Txn: ref, Site: site})
+		case "attr":
+			qa, err := vpart.ParseQualifiedAttr(ref)
+			if err != nil {
+				return nil, fmt.Errorf("invalid -pin spec %q: %w", spec, err)
+			}
+			cons.PinAttrs = append(cons.PinAttrs, vpart.PinAttr{Attr: qa, Site: site})
+		default:
+			return nil, fmt.Errorf("invalid -pin spec %q: unknown kind %q (want txn or attr)", spec, kind)
+		}
+	}
+	return cons, nil
 }
 
 // loadInstance resolves the instance from the mutually exclusive input flags.

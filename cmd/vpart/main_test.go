@@ -190,3 +190,53 @@ func TestRunDecomposePreprocess(t *testing.T) {
 		t.Errorf("output missing shard report:\n%s", out)
 	}
 }
+
+func TestRunConstrainedSolve(t *testing.T) {
+	// A constraints file plus -pin shorthand, merged into one set the solve
+	// must honour (the CLI errors out when the solver violates it).
+	dir := t.TempDir()
+	consPath := filepath.Join(dir, "cons.json")
+	cons := &vpart.Constraints{
+		ForbidAttrs: []vpart.ForbidAttr{{Attr: vpart.QualifiedAttr{Table: "Customer", Attr: "C_DATA"}, Site: 0}},
+	}
+	if err := vpart.SaveConstraints(consPath, cons); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return run(context.Background(), []string{
+			"-tpcc", "-sites", "3", "-solver", "sa", "-seed", "1", "-quiet",
+			"-constraints", consPath,
+			"-pin", "txn=NewOrder:0,attr=Warehouse.W_ID:0",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "constraints:") {
+		t.Errorf("output missing the constraints summary:\n%s", out)
+	}
+	if !strings.Contains(out, "1 pin-txn") || !strings.Contains(out, "1 forbid") {
+		t.Errorf("merged constraint summary wrong:\n%s", out)
+	}
+}
+
+func TestLoadConstraintsPinSpecs(t *testing.T) {
+	cons, err := loadConstraints("", "txn=NewOrder:2, attr=Warehouse.W_ID:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons.PinTxns) != 1 || cons.PinTxns[0] != (vpart.PinTxn{Txn: "NewOrder", Site: 2}) {
+		t.Errorf("PinTxns = %+v", cons.PinTxns)
+	}
+	if len(cons.PinAttrs) != 1 || cons.PinAttrs[0].Site != 0 {
+		t.Errorf("PinAttrs = %+v", cons.PinAttrs)
+	}
+	for _, bad := range []string{"nope", "txn=A", "txn=A:x", "txn=A:-1", "attr=NoDot:0", "what=A:0"} {
+		if _, err := loadConstraints("", bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+	if cons, err := loadConstraints("", ""); err != nil || cons != nil {
+		t.Errorf("empty specs: %v, %v", cons, err)
+	}
+}

@@ -1,0 +1,58 @@
+package vpart
+
+import (
+	"io"
+
+	"vpart/internal/core"
+)
+
+// Placement-constraint types, re-exported from internal/core. A Constraints
+// value is carried in Options.Constraints and restricts the feasible
+// layouts; it references schema objects by name (transaction names,
+// "Table.Attr" qualified attributes), so one set survives workload deltas,
+// the reasonable-cuts grouping and JSON round trips.
+type (
+	// Constraints is a set of placement constraints (see the field types for
+	// the vocabulary). The zero value and nil both mean "unconstrained".
+	Constraints = core.Constraints
+	// PinTxn pins a transaction to a primary site.
+	PinTxn = core.PinTxn
+	// PinAttr requires an attribute to be stored on a site.
+	PinAttr = core.PinAttr
+	// ForbidAttr forbids storing an attribute on a site.
+	ForbidAttr = core.ForbidAttr
+	// Colocate requires two attributes to share identical site sets.
+	Colocate = core.Colocate
+	// Separate forbids two attributes from sharing any site.
+	Separate = core.Separate
+	// MaxReplicas caps an attribute's replication factor.
+	MaxReplicas = core.MaxReplicas
+	// SiteCapacity bounds the summed attribute widths stored on a site.
+	SiteCapacity = core.SiteCapacity
+	// ConstraintSet is a Constraints value compiled against one concrete
+	// model (see Model.Constraints); solvers consult it for O(1)
+	// allowed-site checks.
+	ConstraintSet = core.ConstraintSet
+)
+
+// Constraint-set (de)serialisation. Constraint files are JSON documents of
+// the Constraints shape, e.g.:
+//
+//	{
+//	  "pin_attrs":  [{"attr": "WAREHOUSE.W_ID", "site": 0}],
+//	  "forbid_attrs": [{"attr": "CUSTOMER.C_DATA", "site": 2}],
+//	  "separate":   [{"a": "CUSTOMER.C_DATA", "b": "HISTORY.H_DATA"}],
+//	  "max_replicas": [{"attr": "ITEM.I_PRICE", "k": 2}],
+//	  "site_capacities": [{"site": 1, "bytes": 4096}]
+//	}
+var (
+	LoadConstraints = core.LoadConstraints
+	SaveConstraints = core.SaveConstraints
+)
+
+// EncodeConstraints writes a constraint set as indented JSON.
+func EncodeConstraints(w io.Writer, c *Constraints) error { return core.EncodeConstraints(w, c) }
+
+// DecodeConstraints reads and structurally validates a constraint set from
+// JSON (names resolve when the set is compiled against an instance).
+func DecodeConstraints(r io.Reader) (*Constraints, error) { return core.DecodeConstraints(r) }

@@ -60,6 +60,15 @@ func DecomposeInstance(inst *Instance, group bool) (*Decomposition, error) {
 	return core.Decompose(inst, group)
 }
 
+// DecomposeInstanceConstrained is DecomposeInstance under a placement-
+// constraint set: cross-component Colocate/Separate pairs weld the affected
+// components into one shard, any SiteCapacity welds everything (the budget
+// is shared), and each component receives its projection of the set
+// (Decomposition.ShardConstraints) for compiling the shard models.
+func DecomposeInstanceConstrained(inst *Instance, group bool, cons *Constraints) (*Decomposition, error) {
+	return core.DecomposeConstrained(inst, group, cons)
+}
+
 // decomposeSolver adapts internal/decompose to the Solver interface: it
 // splits the (already grouped) model into independent components and solves
 // them concurrently with the inner solver from the registry.

@@ -337,3 +337,75 @@ func TestDecomposePreprocessHonoursExplicitInner(t *testing.T) {
 		t.Errorf("algorithm = %q, want decompose/sa (explicit inner solver ignored)", sol.Algorithm)
 	}
 }
+
+// TestDecomposeConstrainedMultiComponent solves a genuinely multi-component
+// instance under constraints through the decompose meta-solver: shard-local
+// constraints keep the split and hold per shard, while a cross-component
+// colocation welds the affected components into one shard. Either way the
+// merged solution satisfies the full set.
+func TestDecomposeConstrainedMultiComponent(t *testing.T) {
+	ctx := context.Background()
+	inst, err := vpart.RandomInstance(vpart.MultiComponentClass(4, 8, 24, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard-local constraints: pin the first transaction, forbid one
+	// attribute of the first table on site 1.
+	txn := inst.Workload.Transactions[0].Name
+	tbl := inst.Schema.Tables[0]
+	local := &vpart.Constraints{
+		PinTxns:     []vpart.PinTxn{{Txn: txn, Site: 1}},
+		ForbidAttrs: []vpart.ForbidAttr{{Attr: vpart.QualifiedAttr{Table: tbl.Name, Attr: tbl.Attributes[0].Name}, Site: 0}},
+	}
+	sol, err := vpart.Solve(ctx, inst, vpart.Options{
+		Sites: 2, Solver: "decompose", Seed: 1, Constraints: local,
+		Decompose: vpart.DecomposeOptions{Solver: "sa"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Shards) < 2 {
+		t.Fatalf("shard-local constraints collapsed the split: %d shard(s)", len(sol.Shards))
+	}
+	if err := local.Check(sol.Model, sol.Partitioning); err != nil {
+		t.Fatalf("merged decompose solution violates constraints: %v", err)
+	}
+
+	// Cross-component colocation: tie an attribute of the first table to one
+	// of the last table (different components in this class) — the split
+	// must weld them into fewer shards and the merged layout must keep the
+	// pair's site sets identical.
+	last := inst.Schema.Tables[len(inst.Schema.Tables)-1]
+	qaA := vpart.QualifiedAttr{Table: tbl.Name, Attr: tbl.Attributes[0].Name}
+	qaB := vpart.QualifiedAttr{Table: last.Name, Attr: last.Attributes[0].Name}
+	welded := &vpart.Constraints{Colocate: []vpart.Colocate{{A: qaA, B: qaB}}}
+	sol2, err := vpart.Solve(ctx, inst, vpart.Options{
+		Sites: 2, Solver: "decompose", Seed: 1, Constraints: welded,
+		Decompose: vpart.DecomposeOptions{Solver: "sa"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol2.Shards) >= len(sol.Shards) {
+		t.Fatalf("cross-component colocation did not weld: %d shard(s), was %d", len(sol2.Shards), len(sol.Shards))
+	}
+	if err := welded.Check(sol2.Model, sol2.Partitioning); err != nil {
+		t.Fatalf("welded decompose solution violates the colocation: %v", err)
+	}
+
+	// A capacity collapses the split to one shard.
+	capped := &vpart.Constraints{SiteCapacities: []vpart.SiteCapacity{{Site: 0, Bytes: 1 << 20}}}
+	sol3, err := vpart.Solve(ctx, inst, vpart.Options{
+		Sites: 2, Solver: "decompose", Seed: 1, Constraints: capped,
+		Decompose: vpart.DecomposeOptions{Solver: "sa"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol3.Shards) != 1 {
+		t.Fatalf("capacity did not collapse the split: %d shard(s)", len(sol3.Shards))
+	}
+	if err := capped.Check(sol3.Model, sol3.Partitioning); err != nil {
+		t.Fatalf("capped decompose solution violates the capacity: %v", err)
+	}
+}

@@ -126,6 +126,48 @@
 // tracking below the cold-solve cost at a fraction of its wall clock (see
 // BENCH_online.json and examples/online).
 //
+// # Placement constraints
+//
+// The paper optimises an unconstrained layout; production clusters rarely
+// allow one. Options.Constraints carries a typed, name-based constraint set
+// that every registered solver honours:
+//
+//   - PinTxn / PinAttr pin a transaction's primary site or force an
+//     attribute replica onto a site;
+//   - ForbidAttr keeps an attribute off a site (compliance placement);
+//   - Colocate / Separate force two attributes onto identical site sets or
+//     keep them apart entirely;
+//   - MaxReplicas caps an attribute's replication factor;
+//   - SiteCapacity bounds the bytes stored on a site.
+//
+// The set references transactions and attributes by name ("Table.Attr"), so
+// it survives WorkloadDeltas, serialisation (LoadConstraints /
+// SaveConstraints) and the reasonable-cuts grouping: grouping becomes
+// profile-aware — attributes with differing constraints never merge, so a
+// group inherits its members' constraints and conflicting pins split the
+// group — and the set is rewritten onto the group representatives for the
+// grouped solve. Compilation into a Model (NewModelConstrained, done by the
+// Solve facade for every model of a solve) resolves the names into
+// per-transaction and per-attribute allowed-site bitsets, propagates
+// transaction pins to the attributes they read, and rejects contradictory
+// sets up front.
+//
+// Enforcement is constructive, not post-hoc: Partitioning.Validate and
+// Repair are constraint-aware, the incremental Evaluator exposes O(1)
+// AllowMoveTxn / AllowAddReplica / AllowDropReplica checks (plus per-site
+// byte tracking) so the SA hot loop never proposes a dead move — and stays
+// allocation-free with constraints compiled —, the QP solver fixes pinned
+// variables and prunes forbidden branches through its variable bounds, the
+// portfolio forwards the set to every child, and the decompose meta-solver
+// projects it onto the shards (a cross-component Colocate/Separate welds the
+// affected components into one shard; a SiteCapacity, being a shared budget,
+// collapses the split). Sessions persist constraints across Apply/Resolve,
+// and Session.Adopt rejects anchors that violate them. An empty set is the
+// zero-overhead unconstrained path, bit-identical to not passing one.
+//
+// See examples/constrained for a runnable demo pinning TPC-C's WAREHOUSE
+// columns, and cmd/vpart's -constraints/-pin flags for the CLI form.
+//
 // # Cancellation and progress
 //
 // The whole solve path is context-aware: cancelling the context passed to

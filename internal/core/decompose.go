@@ -66,6 +66,17 @@ type Decomposition struct {
 	// OrphanAttrs are the source-instance global attribute ids of the orphan
 	// tables.
 	OrphanAttrs []int
+	// Constraints is the name-based placement-constraint set the
+	// decomposition was computed under (over Source's names), nil when
+	// unconstrained. Cross-component constraints shape the split: a Colocate
+	// or Separate pair welds the two attributes' components together, and any
+	// SiteCapacity welds every component into one shard (the capacity budget
+	// is shared by all attributes).
+	Constraints *Constraints
+	// ShardConstraints[i] is the subset of Constraints whose references fall
+	// inside component i, the set each shard model is compiled with. nil
+	// entries mean the shard is unconstrained.
+	ShardConstraints []*Constraints
 }
 
 // Decompose splits an instance into independently solvable sub-instances:
@@ -77,18 +88,39 @@ type Decomposition struct {
 // of the merged partitioning (see the Decomposition note on the
 // load-balancing term for the optimality caveat).
 func Decompose(inst *Instance, group bool) (*Decomposition, error) {
+	return DecomposeConstrained(inst, group, nil)
+}
+
+// DecomposeConstrained is Decompose under a placement-constraint set: the
+// grouping becomes constraint-profile aware (GroupAttributesConstrained),
+// cross-component Colocate/Separate pairs force the two attributes'
+// components into one shard, any SiteCapacity forces every component into a
+// single shard (all attributes share the budget), and each component gets
+// the projection of the set onto its names (Decomposition.ShardConstraints).
+// A nil or empty set decomposes exactly like Decompose.
+func DecomposeConstrained(inst *Instance, group bool, cons *Constraints) (*Decomposition, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	if cons.Empty() {
+		cons = nil
+	}
 	d := &Decomposition{Original: inst, Source: inst}
 	if group {
-		g, err := GroupAttributes(inst)
+		g, err := GroupAttributesConstrained(inst, cons)
 		if err != nil {
 			return nil, err
 		}
 		d.Grouping = g
 		d.Source = g.Grouped
+		if cons != nil {
+			cons, err = g.MapConstraints(cons)
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
+	d.Constraints = cons
 	src := d.Source
 
 	nTab := len(src.Schema.Tables)
@@ -122,6 +154,46 @@ func Decompose(inst *Instance, group bool) (*Decomposition, error) {
 		for _, q := range txn.Queries {
 			for _, acc := range q.Accesses {
 				union(nTab+ti, tblIndex[acc.Table])
+			}
+		}
+	}
+	if cons != nil {
+		// Cross-component constraints couple the placement of otherwise
+		// independent components, so the affected components merge into one
+		// shard. Colocate/Separate couple the two attributes' tables; a site
+		// capacity is one shared budget, coupling everything.
+		consTable := func(kind string, q QualifiedAttr) (int, error) {
+			ti, ok := tblIndex[q.Table]
+			if !ok {
+				return 0, fmt.Errorf("decompose: %s constraint references unknown table %q", kind, q.Table)
+			}
+			return ti, nil
+		}
+		for _, p := range cons.Colocate {
+			ta, err := consTable("colocate", p.A)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := consTable("colocate", p.B)
+			if err != nil {
+				return nil, err
+			}
+			union(ta, tb)
+		}
+		for _, p := range cons.Separate {
+			ta, err := consTable("separate", p.A)
+			if err != nil {
+				return nil, err
+			}
+			tb, err := consTable("separate", p.B)
+			if err != nil {
+				return nil, err
+			}
+			union(ta, tb)
+		}
+		if len(cons.SiteCapacities) > 0 {
+			for ti := 1; ti < nTab; ti++ {
+				union(0, ti)
 			}
 		}
 	}
@@ -190,7 +262,67 @@ func Decompose(inst *Instance, group bool) (*Decomposition, error) {
 		comp.Instance = shard
 		d.Components = append(d.Components, comp)
 	}
+	if cons != nil {
+		d.ShardConstraints = make([]*Constraints, len(d.Components))
+		for i := range d.Components {
+			d.ShardConstraints[i] = projectConstraints(cons, &d.Components[i], src)
+		}
+	}
 	return d, nil
+}
+
+// projectConstraints restricts a constraint set to the names of one
+// component. The decomposition welded the components of every pair
+// constraint together and collapsed all components under a site capacity, so
+// the projections jointly cover the whole set: nothing crosses a shard
+// boundary.
+func projectConstraints(cons *Constraints, comp *Component, src *Instance) *Constraints {
+	tables := make(map[string]bool, len(comp.Tables))
+	for _, ti := range comp.Tables {
+		tables[src.Schema.Tables[ti].Name] = true
+	}
+	txns := make(map[string]bool, len(comp.Txns))
+	for _, xi := range comp.Txns {
+		txns[src.Workload.Transactions[xi].Name] = true
+	}
+	out := &Constraints{}
+	for _, p := range cons.PinTxns {
+		if txns[p.Txn] {
+			out.PinTxns = append(out.PinTxns, p)
+		}
+	}
+	for _, p := range cons.PinAttrs {
+		if tables[p.Attr.Table] {
+			out.PinAttrs = append(out.PinAttrs, p)
+		}
+	}
+	for _, f := range cons.ForbidAttrs {
+		if tables[f.Attr.Table] {
+			out.ForbidAttrs = append(out.ForbidAttrs, f)
+		}
+	}
+	for _, p := range cons.Colocate {
+		if tables[p.A.Table] && tables[p.B.Table] {
+			out.Colocate = append(out.Colocate, p)
+		}
+	}
+	for _, p := range cons.Separate {
+		if tables[p.A.Table] && tables[p.B.Table] {
+			out.Separate = append(out.Separate, p)
+		}
+	}
+	for _, mr := range cons.MaxReplicas {
+		if tables[mr.Attr.Table] {
+			out.MaxReplicas = append(out.MaxReplicas, mr)
+		}
+	}
+	// A site capacity collapses the decomposition to one shard, which then
+	// holds every attribute — the budget projects verbatim.
+	out.SiteCapacities = append([]SiteCapacity(nil), cons.SiteCapacities...)
+	if out.Empty() {
+		return nil
+	}
+	return out
 }
 
 // NumShards returns the number of solvable components.
@@ -271,8 +403,39 @@ func (d *Decomposition) MergeSolutions(m *Model, parts []*Partitioning) (*Partit
 			copy(merged.AttrSites[comp.Attrs[la]], row)
 		}
 	}
+	cs := m.Constraints()
+	var used []int64
+	if cs != nil && cs.HasCapacities() {
+		used = SiteWidthUsage(m, merged)
+	}
 	for _, a := range d.OrphanAttrs {
-		merged.AttrSites[a][0] = true
+		// Orphan-table attributes carry no cost term, but they may still be
+		// constrained: honour required sites, avoid forbidden ones, and keep
+		// separations and capacity headroom intact where possible.
+		if cs == nil {
+			merged.AttrSites[a][0] = true
+			continue
+		}
+		placed := false
+		for _, s := range cs.Required(a) {
+			if int(s) < sites {
+				merged.AttrSites[a][s] = true
+				if used != nil {
+					used[s] += int64(m.Attr(a).Width)
+				}
+				placed = true
+			}
+		}
+		if !placed {
+			s := cs.PlaceAllowedSite(m, merged, a, used)
+			if s < 0 {
+				return nil, Cost{}, fmt.Errorf("decompose: orphan attribute %s has no allowed site", m.Attr(a).Qualified)
+			}
+			merged.AttrSites[a][s] = true
+			if used != nil {
+				used[s] += int64(m.Attr(a).Width)
+			}
+		}
 	}
 	if err := merged.Validate(m); err != nil {
 		return nil, Cost{}, fmt.Errorf("decompose: merged partitioning is infeasible: %w", err)

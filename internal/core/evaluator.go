@@ -106,6 +106,16 @@ type Evaluator struct {
 	// so Undo restores the sums bitwise instead of arithmetically.
 	betaLog []betaRec
 
+	// Placement-constraint tables (constrained models only): the flattened
+	// allowed-site bitsets plus the per-site stored bytes maintained on every
+	// replica flip, so AllowMoveTxn / AllowAddReplica / AllowDropReplica run
+	// in O(1) (O(separation partners) for separated attributes) and the hot
+	// loop never proposes a dead move. ct is nil for unconstrained models —
+	// the zero-overhead path.
+	ct        *ConstraintTables
+	cs        *ConstraintSet
+	siteBytes []int64
+
 	journal []undoRec
 }
 
@@ -148,6 +158,11 @@ func NewEvaluator(m *Model, p *Partitioning) (*Evaluator, error) {
 		e.alphaCnt = make([]int32, m.numWriteAcc*p.Sites)
 		e.betaSum = make([]float64, m.numWriteAcc*p.Sites)
 	}
+	if m.cons != nil {
+		e.cs = m.cons
+		e.ct = m.cons.Tables(m, p.Sites)
+		e.siteBytes = make([]int64, p.Sites)
+	}
 	e.reinit()
 	return e, nil
 }
@@ -164,6 +179,19 @@ func (e *Evaluator) reinit() {
 	}
 	for a := range p.AttrSites {
 		e.replicas[a] = int32(p.Replicas(a))
+	}
+	if e.siteBytes != nil {
+		for s := range e.siteBytes {
+			e.siteBytes[s] = 0
+		}
+		for a := range p.AttrSites {
+			w := int64(m.attrs[a].Width)
+			for s, on := range p.AttrSites[a] {
+				if on {
+					e.siteBytes[s] += w
+				}
+			}
+		}
 	}
 
 	// A_R, the read part of the site work and the own-site transfer savings.
@@ -450,6 +478,15 @@ func (e *Evaluator) flipReplica(a, s int, on bool) {
 		e.replicas[a]--
 	}
 	p.AttrSites[a][s] = on
+	if e.siteBytes != nil {
+		// Integer arithmetic inverts exactly, so Undo's mirror flip restores
+		// the byte counters bitwise without journalling them.
+		if on {
+			e.siteBytes[s] += int64(m.attrs[a].Width)
+		} else {
+			e.siteBytes[s] -= int64(m.attrs[a].Width)
+		}
+	}
 
 	if c4 := m.C4(a); c4 != 0 {
 		e.siteWork[s] += sign * c4
@@ -526,6 +563,80 @@ func (e *Evaluator) flipReplica(a, s int, on bool) {
 	}
 }
 
+// Constrained reports whether the evaluator's model carries compiled
+// placement constraints (when false, every Allow method returns true).
+func (e *Evaluator) Constrained() bool { return e.ct != nil }
+
+// AllowMoveTxn reports whether relocating transaction t to site s respects
+// the compiled constraints: the pin matches and no read attribute of t is
+// forbidden on s. O(1) via the flattened allowed-site bitset. Capacity and
+// replica-cap effects of the replica additions a relocation drags along are
+// judged per addition with AllowAddReplica.
+func (e *Evaluator) AllowMoveTxn(t, s int) bool {
+	if e.ct == nil {
+		return true
+	}
+	return e.ct.TxnAllowed[t*e.p.Sites+s]
+}
+
+// AllowAddReplica reports whether storing attribute a on site s respects the
+// compiled constraints: s is not forbidden for a, no separation partner of a
+// sits on s, a stays within its replica cap and s keeps its byte capacity.
+// O(1) plus the (typically tiny) separation-partner scan. Colocation is a
+// batch property — callers extending a colocated attribute must extend the
+// whole group (see ConstraintSet.ColocGroupMembers).
+func (e *Evaluator) AllowAddReplica(a, s int) bool {
+	if e.ct == nil {
+		return true
+	}
+	S := e.p.Sites
+	if e.p.AttrSites[a][s] {
+		return true // recorded no-op
+	}
+	if e.ct.AttrForbidden[a*S+s] {
+		return false
+	}
+	if e.replicas[a]+1 > e.ct.MaxReplicas[a] {
+		return false
+	}
+	if e.ct.HasCap {
+		if cap := e.ct.SiteCap[s]; cap >= 0 && e.siteBytes[s]+int64(e.m.attrs[a].Width) > cap {
+			return false
+		}
+	}
+	for _, b := range e.cs.sepPartners[a] {
+		if e.p.AttrSites[b][s] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllowDropReplica reports whether removing attribute a from site s respects
+// the compiled constraints: s is not a required site of a. O(1). Dropping
+// below one replica stays the caller's concern, exactly as with Apply.
+func (e *Evaluator) AllowDropReplica(a, s int) bool {
+	if e.ct == nil {
+		return true
+	}
+	return !e.ct.AttrRequired[a*e.p.Sites+s]
+}
+
+// SiteHeadroom returns the remaining byte capacity of site s, or -1 when the
+// site is uncapped (or the model unconstrained).
+func (e *Evaluator) SiteHeadroom(s int) int64 {
+	if e.ct == nil || !e.ct.HasCap {
+		return -1
+	}
+	if cap := e.ct.SiteCap[s]; cap >= 0 {
+		return cap - e.siteBytes[s]
+	}
+	return -1
+}
+
+// Replicas returns the cached replica count of attribute a.
+func (e *Evaluator) Replicas(a int) int { return int(e.replicas[a]) }
+
 // balancedRaw computes the balanced objective (6) from the accumulators with
 // the raw (unclamped) transfer term. Deltas of consecutive calls are exact
 // regardless of the clamp, which only matters at B ≈ 0.
@@ -593,11 +704,12 @@ type EvalSnapshot struct {
 
 	readAccess, writeAccess, transfer, transferGross, latencyUnits float64
 
-	siteWork []float64
-	qTotal   []int32
-	qRemote  []int32
-	alphaCnt []int32
-	betaSum  []float64
+	siteWork  []float64
+	qTotal    []int32
+	qRemote   []int32
+	alphaCnt  []int32
+	betaSum   []float64
+	siteBytes []int64
 }
 
 // Snapshot captures the complete current state (including uncommitted moves)
@@ -629,6 +741,7 @@ func (e *Evaluator) SnapshotTo(snap *EvalSnapshot) {
 	snap.qRemote = append(snap.qRemote[:0], e.qRemote...)
 	snap.alphaCnt = append(snap.alphaCnt[:0], e.alphaCnt...)
 	snap.betaSum = append(snap.betaSum[:0], e.betaSum...)
+	snap.siteBytes = append(snap.siteBytes[:0], e.siteBytes...)
 }
 
 // Restore reinstates a snapshot bitwise. Any uncommitted moves are discarded
@@ -654,6 +767,7 @@ func (e *Evaluator) Restore(snap *EvalSnapshot) {
 	copy(e.qRemote, snap.qRemote)
 	copy(e.alphaCnt, snap.alphaCnt)
 	copy(e.betaSum, snap.betaSum)
+	copy(e.siteBytes, snap.siteBytes)
 	e.journal = e.journal[:0]
 	e.betaLog = e.betaLog[:0]
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -30,9 +31,34 @@ type Grouping struct {
 // exactly the cost model of the original instance restricted to solutions
 // that never split a group — which is sufficient for optimality (Section 4).
 func GroupAttributes(inst *Instance) (*Grouping, error) {
+	return GroupAttributesConstrained(inst, nil)
+}
+
+// GroupAttributesConstrained is GroupAttributes for a constrained solve:
+// attributes only merge when, in addition to sharing their query access
+// signature, they carry identical placement-constraint profiles (pins,
+// forbids, replica caps, colocation partners, separation partners). A group
+// therefore inherits its members' constraints verbatim, and attributes whose
+// constraints differ — conflicting pins in particular — split into separate
+// groups, so expanding a grouped solution can never violate a per-attribute
+// constraint. A nil or empty constraint set groups exactly like
+// GroupAttributes. Map the constraint set onto the grouped instance with
+// Grouping.MapConstraints before compiling the grouped model.
+//
+// Under any SiteCapacity constraint no merging happens at all (the identity
+// grouping is returned): group widths are the sums of the member widths and
+// a grouped solve can never split a group, so any merge can turn a
+// capacity-feasible instance infeasible — unlike every other constraint
+// kind, byte budgets void the Section 4 optimality argument.
+func GroupAttributesConstrained(inst *Instance, cons *Constraints) (*Grouping, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	if cons.Empty() {
+		cons = nil
+	}
+	profile := constraintProfiles(cons)
+	identity := cons != nil && len(cons.SiteCapacities) > 0
 
 	// Assign a global index to every query so access signatures can be built.
 	type queryRef struct {
@@ -76,6 +102,11 @@ func GroupAttributes(inst *Instance) (*Grouping, error) {
 		for _, a := range tbl.Attributes {
 			qa := QualifiedAttr{Table: tbl.Name, Attr: a.Name}
 			key := sigKey(signature[qa])
+			if identity {
+				key = qa.String() // every attribute is its own group
+			} else if profile != nil {
+				key += "|" + profile[qa]
+			}
 			if gi, ok := groupIdx[key]; ok {
 				// Extend the existing group.
 				newTbl.Attributes[gi].Width += a.Width
@@ -121,6 +152,183 @@ func GroupAttributes(inst *Instance) (*Grouping, error) {
 		return nil, fmt.Errorf("grouping produced an invalid instance: %w", err)
 	}
 	return g, nil
+}
+
+// constraintProfiles renders, for every attribute a constraint references, a
+// canonical string of its placement-constraint profile; attributes the set
+// never mentions map to "". Attributes group together only when their
+// profiles match, so a group's members always carry identical constraints.
+// Returns nil for a nil set (the unconstrained fast path).
+func constraintProfiles(cons *Constraints) map[QualifiedAttr]string {
+	if cons == nil {
+		return nil
+	}
+	profile := make(map[QualifiedAttr]string)
+
+	// Colocation roots via union-find over names: partners share a canonical
+	// root, so colocated attributes of one table can still group while an
+	// outside attribute never joins them.
+	colocParent := map[QualifiedAttr]QualifiedAttr{}
+	var find func(QualifiedAttr) QualifiedAttr
+	find = func(q QualifiedAttr) QualifiedAttr {
+		p, ok := colocParent[q]
+		if !ok || p == q {
+			return q
+		}
+		root := find(p)
+		colocParent[q] = root
+		return root
+	}
+	for _, p := range cons.Colocate {
+		ra, rb := find(p.A), find(p.B)
+		if ra != rb {
+			// Deterministic root: the lexicographically smaller name.
+			if rb.String() < ra.String() {
+				ra, rb = rb, ra
+			}
+			colocParent[rb] = ra
+		}
+	}
+
+	type parts struct {
+		pins, forbids, seps []string
+		max                 int
+		coloc               string
+	}
+	byAttr := map[QualifiedAttr]*parts{}
+	get := func(q QualifiedAttr) *parts {
+		p, ok := byAttr[q]
+		if !ok {
+			p = &parts{max: -1}
+			byAttr[q] = p
+		}
+		return p
+	}
+	for _, p := range cons.PinAttrs {
+		get(p.Attr).pins = append(get(p.Attr).pins, fmt.Sprintf("%d", p.Site))
+	}
+	for _, f := range cons.ForbidAttrs {
+		get(f.Attr).forbids = append(get(f.Attr).forbids, fmt.Sprintf("%d", f.Site))
+	}
+	for _, mr := range cons.MaxReplicas {
+		pp := get(mr.Attr)
+		if pp.max < 0 || mr.K < pp.max {
+			pp.max = mr.K
+		}
+	}
+	for _, s := range cons.Separate {
+		get(s.A).seps = append(get(s.A).seps, s.B.String())
+		get(s.B).seps = append(get(s.B).seps, s.A.String())
+	}
+	for _, p := range cons.Colocate {
+		get(p.A).coloc = find(p.A).String()
+		get(p.B).coloc = find(p.B).String()
+	}
+	for qa, pp := range byAttr {
+		sort.Strings(pp.pins)
+		sort.Strings(pp.forbids)
+		sort.Strings(pp.seps)
+		profile[qa] = fmt.Sprintf("p%v|f%v|m%d|c%s|s%v", pp.pins, pp.forbids, pp.max, pp.coloc, pp.seps)
+	}
+	return profile
+}
+
+// MapConstraints rewrites a name-based constraint set onto the grouped
+// instance: every attribute reference is replaced by its group
+// representative and duplicates collapse. The grouping must have been
+// computed with GroupAttributesConstrained over the same set, which
+// guarantees a group's members share one profile — so the mapping is exact
+// (a colocation pair falling inside one group disappears, a separation pair
+// never can). Transaction and site references pass through unchanged.
+func (g *Grouping) MapConstraints(cons *Constraints) (*Constraints, error) {
+	if cons.Empty() {
+		return nil, nil
+	}
+	rep := func(q QualifiedAttr) (QualifiedAttr, error) {
+		r, ok := g.GroupOf[q]
+		if !ok {
+			return QualifiedAttr{}, fmt.Errorf("grouping: constraint references unknown attribute %s", q)
+		}
+		return r, nil
+	}
+	out := &Constraints{PinTxns: append([]PinTxn(nil), cons.PinTxns...)}
+	seen := map[string]bool{}
+	once := func(key string) bool {
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+		return true
+	}
+	for _, p := range cons.PinAttrs {
+		r, err := rep(p.Attr)
+		if err != nil {
+			return nil, err
+		}
+		if once(fmt.Sprintf("p|%s|%d", r, p.Site)) {
+			out.PinAttrs = append(out.PinAttrs, PinAttr{Attr: r, Site: p.Site})
+		}
+	}
+	for _, f := range cons.ForbidAttrs {
+		r, err := rep(f.Attr)
+		if err != nil {
+			return nil, err
+		}
+		if once(fmt.Sprintf("f|%s|%d", r, f.Site)) {
+			out.ForbidAttrs = append(out.ForbidAttrs, ForbidAttr{Attr: r, Site: f.Site})
+		}
+	}
+	for _, p := range cons.Colocate {
+		ra, err := rep(p.A)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := rep(p.B)
+		if err != nil {
+			return nil, err
+		}
+		if ra == rb {
+			continue // the grouping already welds them together
+		}
+		a, b := ra.String(), rb.String()
+		if b < a {
+			a, b = b, a
+		}
+		if once("c|" + a + "|" + b) {
+			out.Colocate = append(out.Colocate, Colocate{A: ra, B: rb})
+		}
+	}
+	for _, p := range cons.Separate {
+		ra, err := rep(p.A)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := rep(p.B)
+		if err != nil {
+			return nil, err
+		}
+		if ra == rb {
+			return nil, fmt.Errorf("grouping: separated attributes %s and %s were merged into one group", p.A, p.B)
+		}
+		a, b := ra.String(), rb.String()
+		if b < a {
+			a, b = b, a
+		}
+		if once("s|" + a + "|" + b) {
+			out.Separate = append(out.Separate, Separate{A: ra, B: rb})
+		}
+	}
+	for _, mr := range cons.MaxReplicas {
+		r, err := rep(mr.Attr)
+		if err != nil {
+			return nil, err
+		}
+		if once(fmt.Sprintf("m|%s|%d", r, mr.K)) {
+			out.MaxReplicas = append(out.MaxReplicas, MaxReplicas{Attr: r, K: mr.K})
+		}
+	}
+	out.SiteCapacities = append([]SiteCapacity(nil), cons.SiteCapacities...)
+	return out, nil
 }
 
 func sigKey(sig []bool) string {

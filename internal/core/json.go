@@ -97,6 +97,55 @@ func LoadAssignment(path string) (*Assignment, error) {
 	return DecodeAssignment(f)
 }
 
+// EncodeConstraints writes a placement-constraint set as indented JSON.
+func EncodeConstraints(w io.Writer, c *Constraints) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("encode constraints: %w", err)
+	}
+	return nil
+}
+
+// DecodeConstraints reads a placement-constraint set from JSON and validates
+// its structure (name resolution happens when the set is compiled against a
+// model).
+func DecodeConstraints(r io.Reader) (*Constraints, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Constraints
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("decode constraints: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// SaveConstraints writes a constraint set to a JSON file.
+func SaveConstraints(path string, c *Constraints) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save constraints: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeConstraints(f, c); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadConstraints reads a constraint set from a JSON file.
+func LoadConstraints(path string) (*Constraints, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("load constraints: %w", err)
+	}
+	defer f.Close()
+	return DecodeConstraints(f)
+}
+
 // MarshalJSON encodes QueryKind as "read"/"write" for readability of
 // instance files.
 func (k QueryKind) MarshalJSON() ([]byte, error) {

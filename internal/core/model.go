@@ -222,24 +222,46 @@ type Model struct {
 	writeQTxn   []int32
 	writeQAlpha [][]alphaRef
 	numWriteAcc int
+
+	// Placement constraints: consSrc is the name-based set the model was
+	// compiled with (nil = unconstrained), cons its compiled, index-based
+	// form. Patch recompiles cons after every delta so the name-based set
+	// survives workload drift.
+	consSrc *Constraints
+	cons    *ConstraintSet
 }
 
 // NewModel compiles an instance into a cost model. The instance is validated
 // first.
 func NewModel(inst *Instance, opts ModelOptions) (*Model, error) {
+	return NewModelConstrained(inst, opts, nil)
+}
+
+// NewModelConstrained compiles an instance into a cost model carrying a
+// placement-constraint set: the name-based constraints are resolved against
+// the instance and compiled into per-txn/per-attr allowed-site tables the
+// solvers and the incremental Evaluator consult. A nil or empty set compiles
+// exactly like NewModel — the unconstrained path carries zero overhead.
+func NewModelConstrained(inst *Instance, opts ModelOptions, cons *Constraints) (*Model, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{inst: inst, opts: opts}
+	if cons.Empty() {
+		cons = nil
+	}
+	m := &Model{inst: inst, opts: opts, consSrc: cons}
 	m.compileCatalogue()
 	if err := m.compileQueries(); err != nil {
 		return nil, err
 	}
 	m.compileCoefficients()
 	m.compileEvalIndices()
+	if err := m.compileModelConstraints(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -247,14 +269,29 @@ func NewModel(inst *Instance, opts ModelOptions) (*Model, error) {
 // the from-scratch fallback of Patch for ops the incremental path does not
 // cover.
 func (m *Model) recompile() error {
-	inst, opts := m.inst, m.opts
-	*m = Model{inst: inst, opts: opts}
+	inst, opts, cons := m.inst, m.opts, m.consSrc
+	*m = Model{inst: inst, opts: opts, consSrc: cons}
 	m.compileCatalogue()
 	if err := m.compileQueries(); err != nil {
 		return err
 	}
 	m.compileCoefficients()
 	m.compileEvalIndices()
+	return m.compileModelConstraints()
+}
+
+// compileModelConstraints (re)compiles the model's name-based constraint set
+// into its index-based form. A no-op for unconstrained models.
+func (m *Model) compileModelConstraints() error {
+	if m.consSrc == nil {
+		m.cons = nil
+		return nil
+	}
+	cs, err := compileConstraints(m, m.consSrc)
+	if err != nil {
+		return err
+	}
+	m.cons = cs
 	return nil
 }
 
@@ -466,6 +503,45 @@ func (m *Model) Instance() *Instance { return m.inst }
 
 // Options returns the model parameters.
 func (m *Model) Options() ModelOptions { return m.opts }
+
+// Constraints returns the compiled placement-constraint set, nil when the
+// model is unconstrained.
+func (m *Model) Constraints() *ConstraintSet { return m.cons }
+
+// SourceConstraints returns the name-based constraint set the model was
+// compiled with, nil when unconstrained.
+func (m *Model) SourceConstraints() *Constraints { return m.consSrc }
+
+// ValidateConstraintSites checks the model's compiled constraints against a
+// concrete site count: every referenced site must exist and every
+// transaction and attribute must keep at least one allowed site. A no-op for
+// unconstrained models.
+func (m *Model) ValidateConstraintSites(sites int) error {
+	if m.cons == nil {
+		return nil
+	}
+	return m.cons.validateSites(m, sites)
+}
+
+// CheckConstraints verifies the partitioning against the model's compiled
+// constraints (nil-safe; unconstrained models accept everything).
+func (m *Model) CheckConstraints(p *Partitioning) error {
+	if m.cons == nil {
+		return nil
+	}
+	return m.cons.check(m, p, false)
+}
+
+// CheckConstraintsPartial is CheckConstraints for a partitioning that may
+// predate delta-grown dimensions: constraint references beyond its
+// transaction/attribute counts are skipped. Session.Adopt uses it to reject
+// constraint-violating anchors before adapting them.
+func (m *Model) CheckConstraintsPartial(p *Partitioning) error {
+	if m.cons == nil {
+		return nil
+	}
+	return m.cons.check(m, p, true)
+}
 
 // NumAttrs returns |A|.
 func (m *Model) NumAttrs() int { return len(m.attrs) }

@@ -145,7 +145,10 @@ func (p *Partitioning) TxnsOnSite(s int) []int {
 //   - every transaction is assigned to a site in [0, Sites),
 //   - every attribute is stored on at least one site (Σ_s y_{a,s} ≥ 1),
 //   - single-sitedness of reads: for every transaction t and attribute a
-//     with ϕ_{a,t} = 1, a is stored on t's site.
+//     with ϕ_{a,t} = 1, a is stored on t's site,
+//   - when the model carries compiled placement constraints, every
+//     constraint holds (pins, forbids, colocation, separation, replica caps
+//     and site capacities).
 func (p *Partitioning) Validate(m *Model) error {
 	if p.Sites <= 0 {
 		return fmt.Errorf("partitioning: non-positive site count %d", p.Sites)
@@ -179,6 +182,11 @@ func (p *Partitioning) Validate(m *Model) error {
 			}
 		}
 	}
+	if m.cons != nil {
+		if err := m.cons.check(m, p, false); err != nil {
+			return fmt.Errorf("partitioning: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -187,12 +195,87 @@ func (p *Partitioning) Validate(m *Model) error {
 // to the transaction's site, and attributes stored nowhere are placed on the
 // site with the smallest index. It returns the number of attribute replicas
 // added or moved.
+//
+// When the model carries compiled placement constraints, Repair additionally
+// enforces the constructive ones: pinned transactions move to their pinned
+// site, transactions leave sites a read attribute is forbidden on, required
+// replicas are added, forbidden replicas are dropped and colocation groups
+// are unioned onto identical site sets. Replica caps, separations and site
+// capacities are not repaired (there is no canonical least-change fix);
+// Validate remains the oracle for those.
 func (p *Partitioning) Repair(m *Model) int {
+	cs := m.cons
+	if cs == nil {
+		changed := 0
+		for t := range p.TxnSite {
+			if p.TxnSite[t] < 0 || p.TxnSite[t] >= p.Sites {
+				p.TxnSite[t] = 0
+				changed++
+			}
+		}
+		for t := 0; t < m.NumTxns(); t++ {
+			site := p.TxnSite[t]
+			for _, a := range m.TxnReadAttrs(t) {
+				if !p.AttrSites[a][site] {
+					p.AttrSites[a][site] = true
+					changed++
+				}
+			}
+		}
+		for a := range p.AttrSites {
+			if p.Replicas(a) == 0 {
+				p.AttrSites[a][0] = true
+				changed++
+			}
+		}
+		return changed
+	}
+	return p.repairConstrained(m, cs)
+}
+
+// repairConstrained is the constraint-aware Repair body.
+func (p *Partitioning) repairConstrained(m *Model, cs *ConstraintSet) int {
 	changed := 0
+	// Transactions: pins first, then any transaction on an invalid or
+	// disallowed site (one where a read attribute is forbidden) moves to its
+	// first allowed site.
 	for t := range p.TxnSite {
-		if p.TxnSite[t] < 0 || p.TxnSite[t] >= p.Sites {
+		s := p.TxnSite[t]
+		if pin := cs.TxnPin(t); pin >= 0 && pin < p.Sites {
+			if s != pin {
+				p.TxnSite[t] = pin
+				changed++
+			}
+			continue
+		}
+		if s >= 0 && s < p.Sites && cs.TxnSiteAllowed(m, t, s) {
+			continue
+		}
+		moved := false
+		for cand := 0; cand < p.Sites; cand++ {
+			if cs.TxnSiteAllowed(m, t, cand) {
+				p.TxnSite[t] = cand
+				changed++
+				moved = true
+				break
+			}
+		}
+		// No allowed site exists (an unsatisfiable set the caller did not
+		// run ValidateConstraintSites against): still clamp an out-of-range
+		// index so the read-attribute loop below cannot index out of bounds.
+		if !moved && (s < 0 || s >= p.Sites) {
 			p.TxnSite[t] = 0
 			changed++
+		}
+	}
+	// Required replicas and single-sitedness of reads (transaction sites are
+	// allowed now, so these additions never land on a forbidden site).
+	for a := range p.AttrSites {
+		for _, s := range cs.Required(a) {
+			if int(s) < p.Sites && !p.AttrSites[a][s] {
+				p.AttrSites[a][s] = true
+				changed++
+			}
 		}
 	}
 	for t := 0; t < m.NumTxns(); t++ {
@@ -204,10 +287,58 @@ func (p *Partitioning) Repair(m *Model) int {
 			}
 		}
 	}
+	// Forbidden replicas go, then uncovered attributes land on their first
+	// allowed site, then colocation groups union onto identical site sets
+	// (their members share forbidden sets, so the union stays allowed).
 	for a := range p.AttrSites {
-		if p.Replicas(a) == 0 {
-			p.AttrSites[a][0] = true
+		for _, s := range cs.Forbidden(a) {
+			if int(s) < p.Sites && p.AttrSites[a][s] {
+				p.AttrSites[a][s] = false
+				changed++
+			}
+		}
+	}
+	var used []int64
+	if cs.HasCapacities() {
+		used = SiteWidthUsage(m, p)
+	}
+	for a := range p.AttrSites {
+		if p.Replicas(a) > 0 {
+			continue
+		}
+		// Prefer an allowed site that keeps separations and capacities
+		// intact; the preference relaxes rather than leaving the attribute
+		// uncovered (Validate reports what could not be honoured).
+		if s := cs.PlaceAllowedSite(m, p, a, used); s >= 0 {
+			p.AttrSites[a][s] = true
 			changed++
+			if used != nil {
+				used[s] += int64(m.Attr(a).Width)
+			}
+		}
+	}
+	for g := 0; g < cs.NumColocGroups(); g++ {
+		members := cs.ColocGroupMembers(g)
+		if len(members) < 2 {
+			continue
+		}
+		for s := 0; s < p.Sites; s++ {
+			on := false
+			for _, a := range members {
+				if p.AttrSites[a][s] {
+					on = true
+					break
+				}
+			}
+			if !on {
+				continue
+			}
+			for _, a := range members {
+				if !p.AttrSites[a][s] {
+					p.AttrSites[a][s] = true
+					changed++
+				}
+			}
 		}
 	}
 	return changed

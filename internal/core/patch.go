@@ -37,8 +37,24 @@ func (m *Model) Patch(d WorkloadDelta) error {
 	if _, err := ApplyDelta(m.inst, d); err != nil {
 		return err
 	}
+	// Constraints are name-based, so they survive the delta — but a delta
+	// can make a previously coherent set contradictory (a query added to a
+	// pinned transaction now reads a forbidden attribute). Wherever that
+	// surfaces — the end-of-delta recompile of the constraint tables, or the
+	// full-recompile fallback some ops take mid-loop — the model is rolled
+	// back to the pre-delta instance so the "unchanged on error" contract
+	// holds.
+	prevInst := m.inst
+	rollback := func(cause error) error {
+		m.inst = prevInst
+		if rerr := m.recompile(); rerr != nil {
+			return fmt.Errorf("patch: %w (and rollback recompile failed: %v)", cause, rerr)
+		}
+		return fmt.Errorf("patch: delta conflicts with the model's constraints: %w", cause)
+	}
 	for _, op := range d.Ops {
-		// Re-apply op by op; after the dry run above this cannot fail.
+		// Re-apply op by op; after the dry run above only a constraint
+		// conflict (via an op's recompile fallback) can fail.
 		next, err := applyOp(m.inst, op)
 		if err != nil {
 			return err
@@ -56,7 +72,15 @@ func (m *Model) Patch(d WorkloadDelta) error {
 			err = fmt.Errorf("patch: unknown op type %T", op)
 		}
 		if err != nil {
+			if m.consSrc != nil {
+				return rollback(err)
+			}
 			return err
+		}
+	}
+	if m.consSrc != nil {
+		if err := m.compileModelConstraints(); err != nil {
+			return rollback(err)
 		}
 	}
 	return nil

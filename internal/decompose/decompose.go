@@ -144,7 +144,11 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	if opts.SolveShard == nil {
 		return nil, fmt.Errorf("decompose: no inner solver callback")
 	}
-	d, err := core.Decompose(m.Instance(), false)
+	// The model is already grouped when the caller enabled grouping, so only
+	// the component split runs here — under the model's constraint set, which
+	// welds components coupled by cross-component constraints together and
+	// hands every shard its projection of the set.
+	d, err := core.DecomposeConstrained(m.Instance(), false, m.SourceConstraints())
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +359,11 @@ type shardState struct {
 // reuses) a single shard.
 func solveOne(ctx context.Context, d *core.Decomposition, i int, mo core.ModelOptions, prog progress.Func, solve SolveShardFunc, warm *core.Partitioning, reuse bool) (st shardState) {
 	start := time.Now()
-	sm, err := core.NewModel(d.Components[i].Instance, mo)
+	var shardCons *core.Constraints
+	if d.ShardConstraints != nil {
+		shardCons = d.ShardConstraints[i]
+	}
+	sm, err := core.NewModelConstrained(d.Components[i].Instance, mo, shardCons)
 	if err != nil {
 		st.err = err
 		return st

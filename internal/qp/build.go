@@ -71,9 +71,12 @@ func build(m *core.Model, opts Options) (*lp.Problem, *varmap, []bool, []int, er
 	}
 
 	nT, nA := m.NumTxns(), m.NumAttrs()
+	cons := m.Constraints()
 
 	// x_{t,s}: transaction placement. Objective picks up λ·c1(a,t) for every
-	// ϕ-substituted pair.
+	// ϕ-substituted pair. Placement constraints fix pinned transactions and
+	// prune disallowed branches directly through the variable bounds, so
+	// branch and bound never explores them.
 	vm.xCol = make([]int, nT*sites)
 	for t := 0; t < nT; t++ {
 		objC := 0.0
@@ -83,21 +86,37 @@ func build(m *core.Model, opts Options) (*lp.Problem, *varmap, []bool, []int, er
 			}
 		}
 		for s := 0; s < sites; s++ {
-			upper := 1.0
+			lower, upper := 0.0, 1.0
 			if opts.SymmetryBreaking && s > t {
 				upper = 0 // transaction t may only use sites 0..t
 			}
-			vm.xCol[t*sites+s] = addVar(0, upper, objC,
+			if cons != nil {
+				if !cons.TxnSiteAllowed(m, t, s) {
+					upper = 0
+				} else if cons.TxnPin(t) == s {
+					lower = 1
+				}
+			}
+			vm.xCol[t*sites+s] = addVar(lower, upper, objC,
 				fmt.Sprintf("x[%s,s%d]", m.TxnName(t), s), true, 2)
 		}
 	}
 
-	// y_{a,s}: attribute placement.
+	// y_{a,s}: attribute placement (required sites fixed to 1, forbidden
+	// sites to 0).
 	vm.yCol = make([]int, nA*sites)
 	for a := 0; a < nA; a++ {
 		objC := lambda * m.C2(a)
 		for s := 0; s < sites; s++ {
-			vm.yCol[a*sites+s] = addVar(0, 1, objC,
+			lower, upper := 0.0, 1.0
+			if cons != nil {
+				if cons.ForbiddenAt(a, s) {
+					upper = 0
+				} else if cons.RequiredAt(a, s) {
+					lower = 1
+				}
+			}
+			vm.yCol[a*sites+s] = addVar(lower, upper, objC,
 				fmt.Sprintf("y[%s,s%d]", m.Attr(a).Qualified, s), true, 1)
 		}
 	}
@@ -254,6 +273,54 @@ func build(m *core.Model, opts Options) (*lp.Problem, *varmap, []bool, []int, er
 			}
 			coef[vm.mCol] = -1
 			p.AddConstraint(denseToEntries(coef), lp.LE, 0)
+		}
+	}
+
+	// Placement-constraint rows beyond the bounds above: replica caps,
+	// separation, colocation equality and per-site byte capacities.
+	if cons != nil {
+		for a := 0; a < nA; a++ {
+			max := cons.MaxReplicasOf(a)
+			if max >= sites {
+				continue
+			}
+			entries := make([]lp.Entry, sites)
+			for s := 0; s < sites; s++ {
+				entries[s] = lp.Entry{Col: vm.yIndex(a, s), Val: 1}
+			}
+			p.AddConstraint(entries, lp.LE, float64(max))
+		}
+		for _, pair := range cons.SeparatePairs() {
+			for s := 0; s < sites; s++ {
+				p.AddConstraint([]lp.Entry{
+					{Col: vm.yIndex(pair[0], s), Val: 1},
+					{Col: vm.yIndex(pair[1], s), Val: 1},
+				}, lp.LE, 1)
+			}
+		}
+		for g := 0; g < cons.NumColocGroups(); g++ {
+			members := cons.ColocGroupMembers(g)
+			for i := 1; i < len(members); i++ {
+				for s := 0; s < sites; s++ {
+					p.AddConstraint([]lp.Entry{
+						{Col: vm.yIndex(int(members[0]), s), Val: 1},
+						{Col: vm.yIndex(int(members[i]), s), Val: -1},
+					}, lp.EQ, 0)
+				}
+			}
+		}
+		if cons.HasCapacities() {
+			for s := 0; s < sites; s++ {
+				cap := cons.CapacityOf(s)
+				if cap < 0 {
+					continue
+				}
+				entries := make([]lp.Entry, 0, nA)
+				for a := 0; a < nA; a++ {
+					entries = append(entries, lp.Entry{Col: vm.yIndex(a, s), Val: float64(m.Attr(a).Width)})
+				}
+				p.AddConstraint(entries, lp.LE, float64(cap))
+			}
 		}
 	}
 

@@ -1,0 +1,152 @@
+package qp
+
+import (
+	"context"
+	"testing"
+
+	"vpart/internal/core"
+)
+
+// qpFixture is a small instance the exact solver handles in milliseconds.
+func qpFixture(t *testing.T) *core.Instance {
+	t.Helper()
+	inst := &core.Instance{
+		Name: "qp-cons",
+		Schema: core.Schema{Tables: []core.Table{
+			{Name: "T1", Attributes: []core.Attribute{{Name: "a", Width: 4}, {Name: "b", Width: 8}, {Name: "c", Width: 16}}},
+			{Name: "T2", Attributes: []core.Attribute{{Name: "d", Width: 4}, {Name: "e", Width: 32}}},
+		}},
+		Workload: core.Workload{Transactions: []core.Transaction{
+			{Name: "X", Queries: []core.Query{core.NewRead("q1", "T1", []string{"a", "b"}, 1, 10)}},
+			{Name: "Y", Queries: []core.Query{
+				core.NewRead("q2", "T2", []string{"d"}, 1, 5),
+				core.NewWrite("q3", "T2", []string{"e"}, 1, 2),
+			}},
+			{Name: "Z", Queries: []core.Query{core.NewRead("q4", "T1", []string{"c"}, 1, 8)}},
+		}},
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func qa(t *testing.T, s string) core.QualifiedAttr {
+	t.Helper()
+	q, err := core.ParseQualifiedAttr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestSolveHonoursConstraints drives the exact solver through every
+// constraint kind: pinned variables are fixed, forbidden branches pruned,
+// and the extra rows (caps, separation, colocation, capacity) hold in the
+// proven-optimal solution.
+func TestSolveHonoursConstraints(t *testing.T) {
+	inst := qpFixture(t)
+	cons := &core.Constraints{
+		PinTxns:        []core.PinTxn{{Txn: "X", Site: 1}},
+		PinAttrs:       []core.PinAttr{{Attr: qa(t, "T2.d"), Site: 0}},
+		ForbidAttrs:    []core.ForbidAttr{{Attr: qa(t, "T1.c"), Site: 1}},
+		Colocate:       []core.Colocate{{A: qa(t, "T1.c"), B: qa(t, "T2.e")}},
+		Separate:       []core.Separate{{A: qa(t, "T1.a"), B: qa(t, "T2.e")}},
+		MaxReplicas:    []core.MaxReplicas{{Attr: qa(t, "T2.e"), K: 1}},
+		SiteCapacities: []core.SiteCapacity{{Site: 0, Bytes: 128}},
+	}
+	m, err := core.NewModelConstrained(inst, core.DefaultModelOptions(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(context.Background(), m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitioning == nil {
+		t.Fatal("no solution")
+	}
+	if !res.Optimal() {
+		t.Fatalf("small constrained model not solved to optimality: %+v", res.Status)
+	}
+	if err := cons.Check(m, res.Partitioning); err != nil {
+		t.Fatalf("optimal solution violates constraints: %v", err)
+	}
+	xi, _ := m.TxnIndex("X")
+	if res.Partitioning.TxnSite[xi] != 1 {
+		t.Fatalf("pinned transaction on site %d", res.Partitioning.TxnSite[xi])
+	}
+}
+
+// TestSolveConstrainedMatchesUnconstrainedWhenSlack: constraints that the
+// unconstrained optimum already satisfies must not change the optimal
+// objective (symmetry breaking is off, so the labelling may differ — the
+// costs must not).
+func TestSolveConstrainedMatchesUnconstrainedWhenSlack(t *testing.T) {
+	inst := qpFixture(t)
+	m0, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Solve(context.Background(), m0, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin everything exactly where the unconstrained optimum put it.
+	cons := &core.Constraints{}
+	for ti := 0; ti < m0.NumTxns(); ti++ {
+		cons.PinTxns = append(cons.PinTxns, core.PinTxn{Txn: m0.TxnName(ti), Site: free.Partitioning.TxnSite[ti]})
+	}
+	m1, err := core.NewModelConstrained(inst, core.DefaultModelOptions(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := Solve(context.Background(), m1, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pinned.Optimal() {
+		t.Fatal("pinned solve not optimal")
+	}
+	if pinned.Cost.Objective != free.Cost.Objective {
+		t.Fatalf("pinning the optimum changed the objective: %g vs %g",
+			pinned.Cost.Objective, free.Cost.Objective)
+	}
+}
+
+// TestSolveSiteSymmetricConstraintsKeepSymmetryBreaking: a set without any
+// site reference (MaxSite < 0) is invariant under relabelling, so the solve
+// keeps the symmetry-breaking bounds and still reaches the unconstrained
+// optimum when the constraints are slack.
+func TestSolveSiteSymmetricConstraintsKeepSymmetryBreaking(t *testing.T) {
+	inst := qpFixture(t)
+	m0, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Solve(context.Background(), m0, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := &core.Constraints{MaxReplicas: []core.MaxReplicas{{Attr: qa(t, "T2.e"), K: 2}}}
+	if cs, err := core.NewModelConstrained(inst, core.DefaultModelOptions(), cons); err != nil {
+		t.Fatal(err)
+	} else if cs.Constraints().MaxSite() != -1 {
+		t.Fatalf("MaxSite = %d for a site-symmetric set, want -1", cs.Constraints().MaxSite())
+	}
+	m1, err := core.NewModelConstrained(inst, core.DefaultModelOptions(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, err := Solve(context.Background(), m1, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slack.Optimal() {
+		t.Fatal("slack-constrained solve not optimal")
+	}
+	if slack.Cost.Objective != free.Cost.Objective {
+		t.Fatalf("slack site-symmetric constraints changed the optimum: %g vs %g",
+			slack.Cost.Objective, free.Cost.Objective)
+	}
+}

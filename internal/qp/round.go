@@ -105,8 +105,18 @@ func (vm *varmap) roundingHeuristic(x []float64, numVars int) ([]float64, bool) 
 			return nil, false
 		}
 	}
+	// Under site-referencing constraints sites are distinguishable:
+	// relabelling would break pins, so the rounded candidate keeps its
+	// labels (symmetry breaking is off in that mode anyway). Site-symmetric
+	// sets (MaxSite < 0) survive relabelling unchanged.
 	if vm.sites > 1 {
-		p = canonicalizeSites(p)
+		cs := (*core.ConstraintSet)(nil)
+		if vm.model != nil {
+			cs = vm.model.Constraints()
+		}
+		if cs == nil || cs.MaxSite() < 0 {
+			p = canonicalizeSites(p)
+		}
 	}
 	return vm.vectorFromPartitioning(p, numVars), true
 }

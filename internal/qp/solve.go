@@ -98,8 +98,25 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	if opts.GapTol == 0 {
 		opts.GapTol = DefaultGapTol
 	}
+	if cons := m.Constraints(); cons != nil {
+		if opts.Disjoint {
+			return nil, fmt.Errorf("qp: placement constraints are not supported in disjoint mode")
+		}
+		if err := m.ValidateConstraintSites(opts.Sites); err != nil {
+			return nil, fmt.Errorf("qp: %w", err)
+		}
+		// Site-referencing constraints (pins, forbids, capacities) make the
+		// sites distinguishable, so the symmetry-breaking bounds (and the
+		// canonical site relabelling they rely on) are unsound and switch
+		// off. A purely site-symmetric set — Colocate/Separate/MaxReplicas
+		// only, MaxSite reports -1 — is invariant under relabelling and
+		// keeps them.
+		if cons.MaxSite() >= 0 {
+			opts.SymmetryBreaking = false
+		}
+	}
 	if opts.Sites == 1 {
-		return solveSingleSite(m), nil
+		return solveSingleSite(m)
 	}
 
 	start := time.Now()
@@ -165,8 +182,11 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 
 // solveSingleSite handles |S| = 1, where the only feasible layout is the
 // trivial one.
-func solveSingleSite(m *core.Model) *Result {
+func solveSingleSite(m *core.Model) (*Result, error) {
 	p := core.SingleSite(m, 1)
+	if err := p.Validate(m); err != nil {
+		return nil, fmt.Errorf("qp: single-site layout is infeasible under the constraints: %w", err)
+	}
 	cost := m.Evaluate(p)
 	return &Result{
 		Partitioning: p,
@@ -175,5 +195,5 @@ func solveSingleSite(m *core.Model) *Result {
 		Balanced:     cost.Balanced,
 		Bound:        cost.Balanced,
 		Gap:          0,
-	}
+	}, nil
 }

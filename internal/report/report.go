@@ -88,6 +88,37 @@ func Markdown(m *core.Model, p *core.Partitioning, cost core.Cost) string {
 	fmt.Fprintf(&b, "Sites: %d · network penalty p = %g · λ = %g · write accounting: %s\n\n",
 		p.Sites, opts.Penalty, opts.Lambda, opts.WriteAccounting)
 
+	if cons := m.SourceConstraints(); !cons.Empty() {
+		b.WriteString("## Placement constraints\n\n")
+		satisfied := "satisfied by this layout"
+		if err := m.CheckConstraints(p); err != nil {
+			satisfied = "VIOLATED: " + err.Error()
+		}
+		fmt.Fprintf(&b, "%d constraint(s), %s. Site numbers below are 0-based, matching the constraint inputs (the \"Sites\" sections use 1-based headings).\n\n", cons.Len(), satisfied)
+		for _, c := range cons.PinTxns {
+			fmt.Fprintf(&b, "- pin transaction %s → site %d\n", c.Txn, c.Site)
+		}
+		for _, c := range cons.PinAttrs {
+			fmt.Fprintf(&b, "- pin attribute %s → site %d\n", c.Attr, c.Site)
+		}
+		for _, c := range cons.ForbidAttrs {
+			fmt.Fprintf(&b, "- forbid attribute %s on site %d\n", c.Attr, c.Site)
+		}
+		for _, c := range cons.Colocate {
+			fmt.Fprintf(&b, "- colocate %s with %s\n", c.A, c.B)
+		}
+		for _, c := range cons.Separate {
+			fmt.Fprintf(&b, "- separate %s from %s\n", c.A, c.B)
+		}
+		for _, c := range cons.MaxReplicas {
+			fmt.Fprintf(&b, "- at most %d replica(s) of %s\n", c.K, c.Attr)
+		}
+		for _, c := range cons.SiteCapacities {
+			fmt.Fprintf(&b, "- site %d capacity %d bytes\n", c.Site, c.Bytes)
+		}
+		b.WriteString("\n")
+	}
+
 	b.WriteString("## Cost breakdown (per workload execution)\n\n")
 	b.WriteString("| Component | Bytes |\n|---|---|\n")
 	fmt.Fprintf(&b, "| Local reads (A_R) | %.0f |\n", cost.ReadAccess)

@@ -6,6 +6,7 @@ package sa
 // scratch buffers so the steady-state inner loop is allocation-free.
 
 import (
+	"math"
 	"math/rand"
 
 	"vpart/internal/core"
@@ -54,6 +55,26 @@ func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
 			if st == p.TxnSite[t] {
 				continue
 			}
+			if s.ct != nil {
+				// Constrained: the target site must be allowed for the
+				// transaction, and the replica additions the relocation drags
+				// along (its read set plus their colocation partners) must fit
+				// the replica caps, separations and capacity headroom. Checked
+				// before the first sub-move is applied, so a rejected
+				// relocation leaves no partial batch to unwind.
+				if !s.txnSiteOK(t, st) || !s.canDragReads(ev, t, st) {
+					continue
+				}
+				delta += ev.ApplyMoveTxn(t, st)
+				for _, a := range s.m.TxnReadAttrs(t) {
+					for _, b := range s.unitMembers(a) {
+						if !p.AttrSites[b][st] {
+							delta += ev.ApplyAddReplica(int(b), st)
+						}
+					}
+				}
+				continue
+			}
 			delta += ev.ApplyMoveTxn(t, st)
 			for _, a := range s.m.TxnReadAttrs(t) {
 				if !p.AttrSites[a][st] {
@@ -82,6 +103,29 @@ func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
 			delta += ev.ApplyDropReplica(a, old)
 			continue
 		}
+		if s.ct != nil {
+			// Constrained: candidate sites are the missing ones the whole
+			// unit (the attribute plus its colocation partners) may extend
+			// to — allowed-site bitsets, separations, replica caps and
+			// capacity all checked through the evaluator in O(1) per site, so
+			// the hot loop never proposes a dead replica move.
+			s.missing = s.missing[:0]
+			for st, on := range p.AttrSites[a] {
+				if !on && s.canExtendUnit(ev, a, st) {
+					s.missing = append(s.missing, st)
+				}
+			}
+			if len(s.missing) == 0 {
+				continue
+			}
+			st := s.missing[rng.Intn(len(s.missing))]
+			for _, b := range s.unitMembers(a) {
+				if !p.AttrSites[b][st] {
+					delta += ev.ApplyAddReplica(int(b), st)
+				}
+			}
+			continue
+		}
 		s.missing = s.missing[:0]
 		for st, on := range p.AttrSites[a] {
 			if !on {
@@ -94,6 +138,85 @@ func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
 		delta += ev.ApplyAddReplica(a, s.missing[rng.Intn(len(s.missing))])
 	}
 	return delta
+}
+
+// canDragReads reports whether relocating transaction t to site st can
+// legally drag along every missing read attribute (and the colocation
+// partners that must follow them): no forbidden site, no separation
+// conflict, replica caps respected and the combined widths within st's
+// remaining capacity.
+func (s *solver) canDragReads(ev *core.Evaluator, t, st int) bool {
+	p := ev.Partitioning()
+	var need int64
+	headroom := ev.SiteHeadroom(st)
+	s.dragBuf = s.dragBuf[:0]
+	for _, a := range s.m.TxnReadAttrs(t) {
+		for _, b := range s.unitMembers(a) {
+			bi := int(b)
+			if p.AttrSites[bi][st] {
+				continue
+			}
+			if s.attrForbiddenAt(bi, st) || s.sepConflict(p, bi, st) {
+				return false
+			}
+			if ev.Replicas(bi)+1 > s.cs.MaxReplicasOf(bi) {
+				return false
+			}
+			// Separation among the pending additions themselves: the
+			// live-state sepConflict above cannot see replicas this batch has
+			// not applied yet.
+			for _, prev := range s.dragBuf {
+				if containsInt32(s.cs.SeparatedFrom(bi), int32(prev)) {
+					return false
+				}
+			}
+			s.dragBuf = append(s.dragBuf, bi)
+			need += int64(s.m.Attr(bi).Width)
+		}
+	}
+	// Colocation partners shared between two read attributes are counted
+	// twice in need — a conservative over-estimate that can only reject, not
+	// admit, a capacity-violating batch.
+	return headroom < 0 || need <= headroom
+}
+
+// containsInt32 reports whether the sorted list contains v.
+func containsInt32(sorted []int32, v int32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == v
+}
+
+// canExtendUnit reports whether the whole unit of attribute a (its
+// colocation group, or just a) may gain a replica on site st.
+func (s *solver) canExtendUnit(ev *core.Evaluator, a, st int) bool {
+	p := ev.Partitioning()
+	var need int64
+	for _, b := range s.unitMembers(a) {
+		bi := int(b)
+		if p.AttrSites[bi][st] {
+			continue
+		}
+		if s.attrForbiddenAt(bi, st) || s.sepConflict(p, bi, st) {
+			return false
+		}
+		if ev.Replicas(bi)+1 > s.cs.MaxReplicasOf(bi) {
+			return false
+		}
+		need += int64(s.m.Attr(bi).Width)
+	}
+	if need == 0 {
+		return false // nothing to add
+	}
+	headroom := ev.SiteHeadroom(st)
+	return headroom < 0 || need <= headroom
 }
 
 // intensify runs one findSolution(fix) pass of Algorithm 1 — the greedy
@@ -111,6 +234,12 @@ func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 		s.findSolution(s.scratch, "x")
 	} else {
 		s.findSolution(s.scratch, "y")
+	}
+	if s.ct != nil && fixX && !s.scratchSatisfiesConstraints(s.scratch) {
+		// The constrained greedy y-rebuild had to relax a capacity or
+		// separation on its fallback path: price the batch as +Inf so the
+		// Metropolis test rejects it without any move being applied.
+		return math.Inf(1)
 	}
 
 	delta := 0.0

@@ -31,9 +31,21 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sa: %w", err)
 	}
+	cons := m.Constraints()
+	if cons != nil {
+		if opts.Disjoint {
+			return nil, fmt.Errorf("sa: placement constraints are not supported in disjoint mode")
+		}
+		if err := m.ValidateConstraintSites(opts.Sites); err != nil {
+			return nil, fmt.Errorf("sa: %w", err)
+		}
+	}
 	start := time.Now()
 	if opts.Sites == 1 {
 		p := core.SingleSite(m, 1)
+		if err := p.Validate(m); err != nil {
+			return nil, fmt.Errorf("sa: single-site layout is infeasible under the constraints: %w", err)
+		}
 		cost := m.Evaluate(p)
 		return &Result{Partitioning: p, Cost: cost, Runtime: time.Since(start)}, nil
 	}
@@ -59,11 +71,23 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 			s.findSolution(cur, "x")
 		}
 		cur.Repair(m)
-	} else {
+		if cons != nil && cur.Validate(m) != nil {
+			// The repaired hint still violates a non-repairable constraint
+			// (separation, replica cap, capacity): fall back to a cold
+			// constrained start rather than annealing from infeasibility.
+			warm = false
+		}
+	}
+	if cur == nil || !warm {
 		cur = core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
 		s.randomX(rng, cur)
 		s.findSolution(cur, "x")
 		cur.Repair(m)
+	}
+	if cons != nil {
+		if err := cur.Validate(m); err != nil {
+			return nil, fmt.Errorf("sa: no constraint-feasible initial solution found: %w", err)
+		}
 	}
 	ev, err := core.NewEvaluator(m, cur)
 	if err != nil {
@@ -188,6 +212,11 @@ outer:
 	}
 	final := ev.Partitioning().Clone()
 	final.Repair(m)
+	if cons != nil {
+		if err := final.Validate(m); err != nil {
+			return nil, fmt.Errorf("sa: search left the constraint-feasible region: %w", err)
+		}
+	}
 	res.Partitioning = final
 	res.Cost = m.Evaluate(final)
 	res.Runtime = time.Since(start)
@@ -211,7 +240,8 @@ func (s *solver) findSolution(p *core.Partitioning, fix string) {
 }
 
 // randomX assigns every transaction (or component, in disjoint mode) to a
-// uniformly random site.
+// uniformly random site. Under placement constraints the draw is uniform
+// over the transaction's allowed sites (pins collapse it to one).
 func (s *solver) randomX(rng *rand.Rand, p *core.Partitioning) {
 	if s.opts.Disjoint {
 		for _, comp := range s.components {
@@ -223,7 +253,21 @@ func (s *solver) randomX(rng *rand.Rand, p *core.Partitioning) {
 		return
 	}
 	for t := range p.TxnSite {
-		p.TxnSite[t] = rng.Intn(s.sites)
+		if s.ct == nil {
+			p.TxnSite[t] = rng.Intn(s.sites)
+			continue
+		}
+		s.missing = s.missing[:0]
+		for st := 0; st < s.sites; st++ {
+			if s.txnSiteOK(t, st) {
+				s.missing = append(s.missing, st)
+			}
+		}
+		if len(s.missing) == 0 {
+			p.TxnSite[t] = 0 // unsatisfiable; ValidateConstraintSites rejects this earlier
+			continue
+		}
+		p.TxnSite[t] = s.missing[rng.Intn(len(s.missing))]
 	}
 }
 

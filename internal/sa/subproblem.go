@@ -26,20 +26,35 @@ type solver struct {
 	// disjoint mode they relocate together with the component.
 	compAttrs [][]int
 
+	// Placement constraints (nil for unconstrained models): the compiled set
+	// and its site-count-flattened tables. Every neighbourhood move and
+	// greedy placement consults them, so the search walks the feasible
+	// region instead of repairing after the fact.
+	cs *core.ConstraintSet
+	ct *core.ConstraintTables
+
 	// Scratch buffers reused across iterations so the steady-state inner loop
 	// does not allocate.
-	scratch *core.Partitioning // intensify's findSolution target
-	missing []int              // perturb: candidate sites for a new replica
-	txnsOn  [][]int            // greedy passes: transactions per site
-	work    []float64          // greedy passes: running site work
-	order   []int              // greedy passes: processing order
-	weights []float64          // greedy passes: ordering weights
+	scratch  *core.Partitioning // intensify's findSolution target
+	missing  []int              // perturb: candidate sites for a new replica
+	txnsOn   [][]int            // greedy passes: transactions per site
+	work     []float64          // greedy passes: running site work
+	order    []int              // greedy passes: processing order
+	weights  []float64          // greedy passes: ordering weights
+	bytes    []int64            // greedy passes: running site bytes (constrained)
+	dragBuf  []int              // perturb: pending additions of one txn move
+	unitSelf [1]int32           // unitMembers' singleton backing (no alloc)
 }
 
 func newSolver(m *core.Model, opts Options) *solver {
 	s := &solver{m: m, sites: opts.Sites, opts: opts}
 	s.txnsOn = make([][]int, s.sites)
 	s.work = make([]float64, s.sites)
+	if cs := m.Constraints(); cs != nil {
+		s.cs = cs
+		s.ct = cs.Tables(m, s.sites)
+		s.bytes = make([]int64, s.sites)
+	}
 	nA, nT := m.NumAttrs(), m.NumTxns()
 	s.readersOf = make([][]int, nA)
 	for t := 0; t < nT; t++ {
@@ -114,6 +129,10 @@ func (s *solver) lambda() float64 { return s.m.Options().Lambda }
 // (forced replicas), covers every attribute at least once, adds beneficial
 // extra replicas (negative marginal cost) and balances load greedily.
 func (s *solver) solveYGivenX(p *core.Partitioning) {
+	if s.ct != nil {
+		s.solveYGivenXConstrained(p)
+		return
+	}
 	m := s.m
 	nA := m.NumAttrs()
 	lam := s.lambda()
@@ -258,6 +277,9 @@ func (s *solver) solveXGivenY(p *core.Partitioning) {
 		return cost, load
 	}
 	feasible := func(t, st int) bool {
+		if s.ct != nil && !s.txnSiteOK(t, st) {
+			return false
+		}
 		for _, a := range m.TxnReadAttrs(t) {
 			if !p.AttrSites[a][st] {
 				return false
@@ -391,6 +413,321 @@ func (s *solver) assignComponents(p *core.Partitioning, work []float64) {
 			cur = work[best]
 		}
 	}
+}
+
+// --- placement-constraint support ------------------------------------------
+
+// txnSiteOK reports whether transaction t may run on site st under the
+// compiled constraints (O(1) via the flattened table).
+func (s *solver) txnSiteOK(t, st int) bool {
+	return s.ct.TxnAllowed[t*s.sites+st]
+}
+
+// attrForbiddenAt / attrRequiredAt are the O(1) flattened lookups.
+func (s *solver) attrForbiddenAt(a, st int) bool {
+	return s.ct.AttrForbidden[a*s.sites+st]
+}
+
+func (s *solver) attrRequiredAt(a, st int) bool {
+	return s.ct.AttrRequired[a*s.sites+st]
+}
+
+// unitMembers returns the attributes that must be placed together with a:
+// its colocation group, or just a itself. The returned slice must not be
+// modified.
+func (s *solver) unitMembers(a int) []int32 {
+	if g := s.cs.ColocGroupOf(a); g >= 0 {
+		return s.cs.ColocGroupMembers(g)
+	}
+	s.unitSelf[0] = int32(a)
+	return s.unitSelf[:]
+}
+
+// sepConflict reports whether a separation partner of attribute a is stored
+// on site st in p.
+func (s *solver) sepConflict(p *core.Partitioning, a, st int) bool {
+	for _, b := range s.cs.SeparatedFrom(a) {
+		if p.AttrSites[b][st] {
+			return true
+		}
+	}
+	return false
+}
+
+// resetBytes zeroes and returns the per-site byte accumulator.
+func (s *solver) resetBytes() []int64 {
+	for i := range s.bytes {
+		s.bytes[i] = 0
+	}
+	return s.bytes
+}
+
+// solveYGivenXConstrained is solveYGivenX for a constrained model: forced and
+// required replicas are placed first, colocation groups place as one unit,
+// and every further placement respects forbidden sites, separation partners,
+// replica caps and site capacities. When the hard placements alone overrun a
+// capacity there is nothing local search can do about it — the caller's
+// feasibility check (Partitioning.Validate) reports it.
+func (s *solver) solveYGivenXConstrained(p *core.Partitioning) {
+	m := s.m
+	nA := m.NumAttrs()
+	lam := s.lambda()
+
+	for a := 0; a < nA; a++ {
+		for st := 0; st < s.sites; st++ {
+			p.AttrSites[a][st] = false
+		}
+	}
+
+	txnsOn := s.txnsBySite(p)
+	costOf := func(a, st int) float64 {
+		c := m.C2(a)
+		for _, t := range txnsOn[st] {
+			c += m.C1(a, t)
+		}
+		return c
+	}
+	loadOf := func(a, st int) float64 {
+		l := m.C4(a)
+		for _, t := range txnsOn[st] {
+			l += m.C3(a, t)
+		}
+		return l
+	}
+
+	work := s.resetWork()
+	bytes := s.resetBytes()
+	place := func(a, st int) {
+		if p.AttrSites[a][st] {
+			return
+		}
+		p.AttrSites[a][st] = true
+		work[st] += loadOf(a, st)
+		bytes[st] += int64(m.Attr(a).Width)
+	}
+
+	// Hard placements: single-sitedness of reads, required sites, then the
+	// colocation closure of both.
+	for t := 0; t < m.NumTxns(); t++ {
+		st := p.TxnSite[t]
+		for _, a := range m.TxnReadAttrs(t) {
+			place(a, st)
+		}
+	}
+	for a := 0; a < nA; a++ {
+		for st := 0; st < s.sites; st++ {
+			if s.attrRequiredAt(a, st) {
+				place(a, st)
+			}
+		}
+	}
+	for g := 0; g < s.cs.NumColocGroups(); g++ {
+		members := s.cs.ColocGroupMembers(g)
+		if len(members) < 2 {
+			continue
+		}
+		for st := 0; st < s.sites; st++ {
+			on := false
+			for _, a := range members {
+				if p.AttrSites[a][st] {
+					on = true
+					break
+				}
+			}
+			if on {
+				for _, a := range members {
+					place(int(a), st)
+				}
+			}
+		}
+	}
+
+	cur := 0.0
+	for _, w := range work {
+		if w > cur {
+			cur = w
+		}
+	}
+
+	// Cover the still-unplaced units: LPT order over the unit
+	// representatives, each unit placed on its best allowed site (capacity
+	// headroom respected when any site is capped; relaxed only when no
+	// allowed site has room — covering every attribute outranks the cap,
+	// and the feasibility check reports the overrun).
+	order := s.order[:0]
+	for a := 0; a < nA; a++ {
+		if p.Replicas(a) > 0 {
+			continue
+		}
+		if g := s.cs.ColocGroupOf(a); g >= 0 && int(s.cs.ColocGroupMembers(g)[0]) != a {
+			continue // the group places through its representative
+		}
+		order = append(order, a)
+	}
+	s.order = order
+	sort.Slice(order, func(i, j int) bool {
+		wi := m.C4(order[i]) + m.C2(order[i])
+		wj := m.C4(order[j]) + m.C2(order[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	for _, a := range order {
+		members := s.unitMembers(a)
+		var unitWidth int64
+		for _, b := range members {
+			unitWidth += int64(m.Attr(int(b)).Width)
+		}
+		allowedAt := func(st int, respectCap bool) bool {
+			for _, b := range members {
+				if s.attrForbiddenAt(int(b), st) || s.sepConflict(p, int(b), st) {
+					return false
+				}
+			}
+			if respectCap && s.ct.HasCap {
+				if cap := s.ct.SiteCap[st]; cap >= 0 && bytes[st]+unitWidth > cap {
+					return false
+				}
+			}
+			return true
+		}
+		best, bestScore, found := -1, 0.0, false
+		for pass := 0; pass < 2 && !found; pass++ {
+			respectCap := pass == 0
+			for st := 0; st < s.sites; st++ {
+				if !allowedAt(st, respectCap) {
+					continue
+				}
+				cost, load := 0.0, 0.0
+				for _, b := range members {
+					cost += costOf(int(b), st)
+					load += loadOf(int(b), st)
+				}
+				delta := work[st] + load - cur
+				if delta < 0 {
+					delta = 0
+				}
+				score := lam*cost + (1-lam)*delta
+				if !found || score < bestScore {
+					best, bestScore, found = st, score, true
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			// Every site is blocked by a forbid, a separation partner or the
+			// capacity: relax in preference order so the unit is at least
+			// stored somewhere (the feasibility check reports the leftover
+			// violation).
+			best = s.cs.PlaceAllowedSite(m, p, a, nil)
+			if best < 0 {
+				best = 0
+			}
+		}
+		for _, b := range members {
+			place(int(b), best)
+		}
+		if work[best] > cur {
+			cur = work[best]
+		}
+	}
+
+	// Beneficial extra replicas, each addition fully constraint-checked.
+	for a := 0; a < nA; a++ {
+		if g := s.cs.ColocGroupOf(a); g >= 0 && int(s.cs.ColocGroupMembers(g)[0]) != a {
+			continue
+		}
+		members := s.unitMembers(a)
+		var unitWidth int64
+		for _, b := range members {
+			unitWidth += int64(m.Attr(int(b)).Width)
+		}
+		maxRep := s.cs.MaxReplicasOf(a)
+		for st := 0; st < s.sites; st++ {
+			if p.AttrSites[a][st] {
+				continue
+			}
+			if p.Replicas(a)+1 > maxRep {
+				break
+			}
+			ok := true
+			for _, b := range members {
+				if s.attrForbiddenAt(int(b), st) || s.sepConflict(p, int(b), st) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if s.ct.HasCap {
+				if cap := s.ct.SiteCap[st]; cap >= 0 && bytes[st]+unitWidth > cap {
+					continue
+				}
+			}
+			cost, load := 0.0, 0.0
+			for _, b := range members {
+				cost += costOf(int(b), st)
+				load += loadOf(int(b), st)
+			}
+			delta := work[st] + load - cur
+			if delta < 0 {
+				delta = 0
+			}
+			if lam*cost+(1-lam)*delta < 0 {
+				for _, b := range members {
+					place(int(b), st)
+				}
+				if work[st] > cur {
+					cur = work[st]
+				}
+			}
+		}
+	}
+}
+
+// scratchSatisfiesConstraints verifies the softer constraints — capacities,
+// separations, replica caps — the constrained greedy pass may have had to
+// relax on its fallback paths. Pins, forbids and colocation hold by
+// construction. O(attrs·sites).
+func (s *solver) scratchSatisfiesConstraints(p *core.Partitioning) bool {
+	m := s.m
+	nA := m.NumAttrs()
+	if s.ct.HasCap {
+		bytes := s.resetBytes()
+		for a := 0; a < nA; a++ {
+			w := int64(m.Attr(a).Width)
+			for st := 0; st < s.sites; st++ {
+				if p.AttrSites[a][st] {
+					bytes[st] += w
+				}
+			}
+		}
+		for st := 0; st < s.sites; st++ {
+			if cap := s.ct.SiteCap[st]; cap >= 0 && bytes[st] > cap {
+				return false
+			}
+		}
+	}
+	for a := 0; a < nA; a++ {
+		if max := s.cs.MaxReplicasOf(a); p.Replicas(a) > max {
+			return false
+		}
+		for _, b := range s.cs.SeparatedFrom(a) {
+			if int(b) < a {
+				continue
+			}
+			for st := 0; st < s.sites; st++ {
+				if p.AttrSites[a][st] && p.AttrSites[b][st] {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // solveYGivenXDisjoint assigns every attribute to exactly one site for a

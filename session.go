@@ -69,6 +69,11 @@ type ResolveStats struct {
 	// warm children).
 	Warm      bool
 	WarmStart bool
+	// WarmRejected explains why a warm-seeded resolve went cold anyway: the
+	// Solve facade dropped the incumbent hint (site-count mismatch,
+	// un-adaptable dimensions, constraint violation). Empty when the hint
+	// was used.
+	WarmRejected string
 	// StaleCost is the previous incumbent's cost breakdown re-priced under
 	// the current (drifted) workload — the "do nothing" baseline a resolve
 	// competes against. Zero value on cold resolves.
@@ -137,9 +142,28 @@ func NewSession(inst *Instance, opts Options) (*Session, error) {
 	if opts.Model != nil {
 		mo = *opts.Model
 	}
-	model, err := NewModel(inst, mo)
+	if opts.Constraints.Empty() {
+		opts.Constraints = nil
+	} else {
+		if opts.Disjoint {
+			return nil, fmt.Errorf("vpart: session: placement constraints are not supported together with Disjoint")
+		}
+		if err := opts.Constraints.Validate(); err != nil {
+			return nil, fmt.Errorf("vpart: session: %w", err)
+		}
+		// Snapshot the set: the session recompiles it on every Apply, so a
+		// caller mutating their value later must not change what the session
+		// enforces.
+		opts.Constraints = opts.Constraints.Clone()
+	}
+	// The session's model carries the compiled constraints, so Apply keeps
+	// them resolved across deltas and Adopt can judge anchors against them.
+	model, err := core.NewModelConstrained(inst, mo, opts.Constraints)
 	if err != nil {
 		return nil, err
+	}
+	if err := model.ValidateConstraintSites(opts.Sites); err != nil {
+		return nil, fmt.Errorf("vpart: session: %w", err)
 	}
 	return &Session{
 		opts:  opts,
@@ -194,9 +218,19 @@ func (s *Session) Adopt(sol *Solution) error {
 		return fmt.Errorf("vpart: session: adopted solution uses %d sites, session uses %d",
 			sol.Partitioning.Sites, s.opts.Sites)
 	}
+	// Judge the anchor as handed in, before the adaptation's repair could
+	// silently rewrite it into compliance: a constraint-violating anchor is
+	// rejected, not fixed up. References beyond the anchor's (possibly
+	// pre-delta) dimensions are skipped.
+	if err := s.model.CheckConstraintsPartial(sol.Partitioning); err != nil {
+		return fmt.Errorf("vpart: session: cannot adopt a constraint-violating anchor: %w", err)
+	}
 	adapted, err := core.AdaptPartitioning(s.model, sol.Partitioning)
 	if err != nil {
 		return fmt.Errorf("vpart: session: %w", err)
+	}
+	if err := adapted.Validate(s.model); err != nil {
+		return fmt.Errorf("vpart: session: adopted anchor cannot be adapted to a feasible layout: %w", err)
 	}
 	cp := *sol
 	cp.Partitioning = adapted
@@ -293,6 +327,7 @@ func (s *Session) Resolve(ctx context.Context) (*Solution, ResolveStats, error) 
 	s.resolves++
 
 	stats.WarmStart = sol.WarmStart
+	stats.WarmRejected = sol.WarmRejected
 	stats.Cost = sol.Cost
 	stats.ShardsTotal = len(sol.Shards)
 	stats.ShardsReused = sol.ShardsReused()

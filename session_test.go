@@ -297,3 +297,151 @@ func TestSolveWarmHintMismatchFallsBackCold(t *testing.T) {
 		t.Fatal("fallback cold solve failed")
 	}
 }
+
+// TestSessionAdoptRejectsMismatchedSites covers the first Adopt edge case:
+// an anchor with the wrong site count errors and leaves the incumbent
+// untouched.
+func TestSessionAdoptRejectsMismatchedSites(t *testing.T) {
+	ctx := context.Background()
+	inst := vpart.TPCC()
+	sess, err := vpart.NewSession(inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbent, _, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 2, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Adopt(wrong); err == nil {
+		t.Fatal("anchor with a mismatched site count adopted")
+	}
+	if got := sess.Incumbent(); got != incumbent {
+		t.Fatal("failed Adopt mutated the incumbent")
+	}
+	if sess.Pending() != 0 {
+		t.Fatal("failed Adopt changed the delta bookkeeping")
+	}
+}
+
+// TestSessionAdoptRejectsStaleDimensionsBeyondModel covers the second edge
+// case: a partitioning larger than the session's (never-shrinking) model is
+// rejected without mutation.
+func TestSessionAdoptRejectsStaleDimensionsBeyondModel(t *testing.T) {
+	ctx := context.Background()
+	inst := vpart.TPCC()
+	// A session over a *grown* instance can produce an anchor with more
+	// attributes than a session over the base instance.
+	grown, err := vpart.ApplyDelta(inst, tpccDelta(t, inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := vpart.Solve(ctx, grown, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := vpart.NewSession(inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbent, _, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Adopt(bigger); err == nil {
+		t.Fatal("anchor over larger dimensions adopted (dimensions cannot shrink)")
+	}
+	if got := sess.Incumbent(); got != incumbent {
+		t.Fatal("failed Adopt mutated the incumbent")
+	}
+
+	// The legitimate direction — an anchor that predates delta-grown
+	// dimensions — still adopts: stale anchors are adapted, not rejected.
+	sess2, err := vpart.NewSession(grown, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.Adopt(stale); err != nil {
+		t.Fatalf("stale-but-adaptable anchor rejected: %v", err)
+	}
+}
+
+// TestSessionAdoptRejectsConstraintViolatingAnchor covers the new edge case:
+// an anchor violating the session's placement constraints errors without
+// mutating the incumbent, while a conforming anchor adopts.
+func TestSessionAdoptRejectsConstraintViolatingAnchor(t *testing.T) {
+	ctx := context.Background()
+	inst := vpart.TPCC()
+	txn := inst.Workload.Transactions[0].Name
+	cons := &vpart.Constraints{PinTxns: []vpart.PinTxn{{Txn: txn, Site: 1}}}
+	sess, err := vpart.NewSession(inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 1, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incumbent, _, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cons.Check(incumbent.Model, incumbent.Partitioning); err != nil {
+		t.Fatalf("session resolve ignored its constraints: %v", err)
+	}
+
+	// An unconstrained solve parks the pinned transaction elsewhere: such an
+	// anchor must be rejected, not silently repaired into compliance.
+	violating, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, _ := violating.Model.TxnIndex(txn)
+	if violating.Partitioning.TxnSite[ti] == 1 {
+		violating.Partitioning.TxnSite[ti] = 0 // force the violation
+	}
+	if err := sess.Adopt(violating); err == nil {
+		t.Fatal("constraint-violating anchor adopted")
+	} else if !strings.Contains(err.Error(), "constraint") {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+	if got := sess.Incumbent(); got != incumbent {
+		t.Fatal("failed Adopt mutated the incumbent")
+	}
+
+	// A conforming anchor adopts fine.
+	conforming, err := vpart.Solve(ctx, inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 42, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Adopt(conforming); err != nil {
+		t.Fatalf("conforming anchor rejected: %v", err)
+	}
+}
+
+// TestSessionResolveReportsWarmRejected checks that the warm-rejection
+// reason of the facade surfaces in the resolve stats.
+func TestSessionResolveReportsWarmRejected(t *testing.T) {
+	ctx := context.Background()
+	inst := vpart.TPCC()
+	sess, err := vpart.NewSession(inst, vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err := sess.Resolve(ctx); err != nil {
+		t.Fatal(err)
+	} else if stats.WarmRejected != "" {
+		t.Fatalf("cold first resolve carries a warm rejection: %q", stats.WarmRejected)
+	}
+	if err := sess.Apply(tpccDelta(t, inst)); err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err := sess.Resolve(ctx); err != nil {
+		t.Fatal(err)
+	} else if !stats.Warm || stats.WarmRejected != "" {
+		t.Fatalf("warm resolve: warm=%v rejected=%q, want warm and no rejection", stats.Warm, stats.WarmRejected)
+	}
+}

@@ -51,6 +51,12 @@ type Solution struct {
 	// portfolio, the warm-seeded child won the race; for decompose, the run
 	// reused or warm-seeded its shards).
 	WarmStart bool
+	// WarmRejected explains why a requested warm start was dropped and the
+	// solve ran cold (site-count mismatch, un-adaptable dimensions, a hint
+	// violating the solve's constraints). Empty when no hint was passed or
+	// the hint was usable. The same reason is emitted as an EventMessage
+	// progress event when the rejection happens.
+	WarmRejected string
 	// Runtime is the wall-clock solve time (including grouping and seeding).
 	Runtime time.Duration
 	// AttributeGroups is the number of attribute groups after the

@@ -53,6 +53,16 @@ type Options struct {
 	Model *ModelOptions
 	// Disjoint forbids attribute replication.
 	Disjoint bool
+	// Constraints, when non-nil and non-empty, restricts the feasible
+	// layouts: transaction and attribute pins, forbidden sites, colocation
+	// and separation of attributes, replica caps and per-site byte
+	// capacities (see the Constraints type). The set is name-based; the
+	// Solve facade compiles it into every model of the solve (original,
+	// grouped, per-shard), so all registered solvers — SA, QP, the portfolio
+	// and the decompose meta-solver — honour it and the returned solution
+	// satisfies Constraints.Check. Not supported together with Disjoint. An
+	// empty set is identical to nil: the unconstrained fast path.
+	Constraints *Constraints
 	// DisableGrouping switches off the reasonable-cuts attribute grouping
 	// preprocessing (Section 4). Grouping never changes the optimum; it only
 	// shrinks the problem, so it is on by default.
@@ -300,23 +310,50 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 	if opts.Model != nil {
 		mo = *opts.Model
 	}
+	// Normalise the constraint set: an empty set is the unconstrained fast
+	// path and must behave identically to a nil one.
+	cons := opts.Constraints
+	if cons.Empty() {
+		cons = nil
+		opts.Constraints = nil
+	}
+	if cons != nil {
+		if opts.Disjoint {
+			return nil, fmt.Errorf("vpart: placement constraints are not supported together with Disjoint")
+		}
+		if err := cons.Validate(); err != nil {
+			return nil, fmt.Errorf("vpart: %w", err)
+		}
+		// Snapshot the set: the compiled models retain it, so a caller
+		// mutating their Constraints value after (or during) the solve must
+		// not change — or race — what this solve enforces.
+		cons = cons.Clone()
+		opts.Constraints = cons
+	}
 	if v, ok := solver.(OptionsValidator); ok {
 		if err := v.ValidateOptions(opts, mo); err != nil {
 			return nil, err
 		}
 	}
 
-	// Compile the original model (used for final evaluation and formatting).
-	origModel, err := core.NewModel(inst, mo)
+	// Compile the original model (used for final evaluation and formatting),
+	// with the constraint set resolved against it.
+	origModel, err := core.NewModelConstrained(inst, mo, cons)
 	if err != nil {
 		return nil, err
 	}
+	if err := origModel.ValidateConstraintSites(opts.Sites); err != nil {
+		return nil, fmt.Errorf("vpart: %w", err)
+	}
 
-	// Reasonable-cuts preprocessing.
+	// Reasonable-cuts preprocessing. Under constraints the grouping is
+	// profile-aware — attributes with differing constraints never merge — and
+	// the set is rewritten onto the group representatives for the grouped
+	// model.
 	solveInst := inst
 	var grouping *Grouping
 	if !opts.DisableGrouping {
-		grouping, err = core.GroupAttributes(inst)
+		grouping, err = core.GroupAttributesConstrained(inst, cons)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +361,14 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 	}
 	solveModel := origModel
 	if grouping != nil {
-		solveModel, err = core.NewModel(solveInst, mo)
+		groupedCons := cons
+		if cons != nil {
+			groupedCons, err = grouping.MapConstraints(cons)
+			if err != nil {
+				return nil, err
+			}
+		}
+		solveModel, err = core.NewModelConstrained(solveInst, mo, groupedCons)
 		if err != nil {
 			return nil, err
 		}
@@ -333,11 +377,19 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 	// Rewrite the warm hint into the solver's space: adapt it to dimensions
 	// the workload deltas may have grown, reduce it under the grouping, and
 	// repair it, so solvers receive a feasible partitioning over their model.
+	warmRejected := ""
 	if opts.Warm != nil {
-		if hint := warmToSolveSpace(opts.Warm, origModel, solveModel, grouping, opts.Sites); hint != nil {
+		hint, reason := warmToSolveSpace(opts.Warm, origModel, solveModel, grouping, opts.Sites)
+		if hint != nil {
 			opts.Warm = &Solution{Partitioning: hint}
 		} else {
 			opts.Warm, opts.WarmDirty = nil, nil
+			warmRejected = reason
+			opts.Progress.Emit(Event{
+				Kind:    EventMessage,
+				Solver:  "solve",
+				Message: "warm start rejected, solving cold: " + reason,
+			})
 		}
 	} else {
 		opts.WarmDirty = nil
@@ -363,6 +415,7 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 		Bound:           res.Bound,
 		Iterations:      res.Iterations,
 		WarmStart:       res.WarmStart,
+		WarmRejected:    warmRejected,
 		Shards:          res.Shards,
 	}
 	if sol.Algorithm == "" {
@@ -395,25 +448,38 @@ func Solve(ctx context.Context, inst *Instance, opts Options) (*Solution, error)
 // original instance) into the space the solver works in: adapted to the
 // original model's — possibly delta-grown — dimensions, reduced under the
 // grouping when one is active, and repaired to feasibility. A hint that does
-// not fit (wrong site count, shrunken dimensions) yields nil, which makes the
-// solve fall back to a cold start.
-func warmToSolveSpace(warm *Solution, origModel, solveModel *Model, grouping *Grouping, sites int) *Partitioning {
-	if warm.Partitioning == nil || warm.Partitioning.Sites != sites {
-		return nil
+// not fit (wrong site count, shrunken dimensions, a constraint violation the
+// repair cannot fix) yields a nil partitioning plus the reason, which makes
+// the solve fall back to a cold start and report why it went cold
+// (Solution.WarmRejected).
+func warmToSolveSpace(warm *Solution, origModel, solveModel *Model, grouping *Grouping, sites int) (*Partitioning, string) {
+	if warm.Partitioning == nil {
+		return nil, "hint carries no partitioning"
+	}
+	if warm.Partitioning.Sites != sites {
+		return nil, fmt.Sprintf("hint uses %d site(s), solve uses %d", warm.Partitioning.Sites, sites)
 	}
 	adapted, err := core.AdaptPartitioning(origModel, warm.Partitioning)
 	if err != nil {
-		return nil
+		return nil, fmt.Sprintf("hint does not fit the model dimensions: %v", err)
 	}
+	var hint *Partitioning
 	if grouping == nil {
-		return adapted
+		hint = adapted
+	} else {
+		reduced, err := grouping.Reduce(origModel, solveModel, adapted)
+		if err != nil {
+			return nil, fmt.Sprintf("hint cannot be reduced under the grouping: %v", err)
+		}
+		reduced.Repair(solveModel)
+		hint = reduced
 	}
-	reduced, err := grouping.Reduce(origModel, solveModel, adapted)
-	if err != nil {
-		return nil
+	if solveModel.Constraints() != nil {
+		if err := hint.Validate(solveModel); err != nil {
+			return nil, fmt.Sprintf("hint violates the solve constraints: %v", err)
+		}
 	}
-	reduced.Repair(solveModel)
-	return reduced
+	return hint, ""
 }
 
 // warmHint extracts the solver-space warm partitioning from the options, nil

@@ -122,6 +122,9 @@ var (
 var (
 	// NewModel compiles an instance into a cost model.
 	NewModel = core.NewModel
+	// NewModelConstrained compiles an instance into a cost model carrying a
+	// placement-constraint set (nil behaves exactly like NewModel).
+	NewModelConstrained = core.NewModelConstrained
 	// NewEvaluator compiles an incremental evaluator for a partitioning under
 	// a model. The partitioning is deep-copied; edit through Evaluator.Apply.
 	NewEvaluator = core.NewEvaluator
@@ -149,6 +152,9 @@ var (
 
 	// FromAssignment converts a name-based assignment back to a partitioning.
 	FromAssignment = core.FromAssignment
+
+	// ParseQualifiedAttr parses a "Table.Attr" reference.
+	ParseQualifiedAttr = core.ParseQualifiedAttr
 )
 
 // TPCC returns the TPC-C v5 instance (9 tables, 92 attributes, 5
