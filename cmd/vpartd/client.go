@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vpart/internal/daemon/server"
+	"vpart/internal/daemon/service"
+)
+
+// client is a thin HTTP client for a running vpartd.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func runClient(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("client: missing verb (create, list, get, delete, delta, resolve, trajectory, snapshot, metrics)")
+	}
+	verb, rest := args[0], args[1:]
+	c := &client{http: &http.Client{}}
+
+	// Every verb shares the -daemon flag; verbs register their own flags on
+	// top before parsing.
+	fs := flag.NewFlagSet("vpartd client "+verb, flag.ContinueOnError)
+	daemonAddr := fs.String("daemon", "http://127.0.0.1:7421", "base URL of the vpartd daemon")
+
+	switch verb {
+	case "create":
+		var (
+			instPath = fs.String("instance", "", "path to the problem-instance JSON file (required)")
+			consPath = fs.String("constraints", "", "path to a placement-constraints JSON file")
+			sites    = fs.Int("sites", 2, "number of sites |S|")
+			solver   = fs.String("solver", "", "solver name (empty = daemon default)")
+			seed     = fs.Int64("seed", 0, "SA seed (0 = derive distinct seeds)")
+			limit    = fs.Duration("timeout", 0, "per-resolve time limit (0 = daemon default)")
+			wait     = fs.Bool("wait", false, "block until the first solve lands and print the state")
+		)
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		req := server.CreateSessionRequest{
+			Name: name,
+			Options: server.SessionOptions{
+				Sites:  *sites,
+				Solver: *solver,
+				Seed:   *seed,
+			},
+		}
+		if *limit > 0 {
+			req.Options.TimeLimit = limit.String()
+		}
+		if *instPath == "" {
+			return fmt.Errorf("client create: -instance is required")
+		}
+		inst, err := os.ReadFile(*instPath)
+		if err != nil {
+			return err
+		}
+		req.Instance = inst
+		if *consPath != "" {
+			cons, err := os.ReadFile(*consPath)
+			if err != nil {
+				return err
+			}
+			req.Constraints = cons
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		return c.printJSON(ctx, "POST", "/v1/sessions"+waitQuery(*wait), body)
+
+	case "list":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.printJSON(ctx, "GET", "/v1/sessions", nil)
+
+	case "get":
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.printJSON(ctx, "GET", "/v1/sessions/"+name, nil)
+
+	case "delete":
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.do(ctx, "DELETE", "/v1/sessions/"+name, nil, func(data []byte) error {
+			fmt.Printf("deleted %s\n", name)
+			return nil
+		})
+
+	case "delta":
+		var (
+			file = fs.String("file", "", "path to a workload-delta JSON file (- or empty = stdin)")
+			wait = fs.Bool("wait", false, "block until a resolve covering this delta lands and print the state")
+		)
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		var body []byte
+		if *file == "" || *file == "-" {
+			body, err = io.ReadAll(os.Stdin)
+		} else {
+			body, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		return c.printJSON(ctx, "POST", "/v1/sessions/"+name+"/deltas"+waitQuery(*wait), body)
+
+	case "resolve":
+		wait := fs.Bool("wait", false, "block until the forced resolve lands and print the state")
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.printJSON(ctx, "POST", "/v1/sessions/"+name+"/resolve"+waitQuery(*wait), nil)
+
+	case "trajectory":
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.do(ctx, "GET", "/v1/sessions/"+name, nil, func(data []byte) error {
+			var state service.SessionState
+			if err := json.Unmarshal(data, &state); err != nil {
+				return err
+			}
+			if len(state.Trajectory) == 0 {
+				fmt.Println("no resolves yet")
+				return nil
+			}
+			first := state.Trajectory[0]
+			for i, cost := range state.Trajectory {
+				fmt.Printf("resolve %3d  cost %12.1f  (%+.1f%% vs first)\n",
+					i+1, cost, 100*(cost-first)/first)
+			}
+			var warm string
+			if state.LastStats != nil && state.LastStats.Warm {
+				warm = " (warm)"
+			}
+			fmt.Printf("current: %.1f after %d resolves%s, staleness %.1f%%\n",
+				state.IncumbentCost.Balanced, state.Resolves, warm, 100*state.Staleness)
+			return nil
+		})
+
+	case "snapshot":
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.printJSON(ctx, "GET", "/v1/sessions/"+name+"/snapshot", nil)
+
+	case "metrics":
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		return c.do(ctx, "GET", "/metrics", nil, func(data []byte) error {
+			_, err := os.Stdout.Write(data)
+			return err
+		})
+
+	default:
+		return fmt.Errorf("client: unknown verb %q (want create, list, get, delete, delta, resolve, trajectory, snapshot or metrics)", verb)
+	}
+}
+
+// parseNameAnd parses "NAME [flags]" or "[flags] NAME".
+func parseNameAnd(fs *flag.FlagSet, args []string) (string, error) {
+	// Accept the session name before the flags (git style) by rotating it
+	// behind them for flag.Parse.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name := args[0]
+		if err := fs.Parse(args[1:]); err != nil {
+			return "", err
+		}
+		if fs.NArg() > 0 {
+			return "", fmt.Errorf("unexpected argument %q", fs.Arg(0))
+		}
+		return name, nil
+	}
+	if err := fs.Parse(args); err != nil {
+		return "", err
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one session name, got %d arguments", fs.NArg())
+	}
+	return fs.Arg(0), nil
+}
+
+func waitQuery(wait bool) string {
+	if wait {
+		return "?wait=1"
+	}
+	return ""
+}
+
+// do issues one request and hands the response body to sink; non-2xx
+// responses become errors carrying the server's error envelope.
+func (c *client) do(ctx context.Context, method, path string, body []byte, sink func([]byte) error) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	// ?wait=1 solves can legitimately run for minutes; cap the client a bit
+	// above the server's own wait bound.
+	ctx, cancel := context.WithTimeout(ctx, 11*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var envelope server.ErrorResponse
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, envelope.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return sink(data)
+}
+
+// printJSON issues the request and pretty-prints the JSON response.
+func (c *client) printJSON(ctx context.Context, method, path string, body []byte) error {
+	return c.do(ctx, method, path, body, func(data []byte) error {
+		var buf bytes.Buffer
+		if err := json.Indent(&buf, bytes.TrimSpace(data), "", "  "); err != nil {
+			buf.Reset()
+			buf.Write(data)
+		}
+		fmt.Println(buf.String())
+		return nil
+	})
+}

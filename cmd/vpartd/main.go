@@ -1,0 +1,68 @@
+// Command vpartd runs the vertical-partitioning advisor as a long-running
+// daemon: named sessions live behind an HTTP/JSON API, workload deltas
+// stream in, and a background trigger policy decides when each session's
+// layout is re-solved (warm-started from the previous incumbent).
+//
+// Serve mode (the default):
+//
+//	vpartd -addr 127.0.0.1:7421
+//	vpartd -config /etc/vpartd.json          # SIGHUP re-reads it
+//
+// Client mode talks to a running daemon:
+//
+//	vpartd client create mysess -instance inst.json -sites 3 -wait
+//	vpartd client list
+//	vpartd client get mysess
+//	vpartd client delta mysess -file delta.json -wait
+//	vpartd client resolve mysess -wait
+//	vpartd client trajectory mysess
+//	vpartd client snapshot mysess
+//	vpartd client metrics
+//	vpartd client delete mysess
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vpart/internal/daemon"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "client" {
+		err = runClient(ctx, args[1:])
+	} else {
+		err = runServe(ctx, args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpartd:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("vpartd", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to a vpartd JSON config file (SIGHUP re-reads it)")
+		addr       = fs.String("addr", "", "HTTP listen address (overrides the config file; default 127.0.0.1:7421)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (did you mean 'vpartd client %s'?)", fs.Arg(0), fs.Arg(0))
+	}
+	d, err := daemon.New(daemon.Options{ConfigPath: *configPath, Addr: *addr})
+	if err != nil {
+		return err
+	}
+	return d.Run(ctx)
+}

@@ -168,6 +168,31 @@
 // See examples/constrained for a runnable demo pinning TPC-C's WAREHOUSE
 // columns, and cmd/vpart's -constraints/-pin flags for the CLI form.
 //
+// # Running as a daemon
+//
+// cmd/vpartd serves sessions over HTTP as a long-running advisor daemon.
+// Each named session wraps a Session behind a single-flight worker: POST
+// /v1/sessions creates one from an instance + options + constraints document,
+// POST /v1/sessions/{name}/deltas streams WorkloadDeltas in (applied to the
+// session's model immediately; append ?wait=1 to block until a resolve covers
+// the delta), and GET /v1/sessions/{name} serves the incumbent Assignment,
+// ResolveStats and the cost trajectory without ever blocking on a running
+// solve. A configurable trigger policy — debounce, pending-op count, the
+// Session.Staleness cost-drift estimate, max interval — decides when the
+// background re-solve fires, warm-started as described above. GET
+// /v1/sessions/{name}/snapshot returns a SessionSnapshot (see below), /metrics
+// exposes solve latencies, warm/cold win counts and per-session gauges in the
+// Prometheus text format, and /healthz + /readyz run the doctor self-checks.
+// SIGHUP reloads the config file (log level and trigger policy apply live);
+// SIGTERM drains connections and cancels running solves. See "Running as a
+// daemon" in README.md for a curl quickstart, and `vpartd client` for the
+// scripted form.
+//
+// Snapshot serialises a session — current instance, constraints, incumbent
+// assignment, resolve history — to JSON; NewSessionFromSnapshot restores it,
+// warm anchor included, so a daemon restart (or a migration to another host)
+// does not forget what the advisor has learned.
+//
 // # Cancellation and progress
 //
 // The whole solve path is context-aware: cancelling the context passed to

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/tpcc"
+)
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	d := core.WorkloadDelta{Ops: []core.DeltaOp{
+		core.AddQuery{Txn: "T1", Query: core.NewRead("q9", "A", []string{"a1"}, 10, 2)},
+		core.RemoveQuery{Txn: "T1", Query: "q1"},
+		core.ScaleFreq{Txn: "T2", Query: "q2", Factor: 3.5},
+		core.AddAttr{Table: "A", Attr: core.Attribute{Name: "a9", Width: 8}},
+	}}
+	var buf bytes.Buffer
+	if err := core.EncodeDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.DecodeDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Ops, got.Ops) {
+		t.Fatalf("round trip changed the delta:\nin:  %#v\nout: %#v", d.Ops, got.Ops)
+	}
+}
+
+// Real drift traces must survive the round trip op-for-op: the daemon streams
+// exactly these over HTTP.
+func TestDeltaJSONRoundTripDrift(t *testing.T) {
+	deltas, err := randgen.Drift(tpcc.Instance(), 5, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range deltas {
+		var buf bytes.Buffer
+		if err := core.EncodeDelta(&buf, d); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		got, err := core.DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(d.Ops, got.Ops) {
+			t.Fatalf("step %d: round trip changed the delta", i)
+		}
+	}
+}
+
+func TestDeltaJSONRejects(t *testing.T) {
+	for _, tc := range []struct{ name, doc string }{
+		{"unknown tag", `{"ops":[{"op":"drop_table","table":"A"}]}`},
+		{"unknown field", `{"ops":[{"op":"scale_freq","txn":"T","query":"q","factor":2,"bogus":1}]}`},
+		{"unknown top-level field", `{"ops":[],"extra":true}`},
+		{"not an object", `[1,2,3]`},
+	} {
+		if _, err := core.DecodeDelta(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: decode accepted %s", tc.name, tc.doc)
+		}
+	}
+}

@@ -28,6 +28,41 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// Clone returns an independent deep copy of the instance (nil in, nil out).
+// Sessions hand out clones wherever a caller could otherwise alias their
+// internal, incrementally patched instance.
+func (in *Instance) Clone() *Instance {
+	if in == nil {
+		return nil
+	}
+	cp := &Instance{Name: in.Name}
+	cp.Schema.Tables = make([]Table, len(in.Schema.Tables))
+	for i, t := range in.Schema.Tables {
+		cp.Schema.Tables[i] = Table{
+			Name:       t.Name,
+			Attributes: append([]Attribute(nil), t.Attributes...),
+		}
+	}
+	cp.Workload.Transactions = make([]Transaction, len(in.Workload.Transactions))
+	for i, tx := range in.Workload.Transactions {
+		queries := make([]Query, len(tx.Queries))
+		for j, q := range tx.Queries {
+			accesses := make([]TableAccess, len(q.Accesses))
+			for k, a := range q.Accesses {
+				accesses[k] = TableAccess{
+					Table:      a.Table,
+					Attributes: append([]string(nil), a.Attributes...),
+					Rows:       a.Rows,
+				}
+			}
+			q.Accesses = accesses
+			queries[j] = q
+		}
+		cp.Workload.Transactions[i] = Transaction{Name: tx.Name, Queries: queries}
+	}
+	return cp
+}
+
 // NumAttributes returns |A| for the instance.
 func (in *Instance) NumAttributes() int { return in.Schema.NumAttributes() }
 

@@ -1,0 +1,230 @@
+// Package daemon assembles vpartd: configuration, structured logging,
+// metrics, the session service, the HTTP server, doctor self-checks, and the
+// process lifecycle (SIGHUP config reload, graceful drain on shutdown).
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vpart/internal/daemon/config"
+	"vpart/internal/daemon/doctor"
+	"vpart/internal/daemon/logging"
+	"vpart/internal/daemon/metrics"
+	"vpart/internal/daemon/server"
+	"vpart/internal/daemon/service"
+)
+
+// Options configure a daemon beyond its config file.
+type Options struct {
+	// ConfigPath is the JSON config file ("" = built-in defaults). SIGHUP
+	// re-reads it.
+	ConfigPath string
+	// Addr overrides the config file's listen address when non-empty
+	// (the -addr flag). Use "127.0.0.1:0" in tests for an ephemeral port.
+	Addr string
+	// LogWriter receives the structured log (defaults to os.Stderr).
+	LogWriter io.Writer
+}
+
+// Daemon is a running vpartd instance.
+type Daemon struct {
+	opts   Options
+	cfg    config.Config
+	logger *slog.Logger
+	level  *slog.LevelVar
+	reg    *metrics.Registry
+	svc    *service.Service
+	srv    *server.Server
+	addr   atomic.Value // string, set once the listener is bound
+
+	// DrainTimeout bounds the graceful shutdown (connection draining plus
+	// cancelling in-flight solves).
+	DrainTimeout time.Duration
+}
+
+// New loads the configuration and assembles the daemon. Nothing listens
+// until Run.
+func New(opts Options) (*Daemon, error) {
+	cfg, err := loadConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	w := opts.LogWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	lvl, err := logging.ParseLevel(cfg.Log.Level)
+	if err != nil {
+		return nil, err
+	}
+	logger, level, err := logging.New(w, lvl, cfg.Log.Format)
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	svc := service.New(service.Config{
+		Logger:      logger,
+		Metrics:     reg,
+		Policy:      policyFrom(cfg),
+		Defaults:    defaultsFrom(cfg),
+		MaxSessions: cfg.Limits.MaxSessions,
+	})
+	return &Daemon{
+		opts:         opts,
+		cfg:          cfg,
+		logger:       logger,
+		level:        level,
+		reg:          reg,
+		svc:          svc,
+		srv:          server.New(svc, cfg, logger, reg),
+		DrainTimeout: 30 * time.Second,
+	}, nil
+}
+
+func loadConfig(opts Options) (config.Config, error) {
+	cfg := config.Default()
+	if opts.ConfigPath != "" {
+		var err error
+		cfg, err = config.Load(opts.ConfigPath)
+		if err != nil {
+			return config.Config{}, err
+		}
+	}
+	if opts.Addr != "" {
+		cfg.Addr = opts.Addr
+	}
+	return cfg, nil
+}
+
+func policyFrom(cfg config.Config) service.Policy {
+	return service.Policy{
+		Debounce:      time.Duration(cfg.Trigger.Debounce),
+		MaxPendingOps: cfg.Trigger.MaxPendingOps,
+		MaxStaleness:  cfg.Trigger.MaxStaleness,
+		MaxInterval:   time.Duration(cfg.Trigger.MaxInterval),
+	}
+}
+
+func defaultsFrom(cfg config.Config) service.Defaults {
+	return service.Defaults{
+		Solver:         cfg.Defaults.Solver,
+		TimeLimit:      time.Duration(cfg.Defaults.TimeLimit),
+		PortfolioSeeds: cfg.Defaults.PortfolioSeeds,
+	}
+}
+
+// Addr returns the bound listen address once Run has started the listener
+// ("" before that). With an ephemeral port configured, this is how tests
+// learn the real port.
+func (d *Daemon) Addr() string {
+	if v := d.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Run starts the daemon and blocks until ctx is cancelled (or the listener
+// fails), then drains: readiness goes false, the HTTP server stops accepting
+// and waits for in-flight requests, and the session service cancels running
+// solves. SIGHUP reloads the config file, applying the log level and trigger
+// policy to the running process.
+func (d *Daemon) Run(ctx context.Context) error {
+	checks := doctor.Run(ctx, d.cfg)
+	for _, c := range checks {
+		d.logger.Info("self-check", "name", c.Name, "ok", c.OK, "detail", c.Detail, "duration", c.Duration)
+	}
+	if !doctor.Healthy(checks) {
+		return fmt.Errorf("daemon: self-checks failed, refusing to serve (see log)")
+	}
+
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("daemon: listen %s: %w", d.cfg.Addr, err)
+	}
+	d.addr.Store(ln.Addr().String())
+
+	httpSrv := &http.Server{
+		Handler:           d.srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(d.logger.Handler(), slog.LevelWarn),
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go d.reloadLoop(ctx, hup)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	d.srv.SetReady(true)
+	d.logger.Info("vpartd listening", "addr", d.Addr(), "config", d.opts.ConfigPath)
+
+	var runErr error
+	select {
+	case err := <-serveErr:
+		runErr = fmt.Errorf("daemon: serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop advertising readiness, finish in-flight requests, then
+	// cancel whatever solves are still running.
+	d.srv.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), d.DrainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		d.logger.Warn("http drain incomplete", "err", err)
+	}
+	if err := d.svc.Close(shutdownCtx); err != nil {
+		d.logger.Warn("service close incomplete", "err", err)
+	}
+	d.logger.Info("vpartd stopped")
+	return runErr
+}
+
+// reloadLoop applies SIGHUP config reloads until ctx ends.
+func (d *Daemon) reloadLoop(ctx context.Context, hup <-chan os.Signal) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+		}
+		if err := d.Reload(); err != nil {
+			d.logger.Error("config reload failed, keeping previous config", "err", err)
+		}
+	}
+}
+
+// Reload re-reads the config file and applies the hot-swappable parts: log
+// level and the resolve trigger policy. The listen address, body limits and
+// session defaults stay as loaded at startup (a restart concern).
+func (d *Daemon) Reload() error {
+	cfg, err := loadConfig(d.opts)
+	if err != nil {
+		return err
+	}
+	lvl, err := logging.ParseLevel(cfg.Log.Level)
+	if err != nil {
+		return err
+	}
+	d.level.Set(lvl)
+	d.svc.SetPolicy(policyFrom(cfg))
+	d.logger.Info("config reloaded",
+		"level", cfg.Log.Level,
+		"debounce", time.Duration(cfg.Trigger.Debounce).String(),
+		"max_pending_ops", cfg.Trigger.MaxPendingOps,
+		"max_staleness", cfg.Trigger.MaxStaleness,
+		"max_interval", time.Duration(cfg.Trigger.MaxInterval).String())
+	return nil
+}

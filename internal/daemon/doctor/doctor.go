@@ -1,0 +1,99 @@
+// Package doctor runs the vpartd daemon's self-checks: is the solver
+// registry intact, does a tiny fixed-seed solve still produce a feasible
+// layout, and does the loaded configuration validate. The daemon runs the
+// checks at startup and serves them on /readyz, so a broken build (a solver
+// failing to register, a miscompiled cost model) is caught by the first
+// readiness probe instead of the first tenant request.
+package doctor
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vpart"
+	"vpart/internal/daemon/config"
+)
+
+// Check is the outcome of one self-check.
+type Check struct {
+	Name     string `json:"name"`
+	OK       bool   `json:"ok"`
+	Detail   string `json:"detail,omitempty"`
+	Duration string `json:"duration"`
+}
+
+// requiredSolvers are the registry entries the daemon depends on: session
+// defaults use "portfolio", decompose warm reuse rides on "decompose", and
+// "sa"/"qp" are its children.
+var requiredSolvers = []string{"sa", "qp", "portfolio", "decompose"}
+
+// Run executes every self-check and returns the results. A failing check
+// does not stop the rest.
+func Run(ctx context.Context, cfg config.Config) []Check {
+	checks := []Check{
+		run("config", func() error { return cfg.Validate() }),
+		run("solver-registry", registryCheck),
+		run("tiny-solve", func() error { return tinySolve(ctx) }),
+	}
+	return checks
+}
+
+// Healthy reports whether every check passed.
+func Healthy(checks []Check) bool {
+	for _, c := range checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+func run(name string, f func() error) Check {
+	start := time.Now()
+	err := f()
+	c := Check{Name: name, OK: err == nil, Duration: time.Since(start).Round(time.Microsecond).String()}
+	if err != nil {
+		c.Detail = err.Error()
+	}
+	return c
+}
+
+func registryCheck() error {
+	have := map[string]bool{}
+	for _, name := range vpart.Solvers() {
+		have[name] = true
+	}
+	for _, name := range requiredSolvers {
+		if !have[name] {
+			return fmt.Errorf("solver %q not registered (have %v)", name, vpart.Solvers())
+		}
+	}
+	return nil
+}
+
+// tinySolve runs a fixed-seed SA solve on a small random instance and checks
+// the result is feasible. It finishes in milliseconds; the 10 s limit is a
+// backstop for pathologically broken builds.
+func tinySolve(ctx context.Context) error {
+	inst, err := vpart.RandomInstance(vpart.ClassA(3, 4, 10), 1)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+	sol, err := vpart.Solve(ctx, inst, vpart.Options{
+		Sites:     2,
+		Solver:    "sa",
+		Seed:      1,
+		TimeLimit: 10 * time.Second,
+	})
+	if err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	if sol.Partitioning == nil {
+		return fmt.Errorf("solve returned no feasible partitioning")
+	}
+	if sol.Cost.Objective <= 0 {
+		return fmt.Errorf("solve returned a non-positive objective %g", sol.Cost.Objective)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package doctor
+
+import (
+	"context"
+	"testing"
+
+	"vpart/internal/daemon/config"
+)
+
+func TestRunAllHealthy(t *testing.T) {
+	checks := Run(context.Background(), config.Default())
+	if len(checks) != 3 {
+		t.Fatalf("got %d checks, want 3", len(checks))
+	}
+	for _, c := range checks {
+		if !c.OK {
+			t.Errorf("check %s failed: %s", c.Name, c.Detail)
+		}
+		if c.Duration == "" {
+			t.Errorf("check %s has no duration", c.Name)
+		}
+	}
+	if !Healthy(checks) {
+		t.Fatal("Healthy = false for passing checks")
+	}
+}
+
+func TestBadConfigFailsCheck(t *testing.T) {
+	cfg := config.Default()
+	cfg.Trigger.MaxStaleness = -1
+	checks := Run(context.Background(), cfg)
+	if Healthy(checks) {
+		t.Fatal("Healthy = true with an invalid config")
+	}
+	var found bool
+	for _, c := range checks {
+		if c.Name == "config" && !c.OK && c.Detail != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("config check did not fail with detail: %+v", checks)
+	}
+}

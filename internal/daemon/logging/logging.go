@@ -1,0 +1,85 @@
+// Package logging sets up the vpartd daemon's structured (slog) logging:
+// level parsing, text/JSON handler construction with a runtime-adjustable
+// level (SIGHUP config reloads change verbosity without a restart), and an
+// HTTP middleware that logs one line per request.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// ParseLevel maps a config string ("debug", "info", "warn", "error") to a
+// slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("logging: unknown level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// New builds a logger writing to w in the given format ("text" or "json").
+// The returned LevelVar controls the level at runtime; the daemon re-points
+// it on config reload.
+func New(w io.Writer, level slog.Level, format string) (*slog.Logger, *slog.LevelVar, error) {
+	lv := new(slog.LevelVar)
+	lv.Set(level)
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, nil, fmt.Errorf("logging: unknown format %q (want text or json)", format)
+	}
+	return slog.New(h), lv, nil
+}
+
+// statusRecorder captures the response status for the request log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware logs one structured line per served request: method, path,
+// status and duration. Health and metrics scrapes log at debug so a
+// 15-second Prometheus scrape interval does not drown the log.
+func Middleware(l *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, req)
+		level := slog.LevelInfo
+		switch {
+		case rec.status >= 500:
+			level = slog.LevelError
+		case req.URL.Path == "/metrics" || req.URL.Path == "/healthz" || req.URL.Path == "/readyz":
+			level = slog.LevelDebug
+		}
+		l.Log(req.Context(), level, "http request",
+			"method", req.Method,
+			"path", req.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start).Round(time.Microsecond).String(),
+			"remote", req.RemoteAddr,
+		)
+	})
+}

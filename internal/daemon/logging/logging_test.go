@@ -1,0 +1,81 @@
+package logging
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLevelVar(t *testing.T) {
+	var buf bytes.Buffer
+	log, lv, err := New(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown")
+	lv.Set(slog.LevelDebug)
+	log.Debug("now visible")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") || !strings.Contains(out, "now visible") {
+		t.Fatalf("level handling wrong:\n%s", out)
+	}
+	if _, _, err := New(&buf, slog.LevelInfo, "xml"); err == nil {
+		t.Error("New accepted an unknown format")
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	log, _, err := New(&buf, slog.LevelInfo, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Middleware(log, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	}))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/sessions", nil))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "path=/v1/sessions") || !strings.Contains(out, "status=201") {
+		t.Fatalf("request line missing fields:\n%s", out)
+	}
+
+	buf.Reset()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/metrics", nil))
+	if buf.Len() != 0 {
+		t.Fatalf("metrics scrape logged at info:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/boom", nil))
+	if !strings.Contains(buf.String(), "level=ERROR") {
+		t.Fatalf("5xx not logged at error:\n%s", buf.String())
+	}
+}

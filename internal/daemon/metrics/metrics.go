@@ -1,0 +1,284 @@
+// Package metrics is a dependency-free Prometheus-style metrics registry for
+// the vpartd daemon: counters, gauges and histograms with label sets,
+// rendered in the Prometheus text exposition format on /metrics. It
+// implements just the subset the daemon needs — no exemplars, no summaries,
+// no push — so the repository stays free of external modules.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labels attach a label set to a series, e.g. {"session": "tenant-1"}.
+type Labels map[string]string
+
+// DefBuckets are the default histogram buckets (seconds), tuned for solve
+// latencies: sub-millisecond warm reuses up to multi-minute cold portfolio
+// runs.
+var DefBuckets = []float64{.001, .005, .01, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// Registry holds metric families and renders them in the Prometheus text
+// format. It is safe for concurrent use. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order, for stable output
+}
+
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histograms only
+	series          map[string]*series
+	keys            []string // creation order
+}
+
+type series struct {
+	labels Labels
+	mu     sync.Mutex
+	value  float64   // counter/gauge
+	counts []float64 // histogram bucket counts (one per bucket + +Inf)
+	sum    float64
+	count  float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func labelKey(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escape(labels[k]))
+	}
+	return b.String()
+}
+
+func escape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func (f *family) at(labels Labels) *series {
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		cp := make(Labels, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		s = &series{labels: cp}
+		if f.typ == "histogram" {
+			s.counts = make([]float64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+		f.keys = append(f.keys, key)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ s *series }
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ s *series }
+
+// Histogram is a series of observations bucketed by value.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Counter returns (creating on first use) the counter series of the family
+// name with the given labels.
+func (r *Registry) Counter(name, help string, labels Labels) Counter {
+	f := r.family(name, help, "counter", nil)
+	r.mu.Lock()
+	s := f.at(labels)
+	r.mu.Unlock()
+	return Counter{s}
+}
+
+// Gauge returns (creating on first use) the gauge series of the family name
+// with the given labels.
+func (r *Registry) Gauge(name, help string, labels Labels) Gauge {
+	f := r.family(name, help, "gauge", nil)
+	r.mu.Lock()
+	s := f.at(labels)
+	r.mu.Unlock()
+	return Gauge{s}
+}
+
+// Histogram returns (creating on first use) the histogram series of the
+// family name with the given labels. The bucket upper bounds are fixed at
+// family creation; pass nil for DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, help, "histogram", buckets)
+	r.mu.Lock()
+	s := f.at(labels)
+	r.mu.Unlock()
+	return Histogram{s, f.buckets}
+}
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds v (v must be ≥ 0 for counters; not enforced).
+func (c Counter) Add(v float64) {
+	c.s.mu.Lock()
+	c.s.value += v
+	c.s.mu.Unlock()
+}
+
+// Set sets the gauge to v.
+func (g Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.value = v
+	g.s.mu.Unlock()
+}
+
+// Add adds v to the gauge (may be negative).
+func (g Gauge) Add(v float64) {
+	g.s.mu.Lock()
+	g.s.value += v
+	g.s.mu.Unlock()
+}
+
+// Observe records one observation.
+func (h Histogram) Observe(v float64) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	h.s.sum += v
+	h.s.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.s.counts[i]++
+			return
+		}
+	}
+	h.s.counts[len(h.buckets)]++
+}
+
+// DeleteLabeled removes every series (across all families) whose label set
+// maps label to value — the daemon calls this when a session is deleted so
+// its per-session series stop being exported.
+func (r *Registry) DeleteLabeled(label, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		kept := f.keys[:0]
+		for _, key := range f.keys {
+			if s, ok := f.series[key]; ok && s.labels[label] == value {
+				delete(f.series, key)
+				continue
+			}
+			kept = append(kept, key)
+		}
+		f.keys = kept
+	}
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format, in registration order with series in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.names {
+		f := r.families[name]
+		if len(f.keys) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, key := range f.keys {
+			s, ok := f.series[key]
+			if !ok {
+				continue
+			}
+			s.mu.Lock()
+			err := writeSeriesLocked(w, f, key, s)
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func quoteFloat(v float64) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%g", v))
+}
+
+func writeSeriesLocked(w io.Writer, f *family, key string, s *series) error {
+	if f.typ != "histogram" {
+		return writeSeries(w, f.name, key, "", s.value)
+	}
+	cum := 0.0
+	for i, ub := range f.buckets {
+		cum += s.counts[i]
+		if err := writeSeries(w, f.name+"_bucket", key, `le=`+quoteFloat(ub), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.counts[len(f.buckets)]
+	if err := writeSeries(w, f.name+"_bucket", key, `le="+Inf"`, cum); err != nil {
+		return err
+	}
+	if err := writeSeries(w, f.name+"_sum", key, "", s.sum); err != nil {
+		return err
+	}
+	return writeSeries(w, f.name+"_count", key, "", s.count)
+}
+
+func writeSeries(w io.Writer, name, labelKey, extraLabel string, v float64) error {
+	labels := labelKey
+	if extraLabel != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabel
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s %g\n", name, labels, v)
+	return err
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vpartd_resolves_total", "resolves", Labels{"session": "a", "outcome": "ok"}).Inc()
+	r.Counter("vpartd_resolves_total", "resolves", Labels{"session": "a", "outcome": "ok"}).Add(2)
+	r.Counter("vpartd_resolves_total", "resolves", Labels{"session": "b", "outcome": "error"}).Inc()
+	r.Gauge("vpartd_pending_delta_ops", "pending", Labels{"session": "a"}).Set(7)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vpartd_resolves_total counter",
+		`vpartd_resolves_total{outcome="ok",session="a"} 3`,
+		`vpartd_resolves_total{outcome="error",session="b"} 1`,
+		"# TYPE vpartd_pending_delta_ops gauge",
+		`vpartd_pending_delta_ops{session="a"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("vpartd_solve_duration_seconds", "latency", []float64{0.1, 1}, Labels{"session": "a"})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vpartd_solve_duration_seconds histogram",
+		`vpartd_solve_duration_seconds_bucket{session="a",le="0.1"} 1`,
+		`vpartd_solve_duration_seconds_bucket{session="a",le="1"} 2`,
+		`vpartd_solve_duration_seconds_bucket{session="a",le="+Inf"} 3`,
+		`vpartd_solve_duration_seconds_sum{session="a"} 30.55`,
+		`vpartd_solve_duration_seconds_count{session="a"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeleteLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "h", Labels{"session": "a"}).Inc()
+	r.Counter("c", "h", Labels{"session": "b"}).Inc()
+	r.Gauge("g", "h", Labels{"session": "a"}).Set(1)
+	r.DeleteLabeled("session", "a")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `session="a"`) {
+		t.Errorf("deleted session still exported:\n%s", out)
+	}
+	if !strings.Contains(out, `c{session="b"} 1`) {
+		t.Errorf("unrelated series lost:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "h", Labels{"session": `we"ird\name` + "\n"}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `session="we\"ird\\name\n"`) {
+		t.Errorf("labels not escaped: %s", b.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("c", "h", Labels{"session": "x"}).Inc()
+				r.Histogram("h", "h", nil, Labels{"session": "x"}).Observe(float64(j))
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}()
+	}
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c{session="x"} 1600`) {
+		t.Errorf("lost increments:\n%s", b.String())
+	}
+}

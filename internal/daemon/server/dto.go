@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"vpart"
+)
+
+// The wire types of the vpartd HTTP API. Request decoding is strict
+// (DisallowUnknownFields) so a typo in a curl invocation fails with a 400
+// instead of silently configuring nothing; the decoders are fuzzed in
+// FuzzDaemonRequests.
+
+// SessionOptions is the JSON form of the solver options a session is created
+// with. Zero-valued fields select the daemon defaults.
+type SessionOptions struct {
+	// Sites is the number of sites |S| (required, ≥ 1).
+	Sites int `json:"sites"`
+	// Solver names the registered solver ("" = daemon default).
+	Solver string `json:"solver,omitempty"`
+	// Penalty, Lambda and LatencyPenalty override the cost-model parameters
+	// p, λ and p_l; nil keeps the paper defaults.
+	Penalty        *float64 `json:"penalty,omitempty"`
+	Lambda         *float64 `json:"lambda,omitempty"`
+	LatencyPenalty *float64 `json:"latency_penalty,omitempty"`
+	// Disjoint forbids attribute replication.
+	Disjoint bool `json:"disjoint,omitempty"`
+	// DisableGrouping switches off the reasonable-cuts preprocessing.
+	DisableGrouping bool `json:"disable_grouping,omitempty"`
+	// Preprocess selects the preprocessing pipeline ("group", "none",
+	// "decompose"; "" keeps the default).
+	Preprocess string `json:"preprocess,omitempty"`
+	// TimeLimit caps each background resolve, as a Go duration string
+	// ("30s"); "" selects the daemon default.
+	TimeLimit string `json:"time_limit,omitempty"`
+	// Seed seeds the SA random generator (0 = derive distinct seeds).
+	Seed int64 `json:"seed,omitempty"`
+	// GapTol is the QP solver's relative MIP gap (0 = the paper's 0.1 %).
+	GapTol float64 `json:"gap_tol,omitempty"`
+	// PortfolioSeeds / PortfolioQP configure the portfolio solver.
+	PortfolioSeeds int  `json:"portfolio_seeds,omitempty"`
+	PortfolioQP    bool `json:"portfolio_qp,omitempty"`
+	// DecomposeSolver / DecomposeWorkers configure the decompose meta-solver.
+	DecomposeSolver  string `json:"decompose_solver,omitempty"`
+	DecomposeWorkers int    `json:"decompose_workers,omitempty"`
+}
+
+// CreateSessionRequest is the body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	// Name is the session name ([A-Za-z0-9][A-Za-z0-9._-]{0,127}).
+	Name string `json:"name"`
+	// Instance is the problem instance in the vpart JSON format.
+	Instance json.RawMessage `json:"instance"`
+	// Options configure every resolve of the session.
+	Options SessionOptions `json:"options"`
+	// Constraints is an optional placement-constraint document in the vpart
+	// constraints JSON format.
+	Constraints json.RawMessage `json:"constraints,omitempty"`
+}
+
+// DeltaResponse is the body answering POST /v1/sessions/{name}/deltas.
+type DeltaResponse struct {
+	// Seq identifies the accepted delta; resolves covering it satisfy
+	// wait=1.
+	Seq int `json:"seq"`
+	// PendingOps counts delta ops not yet reflected in the incumbent.
+	PendingOps int `json:"pending_ops"`
+}
+
+// ResolveResponse is the body answering POST /v1/sessions/{name}/resolve.
+type ResolveResponse struct {
+	// Attempt is the resolve attempt the forced solve will be.
+	Attempt int `json:"attempt"`
+}
+
+// ErrorResponse is the uniform error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ParseCreateSessionRequest decodes and validates a session-create body,
+// returning the session name, the decoded instance and the mapped solver
+// options (constraints included).
+func ParseCreateSessionRequest(data []byte) (string, *vpart.Instance, vpart.Options, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req CreateSessionRequest
+	if err := dec.Decode(&req); err != nil {
+		return "", nil, vpart.Options{}, fmt.Errorf("decode create request: %w", err)
+	}
+	if req.Name == "" {
+		return "", nil, vpart.Options{}, fmt.Errorf("create request: empty name")
+	}
+	if len(req.Instance) == 0 {
+		return "", nil, vpart.Options{}, fmt.Errorf("create request: missing instance")
+	}
+	inst, err := vpart.ReadInstance(bytes.NewReader(req.Instance))
+	if err != nil {
+		return "", nil, vpart.Options{}, fmt.Errorf("create request: %w", err)
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		return "", nil, vpart.Options{}, fmt.Errorf("create request: %w", err)
+	}
+	if len(req.Constraints) > 0 {
+		cons, err := vpart.DecodeConstraints(bytes.NewReader(req.Constraints))
+		if err != nil {
+			return "", nil, vpart.Options{}, fmt.Errorf("create request: constraints: %w", err)
+		}
+		opts.Constraints = cons
+	}
+	return req.Name, inst, opts, nil
+}
+
+// ToOptions maps the wire options onto vpart.Options.
+func (o SessionOptions) ToOptions() (vpart.Options, error) {
+	if o.Sites < 1 {
+		return vpart.Options{}, fmt.Errorf("options: sites must be ≥ 1, got %d", o.Sites)
+	}
+	opts := vpart.Options{
+		Sites:           o.Sites,
+		Solver:          o.Solver,
+		Disjoint:        o.Disjoint,
+		DisableGrouping: o.DisableGrouping,
+		Preprocess:      o.Preprocess,
+		Seed:            o.Seed,
+		GapTol:          o.GapTol,
+		Portfolio:       vpart.PortfolioOptions{SASeeds: o.PortfolioSeeds, QP: o.PortfolioQP},
+		Decompose:       vpart.DecomposeOptions{Solver: o.DecomposeSolver, Workers: o.DecomposeWorkers},
+	}
+	if o.TimeLimit != "" {
+		d, err := time.ParseDuration(o.TimeLimit)
+		if err != nil {
+			return vpart.Options{}, fmt.Errorf("options: bad time_limit %q: %w", o.TimeLimit, err)
+		}
+		if d < 0 {
+			return vpart.Options{}, fmt.Errorf("options: negative time_limit %q", o.TimeLimit)
+		}
+		opts.TimeLimit = d
+	}
+	if o.Penalty != nil || o.Lambda != nil || o.LatencyPenalty != nil {
+		mo := vpart.DefaultModelOptions()
+		if o.Penalty != nil {
+			mo.Penalty = *o.Penalty
+		}
+		if o.Lambda != nil {
+			mo.Lambda = *o.Lambda
+		}
+		if o.LatencyPenalty != nil {
+			mo.LatencyPenalty = *o.LatencyPenalty
+		}
+		opts.Model = &mo
+	}
+	return opts, nil
+}
+
+// ParseDeltaRequest decodes a workload delta posted to
+// /v1/sessions/{name}/deltas: the body is one delta document {"ops": [...]}
+// in the vpart delta JSON format.
+func ParseDeltaRequest(data []byte) (vpart.WorkloadDelta, error) {
+	return vpart.DecodeDelta(bytes.NewReader(data))
+}

@@ -1,0 +1,324 @@
+// Package server implements the vpartd HTTP API: named partitioning-advisor
+// sessions under /v1/sessions, workload-delta streaming, forced resolves,
+// snapshots, Prometheus-style metrics on /metrics and liveness/readiness
+// probes on /healthz and /readyz.
+//
+// Handlers never touch a vpart.Session directly — every state-changing call
+// goes through the service layer's per-session single-flight worker, and every
+// read is served from the worker's last published state, so a slow background
+// solve never blocks an HTTP request (the one documented exception is
+// /snapshot, which serialises with the session mutex).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"vpart/internal/daemon/config"
+	"vpart/internal/daemon/doctor"
+	"vpart/internal/daemon/logging"
+	"vpart/internal/daemon/metrics"
+	"vpart/internal/daemon/service"
+)
+
+// Server wires the session service into an http.Handler.
+type Server struct {
+	svc     *service.Service
+	cfg     config.Config
+	logger  *slog.Logger
+	reg     *metrics.Registry
+	ready   atomic.Bool
+	httpReq func(method, pattern, code string) // increments the request counter
+}
+
+// New builds a Server on top of svc. The registry must be the one the service
+// reports into so /metrics serves both HTTP- and solver-level series.
+func New(svc *service.Service, cfg config.Config, logger *slog.Logger, reg *metrics.Registry) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{svc: svc, cfg: cfg, logger: logger, reg: reg}
+	s.httpReq = func(method, pattern, code string) {
+		reg.Counter("vpartd_http_requests_total",
+			"HTTP requests served, by method, route pattern and status code.",
+			metrics.Labels{"method": method, "path": pattern, "code": code}).Inc()
+	}
+	return s
+}
+
+// SetReady flips the readiness gate consulted by /readyz; the daemon arms it
+// after the doctor checks pass and clears it when draining.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// Handler returns the daemon's full route table wrapped in request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{name}/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /v1/sessions/{name}/resolve", s.handleResolve)
+	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return logging.Middleware(s.logger, s.countRequests(mux))
+}
+
+// countRequests feeds vpartd_http_requests_total from the matched route
+// pattern (not the raw path) so per-session URLs don't explode the label set.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		pattern := r.Pattern
+		if _, path, ok := strings.Cut(pattern, " "); ok {
+			pattern = path // r.Pattern is "METHOD /path"; the method has its own label
+		}
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		s.httpReq(r.Method, pattern, strconv.Itoa(rec.status))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// readBody reads at most the configured body limit.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	limit := s.cfg.Limits.MaxBodyBytes
+	if limit <= 0 {
+		limit = 32 << 20
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	return data, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps service sentinel errors onto HTTP status codes and emits
+// the uniform {"error": ...} envelope.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, service.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, service.ErrExists):
+		code = http.StatusConflict
+	case errors.Is(err, service.ErrLimit):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, service.ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
+
+// wantWait reports whether the request asked to block until the change is
+// reflected in an incumbent (?wait=1).
+func wantWait(r *http.Request) bool {
+	switch r.URL.Query().Get("wait") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// waitCtx bounds a ?wait=1 block: the request context, capped at 10 minutes
+// as a backstop against callers that never disconnect.
+func waitCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), 10*time.Minute)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	data, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	name, inst, opts, err := ParseCreateSessionRequest(data)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %w", service.ErrBadRequest, err))
+		return
+	}
+	if err := s.svc.Create(name, inst, opts); err != nil {
+		writeError(w, err)
+		return
+	}
+	if wantWait(r) {
+		ctx, cancel := waitCtx(r)
+		defer cancel()
+		// The initial cold solve is attempt 1.
+		if err := s.svc.AwaitAttempts(ctx, name, 1); err != nil {
+			writeError(w, err)
+			return
+		}
+		state, err := s.svc.State(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, state)
+		return
+	}
+	state, err := s.svc.State(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, state)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	state, err := s.svc.State(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Delete(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	delta, err := ParseDeltaRequest(data)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %w", service.ErrBadRequest, err))
+		return
+	}
+	seq, err := s.svc.Enqueue(name, delta)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if wantWait(r) {
+		ctx, cancel := waitCtx(r)
+		defer cancel()
+		if err := s.svc.AwaitSeq(ctx, name, seq); err != nil {
+			writeError(w, err)
+			return
+		}
+		state, err := s.svc.State(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, state)
+		return
+	}
+	state, err := s.svc.State(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, DeltaResponse{Seq: seq, PendingOps: state.PendingOps})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	attempt, err := s.svc.ForceResolve(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if wantWait(r) {
+		ctx, cancel := waitCtx(r)
+		defer cancel()
+		if err := s.svc.AwaitAttempts(ctx, name, attempt); err != nil {
+			writeError(w, err)
+			return
+		}
+		state, err := s.svc.State(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, state)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ResolveResponse{Attempt: attempt})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.svc.Snapshot(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reruns the doctor self-checks on demand and reports 503 until
+// the daemon has been armed with SetReady and every check passes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	checks := doctor.Run(ctx, s.cfg)
+	healthy := s.ready.Load() && doctor.Healthy(checks)
+	code := http.StatusOK
+	if !healthy {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":  healthy,
+		"armed":  s.ready.Load(),
+		"checks": checks,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

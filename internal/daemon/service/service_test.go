@@ -1,0 +1,374 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vpart"
+	"vpart/internal/daemon/metrics"
+)
+
+// syncBuffer is a concurrency-safe log sink.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func testInstance(t *testing.T) *vpart.Instance {
+	t.Helper()
+	inst, err := vpart.RandomInstance(vpart.ClassA(3, 6, 20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func testService(t *testing.T, pol Policy) (*Service, *syncBuffer, *metrics.Registry) {
+	t.Helper()
+	buf := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	reg := metrics.NewRegistry()
+	svc := New(Config{
+		Logger:  logger,
+		Metrics: reg,
+		Policy:  pol,
+		Defaults: Defaults{
+			Solver:    "sa",
+			TimeLimit: 10 * time.Second,
+		},
+		MaxSessions: 8,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return svc, buf, reg
+}
+
+func scaleDelta(t *testing.T, inst *vpart.Instance, factor float64) vpart.WorkloadDelta {
+	t.Helper()
+	tx := inst.Workload.Transactions[0]
+	return vpart.WorkloadDelta{Ops: []vpart.DeltaOp{
+		vpart.ScaleFreq{Txn: tx.Name, Query: tx.Queries[0].Name, Factor: factor},
+	}}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	svc, _, _ := testService(t, Policy{Debounce: 0, MaxInterval: 10 * time.Second})
+	inst := testInstance(t)
+	if err := svc.Create("s1", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Create("s1", inst, vpart.Options{Sites: 2, Seed: 1}); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if err := svc.Create("bad/name", inst, vpart.Options{Sites: 2}); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s1", 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.State("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Incumbent == nil || st.Resolves != 1 || len(st.Trajectory) != 1 {
+		t.Fatalf("state after first solve: incumbent=%v resolves=%d trajectory=%v",
+			st.Incumbent != nil, st.Resolves, st.Trajectory)
+	}
+	if st.Solver != "sa" {
+		t.Fatalf("default solver not applied: %q", st.Solver)
+	}
+
+	seq, err := svc.Enqueue("s1", scaleDelta(t, inst, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitSeq(ctx, "s1", seq); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = svc.State("s1")
+	if st.Resolves != 2 || st.PendingOps != 0 || st.LastStats == nil || !st.LastStats.Warm {
+		t.Fatalf("state after delta resolve: %+v", st)
+	}
+
+	snap, err := svc.Snapshot("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Incumbent == nil || snap.Resolves != 2 {
+		t.Fatalf("snapshot: incumbent=%v resolves=%d", snap.Incumbent != nil, snap.Resolves)
+	}
+
+	if got := svc.List(); len(got) != 1 || got[0].Name != "s1" {
+		t.Fatalf("list: %+v", got)
+	}
+	if err := svc.Delete("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.State("s1"); err == nil {
+		t.Fatal("state of deleted session succeeded")
+	}
+	if err := svc.Delete("s1"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestServiceConcurrentUse exercises concurrent Apply/Resolve/Incumbent
+// access through the daemon's service layer (run under -race in CI): several
+// goroutines stream deltas, read states, force resolves and take snapshots
+// against one live session.
+func TestServiceConcurrentUse(t *testing.T) {
+	svc, _, _ := testService(t, Policy{Debounce: 0, MaxPendingOps: 4, MaxInterval: time.Second})
+	inst := testInstance(t)
+	if err := svc.Create("hot", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "hot", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var lastSeq int
+	var seqMu sync.Mutex
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				seq, err := svc.Enqueue("hot", scaleDelta(t, inst, 1.1))
+				if err != nil {
+					t.Errorf("enqueue: %v", err)
+					return
+				}
+				seqMu.Lock()
+				if seq > lastSeq {
+					lastSeq = seq
+				}
+				seqMu.Unlock()
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := svc.State("hot"); err != nil {
+					t.Errorf("state: %v", err)
+					return
+				}
+				svc.List()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := svc.ForceResolve("hot"); err != nil {
+				t.Errorf("force: %v", err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := svc.Snapshot("hot"); err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := svc.AwaitSeq(ctx, "hot", lastSeq); err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.State("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingOps != 0 {
+		t.Fatalf("pending ops after full await: %d", st.PendingOps)
+	}
+	if st.Resolves < 2 {
+		t.Fatalf("expected several resolves, got %d", st.Resolves)
+	}
+}
+
+func TestTriggerDebounceAndMaxPending(t *testing.T) {
+	svc, _, _ := testService(t, Policy{Debounce: time.Hour, MaxPendingOps: 3, MaxInterval: time.Hour})
+	inst := testInstance(t)
+	if err := svc.Create("s", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// One op: under every threshold — no resolve may fire.
+	if _, err := svc.Enqueue("s", scaleDelta(t, inst, 2)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	st, _ := svc.State("s")
+	if st.Resolves != 1 {
+		t.Fatalf("resolve fired under the debounce: %d", st.Resolves)
+	}
+	if st.PendingOps == 0 {
+		t.Fatal("pending ops not reported")
+	}
+
+	// Two more ops cross MaxPendingOps=3 — the resolve must fire now.
+	if _, err := svc.Enqueue("s", scaleDelta(t, inst, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := svc.Enqueue("s", scaleDelta(t, inst, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitSeq(ctx, "s", seq); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = svc.State("s")
+	if st.Resolves != 2 || st.PendingOps != 0 {
+		t.Fatalf("after threshold: resolves=%d pending=%d", st.Resolves, st.PendingOps)
+	}
+}
+
+func TestDeltaRejectionSurfaces(t *testing.T) {
+	svc, buf, _ := testService(t, Policy{Debounce: 0})
+	inst := testInstance(t)
+	if err := svc.Create("s", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := svc.Enqueue("s", vpart.WorkloadDelta{Ops: []vpart.DeltaOp{
+		vpart.ScaleFreq{Txn: "no-such-txn", Query: "q", Factor: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitSeq(ctx, "s", seq); err == nil {
+		t.Fatal("rejected delta reported as applied")
+	}
+	if !strings.Contains(buf.String(), "delta rejected") {
+		t.Fatal("rejection not logged")
+	}
+}
+
+// TestProgressAfterCancelLogged covers the daemon's solve worker surfacing
+// progress events that arrive after the resolve context was cancelled as
+// structured log lines instead of dropping them silently.
+func TestProgressAfterCancelLogged(t *testing.T) {
+	svc, buf, reg := testService(t, Policy{Debounce: time.Hour})
+	inst := testInstance(t)
+	if err := svc.Create("s", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := svc.lookup("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a cancelled resolve whose solver still emits events.
+	rctx, rcancel := context.WithCancel(context.Background())
+	m.curCtx.Store(&rctx)
+	rcancel()
+	m.onProgress(vpart.Event{
+		Kind:    vpart.EventIncumbent,
+		Solver:  "portfolio/sa[1]",
+		Cost:    42.5,
+		Elapsed: 123 * time.Millisecond,
+	})
+
+	out := buf.String()
+	if !strings.Contains(out, "progress event after cancellation") {
+		t.Fatalf("cancelled-progress event not logged:\n%s", out)
+	}
+	if !strings.Contains(out, "portfolio/sa[1]") || !strings.Contains(out, "42.5") {
+		t.Fatalf("log line lost the event detail:\n%s", out)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `vpartd_progress_after_cancel_total{session="s"} 1`) {
+		t.Fatalf("counter not incremented:\n%s", b.String())
+	}
+}
+
+func TestForceResolveAndPolicySwap(t *testing.T) {
+	svc, _, _ := testService(t, Policy{Debounce: time.Hour, MaxInterval: time.Hour})
+	inst := testInstance(t)
+	if err := svc.Create("s", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s", 0); err != nil {
+		t.Fatal(err)
+	}
+	target, err := svc.ForceResolve("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitAttempts(ctx, "s", target); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := svc.State("s")
+	if st.Resolves != 2 {
+		t.Fatalf("forced resolve did not run: %d", st.Resolves)
+	}
+
+	// A policy swap takes effect without restarting the worker: drop the
+	// debounce to zero and a single queued op must now trigger a resolve.
+	svc.SetPolicy(Policy{Debounce: 0})
+	seq, err := svc.Enqueue("s", scaleDelta(t, inst, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitSeq(ctx, "s", seq); err != nil {
+		t.Fatal(err)
+	}
+}

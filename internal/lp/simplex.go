@@ -237,7 +237,10 @@ func (s *Simplex) Ready() bool { return s.ready }
 // SolveFromScratch discards any previous basis and solves the LP with the
 // two-phase primal simplex.
 func (s *Simplex) SolveFromScratch() Status {
-	s.initTableau()
+	if !s.initTableau() {
+		s.ready = false
+		return IterLimit
+	}
 
 	// Phase 1: minimise the sum of artificial variables.
 	s.phase1 = true
@@ -318,19 +321,40 @@ func (s *Simplex) Reoptimize() Status {
 	return st
 }
 
+// tableauBlockEntries caps how many float64 tableau entries are allocated (or
+// re-zeroed, on reuse) between deadline checks in initTableau. A dense m×nTab
+// tableau can run to tens of gigabytes on large ungrouped models, and a single
+// make() of that size commits the solver to an uninterruptible multi-minute
+// zeroing pass before the first pivot; blocking the work keeps Deadline/Stop
+// binding during construction.
+const tableauBlockEntries = 1 << 22 // 32 MiB of float64s per block
+
 // initTableau builds the starting basis: for every row whose slack is within
 // its bounds at the initial nonbasic point the slack itself becomes basic (a
 // "crash" basis), and only the remaining rows receive a basic artificial
 // variable. Artificial columns are virtual: they never re-enter the basis, so
 // the tableau only stores structural and slack columns (width nTab).
-func (s *Simplex) initTableau() {
+//
+// It returns false when the deadline passed or the stop hook fired before
+// construction finished; the partially built state is discarded and the next
+// call starts over.
+func (s *Simplex) initTableau() bool {
 	m, nTab := s.m, s.nTab
+	rowsPerBlock := tableauBlockEntries / max(nTab, 1)
+	rowsPerBlock = max(rowsPerBlock, 1)
 	if s.T == nil {
-		s.T = make([][]float64, m)
-		backing := make([]float64, m*nTab)
-		for i := range s.T {
-			s.T[i], backing = backing[:nTab:nTab], backing[nTab:]
+		T := make([][]float64, m)
+		for i := 0; i < m; i += rowsPerBlock {
+			if s.deadlineExceeded() {
+				return false
+			}
+			nRows := min(rowsPerBlock, m-i)
+			backing := make([]float64, nRows*nTab)
+			for k := 0; k < nRows; k++ {
+				T[i+k], backing = backing[:nTab:nTab], backing[nTab:]
+			}
 		}
+		s.T = T
 		s.beta = make([]float64, m)
 		s.basis = make([]int, m)
 		s.inRow = make([]int, s.n)
@@ -339,6 +363,9 @@ func (s *Simplex) initTableau() {
 		s.d = make([]float64, nTab)
 	} else {
 		for i := range s.T {
+			if i%rowsPerBlock == 0 && s.deadlineExceeded() {
+				return false
+			}
 			row := s.T[i]
 			for j := range row {
 				row[j] = 0
@@ -374,6 +401,9 @@ func (s *Simplex) initTableau() {
 
 	rows := s.prob.Rows()
 	for i := 0; i < m; i++ {
+		if i > 0 && i%8192 == 0 && s.deadlineExceeded() {
+			return false
+		}
 		// Residual of row i at the chosen nonbasic point (excluding the
 		// slack, which is the basis candidate).
 		act := 0.0
@@ -414,6 +444,7 @@ func (s *Simplex) initTableau() {
 		s.inRow[art] = i
 		s.xB[i] = sign * resid
 	}
+	return true
 }
 
 // nonbasicValueRaw is nonbasicValue without consulting inRow (used during

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -488,5 +489,56 @@ func TestRandomReoptimizeMatchesScratch(t *testing.T) {
 		if st == Optimal && !approx(s.Objective(), cold.Objective, 1e-5*(1+math.Abs(cold.Objective))) {
 			t.Fatalf("trial %d: warm %g vs cold %g", trial, s.Objective(), cold.Objective)
 		}
+	}
+}
+
+// TestDeadlineBindsDuringTableauConstruction: an expired deadline (or a firing
+// stop hook) must abort SolveFromScratch during tableau construction — before
+// the potentially multi-gigabyte dense tableau is allocated and zeroed — and
+// the same solver must recover once the deadline is cleared.
+func TestDeadlineBindsDuringTableauConstruction(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem()
+		x := p.AddVar(0, math.Inf(1), -3, "x")
+		y := p.AddVar(0, math.Inf(1), -5, "y")
+		p.AddConstraint([]Entry{{x, 1}}, LE, 4)
+		p.AddConstraint([]Entry{{y, 2}}, LE, 12)
+		p.AddConstraint([]Entry{{x, 3}, {y, 2}}, LE, 18)
+		return p
+	}
+
+	s, err := NewSimplex(build(), Options{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.SolveFromScratch(); st != IterLimit {
+		t.Fatalf("expired deadline: status = %v, want %v", st, IterLimit)
+	}
+	if s.T != nil {
+		t.Fatal("aborted construction left a tableau allocated")
+	}
+	if s.Ready() {
+		t.Fatal("aborted solver claims a usable basis")
+	}
+
+	s.SetDeadline(time.Time{})
+	if st := s.SolveFromScratch(); st != Optimal {
+		t.Fatalf("after clearing the deadline: status = %v, want %v", st, Optimal)
+	}
+	if !approx(s.Objective(), -36, 1e-6) {
+		t.Fatalf("objective after recovery = %g, want -36", s.Objective())
+	}
+
+	stop := true
+	s2, err := NewSimplex(build(), Options{Stop: func() bool { return stop }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.SolveFromScratch(); st != IterLimit {
+		t.Fatalf("firing stop hook: status = %v, want %v", st, IterLimit)
+	}
+	stop = false
+	if st := s2.SolveFromScratch(); st != Optimal {
+		t.Fatalf("after the stop hook cleared: status = %v, want %v", st, Optimal)
 	}
 }

@@ -3,6 +3,7 @@ package vpart
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -40,6 +41,18 @@ type (
 func ApplyDelta(inst *Instance, d WorkloadDelta) (*Instance, error) {
 	return core.ApplyDelta(inst, d)
 }
+
+// Workload-delta (de)serialisation. A delta is a JSON object {"ops": [...]}
+// whose ops are a tagged union on the "op" field ("add_query",
+// "remove_query", "scale_freq", "add_attr"); this is the wire format the
+// vpartd daemon accepts on POST /v1/sessions/{name}/deltas.
+var (
+	// EncodeDelta writes a workload delta as indented JSON.
+	EncodeDelta = core.EncodeDelta
+	// DecodeDelta reads a workload delta from JSON (strict: unknown op tags
+	// and unknown fields are rejected).
+	DecodeDelta = core.DecodeDelta
+)
 
 // NewDirtySet returns an empty dirty set for manual Options.WarmDirty
 // bookkeeping (sessions maintain one internally).
@@ -102,7 +115,14 @@ type ResolveStats struct {
 // incumbent and, for the decompose meta-solver, re-solving only the
 // components the deltas since the last resolve touched.
 //
-// A Session is safe for concurrent use; Apply and Resolve serialise.
+// A Session is safe for concurrent use: every method serialises on an
+// internal mutex, so Apply, Resolve, Adopt and the read accessors may be
+// called from any goroutine. Note that Resolve holds the lock for the whole
+// solve — a concurrent Apply or Incumbent blocks until it returns. Callers
+// that must stay responsive during long solves (the vpartd daemon) therefore
+// route all session access through one single-flight worker goroutine and
+// serve reads from a snapshot published by that worker; that pattern, not
+// lock sharing, is the recommended way to put a Session behind a server.
 //
 //	sess, _ := vpart.NewSession(inst, vpart.Options{Sites: 4, Solver: "portfolio"})
 //	sol, _, _ := sess.Resolve(ctx)                    // cold first solve
@@ -121,7 +141,13 @@ type Session struct {
 	dirty     *DirtySet
 	pending   int // delta ops since the last successful resolve
 	resolves  int
+	history   []ResolveStats // most recent resolves, capped at historyCap
 }
+
+// historyCap bounds Session.History: a long-running session (a daemon serving
+// a drifting tenant for weeks) keeps the most recent resolves only, so memory
+// stays bounded no matter how long it lives.
+const historyCap = 128
 
 // NewSession validates the instance and options, compiles the cost model and
 // returns a session with no incumbent (the first Resolve runs cold). The
@@ -334,5 +360,44 @@ func (s *Session) Resolve(ctx context.Context) (*Solution, ResolveStats, error) 
 	stats.Solver = string(sol.Algorithm)
 	stats.Seed = sol.Seed
 	stats.Runtime = sol.Runtime
+
+	s.history = append(s.history, stats)
+	if len(s.history) > historyCap {
+		s.history = s.history[len(s.history)-historyCap:]
+	}
 	return sol, stats, nil
+}
+
+// History returns the stats of the session's most recent resolves in
+// chronological order (capped at the 128 most recent so a long-lived session
+// stays bounded). The returned slice is a copy.
+func (s *Session) History() []ResolveStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ResolveStats(nil), s.history...)
+}
+
+// Staleness estimates how much worse the incumbent has become under the
+// drift applied since it was computed: the incumbent re-priced under the
+// current (patched) cost model, relative to its cost at resolve time, as a
+// fraction (0.05 = 5 % costlier). Negative values mean drift made the layout
+// cheaper. Zero without an incumbent or pending deltas; +Inf when the
+// incumbent can no longer be adapted to the drifted instance. Trigger
+// policies (the daemon's) compare this against a threshold to decide when a
+// re-solve is worth its latency.
+func (s *Session) Staleness() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.incumbent == nil || s.pending == 0 {
+		return 0
+	}
+	base := s.incumbent.Cost.Balanced
+	if base <= 0 {
+		return 0
+	}
+	adapted, err := core.AdaptPartitioning(s.model, s.incumbent.Partitioning)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return s.model.Evaluate(adapted).Balanced/base - 1
 }
