@@ -1,0 +1,75 @@
+// Command vpartlint runs the project's static-analysis suite — the
+// machine-checked invariants described in internal/analysis — over the
+// module and exits non-zero when any violation survives suppression.
+//
+// Usage:
+//
+//	go run ./cmd/vpartlint ./...             # whole suite
+//	go run ./cmd/vpartlint -rules determinism ./internal/qp
+//	go vet -vettool=$(which vpartlint) ./... # unitchecker-compatible mode
+//
+// Every run prints a per-analyzer violation count summary, so CI logs show
+// at a glance which invariant regressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vpart/internal/analysis"
+)
+
+func main() {
+	// `go vet -vettool` drives the tool through the unitchecker protocol:
+	// a -V=full version probe followed by invocations on *.cfg files.
+	if vetMode(os.Args[1:]) {
+		os.Exit(runVet(os.Args[1:]))
+	}
+
+	rules := flag.String("rules", "all", "comma-separated rule subset (determinism,cancellation,noalloc,locks,progress)")
+	quiet := flag.Bool("q", false, "suppress the per-analyzer summary, print diagnostics only")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vpartlint [-rules r1,r2] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-13s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpartlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpartlint:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.Load(wd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpartlint:", err)
+		os.Exit(2)
+	}
+	res := analysis.Run(prog, analyzers)
+	for _, d := range res.Diagnostics {
+		fmt.Println(d.String())
+	}
+	if !*quiet {
+		fmt.Printf("vpartlint: %d package(s):", len(prog.Packages))
+		for _, a := range analyzers {
+			fmt.Printf(" %s=%d", a.Name, res.Counts[a.Name])
+		}
+		fmt.Printf(" allow=%d\n", res.Counts["allow"])
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

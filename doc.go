@@ -239,4 +239,22 @@
 //
 // The experiment harness that regenerates every table of the paper lives in
 // cmd/vpart-experiments; see EXPERIMENTS.md for the measured results.
+//
+// # Invariants
+//
+// Five project-wide invariants — solver determinism, cancellation
+// responsiveness, annotated allocation-free hot paths (//vpart:noalloc),
+// the daemon lock discipline with a module-wide no-copy rule, and
+// progress-callback gating across goroutine boundaries — are enforced by
+// the bundled static analyzer:
+//
+//	go run ./cmd/vpartlint ./...
+//
+// Deliberate exceptions carry an in-source justification,
+//
+//	//vpartlint:allow <rule> <reason>
+//
+// on or directly above the offending line. CI runs the suite on every
+// change; see the README's Invariants section and internal/analysis for
+// the rule reference.
 package vpart

@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a package through its Pass
+// and reports violations; it must be stateless across packages.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //vpartlint:allow
+	// comments ("determinism", "noalloc", ...).
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Rule:     p.Analyzer.Name,
+		Position: p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Rule     string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+}
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//vpartlint:allow"
+
+// allowKey identifies a suppression target: a rule on a line of a file.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// allows collects the //vpartlint:allow directives of a package. A directive
+// suppresses findings of the named rule on its own line and on the line
+// directly below it (the directive-above-the-statement form).
+type allows struct {
+	byKey map[allowKey]bool
+}
+
+// collectAllows parses every //vpartlint:allow directive in the package.
+// Directives without a reason are reported through report (the "allow" meta
+// rule): an undocumented suppression is itself a finding.
+func collectAllows(pkg *Package, report func(Diagnostic)) *allows {
+	a := &allows{byKey: map[allowKey]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //vpartlint:allowance — not a directive
+				}
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					report(Diagnostic{Rule: "allow", Position: pos,
+						Message: "vpartlint:allow directive names no rule"})
+					continue
+				}
+				rule := fields[0]
+				if len(fields) < 2 {
+					report(Diagnostic{Rule: "allow", Position: pos, Message: fmt.Sprintf(
+						"vpartlint:allow %s has no reason: document why the %s rule does not apply here", rule, rule)})
+					continue
+				}
+				a.byKey[allowKey{pos.Filename, pos.Line, rule}] = true
+			}
+		}
+	}
+	return a
+}
+
+// suppressed reports whether the diagnostic is covered by a directive on its
+// line or the line above.
+func (a *allows) suppressed(d Diagnostic) bool {
+	if d.Rule == "allow" {
+		return false // the meta rule cannot be suppressed
+	}
+	k := allowKey{d.Position.Filename, d.Position.Line, d.Rule}
+	if a.byKey[k] {
+		return true
+	}
+	k.line--
+	return a.byKey[k]
+}
+
+// Result aggregates a run of the suite over a program.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Counts maps analyzer name to the number of surviving diagnostics,
+	// including zero entries for clean analyzers (CI prints the summary).
+	Counts map[string]int
+}
+
+// Run applies the analyzers to every package of the program, filters
+// suppressed findings and returns the sorted survivors.
+func Run(prog *Program, analyzers []*Analyzer) *Result {
+	res := &Result{Counts: map[string]int{}}
+	for _, an := range analyzers {
+		res.Counts[an.Name] = 0
+	}
+	res.Counts["allow"] = 0
+	for _, pkg := range prog.Packages {
+		var all []Diagnostic
+		sup := collectAllows(pkg, func(d Diagnostic) { all = append(all, d) })
+		for _, an := range analyzers {
+			pass := &Pass{Analyzer: an, Pkg: pkg}
+			an.Run(pass)
+			all = append(all, pass.diags...)
+		}
+		for _, d := range all {
+			if sup.suppressed(d) {
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+			res.Counts[d.Rule]++
+		}
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return res
+}
+
+// RunPackage applies the analyzers to a single package (the fixture-test
+// entry point) and returns the surviving diagnostics.
+func RunPackage(pkg *Package, analyzers []*Analyzer) *Result {
+	return Run(&Program{Fset: pkg.Fset, Packages: []*Package{pkg}}, analyzers)
+}
+
+// funcDocHas reports whether the function's doc comment contains the given
+// directive line (e.g. "//vpart:noalloc").
+func funcDocHas(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts expectations of the form `// want "substring"` from fixture
+// sources. Several may share one line.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func loadFixturePkg(t *testing.T, fixture string) *Package {
+	t.Helper()
+	moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureDir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadFixture(moduleDir, fixtureDir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+// collectWants reads every fixture source and returns the expected message
+// substrings keyed by file:line.
+func collectWants(t *testing.T, fixture string) map[string][]string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string][]string{}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+				wants[key] = append(wants[key], m[1])
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture checks one analyzer against its fixture package: every reported
+// diagnostic must match a // want comment on its line, and every want must be
+// matched by exactly one diagnostic.
+func runFixture(t *testing.T, fixture, rule string) {
+	t.Helper()
+	pkg := loadFixturePkg(t, fixture)
+	analyzers, err := Select(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPackage(pkg, analyzers)
+	wants := collectWants(t, fixture)
+
+	for _, d := range res.Diagnostics {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Position.Filename), d.Position.Line)
+		matched := -1
+		for i, w := range wants[key] {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Rule, d.Message)
+			continue
+		}
+		wants[key] = append(wants[key][:matched], wants[key][matched+1:]...)
+	}
+	var missed []string
+	for key, ws := range wants {
+		for _, w := range ws {
+			missed = append(missed, fmt.Sprintf("%s: %q", key, w))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Errorf("expected diagnostic never reported at %s", m)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T)  { runFixture(t, "determinism", "determinism") }
+func TestCancellationFixture(t *testing.T) { runFixture(t, "cancellation", "cancellation") }
+func TestNoallocFixture(t *testing.T)      { runFixture(t, "noalloc", "noalloc") }
+func TestLocksFixture(t *testing.T)        { runFixture(t, "locks", "locks") }
+func TestProgressFixture(t *testing.T)     { runFixture(t, "progressgate", "progress") }
+
+// TestSuppression exercises the //vpartlint:allow grammar on its own fixture:
+// a documented directive silences the finding (same-line and line-above
+// forms), an undocumented one is reported by the unsuppressable "allow" meta
+// rule and silences nothing, and a directive naming a different rule does not
+// apply.
+func TestSuppression(t *testing.T) {
+	pkg := loadFixturePkg(t, "suppress")
+	analyzers, err := Select("determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunPackage(pkg, analyzers)
+
+	if got := res.Counts["allow"]; got != 1 {
+		t.Errorf("allow meta-rule findings = %d, want 1 (the reason-less directive)", got)
+	}
+	if got := res.Counts["determinism"]; got != 2 {
+		t.Errorf("surviving determinism findings = %d, want 2 (under the reason-less and wrong-rule directives)", got)
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "suppress", "suppress.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcLine := func(name string) int {
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.HasPrefix(line, "func "+name) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture function %s not found", name)
+		return 0
+	}
+	undocumented, wrongRule := funcLine("undocumented"), funcLine("wrongRule")
+
+	var allowLine int
+	detLines := map[int]bool{}
+	for _, d := range res.Diagnostics {
+		switch d.Rule {
+		case "allow":
+			allowLine = d.Position.Line
+			if !strings.Contains(d.Message, "has no reason") {
+				t.Errorf("allow diagnostic %q does not explain the missing reason", d.Message)
+			}
+		case "determinism":
+			detLines[d.Position.Line] = true
+		default:
+			t.Errorf("unexpected rule %s: %s", d.Rule, d.Message)
+		}
+	}
+	if allowLine <= undocumented || allowLine >= wrongRule {
+		t.Errorf("allow diagnostic at line %d, want inside undocumented() (%d..%d)", allowLine, undocumented, wrongRule)
+	}
+	inRange := func(line, lo int) bool { return line > lo }
+	for line := range detLines {
+		if !inRange(line, undocumented) {
+			t.Errorf("determinism diagnostic at line %d escaped a documented suppression", line)
+		}
+	}
+}
+
+// TestSelectRules pins the rule-selection surface the CLI exposes.
+func TestSelectRules(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(all) = %d analyzers, err %v", len(all), err)
+	}
+	one, err := Select("determinism")
+	if err != nil || len(one) != 1 || one[0].Name != "determinism" {
+		t.Fatalf("Select(determinism) = %v, err %v", one, err)
+	}
+	if _, err := Select("nope"); err == nil || !strings.Contains(err.Error(), "unknown rule") {
+		t.Fatalf("Select(nope) err = %v, want unknown-rule error", err)
+	}
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		CancellationAnalyzer,
+		NoallocAnalyzer,
+		LocksAnalyzer,
+		ProgressAnalyzer,
+	}
+}
+
+// Select returns the analyzers matching the comma-separated rule list, or
+// the whole suite for "" / "all".
+func Select(rules string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if rules == "" || rules == "all" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		a, ok := byName[r]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", r, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CancellationAnalyzer generalizes the PR 6 simplex stall: in solver
+// packages, any unbounded loop inside a function that has a cancellation
+// facility (a context.Context, a Deadline, or a Stop hook reachable from its
+// parameters or receiver) must consult that facility — directly (ctx.Err(),
+// ctx.Done(), a Deadline comparison, a Stop call) or by calling a
+// same-package function that does.
+//
+// "Unbounded" is structural: a `for {}` or while-style `for cond {}` loop
+// has no iteration bound tied to the input, which is exactly the shape of a
+// convergence/pivot loop that can stall. Counted three-clause loops and
+// ranges over data are bounded by problem size and exempt; ranges over
+// channels are driven by the producer, whose job cancellation is.
+var CancellationAnalyzer = &Analyzer{
+	Name: "cancellation",
+	Doc:  "unbounded solver loops must consult ctx.Done/Err, the Deadline or the Stop hook so time limits and cancellation bind",
+	Run:  runCancellation,
+}
+
+func runCancellation(pass *Pass) {
+	if !inSolverScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1: fixpoint of "consults cancellation" over the package's
+	// declared functions, so a loop body calling s.deadlineExceeded() (which
+	// reads opts.Deadline and opts.Stop) counts as consulting.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	consulting := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range decls {
+			if consulting[obj] {
+				continue
+			}
+			if consultsCancellation(info, fn.Body, consulting) {
+				consulting[obj] = true
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: flag unbounded loops that never consult, in functions that
+	// could.
+	for _, fn := range decls {
+		if !hasCancelFacility(info, fn) {
+			continue
+		}
+		checkLoops(pass, fn.Body, consulting)
+	}
+}
+
+// checkLoops walks the body (descending into closures, which capture the
+// enclosing facility) and reports unbounded loops that never consult.
+func checkLoops(pass *Pass, body *ast.BlockStmt, consulting map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if loop.Cond != nil && loop.Post != nil {
+			return true // counted loop: structurally bounded by its limit
+		}
+		if consultsCancellation(info, loop.Body, consulting) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "unbounded loop never consults ctx.Done/Err, the Deadline or the Stop hook; a cancelled solve would stall here (check cancellation in the body, or annotate //vpartlint:allow cancellation <reason>)")
+		return true
+	})
+}
+
+// consultsCancellation reports whether the body consults a cancellation
+// facility: ctx.Err/Done/Deadline, a Deadline field read, a Stop hook call,
+// a receive from a stop/done channel, or a call to a same-package function
+// known (via the fixpoint) to consult.
+func consultsCancellation(info *types.Info, body ast.Node, consulting map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if f := calleeFunc(info, n); f != nil && consulting[f] {
+				found = true
+				return false
+			}
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Err", "Done", "Deadline":
+				if tv, ok := info.Types[sel.X]; ok && isContext(tv.Type) {
+					found = true
+				}
+			case "Stop", "stop":
+				// opts.Stop() — a func-typed stop hook.
+				if tv, ok := info.Types[sel.X]; ok {
+					if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct || tv.Type != nil {
+						if sig, ok := info.Types[n.Fun]; ok {
+							if _, isSig := sig.Type.Underlying().(*types.Signature); isSig {
+								found = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// A read of a time.Time field named Deadline (opts.Deadline).
+			if n.Sel.Name == "Deadline" {
+				if tv, ok := info.Types[n]; ok && isTimeTime(tv.Type) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-stopCh / <-done
+			if n.Op.String() == "<-" {
+				if name := chanExprName(n.X); looksLikeStopChan(name) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			// A bare reference to something named ctx of type context.Context
+			// in a select/if is already a strong signal, but keep the rule
+			// precise: only the explicit forms above count.
+		}
+		return !found
+	})
+	return found
+}
+
+func chanExprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+func looksLikeStopChan(name string) bool {
+	n := strings.ToLower(name)
+	for _, probe := range []string{"stop", "done", "quit", "cancel", "finish"} {
+		if strings.Contains(n, probe) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCancelFacility reports whether the function can observe cancellation:
+// a context.Context, a Deadline (time.Time) field or a Stop hook reachable
+// from a parameter or the receiver within a few field hops.
+func hasCancelFacility(info *types.Info, fn *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			if tv, ok := info.Types[f.Type]; ok {
+				if typeHasFacility(tv.Type, 3, map[types.Type]bool{}) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fn.Recv) || check(fn.Type.Params)
+}
+
+// typeHasFacility searches t (through pointers and struct value fields) for
+// a context.Context, a time.Time field named Deadline or a func/chan field
+// named Stop.
+func typeHasFacility(t types.Type, depth int, seen map[types.Type]bool) bool {
+	if depth < 0 || seen[t] {
+		return false
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if isContext(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return typeHasFacility(p.Elem(), depth, seen)
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		ft := f.Type()
+		if isContext(ft) {
+			return true
+		}
+		if f.Name() == "Deadline" && isTimeTime(ft) {
+			return true
+		}
+		if f.Name() == "Stop" || f.Name() == "stop" {
+			switch ft.Underlying().(type) {
+			case *types.Signature, *types.Chan:
+				return true
+			}
+		}
+		if typeHasFacility(ft, depth-1, seen) {
+			return true
+		}
+	}
+	return false
+}

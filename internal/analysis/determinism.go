@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the fixed-seed reproducibility contract on
+// solver decision paths (internal/{sa,qp,mip,lp,core,decompose,seeds}): the
+// paper's SA-vs-QP comparison is only meaningful when two runs with the same
+// seed produce bit-identical solutions.
+//
+// It reports:
+//
+//   - `for ... range m` over a map, unless the loop body is a commutative
+//     store (every write lands in a map/slice index or an integer
+//     accumulator, so iteration order cannot leak into the result) or the
+//     loop only collects elements into slices that are sorted afterwards in
+//     the same function;
+//   - time.Now used in a decision (the .After/.Before/.Equal/.Compare
+//     chain); elapsed-time measurement via time.Since is fine;
+//   - draws from the global math/rand source (rand.Intn, rand.Float64, ...);
+//     seeded *rand.Rand instances are the sanctioned source.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "solver decision paths must be bit-identical across fixed-seed runs: no order-dependent map iteration, no wall-clock decisions, no global math/rand",
+	Run:  runDeterminism,
+}
+
+// timeCmpMethods are the time.Time methods that turn a clock reading into a
+// decision.
+var timeCmpMethods = map[string]bool{"After": true, "Before": true, "Equal": true, "Compare": true}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32": true, "Uint64": true, "Uint64N": true, "UintN": true,
+	"N": true, "Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runDeterminism(pass *Pass) {
+	if !inSolverScope(pass.Pkg.Path) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDeterminismFunc(pass, fn.Body)
+		}
+	}
+	_ = info
+}
+
+func checkDeterminismFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	// Vars defined from time.Now(); later comparison-method uses are flagged.
+	nowVars := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if mapRangeExempt(info, n, body) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "map iteration order leaks into the result; iterate a sorted key slice, make the body a commutative store, or annotate //vpartlint:allow determinism <reason>")
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if isTimeNowCall(info, rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								nowVars[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkDeterminismCall(pass, n, nowVars)
+		}
+		return true
+	})
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr, nowVars map[types.Object]bool) {
+	info := pass.Pkg.Info
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Global math/rand draw: rand.Intn(...), rand.Float64(), ...
+	if pkg := pkgNameOf(info, sel.X); pkg == "math/rand" || pkg == "math/rand/v2" {
+		if globalRandFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(), "global math/rand source is seeded per process, not per solve; draw from a seeded *rand.Rand instead")
+		}
+		return
+	}
+	// Wall-clock decision: time.Now().After(x) or now.After(x) for a var
+	// assigned from time.Now().
+	if !timeCmpMethods[sel.Sel.Name] {
+		return
+	}
+	base := ast.Unparen(sel.X)
+	if isTimeNowCall(info, base) {
+		pass.Reportf(call.Pos(), "wall-clock reading decides control flow; fixed-seed runs will diverge under load — gate on iterations, or annotate //vpartlint:allow determinism <reason>")
+		return
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil && nowVars[obj] {
+			pass.Reportf(call.Pos(), "wall-clock reading (%s := time.Now()) decides control flow; gate on iterations, or annotate //vpartlint:allow determinism <reason>", id.Name)
+		}
+	}
+}
+
+// isTimeNowCall reports whether e is the call time.Now().
+func isTimeNowCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	return pkgNameOf(info, sel.X) == "time"
+}
+
+// mapRangeExempt reports whether the map-range loop cannot leak iteration
+// order: either its body is a commutative store, or it only appends to
+// slices that the enclosing function sorts after the loop.
+func mapRangeExempt(info *types.Info, rs *ast.RangeStmt, enclosing *ast.BlockStmt) bool {
+	w := &commutativeWalker{info: info, locals: map[types.Object]bool{}}
+	// The loop variables themselves are local to the body.
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				w.locals[obj] = true
+			}
+		}
+	}
+	if !w.blockOK(rs.Body.List) {
+		return false
+	}
+	// Every slice the body appended to must be sorted after the loop.
+	for obj := range w.appended {
+		if !sortedAfter(info, enclosing, obj, rs.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeWalker checks that a loop body only performs order-independent
+// effects: stores into map/slice indices, integer accumulation, writes to
+// body-local variables, sort calls and map deletes. Reads are always fine —
+// only writes can leak iteration order.
+type commutativeWalker struct {
+	info     *types.Info
+	locals   map[types.Object]bool // variables declared inside the body
+	appended map[types.Object]bool // outer slices grown via x = append(x, ...)
+}
+
+func (w *commutativeWalker) blockOK(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !w.stmtOK(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *commutativeWalker) stmtOK(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return w.assignOK(s)
+	case *ast.IncDecStmt:
+		return w.writeOK(s.X, true)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				return false
+			}
+			for _, name := range vs.Names {
+				if obj := w.info.Defs[name]; obj != nil {
+					w.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if isBuiltinCall(w.info, call, "delete") {
+			return true // delete(m, k) commutes with iteration in Go
+		}
+		return isSortCall(w.info, call)
+	case *ast.IfStmt:
+		if s.Init != nil && !w.stmtOK(s.Init) {
+			return false
+		}
+		if !w.blockOK(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				return w.blockOK(eb.List)
+			}
+			return w.stmtOK(s.Else)
+		}
+		return true
+	case *ast.ForStmt:
+		if s.Init != nil && !w.stmtOK(s.Init) {
+			return false
+		}
+		if s.Post != nil && !w.stmtOK(s.Post) {
+			return false
+		}
+		return w.blockOK(s.Body.List)
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" && s.Tok == token.DEFINE {
+				if obj := w.info.Defs[id]; obj != nil {
+					w.locals[obj] = true
+				}
+			}
+		}
+		return w.blockOK(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && !w.blockOK(cc.Body) {
+				return false
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		return w.blockOK(s.List)
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	default:
+		// return, go, defer, select, send, ... — order may escape.
+		return false
+	}
+}
+
+func (w *commutativeWalker) assignOK(s *ast.AssignStmt) bool {
+	if s.Tok == token.DEFINE {
+		for _, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if id.Name == "_" {
+				continue
+			}
+			if obj := w.info.Defs[id]; obj != nil {
+				w.locals[obj] = true
+			}
+		}
+		return true
+	}
+	// Compound integer accumulation (sum += v, bits |= b, n++) commutes;
+	// float accumulation does not (rounding is order-dependent).
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		return len(s.Lhs) == 1 && w.writeOK(s.Lhs[0], true)
+	}
+	// x = append(x, ...) is tracked for the sorted-afterwards exemption.
+	if s.Tok == token.ASSIGN && len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltinCall(w.info, call, "append") {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if obj := w.info.Uses[id]; obj != nil && !w.locals[obj] {
+					if w.appended == nil {
+						w.appended = map[types.Object]bool{}
+					}
+					w.appended[obj] = true
+					return true
+				}
+			}
+		}
+	}
+	for _, lhs := range s.Lhs {
+		if !w.writeOK(lhs, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeOK reports whether a write to target cannot leak iteration order:
+// blank, a body-local, or a map/slice index keyed per iteration. When
+// intOnly is set the target must additionally be integer-typed (commutative
+// accumulation).
+func (w *commutativeWalker) writeOK(target ast.Expr, accumulate bool) bool {
+	target = ast.Unparen(target)
+	if accumulate {
+		if tv, ok := w.info.Types[target]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+				// Non-integer accumulation is order-dependent unless the
+				// target is body-local anyway.
+				if id, ok := target.(*ast.Ident); ok {
+					if obj := w.info.Uses[id]; obj != nil && w.locals[obj] {
+						return true
+					}
+				}
+				return false
+			}
+		}
+	}
+	switch t := target.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return true
+		}
+		if accumulate {
+			return true // integer accumulator, order-independent
+		}
+		obj := w.info.Uses[t]
+		return obj != nil && w.locals[obj]
+	case *ast.IndexExpr:
+		return true // m[k] = v / s[i] = v: one store per key
+	case *ast.SelectorExpr:
+		// Writes to fields of body-local variables stay local.
+		if id, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+			if obj := w.info.Uses[id]; obj != nil && w.locals[obj] {
+				return true
+			}
+		}
+		return accumulate
+	case *ast.StarExpr:
+		// *p where p is a body-local pointer (e.g. the map value).
+		if id, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+			if obj := w.info.Uses[id]; obj != nil && w.locals[obj] {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isSortCall reports whether the call is one of the sort/slices sorting
+// helpers (which normalize order, and so are harmless inside a map range).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch pkgNameOf(info, sel.X) {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether obj (a slice the loop appended to) appears as
+// an argument of a sort/slices call after pos in the enclosing function.
+func sortedAfter(info *types.Info, enclosing *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil || n.End() < pos {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,34 @@
+// Package analysis implements vpartlint, the project's static-analysis
+// suite. It machine-checks invariants the Go compiler cannot see but the
+// correctness story of this repository rests on:
+//
+//   - determinism: fixed-seed solves must be bit-identical run to run, so
+//     solver decision paths may not iterate over maps in an order-dependent
+//     way, consult the wall clock for decisions, or draw from the global
+//     math/rand source (see [DeterminismAnalyzer]);
+//   - cancellation: long-running solver loops must consult ctx.Done/Err, a
+//     Deadline or a Stop hook so time limits bind (the PR 6 simplex stall,
+//     generalized; see [CancellationAnalyzer]);
+//   - noalloc: functions annotated //vpart:noalloc — the Evaluator/SA hot
+//     path — must stay allocation-free in steady state (see
+//     [NoallocAnalyzer]);
+//   - locks: internal/daemon must not call Solve/Resolve/Session.Apply while
+//     holding a mutex, and no struct containing a lock or an Evaluator may
+//     be copied by value (see [LocksAnalyzer]);
+//   - progress: progress callbacks must be gated with progress.Func.Until
+//     before they cross a goroutine boundary, so cancelled stragglers cannot
+//     emit stale events (see [ProgressAnalyzer]).
+//
+// The suite is built on the standard library only (go/ast, go/types and a
+// `go list -export` subprocess for export data), keeping the module
+// dependency-free. Run it with
+//
+//	go run ./cmd/vpartlint ./...
+//
+// A finding that is intentional is suppressed with a comment on the flagged
+// line (or the line above it):
+//
+//	//vpartlint:allow <rule> <reason>
+//
+// The reason is mandatory; a suppression without one is itself reported.
+package analysis

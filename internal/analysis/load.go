@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path ("vpart/internal/sa")
+	Dir   string // directory holding the sources
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a set of loaded packages sharing one FileSet and importer, as
+// produced by Load.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// loader resolves imports through build-cache export data (the same
+// mechanism go vet uses), so loading stays fast and the module stays
+// dependency-free.
+type loader struct {
+	dir     string // module root the `go list` subprocess runs in
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+func newLoader(dir string) *loader {
+	l := &loader{dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// lookup feeds export data to the gc importer, shelling out to `go list`
+// once per miss (fixture packages import paths the initial listing did not
+// cover).
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	if e, ok := l.exports[path]; ok {
+		return os.Open(e)
+	}
+	if _, err := l.list([]string{path}); err != nil {
+		return nil, fmt.Errorf("analysis: no export data for %q: %v", path, err)
+	}
+	if e, ok := l.exports[path]; ok {
+		return os.Open(e)
+	}
+	return nil, fmt.Errorf("analysis: no export data for %q", path)
+}
+
+// list runs `go list -export -deps -json` on the patterns, records every
+// export-data file and returns the listed packages in dependency-first
+// order.
+func (l *loader) list(patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// checkDir parses the non-test sources in dir and type-checks them against
+// export data, returning the package under the given import path.
+func (l *loader) checkDir(path, dir string, goFiles []string) (*Package, error) {
+	if len(goFiles) == 0 {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+				goFiles = append(goFiles, n)
+			}
+		}
+		sort.Strings(goFiles)
+	}
+	names := make([]string, len(goFiles))
+	for i, f := range goFiles {
+		names[i] = filepath.Join(dir, f)
+	}
+	return l.checkFiles(path, dir, names)
+}
+
+// checkFiles parses and type-checks the named source files (absolute paths)
+// as the package at the given import path.
+func (l *loader) checkFiles(path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, f := range names {
+		af, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load loads and type-checks the module packages matched by the patterns
+// (e.g. "./...") relative to dir, which must lie inside the module.
+func Load(dir string, patterns []string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := newLoader(dir)
+	pkgs, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// -deps lists the whole closure; analyze only the in-module packages the
+	// patterns matched. go list emits dependencies first, so checking in
+	// listed order never misses export data.
+	matched := map[string]bool{}
+	direct, err := l.listMatched(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range direct {
+		matched[p] = true
+	}
+	prog := &Program{Fset: l.fset}
+	for _, p := range pkgs {
+		if p.Standard || !matched[p.ImportPath] {
+			continue
+		}
+		pkg, err := l.checkDir(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// listMatched returns the import paths the patterns match directly (without
+// -deps), i.e. the packages to analyze.
+func (l *loader) listMatched(patterns []string) ([]string, error) {
+	args := append([]string{"list"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var paths []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			paths = append(paths, line)
+		}
+	}
+	return paths, nil
+}
+
+// LoadUnit type-checks a single compilation unit the way `go vet` describes
+// one: explicit source files plus an import map and per-package export-data
+// files, with no `go list` subprocess. cmd/vpartlint's vettool mode uses it.
+func LoadUnit(importPath, dir string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	l := &loader{dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		if c, ok := importMap[path]; ok {
+			path = c
+		}
+		e, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	var names []string
+	for _, f := range goFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(dir, f)
+		}
+		names = append(names, f)
+	}
+	return l.checkFiles(importPath, dir, names)
+}
+
+// LoadFixture loads a single directory of sources as a synthetic package —
+// the analyzer tests use it to check fixture packages under testdata, which
+// the go tool itself ignores. The fixture may import standard-library and
+// in-module packages; both resolve through export data.
+func LoadFixture(moduleDir, fixtureDir, importPath string) (*Package, error) {
+	l := newLoader(moduleDir)
+	return l.checkDir(importPath, fixtureDir, nil)
+}

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LocksAnalyzer enforces the daemon's documented concurrency contract plus a
+// module-wide no-copy rule:
+//
+//   - in internal/daemon, no Solve/Resolve (or Session.Apply) call may run
+//     while a sync.Mutex/RWMutex is held — handlers must never block a lock
+//     on a running solve (PR 6's serve-pattern contract);
+//   - nowhere in the module may a struct containing a lock, a sync/atomic
+//     value or a core.Evaluator be copied by value: a forked journal or lock
+//     silently splits state.
+//
+// The lock tracking is lexical and intra-procedural: Lock()/Unlock() pairs
+// are followed through straight-line code and non-returning branches, and a
+// deferred Unlock holds to the end of the function.
+var LocksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "no blocking Solve/Resolve while holding a daemon lock; no value copies of lock-bearing or Evaluator-bearing structs",
+	Run:  runLocks,
+}
+
+func runLocks(pass *Pass) {
+	if inDaemonScope(pass.Pkg.Path) {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+					lw := &lockWalker{pass: pass, info: pass.Pkg.Info}
+					lw.block(fn.Body.List, map[string]bool{})
+				}
+			}
+		}
+	}
+	checkNoCopy(pass)
+}
+
+// blockingCallee reports whether the call is one of the session-blocking
+// operations the daemon contract forbids under a lock: any method named
+// Solve or Resolve, and Apply on a Session.
+func blockingCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Solve", "Resolve":
+		// Function values and methods both count: the contract is about the
+		// operation, not the receiver spelling.
+		return name, true
+	case "Apply":
+		if tv, ok := info.Types[sel.X]; ok {
+			t := tv.Type
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := types.Unalias(t).(*types.Named); ok && n.Obj().Name() == "Session" {
+				return "Session.Apply", true
+			}
+		}
+	}
+	return "", false
+}
+
+// lockWalker tracks which mutexes are lexically held through a statement
+// list.
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+// mutexReceiver returns the lexical key of the mutex a Lock/Unlock-style
+// call operates on, or "" if the call is not one.
+func (lw *lockWalker) mutexReceiver(call *ast.CallExpr) (key, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", ""
+	}
+	tv, ok := lw.info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if !isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex") {
+		return "", ""
+	}
+	return exprString(sel.X), sel.Sel.Name
+}
+
+// block walks stmts with the given held set, returning the held set at the
+// end of the list.
+func (lw *lockWalker) block(stmts []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, s := range stmts {
+		held = lw.stmt(s, held)
+	}
+	return held
+}
+
+func clone(m map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// terminates reports whether the statement list ends control flow.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (lw *lockWalker) stmt(s ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, method := lw.mutexReceiver(call); key != "" {
+				held = clone(held)
+				switch method {
+				case "Lock", "RLock":
+					held[key] = true
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		lw.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if key, method := lw.mutexReceiver(s.Call); key != "" {
+			if method == "Unlock" || method == "RUnlock" {
+				// Deferred unlock: the lock stays held for the remainder of
+				// the function body.
+				return held
+			}
+		}
+		lw.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			lw.checkExpr(r, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			lw.checkExpr(r, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = lw.stmt(s.Init, held)
+		}
+		lw.checkExpr(s.Cond, held)
+		bodyHeld := lw.block(s.Body.List, clone(held))
+		if !terminates(s.Body.List) {
+			held = bodyHeld
+		}
+		if s.Else != nil {
+			if eb, ok := s.Else.(*ast.BlockStmt); ok {
+				elseHeld := lw.block(eb.List, clone(held))
+				if !terminates(eb.List) {
+					held = elseHeld
+				}
+			} else {
+				held = lw.stmt(s.Else, held)
+			}
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = lw.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.checkExpr(s.Cond, held)
+		}
+		held = lw.block(s.Body.List, held)
+	case *ast.RangeStmt:
+		lw.checkExpr(s.X, held)
+		held = lw.block(s.Body.List, held)
+	case *ast.BlockStmt:
+		held = lw.block(s.List, held)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.block(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lw.block(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lw.block(cc.Body, clone(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later, without this frame's locks.
+	}
+	return held
+}
+
+// checkExpr reports blocking calls inside e while any lock is held. It does
+// not descend into function literals (they run later).
+func (lw *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := blockingCallee(lw.info, call); ok {
+			for m := range held {
+				lw.pass.Reportf(call.Pos(), "%s called while %s is locked; a running solve would block every reader of that lock (move the call outside the critical section)", name, m)
+				break
+			}
+		}
+		return true
+	})
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// checkNoCopy reports value copies of structs that must not fork:
+// lock-bearing structs and the core.Evaluator with its journal.
+func checkNoCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) == len(n.Rhs) && isBlankIdent(n.Lhs[i]) {
+						continue // discarded, nothing forks
+					}
+					checkCopyExpr(pass, info, rhs, "assignment")
+				}
+			case *ast.CallExpr:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					checkCopyExpr(pass, info, arg, "argument")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlankIdent(n.Value) {
+					if t := info.TypeOf(n.Value); t != nil && typeHasNoCopyField(t, 3) {
+						pass.Reportf(n.Value.Pos(), "range copies a %s by value each iteration; range over indices or pointers instead", t.String())
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) == 1 {
+					if tv, ok := info.Types[n.Recv.List[0].Type]; ok {
+						if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr && typeHasNoCopyField(tv.Type, 3) {
+							pass.Reportf(n.Recv.Pos(), "method receiver copies a %s by value; use a pointer receiver", tv.Type.String())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCopyExpr flags rhs when evaluating it copies a no-copy struct by
+// value: a dereference, a variable read, an index or a field selection of
+// such a type. Composite literals and calls construct fresh values and are
+// fine.
+func checkCopyExpr(pass *Pass, info *types.Info, rhs ast.Expr, what string) {
+	rhs = ast.Unparen(rhs)
+	switch rhs.(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := info.Types[rhs]
+	if !ok || tv.IsType() {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if !typeHasNoCopyField(tv.Type, 3) {
+		return
+	}
+	// Reading a package-level or method-set name is not a copy by itself;
+	// only value contexts reach here (assignment RHS / call argument), which
+	// always copy.
+	pass.Reportf(rhs.Pos(), "%s copies a %s by value; it contains a lock or an Evaluator journal — pass a pointer", what, tv.Type.String())
+}

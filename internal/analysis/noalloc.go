@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoallocDirective marks a function whose body must not allocate in steady
+// state — the Evaluator/SA hot path contract from PR 2.
+const NoallocDirective = "//vpart:noalloc"
+
+// NoallocAnalyzer checks functions annotated //vpart:noalloc. Inside them it
+// reports every construct that allocates (or defeats escape analysis):
+// make, new, slice/map composite literals, growing appends, closures, go and
+// defer statements, fmt/log calls, string concatenation, method values, and
+// implicit boxing of concrete values into interface parameters.
+//
+// An append is exempt when the destination was re-sliced to zero length
+// (dst = dst[:0]) earlier in the same function — the scratch-buffer reuse
+// idiom whose growth is amortized to the high-water mark. Cross-function
+// amortization (the Evaluator journal) is annotated per call site with
+// //vpartlint:allow noalloc <reason>.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //vpart:noalloc (the solver hot path) must not allocate in steady state",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDocHas(fn, NoallocDirective) {
+				continue
+			}
+			checkNoalloc(pass, fn)
+		}
+	}
+}
+
+func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Scratch-buffer resets: dst = dst[:0] legitimizes later appends to dst.
+	reset := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := as.Rhs[0].(*ast.SliceExpr)
+		if !ok || sl.Low != nil || sl.High == nil {
+			return true
+		}
+		if lit, ok := sl.High.(*ast.BasicLit); !ok || lit.Value != "0" {
+			return true
+		}
+		if exprString(as.Lhs[0]) == exprString(sl.X) {
+			reset[exprString(sl.X)] = true
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates; hoist it out of the %s hot path", NoallocDirective)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in a %s function", NoallocDirective)
+			return false
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer allocates in a %s function", NoallocDirective)
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Reportf(n.Pos(), "%s literal allocates in a %s function", typeKindName(tv.Type), NoallocDirective)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv.Value == nil { // constant folding is free
+							pass.Reportf(n.Pos(), "string concatenation allocates in a %s function", NoallocDirective)
+						}
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method value (x.M used as a value) allocates a bound-method
+			// closure. Method calls are visited via their CallExpr parent and
+			// skip this branch.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(n.Pos(), "method value %s allocates a bound closure in a %s function", n.Sel.Name, NoallocDirective)
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(pass, n, reset)
+			// Visit arguments but not a method-call's selector (handled above
+			// only for method *values*).
+			for _, arg := range n.Args {
+				ast.Inspect(arg, walk)
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, walk)
+				return false
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func checkNoallocCall(pass *Pass, call *ast.CallExpr, reset map[string]bool) {
+	info := pass.Pkg.Info
+	switch {
+	case isBuiltinCall(info, call, "make"):
+		pass.Reportf(call.Pos(), "make allocates in a %s function; preallocate in the constructor and reuse", NoallocDirective)
+		return
+	case isBuiltinCall(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in a %s function", NoallocDirective)
+		return
+	case isBuiltinCall(info, call, "append"):
+		if len(call.Args) > 0 {
+			if dst := exprString(call.Args[0]); reset[dst] {
+				return // scratch-buffer idiom: dst = dst[:0] seen above
+			}
+		}
+		pass.Reportf(call.Pos(), "append may grow its backing array in a %s function; reset the buffer with dst = dst[:0] in this function, or annotate //vpartlint:allow noalloc <reason>", NoallocDirective)
+		return
+	}
+
+	// Conversions to an interface type box their operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(atv.Type) && !isUntypedNil(atv) {
+				pass.Reportf(call.Pos(), "conversion to interface boxes the operand in a %s function", NoallocDirective)
+			}
+		}
+		return
+	}
+
+	// fmt/log formatting allocates (and drags reflection in).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch pkgNameOf(info, sel.X) {
+		case "fmt", "log", "log/slog":
+			pass.Reportf(call.Pos(), "%s.%s allocates in a %s function", pkgBase(pkgNameOf(info, sel.X)), sel.Sel.Name, NoallocDirective)
+			return
+		}
+	}
+
+	// Implicit boxing: a concrete argument passed to an interface parameter.
+	sigTV, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice does not box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || types.IsInterface(atv.Type) || isUntypedNil(atv) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a concrete %s into an interface parameter in a %s function", atv.Type.String(), NoallocDirective)
+	}
+}
+
+func isUntypedNil(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return "composite"
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

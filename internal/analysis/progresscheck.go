@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ProgressAnalyzer enforces the progress-event contract: a progress.Func
+// (or anything carrying one, such as an Options value) may only cross a
+// goroutine boundary after being gated with progress.Func.Until, so a
+// straggler cancelled after the run concluded cannot emit stale events —
+// the contract composite solvers document and internal/decompose models.
+//
+// For every `go` statement the analyzer collects the progress-typed values
+// the goroutine can reach (arguments and captured variables, including
+// progress-typed fields of captured structs) and requires each one's
+// defining assignment in the enclosing function to derive from a .Until(...)
+// call (or to be nil). A value with no visible gate — including one handed
+// in as a parameter — is reported.
+var ProgressAnalyzer = &Analyzer{
+	Name: "progress",
+	Doc:  "progress callbacks must be wrapped in progress.Func.Until before crossing a goroutine boundary",
+	Run:  runProgress,
+}
+
+func runProgress(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Track the enclosing function body of each go statement.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			enclosing := enclosingFuncBody(stack[:len(stack)-1])
+			if enclosing == nil {
+				return true
+			}
+			checkGoStmt(pass, info, gs, enclosing)
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function containing
+// the node at the top of the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, info *types.Info, gs *ast.GoStmt, enclosing *ast.BlockStmt) {
+	// Carriers: argument expressions plus, for a func-literal goroutine, the
+	// variables its body captures from the enclosing function.
+	for _, arg := range gs.Call.Args {
+		checkCarrier(pass, info, arg, enclosing, nil)
+	}
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		// For each variable the literal captures, record how it is used:
+		// fieldUses[obj] holds the field names selected from it, wholeUse[obj]
+		// marks a use of the bare value (passed on or assigned whole). A
+		// struct capture only carries its progress field across the boundary
+		// if that field is read or the struct travels whole.
+		type capture struct {
+			id     *ast.Ident      // a representative use site
+			fields map[string]bool // field names selected from it
+			whole  bool            // used as a bare value (travels whole)
+		}
+		selX := map[*ast.Ident]string{}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					selX[id] = sel.Sel.Name
+				}
+			}
+			return true
+		})
+		captures := map[types.Object]*capture{}
+		var order []types.Object
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			v, ok := obj.(*types.Var)
+			if !ok || v.Pos() == 0 {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return true // declared inside the literal, not a capture
+			}
+			c := captures[obj]
+			if c == nil {
+				c = &capture{id: id, fields: map[string]bool{}}
+				captures[obj] = c
+				order = append(order, obj)
+			}
+			if f, isSel := selX[id]; isSel {
+				c.fields[f] = true
+			} else {
+				c.whole = true
+			}
+			return true
+		})
+		for _, obj := range order {
+			c := captures[obj]
+			fields := c.fields
+			if c.whole {
+				fields = nil // travels whole: every progress field crosses
+			}
+			checkCarrier(pass, info, c.id, enclosing, fields)
+		}
+	}
+}
+
+// checkCarrier verifies one value crossing the goroutine boundary. For a
+// struct carrier, a non-nil usedFields set restricts the check to the fields
+// the goroutine actually reads.
+func checkCarrier(pass *Pass, info *types.Info, carrier ast.Expr, enclosing *ast.BlockStmt, usedFields map[string]bool) {
+	tv, ok := info.Types[carrier]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if isProgressFunc(t) {
+		if !untilDerived(info, carrier, "", enclosing) {
+			pass.Reportf(carrier.Pos(), "progress callback crosses a goroutine boundary without a progress.Func.Until gate; a cancelled straggler could emit stale events — wrap it with .Until(ctx) first")
+		}
+		return
+	}
+	// A struct carrying a progress-typed field (Options and friends). The
+	// zero field is fine; any assignment to it must be Until-derived.
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isProgressFunc(f.Type()) {
+			continue
+		}
+		if usedFields != nil && !usedFields[f.Name()] {
+			continue
+		}
+		if !untilDerived(info, carrier, f.Name(), enclosing) {
+			pass.Reportf(carrier.Pos(), "%s.%s carries a progress callback across a goroutine boundary without a progress.Func.Until gate; wrap it with .Until(ctx) before launching", exprString(carrier), f.Name())
+		}
+	}
+}
+
+// untilDerived reports whether the carrier (or its named field) is safely
+// gated in the enclosing function: every assignment to it either derives
+// from a .Until(...) call chain or sets it to nil, and at least one such
+// assignment exists. A value that is never assigned locally (a parameter, a
+// captured outer value) has no visible gate and reports false.
+func untilDerived(info *types.Info, carrier ast.Expr, field string, enclosing *ast.BlockStmt) bool {
+	target := exprString(carrier)
+	if field != "" {
+		target += "." + field
+	}
+	assigned, gated := false, true
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if exprString(lhs) != target {
+				continue
+			}
+			assigned = true
+			if !rhsUntilDerived(info, as.Rhs[i]) {
+				gated = false
+			}
+		}
+		return true
+	})
+	return assigned && gated
+}
+
+// rhsUntilDerived reports whether the expression is nil or contains a call
+// to a method named Until (progress.Func.Until, or a retagger applied on
+// top of it).
+func rhsUntilDerived(info *types.Info, rhs ast.Expr) bool {
+	rhs = ast.Unparen(rhs)
+	if tv, ok := info.Types[rhs]; ok && isUntypedNil(tv) {
+		return true
+	}
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Until" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,95 @@
+// Package cancellation is a vpartlint test fixture for the cancellation
+// analyzer: unbounded loops in functions that can observe cancellation must
+// consult the facility.
+package cancellation
+
+import (
+	"context"
+	"time"
+)
+
+// Options mirrors a solver options struct: both fields are cancellation
+// facilities.
+type Options struct {
+	Deadline time.Time
+	Stop     func() bool
+}
+
+func spinsWithoutConsulting(ctx context.Context, step func() bool) {
+	for { // want "unbounded loop never consults"
+		if step() {
+			return
+		}
+	}
+}
+
+func whileWithoutConsulting(ctx context.Context, step func() bool) {
+	done := false
+	for !done { // want "unbounded loop never consults"
+		done = step()
+	}
+}
+
+func consultsCtxErr(ctx context.Context, step func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if step() {
+			return
+		}
+	}
+}
+
+func consultsDone(ctx context.Context, steps chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-steps:
+		}
+	}
+}
+
+func consultsDeadlineField(opts Options, step func() bool) {
+	for !step() {
+		if !opts.Deadline.IsZero() {
+			return
+		}
+	}
+}
+
+func (o Options) expired() bool {
+	return o.Stop != nil && o.Stop()
+}
+
+func consultsViaHelper(opts Options, step func() bool) {
+	for !step() { // expired() consults the Stop hook: fixpoint propagation
+		if opts.expired() {
+			return
+		}
+	}
+}
+
+func countedLoop(ctx context.Context, n int, step func()) {
+	for i := 0; i < n; i++ { // counted: structurally bounded
+		step()
+	}
+}
+
+func rangeLoop(ctx context.Context, xs []int, step func(int)) {
+	for _, x := range xs { // bounded by the input
+		step(x)
+	}
+}
+
+func channelRange(ctx context.Context, jobs chan int, step func(int)) {
+	for j := range jobs { // producer-driven; cancellation is the feeder's job
+		step(j)
+	}
+}
+
+func noFacility(step func() bool) {
+	for !step() { // nothing to consult: out of the rule's scope
+	}
+}

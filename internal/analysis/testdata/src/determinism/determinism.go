@@ -1,0 +1,87 @@
+// Package determinism is a vpartlint test fixture. The // want comments mark
+// the diagnostics the determinism analyzer must (and must not) report.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapOrderLeaks(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order leaks"
+		out = append(out, k)
+	}
+	return out
+}
+
+func commutativeIndexStore(m map[int]float64, dst []float64) {
+	for k, v := range m { // order-independent: one store per key
+		dst[k] = v
+	}
+}
+
+func intAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // integer accumulation commutes
+		total += v
+	}
+	return total
+}
+
+func floatAccumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "map iteration order leaks"
+		total += v // float rounding is order-dependent
+	}
+	return total
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // order normalized by the sort below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order leaks"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func deleteDuringRange(m map[string]int) {
+	for k := range m { // delete commutes with iteration
+		delete(m, k)
+	}
+}
+
+func wallClockDecision(deadline time.Time, iters int) bool {
+	if iters > 0 {
+		return time.Now().After(deadline) // want "wall-clock reading decides control flow"
+	}
+	return false
+}
+
+func wallClockVarDecision(deadline time.Time) bool {
+	now := time.Now()
+	return now.Before(deadline) // want "wall-clock reading"
+}
+
+func elapsedMeasurement(start time.Time) time.Duration {
+	return time.Since(start) // measuring elapsed time is fine
+}
+
+func globalRandDraw() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+func seededRandDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // sanctioned: explicit seeded source
+	return r.Intn(10)
+}

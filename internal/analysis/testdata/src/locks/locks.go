@@ -1,0 +1,85 @@
+// Package locks is a vpartlint test fixture for the daemon lock discipline
+// and the module-wide no-copy rule.
+package locks
+
+import "sync"
+
+type Solver struct{}
+
+func (Solver) Solve() {}
+
+func (Solver) Resolve() {}
+
+type Session struct{}
+
+func (Session) Apply() {}
+
+type manager struct {
+	mu sync.Mutex
+	s  Solver
+}
+
+func (m *manager) solveUnderLock() {
+	m.mu.Lock()
+	m.s.Solve() // want "Solve called while m.mu is locked"
+	m.mu.Unlock()
+}
+
+func (m *manager) solveUnderDeferredLock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.s.Resolve() // want "Resolve called while m.mu is locked"
+}
+
+func (m *manager) applyUnderLock(s Session) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s.Apply() // want "Session.Apply called while m.mu is locked"
+}
+
+func (m *manager) solveOutsideLock() {
+	m.mu.Lock()
+	snapshot := m.s
+	m.mu.Unlock()
+	snapshot.Solve() // lock released first: the serve pattern
+}
+
+func (m *manager) solveAfterEarlyReturn(ready bool) {
+	m.mu.Lock()
+	if !ready {
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	m.s.Solve() // every path released the lock
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func forkByAssignment(g *guarded) {
+	cp := *g // want "copies a"
+	_ = cp
+}
+
+func (g guarded) countValueReceiver() int { // want "method receiver copies"
+	return g.n
+}
+
+func rangeCopies(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies"
+		total += g.n
+	}
+	return total
+}
+
+func viaPointer(gs []*guarded) int {
+	total := 0
+	for _, g := range gs { // pointers never fork the lock
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,75 @@
+// Package noalloc is a vpartlint test fixture: functions annotated
+// //vpart:noalloc must not allocate in steady state.
+package noalloc
+
+import "fmt"
+
+type buf struct {
+	scratch []int
+}
+
+//vpart:noalloc
+func hotMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//vpart:noalloc
+func hotAppend(dst []int, v int) []int {
+	return append(dst, v) // want "append may grow"
+}
+
+//vpart:noalloc
+func (b *buf) scratchReuse(vs []int) {
+	b.scratch = b.scratch[:0] // reset legitimizes the appends below
+	for _, v := range vs {
+		b.scratch = append(b.scratch, v)
+	}
+}
+
+//vpart:noalloc
+func hotClosure(n int) func() int {
+	return func() int { return n } // want "closure literal allocates"
+}
+
+//vpart:noalloc
+func hotDefer(f func()) {
+	defer f() // want "defer allocates"
+}
+
+//vpart:noalloc
+func hotFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt.Sprintf allocates"
+}
+
+//vpart:noalloc
+func hotConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//vpart:noalloc
+func hotSliceLiteral() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//vpart:noalloc
+func hotBoxing(v int, sink func(interface{})) {
+	sink(v) // want "boxes a concrete int"
+}
+
+//vpart:noalloc
+func hotVariadicForward(vs []interface{}, sink func(...interface{})) {
+	sink(vs...) // forwarding an existing slice does not box
+}
+
+//vpart:noalloc
+func arithmeticOnly(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func coldPath(n int) []int {
+	return make([]int, n) // unannotated: the rule does not apply
+}

@@ -1,0 +1,74 @@
+// Package progressgate is a vpartlint test fixture: progress callbacks must
+// be gated with progress.Func.Until before crossing a goroutine boundary.
+package progressgate
+
+import (
+	"context"
+
+	"vpart/internal/progress"
+)
+
+// Options mirrors a solver options struct carrying a callback.
+type Options struct {
+	Progress progress.Func
+	Workers  int
+}
+
+type solver struct{}
+
+func (solver) Solve(ctx context.Context, opts Options) {}
+
+func emit(cb progress.Func) {}
+
+func ungatedArg(ctx context.Context, cb progress.Func) {
+	go emit(cb) // want "progress callback crosses a goroutine boundary"
+}
+
+func gatedArg(ctx context.Context, cb progress.Func) {
+	cb = cb.Until(ctx)
+	go emit(cb)
+}
+
+func ungatedOptionsArg(ctx context.Context, s solver, opts Options) {
+	go s.Solve(ctx, opts) // want "carries a progress callback"
+}
+
+func gatedOptionsArg(ctx context.Context, s solver, opts Options) {
+	opts.Progress = opts.Progress.Until(ctx)
+	go s.Solve(ctx, opts)
+}
+
+func retaggedGate(ctx context.Context, s solver, opts Options) {
+	opts.Progress = opts.Progress.Until(ctx).Named("child")
+	go s.Solve(ctx, opts)
+}
+
+func nilProgress(ctx context.Context, s solver, opts Options) {
+	opts.Progress = nil
+	go s.Solve(ctx, opts)
+}
+
+func ungatedCapture(ctx context.Context, cb progress.Func) {
+	go func() {
+		cb.Emit(progress.Event{}) // want "progress callback crosses a goroutine boundary"
+	}()
+}
+
+func gatedCapture(ctx context.Context, cb progress.Func) {
+	cb = cb.Until(ctx)
+	go func() {
+		cb.Emit(progress.Event{})
+	}()
+}
+
+func ungatedCapturedField(ctx context.Context, opts Options) {
+	go func() {
+		opts.Progress.Emit(progress.Event{}) // want "carries a progress callback"
+	}()
+}
+
+func unrelatedFieldCapture(ctx context.Context, opts Options, work func(int)) {
+	go func() {
+		work(opts.Workers) // the Progress field never crosses
+	}()
+}

@@ -1,0 +1,40 @@
+// Package suppress is a vpartlint test fixture for the //vpartlint:allow
+// suppression grammar: a documented directive silences the finding on its
+// own line or the line below; an undocumented one is itself a finding and
+// suppresses nothing.
+package suppress
+
+func documented(m map[string]int) []string {
+	var out []string
+	//vpartlint:allow determinism fixture demonstrates a documented suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sameLine(m map[string]int) []string {
+	var out []string
+	for k := range m { //vpartlint:allow determinism same-line form of the directive
+		out = append(out, k)
+	}
+	return out
+}
+
+func undocumented(m map[string]int) []string {
+	var out []string
+	//vpartlint:allow determinism
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func wrongRule(m map[string]int) []string {
+	var out []string
+	//vpartlint:allow noalloc the named rule must match the finding
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

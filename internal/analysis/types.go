@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// solverPackages are the import paths whose code sits on a solver decision
+// path: fixed-seed determinism and prompt cancellation are contractual there.
+var solverPackages = map[string]bool{
+	"vpart/internal/sa":        true,
+	"vpart/internal/qp":        true,
+	"vpart/internal/mip":       true,
+	"vpart/internal/lp":        true,
+	"vpart/internal/core":      true,
+	"vpart/internal/decompose": true,
+	"vpart/internal/seeds":     true,
+}
+
+// inSolverScope reports whether the package is subject to the solver-path
+// rules. Packages outside the module (the test fixtures) are always in
+// scope, so fixtures exercise the rules without impersonating module paths.
+func inSolverScope(path string) bool {
+	if strings.HasPrefix(path, "vpart/") || path == "vpart" {
+		return solverPackages[path]
+	}
+	return true
+}
+
+// inDaemonScope reports whether the package is subject to the daemon lock
+// discipline.
+func inDaemonScope(path string) bool {
+	if strings.HasPrefix(path, "vpart/") || path == "vpart" {
+		return strings.HasPrefix(path, "vpart/internal/daemon")
+	}
+	return true
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// isProgressFunc reports whether t is (an alias of) progress.Func, the typed
+// progress callback.
+func isProgressFunc(t types.Type) bool {
+	return isNamed(t, "vpart/internal/progress", "Func")
+}
+
+// isTimeTime reports whether t is time.Time.
+func isTimeTime(t types.Type) bool {
+	return isNamed(t, "time", "Time")
+}
+
+// isNamed reports whether t (after unaliasing) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// exprString renders an expression for use as a lexical identity key.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// pkgNameOf resolves a call/selector base identifier to the package it
+// names, or "" when it is not a package qualifier.
+func pkgNameOf(info *types.Info, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions and calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// typeHasNoCopyField reports whether t is a struct type that (transitively
+// through value fields, up to the given depth) contains a sync lock, a
+// sync/atomic value, or the incremental core.Evaluator with its journal —
+// types whose value copy silently forks state.
+func typeHasNoCopyField(t types.Type, depth int) bool {
+	if depth < 0 {
+		return false
+	}
+	t = types.Unalias(t)
+	if isNoCopyNamed(t) {
+		return true
+	}
+	if n, ok := t.(*types.Named); ok {
+		t = n.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isNoCopyNamed(types.Unalias(ft)) || typeHasNoCopyField(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNoCopyNamed reports whether t itself is one of the known no-copy types.
+func isNoCopyNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Map", "Pool":
+			return true
+		}
+	case "sync/atomic":
+		switch obj.Name() {
+		case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+			return true
+		}
+	case "vpart/internal/core":
+		// The Evaluator's journal and accumulators must never fork: a value
+		// copy would let two copies Undo the same journal.
+		if obj.Name() == "Evaluator" {
+			return true
+		}
+	}
+	// Fixtures declare their own no-copy sentinel so the rule is testable
+	// without importing the real core package.
+	return obj.Name() == "NoCopySentinel"
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FromAssignment iterates the name maps of an Assignment; on a malformed
+// input the reported error must not depend on map iteration order.
+func TestFromAssignmentDeterministicError(t *testing.T) {
+	m := testModel(t)
+
+	as := &Assignment{
+		Sites: 2,
+		Transactions: map[string]int{
+			"T1":         0,
+			"zz-unknown": 0,
+			"aa-unknown": 1,
+		},
+		Attributes: map[string][]int{},
+	}
+	_, err := FromAssignment(m, as)
+	if err == nil {
+		t.Fatal("FromAssignment accepted unknown transactions")
+	}
+	if !strings.Contains(err.Error(), "aa-unknown") {
+		t.Fatalf("error %q does not name the alphabetically first unknown transaction", err)
+	}
+	for i := 0; i < 50; i++ {
+		_, again := FromAssignment(m, as)
+		if again == nil || again.Error() != err.Error() {
+			t.Fatalf("iteration %d: error changed from %q to %v (map-order leak)", i, err, again)
+		}
+	}
+
+	bad := &Assignment{
+		Sites:        2,
+		Transactions: map[string]int{},
+		Attributes: map[string][]int{
+			"R.zz-unknown": {0},
+			"R.aa-unknown": {1},
+		},
+	}
+	_, err = FromAssignment(m, bad)
+	if err == nil {
+		t.Fatal("FromAssignment accepted unknown attributes")
+	}
+	if !strings.Contains(err.Error(), "aa-unknown") {
+		t.Fatalf("error %q does not name the alphabetically first unknown attribute", err)
+	}
+	for i := 0; i < 50; i++ {
+		_, again := FromAssignment(m, bad)
+		if again == nil || again.Error() != err.Error() {
+			t.Fatalf("iteration %d: error changed from %q to %v (map-order leak)", i, err, again)
+		}
+	}
+}

@@ -315,6 +315,8 @@ func (e *Evaluator) checkSite(s int) {
 
 // ApplyMoveTxn is Apply(MoveTxn{t, s}) without the interface boxing — the
 // allocation-free form hot loops should call.
+//
+//vpart:noalloc
 func (e *Evaluator) ApplyMoveTxn(t, s int) float64 {
 	e.checkSite(s)
 	old := e.p.TxnSite[t]
@@ -328,16 +330,20 @@ func (e *Evaluator) ApplyMoveTxn(t, s int) float64 {
 	}
 	if s == old {
 		rec.noop = true
+		//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 		e.journal = append(e.journal, rec)
 		return 0
 	}
 	b0 := e.balancedRaw()
 	e.moveTxn(t, s)
+	//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 	e.journal = append(e.journal, rec)
 	return e.balancedRaw() - b0
 }
 
 // ApplyAddReplica is Apply(AddReplica{a, s}) without the interface boxing.
+//
+//vpart:noalloc
 func (e *Evaluator) ApplyAddReplica(a, s int) float64 {
 	e.checkSite(s)
 	rec := undoRec{
@@ -350,16 +356,20 @@ func (e *Evaluator) ApplyAddReplica(a, s int) float64 {
 	}
 	if e.p.AttrSites[a][s] {
 		rec.noop = true
+		//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 		e.journal = append(e.journal, rec)
 		return 0
 	}
 	b0 := e.balancedRaw()
 	e.flipReplica(a, s, true)
+	//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 	e.journal = append(e.journal, rec)
 	return e.balancedRaw() - b0
 }
 
 // ApplyDropReplica is Apply(DropReplica{a, s}) without the interface boxing.
+//
+//vpart:noalloc
 func (e *Evaluator) ApplyDropReplica(a, s int) float64 {
 	e.checkSite(s)
 	rec := undoRec{
@@ -372,11 +382,13 @@ func (e *Evaluator) ApplyDropReplica(a, s int) float64 {
 	}
 	if !e.p.AttrSites[a][s] {
 		rec.noop = true
+		//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 		e.journal = append(e.journal, rec)
 		return 0
 	}
 	b0 := e.balancedRaw()
 	e.flipReplica(a, s, false)
+	//vpartlint:allow noalloc journal capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 	e.journal = append(e.journal, rec)
 	return e.balancedRaw() - b0
 }
@@ -384,6 +396,8 @@ func (e *Evaluator) ApplyDropReplica(a, s int) float64 {
 // Undo reverts every move applied since the last Commit (or Restore), in
 // reverse order. The scalar accumulators are restored bitwise from the
 // journal, so an apply-undo cycle is exact.
+//
+//vpart:noalloc
 func (e *Evaluator) Undo() {
 	for i := len(e.journal) - 1; i >= 0; i-- {
 		rec := &e.journal[i]
@@ -419,12 +433,16 @@ func (e *Evaluator) Undo() {
 
 // Commit accepts the uncommitted move batch: the journal is cleared and the
 // moves can no longer be undone.
+//
+//vpart:noalloc
 func (e *Evaluator) Commit() {
 	e.journal = e.journal[:0]
 	e.betaLog = e.betaLog[:0]
 }
 
 // moveTxn relocates transaction t to site sNew, updating every accumulator.
+//
+//vpart:noalloc
 func (e *Evaluator) moveTxn(t, sNew int) {
 	m := e.m
 	p := e.p
@@ -467,6 +485,8 @@ func (e *Evaluator) moveTxn(t, sNew int) {
 
 // flipReplica stores (on) or removes (off) attribute a on site s, updating
 // every accumulator. The current bit must differ from on.
+//
+//vpart:noalloc
 func (e *Evaluator) flipReplica(a, s int, on bool) {
 	m := e.m
 	p := e.p
@@ -504,6 +524,7 @@ func (e *Evaluator) flipReplica(a, s int, on bool) {
 			if e.alphaCnt[idx] > 0 {
 				before = e.betaSum[idx]
 			}
+			//vpartlint:allow noalloc betaLog capacity amortizes to the batch high-water mark; Commit/Undo reslice to [:0]
 			e.betaLog = append(e.betaLog, betaRec{idx: int32(idx), prev: e.betaSum[idx]})
 			e.betaSum[idx] += sign * ref.weight
 			if ref.alpha {
@@ -640,6 +661,8 @@ func (e *Evaluator) Replicas(a int) int { return int(e.replicas[a]) }
 // balancedRaw computes the balanced objective (6) from the accumulators with
 // the raw (unclamped) transfer term. Deltas of consecutive calls are exact
 // regardless of the clamp, which only matters at B ≈ 0.
+//
+//vpart:noalloc
 func (e *Evaluator) balancedRaw() float64 {
 	mw := 0.0
 	for _, w := range e.siteWork {
@@ -655,6 +678,8 @@ func (e *Evaluator) balancedRaw() float64 {
 
 // Balanced returns the balanced objective (6) of the current state, equal to
 // Cost().Balanced but without allocating. O(sites).
+//
+//vpart:noalloc
 func (e *Evaluator) Balanced() float64 {
 	mw := 0.0
 	for _, w := range e.siteWork {

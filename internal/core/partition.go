@@ -443,14 +443,28 @@ func FromAssignment(m *Model, as *Assignment) (*Partitioning, error) {
 		return nil, fmt.Errorf("assignment: non-positive site count %d", as.Sites)
 	}
 	p := NewPartitioning(m.NumTxns(), m.NumAttrs(), as.Sites)
-	for name, site := range as.Transactions {
+	// Iterate both name maps in sorted order: the stores are commutative, but
+	// on a malformed assignment the error returned must not depend on map
+	// iteration order.
+	txnNames := make([]string, 0, len(as.Transactions))
+	for name := range as.Transactions {
+		txnNames = append(txnNames, name)
+	}
+	sort.Strings(txnNames)
+	for _, name := range txnNames {
 		t, ok := m.TxnIndex(name)
 		if !ok {
 			return nil, fmt.Errorf("assignment: unknown transaction %q", name)
 		}
-		p.TxnSite[t] = site
+		p.TxnSite[t] = as.Transactions[name]
 	}
-	for name, sites := range as.Attributes {
+	attrNames := make([]string, 0, len(as.Attributes))
+	for name := range as.Attributes {
+		attrNames = append(attrNames, name)
+	}
+	sort.Strings(attrNames)
+	for _, name := range attrNames {
+		sites := as.Attributes[name]
 		qa, err := ParseQualifiedAttr(name)
 		if err != nil {
 			return nil, fmt.Errorf("assignment: %w", err)

@@ -163,6 +163,7 @@ func (s *Simplex) deadlineExceeded() bool {
 	if s.opts.Stop != nil && s.opts.Stop() {
 		return true
 	}
+	//vpartlint:allow determinism deadline enforcement is inherently wall-clock; results only vary when the run would time out anyway
 	return !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline)
 }
 

@@ -203,6 +203,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 		// initial solution) instead of discarding it.
 		res.Runtime = time.Since(start)
 		res.SimplexIters = sx.Iterations()
+		//vpartlint:allow determinism deadline enforcement is inherently wall-clock; only the TimedOut flag depends on it
 		res.TimedOut = res.TimedOut || (!deadline.IsZero() && time.Now().After(deadline))
 		if incumbent != nil {
 			res.X = incumbent
@@ -263,6 +264,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
 			break
 		}
+		//vpartlint:allow determinism deadline enforcement is inherently wall-clock; results only vary when the run would time out anyway
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.TimedOut = true
 			break

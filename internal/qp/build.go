@@ -3,6 +3,7 @@ package qp
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"vpart/internal/core"
 	"vpart/internal/lp"
@@ -170,8 +171,19 @@ func build(m *core.Model, opts Options) (*lp.Problem, *varmap, []bool, []int, er
 		}
 	}
 	// Remaining latency pairs have no cost term at all but still need a
-	// pinned product variable.
+	// pinned product variable. Their order fixes u-variable column numbers,
+	// so iterate the pairs sorted, not in map order.
+	rest := make([][2]int, 0, len(latencyPairs))
 	for pair := range latencyPairs {
+		rest = append(rest, pair)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i][0] != rest[j][0] {
+			return rest[i][0] < rest[j][0]
+		}
+		return rest[i][1] < rest[j][1]
+	})
+	for _, pair := range rest {
 		plans = append(plans, uPlan{t: pair[0], a: pair[1], needLE: true, needGE: true})
 	}
 

@@ -1,0 +1,73 @@
+package qp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"vpart/internal/core"
+)
+
+// latencyModel compiles the fixture with the latency extension enabled — the
+// configuration whose u-variable block used to be laid out by iterating a
+// map, so two builds of the same model could number columns differently.
+func latencyModel(t *testing.T) *core.Model {
+	t.Helper()
+	return mustModel(t, fixtureInstance(), core.ModelOptions{Penalty: 2, Lambda: 0.1, LatencyPenalty: 50})
+}
+
+// TestBuildColumnLayoutDeterministic builds the same model repeatedly and
+// requires an identical column layout every time.
+func TestBuildColumnLayoutDeterministic(t *testing.T) {
+	m := latencyModel(t)
+	refProb, refVM, _, _, err := build(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNames := make([]string, refProb.NumVars())
+	for j := range refNames {
+		refNames[j] = refProb.Name(j)
+	}
+	for run := 0; run < 25; run++ {
+		prob, vm, _, _, err := build(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prob.NumVars() != refProb.NumVars() || prob.NumRows() != refProb.NumRows() {
+			t.Fatalf("run %d: %d vars / %d rows, want %d / %d",
+				run, prob.NumVars(), prob.NumRows(), refProb.NumVars(), refProb.NumRows())
+		}
+		for j := 0; j < prob.NumVars(); j++ {
+			if prob.Name(j) != refNames[j] {
+				t.Fatalf("run %d: column %d is %q, want %q (map-order leak in the variable layout)",
+					run, j, prob.Name(j), refNames[j])
+			}
+		}
+		if !reflect.DeepEqual(vm.uCol, refVM.uCol) {
+			t.Fatalf("run %d: u-variable columns differ from the reference build", run)
+		}
+	}
+}
+
+// TestSolveBitIdenticalAcrossRuns solves the latency model several times and
+// requires bit-identical objectives and partitionings.
+func TestSolveBitIdenticalAcrossRuns(t *testing.T) {
+	m := latencyModel(t)
+	ref, err := Solve(context.Background(), m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		res, err := Solve(context.Background(), m, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost.Balanced != ref.Cost.Balanced {
+			t.Fatalf("run %d: balanced objective %v differs bitwise from reference %v",
+				run, res.Cost.Balanced, ref.Cost.Balanced)
+		}
+		if !reflect.DeepEqual(res.Partitioning, ref.Partitioning) {
+			t.Fatalf("run %d: partitioning differs from the reference solve", run)
+		}
+	}
+}

@@ -19,6 +19,8 @@ import (
 // transactions read — and the replication of a MoveFraction share of the
 // attributes is extended (relocated, in disjoint mode). The caller decides
 // the batch's fate with ev.Commit or ev.Undo.
+//
+//vpart:noalloc
 func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
 	if s.sites < 2 {
 		return 0
@@ -145,6 +147,8 @@ func (s *solver) perturb(rng *rand.Rand, ev *core.Evaluator) float64 {
 // partners that must follow them): no forbidden site, no separation
 // conflict, replica caps respected and the combined widths within st's
 // remaining capacity.
+//
+//vpart:noalloc
 func (s *solver) canDragReads(ev *core.Evaluator, t, st int) bool {
 	p := ev.Partitioning()
 	var need int64
@@ -181,6 +185,8 @@ func (s *solver) canDragReads(ev *core.Evaluator, t, st int) bool {
 }
 
 // containsInt32 reports whether the sorted list contains v.
+//
+//vpart:noalloc
 func containsInt32(sorted []int32, v int32) bool {
 	lo, hi := 0, len(sorted)
 	for lo < hi {
@@ -196,6 +202,8 @@ func containsInt32(sorted []int32, v int32) bool {
 
 // canExtendUnit reports whether the whole unit of attribute a (its
 // colocation group, or just a) may gain a replica on site st.
+//
+//vpart:noalloc
 func (s *solver) canExtendUnit(ev *core.Evaluator, a, st int) bool {
 	p := ev.Partitioning()
 	var need int64
@@ -223,6 +231,8 @@ func (s *solver) canExtendUnit(ev *core.Evaluator, a, st int) bool {
 // re-optimisation of the vector that is not fixed — on a scratch copy of the
 // evaluator's state and applies the outcome as one diffed move batch,
 // returning its delta. The caller commits or undoes the batch.
+//
+//vpart:noalloc
 func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 	p := ev.Partitioning()
 	if s.scratch == nil {
@@ -270,6 +280,8 @@ func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 }
 
 // attrSite returns the site of a non-replicated attribute (disjoint mode).
+//
+//vpart:noalloc
 func attrSite(p *core.Partitioning, a int) int {
 	for st, on := range p.AttrSites[a] {
 		if on {

@@ -151,6 +151,7 @@ outer:
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sa: %w", err)
 			}
+			//vpartlint:allow determinism deadline enforcement is inherently wall-clock; results only vary when the run would time out anyway
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				res.TimedOut = true
 				break outer

@@ -115,6 +115,10 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 	outcomes := make(chan childOutcome, total)
 
 	launch := func(idx int, tag string, s Solver, childOpts Options) {
+		// Gate the child's callback on the race context: once the portfolio
+		// has concluded (winner found or caller cancelled), losing stragglers
+		// must not keep emitting tagged events at the caller.
+		childOpts.Progress = childOpts.Progress.Until(runCtx)
 		go func() {
 			res, err := s.Solve(runCtx, m, childOpts)
 			outcomes <- childOutcome{idx: idx, tag: tag, res: res, err: err}
