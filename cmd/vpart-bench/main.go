@@ -22,11 +22,19 @@
 // Both pipelines run the single-threaded SA solver with fixed seeds, so the
 // costs are deterministic and the wall-clock comparison is single-core.
 //
+// With -parallel it sweeps the parallel-tempering solver (sa-par) across
+// GOMAXPROCS 1/2/4/8 on rndAt64x200 and writes BENCH_parallel.json with
+// iters/sec per proc point plus a fixed-seed quality comparison against
+// monolithic SA. The run fails when the points disagree on the solution
+// (sa-par must be deterministic regardless of scheduling) or when the
+// fixed-seed cost lands more than 3 % above monolithic SA's.
+//
 // Run with:
 //
 //	go run ./cmd/vpart-bench [-out BENCH_evaluator.json] [-quick]
 //	go run ./cmd/vpart-bench -decompose [-out BENCH_decompose.json] [-quick]
 //	go run ./cmd/vpart-bench -online [-out BENCH_online.json] [-quick]
+//	go run ./cmd/vpart-bench -parallel [-out BENCH_parallel.json] [-quick]
 package main
 
 import (
@@ -79,6 +87,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "fewer SA measurement runs (CI smoke)")
 	decomposeSuite := fs.Bool("decompose", false, "benchmark the decomposition pipeline instead of the evaluator")
 	online := fs.Bool("online", false, "benchmark warm re-solving over a drift trace instead of the evaluator")
+	parallelSuite := fs.Bool("parallel", false, "benchmark sa-par scaling across GOMAXPROCS instead of the evaluator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +107,12 @@ func run(args []string) error {
 			*out = "BENCH_online.json"
 		}
 		return runOnlineSuite(*out, runs, *quick)
+	}
+	if *parallelSuite {
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+		return runParallelSuite(*out, runs, *quick)
 	}
 	if *out == "" {
 		*out = "BENCH_evaluator.json"
@@ -190,6 +205,7 @@ type decomposeReport struct {
 	Generated  string `json:"generated"`
 	GoVersion  string `json:"go_version"`
 	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
 	Quick      bool   `json:"quick,omitempty"`
 	Instance   string `json:"instance"`
 	Attributes int    `json:"attributes"`
@@ -227,6 +243,7 @@ func runDecomposeSuite(out string, runs int, quick bool) error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 		Instance:   st.Name,
 		Attributes: st.Attributes,
@@ -317,6 +334,7 @@ type onlineReport struct {
 	Generated    string  `json:"generated"`
 	GoVersion    string  `json:"go_version"`
 	CPUs         int     `json:"cpus"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
 	Quick        bool    `json:"quick,omitempty"`
 	Instance     string  `json:"instance"`
 	Attributes   int     `json:"attributes"`
@@ -373,6 +391,7 @@ func runOnlineSuite(out string, runs int, quick bool) error {
 		Generated:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		CPUs:         runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		Quick:        quick,
 		Instance:     st.Name,
 		Attributes:   st.Attributes,

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"vpart/internal/conc"
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/sa"
+	"vpart/internal/sapar"
+)
+
+// parallelPoint is one GOMAXPROCS setting of the scaling sweep.
+type parallelPoint struct {
+	Procs       int     `json:"procs"`
+	Seconds     float64 `json:"seconds"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+	// Speedup is this point's throughput over the 1-proc point's.
+	Speedup float64 `json:"speedup_vs_1proc"`
+}
+
+// parallelReport is the BENCH_parallel.json schema: sa-par throughput at
+// increasing GOMAXPROCS plus a fixed-seed quality comparison against the
+// monolithic SA solver.
+type parallelReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+	Instance   string `json:"instance"`
+	Attributes int    `json:"attributes"`
+	Txns       int    `json:"transactions"`
+	Sites      int    `json:"sites"`
+	Replicas   int    `json:"replicas"`
+	Seed       int64  `json:"seed"`
+	Runs       int    `json:"runs"`
+
+	Points []parallelPoint `json:"points"`
+
+	SAParCost     float64 `json:"sa_par_cost"`
+	SAParIters    int     `json:"sa_par_iterations"`
+	SASeconds     float64 `json:"sa_seconds"`
+	SACost        float64 `json:"sa_cost"`
+	SAIters       int     `json:"sa_iterations"`
+	CostPercent   float64 `json:"sa_par_vs_sa_cost_percent"`
+	Deterministic bool    `json:"deterministic_across_procs"`
+}
+
+// runParallelSuite measures the parallel-tempering solver on rndAt64x200
+// (rndAt16x60 in quick mode): fixed-seed sa-par wall clock at GOMAXPROCS
+// 1/2/4/8, each run confined by a matching concurrency budget, plus the
+// monolithic SA solver on the same model as the quality baseline. The suite
+// fails when the proc points disagree on the solution (determinism gate) or
+// when sa-par's fixed-seed cost lands more than 3 % above monolithic SA's
+// (quality gate). Wall clocks take the best of `runs`; iteration counts and
+// costs are deterministic, so throughput ratios are pure wall-clock ratios.
+// Points beyond the machine's CPU count cannot speed up further — read the
+// speedups against the recorded "cpus" field.
+func runParallelSuite(out string, runs int, quick bool) error {
+	class := randgen.ClassA(64, 200, 10)
+	sites, replicas := 8, 8
+	procs := []int{1, 2, 4, 8}
+	if quick {
+		class = randgen.ClassA(16, 60, 10)
+		sites, replicas = 4, 4
+		procs = []int{1, 2}
+	}
+	const seed = 1
+	inst, err := randgen.Generate(class, 1)
+	if err != nil {
+		return err
+	}
+	st := inst.Stats()
+	m, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		return err
+	}
+
+	rep := parallelReport{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		CPUs:          runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Quick:         quick,
+		Instance:      st.Name,
+		Attributes:    st.Attributes,
+		Txns:          st.Transactions,
+		Sites:         sites,
+		Replicas:      replicas,
+		Seed:          seed,
+		Runs:          runs,
+		Deterministic: true,
+	}
+
+	saOpts := sa.DefaultOptions(sites)
+	saOpts.Seed = seed
+
+	var refCost float64
+	var refIters int
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for i, p := range procs {
+		runtime.GOMAXPROCS(p)
+		bestT := math.Inf(1)
+		var res *sa.Result
+		for r := 0; r < runs; r++ {
+			// A fresh budget per run: the sweep measures how sa-par behaves
+			// when the process budget allows exactly p concurrent replicas.
+			o := sapar.Options{SA: saOpts, Replicas: replicas, Budget: conc.NewBudget(p)}
+			t0 := time.Now()
+			res, err = sapar.Solve(context.Background(), m, o)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(t0).Seconds(); d < bestT {
+				bestT = d
+			}
+		}
+		if i == 0 {
+			refCost, refIters = res.Cost.Balanced, res.Iterations
+		} else if res.Cost.Balanced != refCost || res.Iterations != refIters {
+			rep.Deterministic = false
+		}
+		pt := parallelPoint{Procs: p, Seconds: bestT, ItersPerSec: float64(res.Iterations) / bestT}
+		if len(rep.Points) > 0 {
+			pt.Speedup = pt.ItersPerSec / rep.Points[0].ItersPerSec
+		} else {
+			pt.Speedup = 1
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("sa-par %s procs=%d: %.2fs  %.0f iters/sec  speedup %.2fx\n",
+			st.Name, p, pt.Seconds, pt.ItersPerSec, pt.Speedup)
+	}
+	runtime.GOMAXPROCS(prev)
+	rep.SAParCost, rep.SAParIters = refCost, refIters
+
+	bestT := math.Inf(1)
+	var saRes *sa.Result
+	for r := 0; r < runs; r++ {
+		t0 := time.Now()
+		saRes, err = sa.Solve(context.Background(), m, saOpts)
+		if err != nil {
+			return err
+		}
+		if d := time.Since(t0).Seconds(); d < bestT {
+			bestT = d
+		}
+	}
+	rep.SASeconds = bestT
+	rep.SACost = saRes.Cost.Balanced
+	rep.SAIters = saRes.Iterations
+	rep.CostPercent = 100 * rep.SAParCost / rep.SACost
+	fmt.Printf("monolithic sa: %.2fs  cost %.0f   sa-par cost %.0f  (%.2f%%)\n",
+		bestT, rep.SACost, rep.SAParCost, rep.CostPercent)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !rep.Deterministic {
+		return fmt.Errorf("sa-par solution varies with GOMAXPROCS/budget: determinism regression")
+	}
+	if rep.CostPercent > 103 {
+		return fmt.Errorf("sa-par fixed-seed cost is %.2f%% of monolithic SA (gate: 103%%)", rep.CostPercent)
+	}
+	return nil
+}

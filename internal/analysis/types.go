@@ -10,12 +10,14 @@ import (
 // path: fixed-seed determinism and prompt cancellation are contractual there.
 var solverPackages = map[string]bool{
 	"vpart/internal/sa":        true,
+	"vpart/internal/sapar":     true,
 	"vpart/internal/qp":        true,
 	"vpart/internal/mip":       true,
 	"vpart/internal/lp":        true,
 	"vpart/internal/core":      true,
 	"vpart/internal/decompose": true,
 	"vpart/internal/seeds":     true,
+	"vpart/internal/conc":      true,
 }
 
 // inSolverScope reports whether the package is subject to the solver-path

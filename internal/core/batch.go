@@ -1,0 +1,131 @@
+package core
+
+// The batched move API: local-search solvers build a MoveBatch — a reusable,
+// allocation-free list of typed moves — and apply or score it in one call.
+// Plain SA's greedy intensification and the parallel-tempering solver's
+// replicas share this single code path, so the move semantics (journalling,
+// bitwise-exact undo, no-op handling) cannot drift between them.
+
+// batchMove is one recorded move of a MoveBatch, in the evaluator's compact
+// move vocabulary.
+type batchMove struct {
+	kind    moveKind
+	x, site int32
+}
+
+// MoveBatch accumulates moves to be applied or scored as one unit. The zero
+// value is ready to use; Reset empties it for reuse, so a solver-owned batch
+// allocates only up to its high-water mark. A MoveBatch is independent of
+// any evaluator: the same batch may be scored against several snapshots.
+type MoveBatch struct {
+	moves []batchMove
+}
+
+// Reset empties the batch, keeping its capacity.
+//
+//vpart:noalloc
+func (b *MoveBatch) Reset() { b.moves = b.moves[:0] }
+
+// Len returns the number of recorded moves.
+//
+//vpart:noalloc
+func (b *MoveBatch) Len() int { return len(b.moves) }
+
+// MoveTxn records a transaction relocation, like Evaluator.ApplyMoveTxn.
+//
+//vpart:noalloc
+func (b *MoveBatch) MoveTxn(t, s int) {
+	//vpartlint:allow noalloc batch capacity amortizes to the high-water mark; Reset reslices to [:0]
+	b.moves = append(b.moves, batchMove{kind: mkMoveTxn, x: int32(t), site: int32(s)})
+}
+
+// AddReplica records a replica addition, like Evaluator.ApplyAddReplica.
+//
+//vpart:noalloc
+func (b *MoveBatch) AddReplica(a, s int) {
+	//vpartlint:allow noalloc batch capacity amortizes to the high-water mark; Reset reslices to [:0]
+	b.moves = append(b.moves, batchMove{kind: mkAddReplica, x: int32(a), site: int32(s)})
+}
+
+// DropReplica records a replica removal, like Evaluator.ApplyDropReplica.
+//
+//vpart:noalloc
+func (b *MoveBatch) DropReplica(a, s int) {
+	//vpartlint:allow noalloc batch capacity amortizes to the high-water mark; Reset reslices to [:0]
+	b.moves = append(b.moves, batchMove{kind: mkDropReplica, x: int32(a), site: int32(s)})
+}
+
+// ApplyBatch applies every move of the batch in order and returns the total
+// balanced-objective delta — bit-identical to summing the corresponding
+// ApplyMoveTxn/ApplyAddReplica/ApplyDropReplica calls, because it is exactly
+// that loop. The moves join the evaluator's uncommitted journal: accept them
+// with Commit or revert them (together with any earlier uncommitted moves)
+// with Undo.
+//
+//vpart:noalloc
+func (e *Evaluator) ApplyBatch(b *MoveBatch) float64 {
+	delta := 0.0
+	for i := range b.moves {
+		mv := &b.moves[i]
+		switch mv.kind {
+		case mkMoveTxn:
+			delta += e.ApplyMoveTxn(int(mv.x), int(mv.site))
+		case mkAddReplica:
+			delta += e.ApplyAddReplica(int(mv.x), int(mv.site))
+		case mkDropReplica:
+			delta += e.ApplyDropReplica(int(mv.x), int(mv.site))
+		}
+	}
+	return delta
+}
+
+// ScoreBatch prices the batch against the evaluator's current state without
+// leaving it applied: the moves are applied, their total delta recorded, and
+// then undone down to the pre-call journal mark — earlier uncommitted moves
+// survive untouched, and the restore is bitwise exact. Scoring N candidate
+// batches against one snapshot is N ScoreBatch calls; the state between the
+// calls is identical by construction.
+//
+//vpart:noalloc
+func (e *Evaluator) ScoreBatch(b *MoveBatch) float64 {
+	mark := len(e.journal)
+	delta := e.ApplyBatch(b)
+	e.undoTo(mark)
+	return delta
+}
+
+// undoTo reverts journalled moves in reverse order down to the given journal
+// mark, restoring every scalar accumulator bitwise. Undo is undoTo(0).
+//
+//vpart:noalloc
+func (e *Evaluator) undoTo(mark int) {
+	for i := len(e.journal) - 1; i >= mark; i-- {
+		rec := &e.journal[i]
+		if !rec.noop {
+			switch rec.kind {
+			case mkMoveTxn:
+				e.moveTxn(int(rec.x), int(rec.prevSite))
+				e.siteWork[rec.prevSite] = rec.work1
+			case mkAddReplica:
+				e.flipReplica(int(rec.x), int(rec.site), false)
+			case mkDropReplica:
+				e.flipReplica(int(rec.x), int(rec.site), true)
+			}
+			// Restore the WriteRelevant per-access sums bitwise from the log.
+			// The inverse flip above appended mirror entries; walking the log
+			// backwards to the move's mark assigns the oldest — true — prior
+			// value of every touched sum last.
+			for j := len(e.betaLog) - 1; j >= int(rec.betaMark); j-- {
+				e.betaSum[e.betaLog[j].idx] = e.betaLog[j].prev
+			}
+			e.betaLog = e.betaLog[:rec.betaMark]
+			e.siteWork[rec.site] = rec.work0
+			e.readAccess = rec.readAccess
+			e.writeAccess = rec.writeAccess
+			e.transfer = rec.transfer
+			e.transferGross = rec.transferGross
+			e.latencyUnits = rec.latencyUnits
+		}
+	}
+	e.journal = e.journal[:mark]
+}

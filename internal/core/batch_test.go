@@ -1,0 +1,267 @@
+package core_test
+
+// Equivalence tests for the batched move API: ApplyBatch must be bit-identical
+// to the corresponding sequence of ApplyMoveTxn/ApplyAddReplica/
+// ApplyDropReplica calls (it IS that loop, and these tests keep it so), and
+// ScoreBatch must price a batch without perturbing the evaluator's state or
+// any earlier uncommitted moves. A final AllocsPerRun guard keeps the whole
+// batch path allocation-free in steady state.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+)
+
+// batchCase is one cell of the accounting-mode × latency × constraints grid
+// the batched API must cover.
+type batchCase struct {
+	name    string
+	mode    core.WriteAccounting
+	latency float64
+	cons    bool
+}
+
+func batchCases() []batchCase {
+	var cs []batchCase
+	for _, mode := range []core.WriteAccounting{core.WriteAll, core.WriteRelevant, core.WriteNone} {
+		for _, lat := range []float64{0, 0.5} {
+			for _, cons := range []bool{false, true} {
+				name := mode.String()
+				if lat > 0 {
+					name += "/latency"
+				}
+				if cons {
+					name += "/constrained"
+				}
+				cs = append(cs, batchCase{name: name, mode: mode, latency: lat, cons: cons})
+			}
+		}
+	}
+	return cs
+}
+
+// batchModel compiles the shared small random instance under the case's
+// options, constrained with a replica cap and a pinned transaction when the
+// case asks for it (the evaluator then tracks site bytes and constraint
+// tables, which the batch path must leave exactly as the sequential path
+// does).
+func batchModel(t *testing.T, c batchCase) *core.Model {
+	t.Helper()
+	inst, err := randgen.Generate(randgen.ClassA(3, 8, 30), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cons *core.Constraints
+	if c.cons {
+		tbl := inst.Schema.Tables[0]
+		attr := fmt.Sprintf("%s.%s", tbl.Name, tbl.Attributes[0].Name)
+		qa, err := core.ParseQualifiedAttr(attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons = &core.Constraints{
+			PinTxns:     []core.PinTxn{{Txn: inst.Workload.Transactions[0].Name, Site: 0}},
+			MaxReplicas: []core.MaxReplicas{{Attr: qa, K: 2}},
+		}
+	}
+	m, err := core.NewModelConstrained(inst, core.ModelOptions{
+		Penalty: 8, Lambda: 0.1,
+		WriteAccounting: c.mode, LatencyPenalty: c.latency,
+	}, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// randomBatch fills b with 1..8 random moves and returns the closures that
+// replay the same moves through the sequential Apply* calls.
+func randomBatch(b *core.MoveBatch, m *core.Model, sites int, rng *rand.Rand) []func(e *core.Evaluator) float64 {
+	b.Reset()
+	var seq []func(e *core.Evaluator) float64
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			t, s := rng.Intn(m.NumTxns()), rng.Intn(sites)
+			b.MoveTxn(t, s)
+			seq = append(seq, func(e *core.Evaluator) float64 { return e.ApplyMoveTxn(t, s) })
+		case 1:
+			a, s := rng.Intn(m.NumAttrs()), rng.Intn(sites)
+			b.AddReplica(a, s)
+			seq = append(seq, func(e *core.Evaluator) float64 { return e.ApplyAddReplica(a, s) })
+		default:
+			a, s := rng.Intn(m.NumAttrs()), rng.Intn(sites)
+			b.DropReplica(a, s)
+			seq = append(seq, func(e *core.Evaluator) float64 { return e.ApplyDropReplica(a, s) })
+		}
+	}
+	return seq
+}
+
+// samePartitioning compares two partitionings cell by cell.
+func samePartitioning(t *testing.T, step string, got, want *core.Partitioning) {
+	t.Helper()
+	for i := range want.TxnSite {
+		if got.TxnSite[i] != want.TxnSite[i] {
+			t.Fatalf("%s: TxnSite[%d] = %d, want %d", step, i, got.TxnSite[i], want.TxnSite[i])
+		}
+	}
+	for a := range want.AttrSites {
+		for s := range want.AttrSites[a] {
+			if got.AttrSites[a][s] != want.AttrSites[a][s] {
+				t.Fatalf("%s: AttrSites[%d][%d] = %v, want %v", step, a, s, got.AttrSites[a][s], want.AttrSites[a][s])
+			}
+		}
+	}
+}
+
+// TestApplyBatchBitIdenticalToSequence runs the same random move stream
+// through ApplyBatch on one evaluator and the sequential Apply* calls on a
+// second, over every accounting mode × latency × constraints cell: deltas,
+// costs and partitionings must agree bitwise after every batch, after every
+// Undo, and after every Commit.
+func TestApplyBatchBitIdenticalToSequence(t *testing.T) {
+	for _, c := range batchCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			m := batchModel(t, c)
+			rng := rand.New(rand.NewSource(13))
+			const sites = 3
+			p := randomFeasible(m, sites, rng)
+			ea, err := core.NewEvaluator(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := core.NewEvaluator(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b core.MoveBatch
+			for round := 0; round < 80; round++ {
+				seq := randomBatch(&b, m, sites, rng)
+				var want float64
+				for _, apply := range seq {
+					want += apply(ea)
+				}
+				got := eb.ApplyBatch(&b)
+				if got != want {
+					t.Fatalf("round %d: ApplyBatch delta %.17g, sequential delta %.17g", round, got, want)
+				}
+				if ea.Pending() != eb.Pending() {
+					t.Fatalf("round %d: journals diverged: %d vs %d", round, eb.Pending(), ea.Pending())
+				}
+				costsMatch(t, "after batch", eb.Cost(), ea.Cost(), 0)
+				samePartitioning(t, "after batch", eb.Partitioning(), ea.Partitioning())
+				// Alternate the batch's fate so both the undo and the commit
+				// paths stay covered.
+				if round%2 == 0 {
+					ea.Undo()
+					eb.Undo()
+					costsMatch(t, "after undo", eb.Cost(), ea.Cost(), 0)
+					samePartitioning(t, "after undo", eb.Partitioning(), ea.Partitioning())
+				} else {
+					ea.Commit()
+					eb.Commit()
+				}
+			}
+		})
+	}
+}
+
+// TestScoreBatchLeavesStateUntouched prices random batches against evaluators
+// that already hold uncommitted moves: the returned delta must equal the
+// apply-then-observe delta, and the evaluator — cost, partitioning AND the
+// earlier pending moves — must come out bitwise unchanged, so an eventual
+// Undo still reverts exactly the earlier moves.
+func TestScoreBatchLeavesStateUntouched(t *testing.T) {
+	for _, c := range batchCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			m := batchModel(t, c)
+			rng := rand.New(rand.NewSource(29))
+			const sites = 3
+			ev, err := core.NewEvaluator(m, randomFeasible(m, sites, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b core.MoveBatch
+			for round := 0; round < 60; round++ {
+				base := ev.Cost()
+				baseP := ev.Partitioning().Clone()
+				// Leave some uncommitted moves pending under the scored batch.
+				pendingDelta := 0.0
+				pending := rng.Intn(4)
+				for i := 0; i < pending; i++ {
+					pendingDelta += applyRandomMove(ev, rng, false)
+				}
+				mark := ev.Pending()
+				cost := ev.Cost()
+				p := ev.Partitioning().Clone()
+
+				randomBatch(&b, m, sites, rng)
+				score := ev.ScoreBatch(&b)
+
+				if ev.Pending() != mark {
+					t.Fatalf("round %d: ScoreBatch changed the journal: %d -> %d", round, mark, ev.Pending())
+				}
+				costsMatch(t, "state after ScoreBatch", ev.Cost(), cost, 0)
+				samePartitioning(t, "state after ScoreBatch", ev.Partitioning(), p)
+
+				// The score must equal what actually applying the batch yields.
+				applied := ev.ApplyBatch(&b)
+				if score != applied {
+					t.Fatalf("round %d: ScoreBatch = %.17g, ApplyBatch = %.17g", round, score, applied)
+				}
+
+				// Undo reverts the batch and the earlier pending moves in one go.
+				ev.Undo()
+				costsMatch(t, "after undo", ev.Cost(), base, 0)
+				samePartitioning(t, "after undo", ev.Partitioning(), baseP)
+				_ = pendingDelta
+			}
+		})
+	}
+}
+
+// TestBatchPathZeroAlloc keeps the steady-state batch path — building,
+// applying, scoring and undoing a warmed-up batch — allocation-free, matching
+// the //vpart:noalloc annotations vpartlint enforces statically.
+func TestBatchPathZeroAlloc(t *testing.T) {
+	m := batchModel(t, batchCase{mode: core.WriteRelevant, latency: 0.5, cons: true})
+	rng := rand.New(rand.NewSource(3))
+	const sites = 3
+	ev, err := core.NewEvaluator(m, randomFeasible(m, sites, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b core.MoveBatch
+	// Warm the batch and journal capacities past the high-water mark.
+	for i := 0; i < 8; i++ {
+		b.MoveTxn(i%m.NumTxns(), i%sites)
+		b.AddReplica(i%m.NumAttrs(), i%sites)
+	}
+	ev.ApplyBatch(&b)
+	ev.Undo()
+
+	if avg := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		b.MoveTxn(1, 1)
+		b.AddReplica(2, 2)
+		b.DropReplica(2, 2)
+		b.MoveTxn(1, 0)
+		ev.ApplyBatch(&b)
+		ev.Undo()
+	}); avg != 0 {
+		t.Errorf("ApplyBatch+Undo path allocates %.1f per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		ev.ScoreBatch(&b)
+	}); avg != 0 {
+		t.Errorf("ScoreBatch path allocates %.1f per run, want 0", avg)
+	}
+}

@@ -399,35 +399,7 @@ func (e *Evaluator) ApplyDropReplica(a, s int) float64 {
 //
 //vpart:noalloc
 func (e *Evaluator) Undo() {
-	for i := len(e.journal) - 1; i >= 0; i-- {
-		rec := &e.journal[i]
-		if !rec.noop {
-			switch rec.kind {
-			case mkMoveTxn:
-				e.moveTxn(int(rec.x), int(rec.prevSite))
-				e.siteWork[rec.prevSite] = rec.work1
-			case mkAddReplica:
-				e.flipReplica(int(rec.x), int(rec.site), false)
-			case mkDropReplica:
-				e.flipReplica(int(rec.x), int(rec.site), true)
-			}
-			// Restore the WriteRelevant per-access sums bitwise from the log.
-			// The inverse flip above appended mirror entries; walking the log
-			// backwards to the move's mark assigns the oldest — true — prior
-			// value of every touched sum last.
-			for j := len(e.betaLog) - 1; j >= int(rec.betaMark); j-- {
-				e.betaSum[e.betaLog[j].idx] = e.betaLog[j].prev
-			}
-			e.betaLog = e.betaLog[:rec.betaMark]
-			e.siteWork[rec.site] = rec.work0
-			e.readAccess = rec.readAccess
-			e.writeAccess = rec.writeAccess
-			e.transfer = rec.transfer
-			e.transferGross = rec.transferGross
-			e.latencyUnits = rec.latencyUnits
-		}
-	}
-	e.journal = e.journal[:0]
+	e.undoTo(0)
 	e.betaLog = e.betaLog[:0]
 }
 

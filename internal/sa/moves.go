@@ -229,7 +229,8 @@ func (s *solver) canExtendUnit(ev *core.Evaluator, a, st int) bool {
 
 // intensify runs one findSolution(fix) pass of Algorithm 1 — the greedy
 // re-optimisation of the vector that is not fixed — on a scratch copy of the
-// evaluator's state and applies the outcome as one diffed move batch,
+// evaluator's state, diffs the outcome against the current state into the
+// solver's reusable core.MoveBatch and applies it with one ApplyBatch call,
 // returning its delta. The caller commits or undoes the batch.
 //
 //vpart:noalloc
@@ -252,10 +253,10 @@ func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 		return math.Inf(1)
 	}
 
-	delta := 0.0
+	s.batch.Reset()
 	for t, st := range s.scratch.TxnSite {
 		if p.TxnSite[t] != st {
-			delta += ev.ApplyMoveTxn(t, st)
+			s.batch.MoveTxn(t, st)
 		}
 	}
 	// Additions before removals, so attributes keep at least one replica at
@@ -264,7 +265,7 @@ func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 		cur := p.AttrSites[a]
 		for st := range row {
 			if row[st] && !cur[st] {
-				delta += ev.ApplyAddReplica(a, st)
+				s.batch.AddReplica(a, st)
 			}
 		}
 	}
@@ -272,11 +273,11 @@ func (s *solver) intensify(ev *core.Evaluator, fixX bool) float64 {
 		cur := p.AttrSites[a]
 		for st := range row {
 			if !row[st] && cur[st] {
-				delta += ev.ApplyDropReplica(a, st)
+				s.batch.DropReplica(a, st)
 			}
 		}
 	}
-	return delta
+	return ev.ApplyBatch(&s.batch)
 }
 
 // attrSite returns the site of a non-replicated attribute (disjoint mode).

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"vpart/internal/core"
-	"vpart/internal/progress"
 )
 
 // Solve runs the simulated annealing heuristic (Algorithm 1) on the model.
@@ -20,6 +19,10 @@ import (
 // against one incremental core.Evaluator and accepted or rejected on the
 // evaluator's balanced-objective delta, so no Partitioning.Clone and no full
 // Model.Evaluate happens per iteration (see the package documentation).
+//
+// Solve is a thin driver over Chain — NewChain, RunLevel until the chain
+// stops, Finish — so the monolithic solver and sapar's parallel-tempering
+// replicas run the identical hot loop.
 func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -40,8 +43,8 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("sa: %w", err)
 		}
 	}
-	start := time.Now()
 	if opts.Sites == 1 {
+		start := time.Now()
 		p := core.SingleSite(m, 1)
 		if err := p.Validate(m); err != nil {
 			return nil, fmt.Errorf("sa: single-site layout is infeasible under the constraints: %w", err)
@@ -50,178 +53,16 @@ func Solve(ctx context.Context, m *core.Model, opts Options) (*Result, error) {
 		return &Result{Partitioning: p, Cost: cost, Runtime: time.Since(start)}, nil
 	}
 
-	rng := rand.New(rand.NewSource(opts.Seed))
-	s := newSolver(m, opts)
-
-	var cur *core.Partitioning
-	warm := opts.Initial != nil
-	if warm {
-		init := opts.Initial
-		if init.Sites != opts.Sites {
-			return nil, fmt.Errorf("sa: warm start uses %d sites, options say %d", init.Sites, opts.Sites)
-		}
-		if len(init.TxnSite) != m.NumTxns() || len(init.AttrSites) != m.NumAttrs() {
-			return nil, fmt.Errorf("sa: warm start has %d txns × %d attrs, model has %d × %d",
-				len(init.TxnSite), len(init.AttrSites), m.NumTxns(), m.NumAttrs())
-		}
-		cur = init.Clone()
-		if opts.Disjoint {
-			// Keep the hint's transaction assignment; rebuild the attribute
-			// assignment disjointly (the hint may carry replicas).
-			s.findSolution(cur, "x")
-		}
-		cur.Repair(m)
-		if cons != nil && cur.Validate(m) != nil {
-			// The repaired hint still violates a non-repairable constraint
-			// (separation, replica cap, capacity): fall back to a cold
-			// constrained start rather than annealing from infeasibility.
-			warm = false
-		}
-	}
-	if cur == nil || !warm {
-		cur = core.NewPartitioning(m.NumTxns(), m.NumAttrs(), opts.Sites)
-		s.randomX(rng, cur)
-		s.findSolution(cur, "x")
-		cur.Repair(m)
-	}
-	if cons != nil {
-		if err := cur.Validate(m); err != nil {
-			return nil, fmt.Errorf("sa: no constraint-feasible initial solution found: %w", err)
-		}
-	}
-	ev, err := core.NewEvaluator(m, cur)
+	c, err := newChain(m, opts)
 	if err != nil {
-		return nil, fmt.Errorf("sa: %w", err)
+		return nil, err
 	}
-	curCost := ev.Balanced()
-
-	best := ev.Snapshot()
-	bestCost := curCost
-
-	res := &Result{WarmStart: warm}
-	tau := opts.Temperature
-	if tau == 0 {
-		// Section 5.1: accept a 5 % worse solution with probability 50 % at
-		// the initial temperature. Warm starts begin an order of magnitude
-		// cooler — the hint is already in a good basin.
-		pct := DefaultAcceptWorsePct
-		if warm {
-			pct = DefaultWarmAcceptWorsePct
-		}
-		tau = pct * bestCost / math.Ln2
-		if tau <= 0 {
-			tau = 1
+	for !c.Stopped() {
+		if _, err := c.RunLevel(ctx); err != nil {
+			return nil, err
 		}
 	}
-	res.InitialTemperature = tau
-
-	var deadline time.Time
-	if opts.TimeLimit > 0 {
-		deadline = start.Add(opts.TimeLimit)
-	}
-
-	fixX := true
-	noImprove := 0
-	improvedThisLevel := false
-	// commitBatch accepts the evaluator's pending move batch and tracks the
-	// best incumbent via an O(attrs·sites) snapshot, taken only on strict
-	// improvements.
-	commitBatch := func() {
-		ev.Commit()
-		curCost = ev.Balanced()
-		res.Accepted++
-		if curCost < bestCost-1e-12 {
-			bestCost = curCost
-			ev.SnapshotTo(best)
-			res.Improved++
-			improvedThisLevel = true
-			opts.Progress.Emit(progress.Event{
-				Kind:      progress.KindIncumbent,
-				Cost:      bestCost,
-				Iteration: res.Iterations,
-				Elapsed:   time.Since(start),
-			})
-		}
-	}
-outer:
-	for outer := 0; outer < opts.MaxOuterLoops; outer++ {
-		res.OuterLoops++
-		improvedThisLevel = false
-		for i := 0; i < opts.InnerLoops; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sa: %w", err)
-			}
-			//vpartlint:allow determinism deadline enforcement is inherently wall-clock; results only vary when the run would time out anyway
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				res.TimedOut = true
-				break outer
-			}
-			res.Iterations++
-
-			// Neighbourhood move: perturb x and y as one batch of evaluator
-			// moves and run the Metropolis test on its delta.
-			delta := s.perturb(rng, ev)
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/tau) {
-				commitBatch()
-			} else {
-				ev.Undo()
-			}
-
-			// The findSolution(fix) step of Algorithm 1, amortised: greedily
-			// re-optimise the non-fixed vector and apply the outcome as one
-			// diffed move batch, subject to the same Metropolis test.
-			if opts.IntensifyEvery > 0 && res.Iterations%opts.IntensifyEvery == 0 {
-				delta := s.intensify(ev, fixX)
-				fixX = !fixX
-				if delta <= 0 || rng.Float64() < math.Exp(-delta/tau) {
-					commitBatch()
-				} else {
-					ev.Undo()
-				}
-			}
-		}
-		opts.Progress.Emit(progress.Event{
-			Kind:      progress.KindIteration,
-			Cost:      curCost,
-			Iteration: res.Iterations,
-			Elapsed:   time.Since(start),
-			Message:   fmt.Sprintf("level %d τ=%.4g best=%.6g", outer, tau, bestCost),
-		})
-		tau *= opts.Rho
-		if improvedThisLevel {
-			noImprove = 0
-		} else {
-			noImprove++
-			if noImprove >= opts.NoImprovementLimit {
-				break
-			}
-		}
-		if tau < res.InitialTemperature*1e-6 {
-			break
-		}
-	}
-
-	// Return the best incumbent, polished with one greedy pass per subproblem
-	// (kept only when it strictly improves).
-	ev.Restore(best)
-	for _, fx := range []bool{true, false} {
-		if d := s.intensify(ev, fx); d < -1e-12 {
-			ev.Commit()
-		} else {
-			ev.Undo()
-		}
-	}
-	final := ev.Partitioning().Clone()
-	final.Repair(m)
-	if cons != nil {
-		if err := final.Validate(m); err != nil {
-			return nil, fmt.Errorf("sa: search left the constraint-feasible region: %w", err)
-		}
-	}
-	res.Partitioning = final
-	res.Cost = m.Evaluate(final)
-	res.Runtime = time.Since(start)
-	return res, nil
+	return c.Finish()
 }
 
 // findSolution implements the findSolution(fix) step of Algorithm 1: it

@@ -36,6 +36,7 @@ type solver struct {
 	// Scratch buffers reused across iterations so the steady-state inner loop
 	// does not allocate.
 	scratch  *core.Partitioning // intensify's findSolution target
+	batch    core.MoveBatch     // intensify's diffed move batch
 	missing  []int              // perturb: candidate sites for a new replica
 	txnsOn   [][]int            // greedy passes: transactions per site
 	work     []float64          // greedy passes: running site work
@@ -44,6 +45,30 @@ type solver struct {
 	bytes    []int64            // greedy passes: running site bytes (constrained)
 	dragBuf  []int              // perturb: pending additions of one txn move
 	unitSelf [1]int32           // unitMembers' singleton backing (no alloc)
+
+	// stop, when non-nil, reports whether the run's cancellation facility
+	// (deadline or context) has fired. The greedy passes consult it through
+	// stopped() inside their per-element loops and switch to a rush path that
+	// still produces a covered, single-sited assignment, so a TimeLimit binds
+	// mid-pass on large instances instead of only between inner iterations.
+	stop     func() bool
+	stopTick uint
+}
+
+// stopped rations the cancellation probe: the wall-clock (or context) read
+// behind s.stop costs far more than one greedy placement, so only every 64th
+// call actually consults it.
+//
+//vpart:noalloc
+func (s *solver) stopped() bool {
+	if s.stop == nil {
+		return false
+	}
+	s.stopTick++
+	if s.stopTick&63 != 0 {
+		return false
+	}
+	return s.stop()
 }
 
 func newSolver(m *core.Model, opts Options) *solver {
@@ -205,7 +230,23 @@ func (s *solver) solveYGivenX(p *core.Partitioning) {
 		return order[i] < order[j]
 	})
 	cur := maxWork()
+	// rush: the cancellation probe fired mid-pass. The remaining attributes
+	// still need a site (the pass cleared every row above), so they are dumped
+	// on site 0 unscored — feasible, just unoptimised — and the optional
+	// extra-replica sweep is skipped entirely.
+	rush := false
 	for _, a := range order {
+		if !rush && s.stopped() {
+			rush = true
+		}
+		if rush {
+			p.AttrSites[a][0] = true
+			work[0] += loadOf(a, 0)
+			if work[0] > cur {
+				cur = work[0]
+			}
+			continue
+		}
 		best, bestScore := 0, 0.0
 		for st := 0; st < s.sites; st++ {
 			delta := work[st] + loadOf(a, st) - cur
@@ -226,8 +267,11 @@ func (s *solver) solveYGivenX(p *core.Partitioning) {
 
 	// Beneficial extra replicas: a replica whose combined cost and load
 	// effect is negative always pays off. Skipped in disjoint mode.
-	if !s.opts.Disjoint {
+	if !s.opts.Disjoint && !rush {
 		for a := 0; a < nA; a++ {
+			if s.stopped() {
+				break
+			}
 			for st := 0; st < s.sites; st++ {
 				if p.AttrSites[a][st] {
 					continue
@@ -320,6 +364,11 @@ func (s *solver) solveXGivenY(p *core.Partitioning) {
 		}
 	}
 	for _, t := range order {
+		// Cancellation mid-pass: the remaining transactions simply keep their
+		// current (feasible) sites.
+		if s.stopped() {
+			break
+		}
 		best := p.TxnSite[t]
 		bestScore := 0.0
 		found := false
@@ -360,6 +409,10 @@ func (s *solver) assignComponents(p *core.Partitioning, work []float64) {
 		}
 	}
 	for _, comp := range s.components {
+		// Cancellation mid-pass: the remaining components keep their sites.
+		if s.stopped() {
+			break
+		}
 		// Feasible sites: those holding all read attributes of every member.
 		best, bestScore, found := 0, 0.0, false
 		for st := 0; st < s.sites; st++ {
@@ -573,7 +626,28 @@ func (s *solver) solveYGivenXConstrained(p *core.Partitioning) {
 		}
 		return order[i] < order[j]
 	})
+	// rush: the cancellation probe fired mid-pass. Remaining units still need
+	// a site (every row was cleared above); they take their first allowed site
+	// unscored via the same relax fallback the no-site case uses, keeping the
+	// assignment covered and constraint-respecting where possible.
+	rush := false
 	for _, a := range order {
+		if !rush && s.stopped() {
+			rush = true
+		}
+		if rush {
+			best := s.cs.PlaceAllowedSite(m, p, a, nil)
+			if best < 0 {
+				best = 0
+			}
+			for _, b := range s.unitMembers(a) {
+				place(int(b), best)
+			}
+			if work[best] > cur {
+				cur = work[best]
+			}
+			continue
+		}
 		members := s.unitMembers(a)
 		var unitWidth int64
 		for _, b := range members {
@@ -636,7 +710,12 @@ func (s *solver) solveYGivenXConstrained(p *core.Partitioning) {
 	}
 
 	// Beneficial extra replicas, each addition fully constraint-checked.
-	for a := 0; a < nA; a++ {
+	// Skipped entirely once the cancellation probe fires — they are an
+	// optional improvement, not needed for feasibility.
+	for a := 0; a < nA && !rush; a++ {
+		if s.stopped() {
+			break
+		}
 		if g := s.cs.ColocGroupOf(a); g >= 0 && int(s.cs.ColocGroupMembers(g)[0]) != a {
 			continue
 		}
@@ -766,7 +845,17 @@ func (s *solver) solveYGivenXDisjoint(p *core.Partitioning) {
 		}
 	}
 	s.order = unread
+	// rush: cancellation fired mid-pass — the remaining unread attributes are
+	// dumped on site 0 unscored (they still need exactly one site each).
+	rush := false
 	for _, a := range unread {
+		if !rush && s.stopped() {
+			rush = true
+		}
+		if rush {
+			place(a, 0)
+			continue
+		}
 		best, bestScore := 0, 0.0
 		for st := 0; st < s.sites; st++ {
 			c := m.C2(a)

@@ -1,0 +1,268 @@
+package sapar
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"vpart/internal/conc"
+	"vpart/internal/core"
+	"vpart/internal/randgen"
+	"vpart/internal/sa"
+)
+
+// testModel compiles a small random instance — big enough that the replicas
+// genuinely diverge, small enough that 20 fixed-seed runs stay fast under
+// -race.
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	inst, err := randgen.Generate(randgen.ClassA(8, 24, 12), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testOptions is the shared fixed-seed configuration of the determinism
+// tests.
+func testOptions(budget *conc.Budget) Options {
+	o := sa.DefaultOptions(3)
+	o.Seed = 11
+	return Options{SA: o, Replicas: 4, Budget: budget}
+}
+
+// fingerprint renders the full solution, so two results compare bit-exactly.
+func fingerprint(res *sa.Result) string {
+	s := fmt.Sprintf("%b|%v|", res.Cost.Balanced, res.Partitioning.TxnSite)
+	for _, row := range res.Partitioning.AttrSites {
+		s += fmt.Sprintf("%v", row)
+	}
+	return s
+}
+
+// TestSolveDeterministicAcrossRuns is the tentpole contract: for a fixed
+// (Seed, Replicas) twenty runs — racing K goroutines each — produce
+// bit-identical results. CI runs this package under -race, so a scheduling
+// dependence shows up either as a fingerprint mismatch here or as a data
+// race.
+func TestSolveDeterministicAcrossRuns(t *testing.T) {
+	m := testModel(t)
+	var want string
+	for run := 0; run < 20; run++ {
+		res, err := Solve(context.Background(), m, testOptions(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fingerprint(res)
+		if run == 0 {
+			want = got
+			if err := res.Partitioning.Validate(m); err != nil {
+				t.Fatalf("infeasible result: %v", err)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d diverged:\n got %s\nwant %s", run, got, want)
+		}
+	}
+}
+
+// TestSolveDeterministicAcrossBudgets pins the stronger property: the
+// concurrency budget (including full serialisation at cap 1) changes only
+// wall-clock, never the result.
+func TestSolveDeterministicAcrossBudgets(t *testing.T) {
+	m := testModel(t)
+	base, err := Solve(context.Background(), m, testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(base)
+	for _, cap := range []int{1, 2, 8} {
+		res, err := Solve(context.Background(), m, testOptions(conc.NewBudget(cap)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("budget cap %d diverged:\n got %s\nwant %s", cap, got, want)
+		}
+	}
+}
+
+// TestSolveRespectsBudget is the oversubscription regression test: with six
+// replicas sharing a two-slot budget, at no point do more than two annealing
+// goroutines hold slots, and every slot is returned.
+func TestSolveRespectsBudget(t *testing.T) {
+	m := testModel(t)
+	budget := conc.NewBudget(2)
+	opts := testOptions(budget)
+	opts.Replicas = 6
+	if _, err := Solve(context.Background(), m, opts); err != nil {
+		t.Fatal(err)
+	}
+	if hw := budget.HighWater(); hw > 2 {
+		t.Fatalf("budget high-water %d exceeds cap 2", hw)
+	}
+	if budget.Acquires() == 0 {
+		t.Fatal("no replica ever acquired a budget slot")
+	}
+	if in := budget.InUse(); in != 0 {
+		t.Fatalf("%d budget slots leaked", in)
+	}
+}
+
+// TestSolveSingleReplicaMatchesSA: K = 1 is plain SA, bit for bit (same seed,
+// not a replica-derived one).
+func TestSolveSingleReplicaMatchesSA(t *testing.T) {
+	m := testModel(t)
+	opts := testOptions(nil)
+	opts.Replicas = 1
+	par, err := Solve(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := sa.Solve(context.Background(), m, opts.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(par) != fingerprint(mono) {
+		t.Fatalf("K=1 sapar diverged from sa.Solve:\n got %s\nwant %s", fingerprint(par), fingerprint(mono))
+	}
+}
+
+// TestSolveNotWorseThanWorstCase: the population's polished best must be
+// feasible and at least as good as a plain single-seed SA run is — allowing a
+// tiny epsilon — because replica 0 alone explores at the monolithic schedule
+// and exchanges can only improve incumbents. (Deterministic: fixed seeds.)
+func TestSolveQualityReasonable(t *testing.T) {
+	m := testModel(t)
+	res, err := Solve(context.Background(), m, testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Fatalf("infeasible result: %v", err)
+	}
+	mono, err := sa.Solve(context.Background(), m, testOptions(nil).SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Balanced > mono.Cost.Balanced*1.03+1e-9 {
+		t.Fatalf("sa-par cost %g more than 3%% above monolithic SA %g",
+			res.Cost.Balanced, mono.Cost.Balanced)
+	}
+	if res.Iterations <= mono.Iterations {
+		t.Fatalf("population iterations %d not above a single chain's %d",
+			res.Iterations, mono.Iterations)
+	}
+}
+
+// TestSolveWarmStart threads Options.SA.Initial through every replica.
+func TestSolveWarmStart(t *testing.T) {
+	m := testModel(t)
+	opts := testOptions(nil)
+	cold, err := sa.Solve(context.Background(), m, opts.SA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SA.Initial = cold.Partitioning
+	res, err := Solve(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStart {
+		t.Fatal("warm start not recorded")
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Fatalf("infeasible result: %v", err)
+	}
+	if res.Cost.Balanced > cold.Cost.Balanced*1.0+1e-9 {
+		t.Fatalf("warm-started sa-par %g worse than its own hint %g",
+			res.Cost.Balanced, cold.Cost.Balanced)
+	}
+}
+
+// TestSolveConstrained runs the full ladder on a constrained model and
+// validates the result against the constraint set.
+func TestSolveConstrained(t *testing.T) {
+	inst, err := randgen.Generate(randgen.ClassA(8, 24, 12), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := inst.Schema.Tables[0]
+	qa, err := core.ParseQualifiedAttr(fmt.Sprintf("%s.%s", tbl.Name, tbl.Attributes[0].Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := &core.Constraints{
+		PinTxns:     []core.PinTxn{{Txn: inst.Workload.Transactions[0].Name, Site: 0}},
+		MaxReplicas: []core.MaxReplicas{{Attr: qa, K: 2}},
+	}
+	m, err := core.NewModelConstrained(inst, core.DefaultModelOptions(), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(context.Background(), m, testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Fatalf("constraint-violating result: %v", err)
+	}
+}
+
+// TestSolveTimeLimit: a tiny TimeLimit stops the population gracefully with
+// TimedOut set and a feasible best-so-far.
+func TestSolveTimeLimit(t *testing.T) {
+	inst, err := randgen.Generate(randgen.ClassA(32, 100, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewModel(inst, core.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(nil)
+	opts.SA.Sites = 4
+	opts.SA.TimeLimit = time.Millisecond
+	res, err := Solve(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Fatal("TimedOut not set")
+	}
+	if err := res.Partitioning.Validate(m); err != nil {
+		t.Fatalf("infeasible result: %v", err)
+	}
+}
+
+// TestSolveCancelled: a cancelled context aborts with an error wrapping
+// context.Canceled.
+func TestSolveCancelled(t *testing.T) {
+	m := testModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, m, testOptions(nil)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptionsValidate rejects nonsense.
+func TestOptionsValidate(t *testing.T) {
+	m := testModel(t)
+	for _, opts := range []Options{
+		{SA: sa.DefaultOptions(3), Replicas: -2},
+		{SA: sa.DefaultOptions(3), ExchangeEvery: -1},
+		{SA: sa.DefaultOptions(3), Stagger: 0.5},
+	} {
+		if _, err := Solve(context.Background(), m, opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}

@@ -1,7 +1,8 @@
-// Package seeds holds the seed-derivation rule shared by the composite
+// Package seeds holds the seed-derivation rules shared by the composite
 // solvers: the portfolio derives one seed per raced child and the decompose
-// meta-solver one per shard, both from a single reserved base seed, so a run
-// with a fixed non-zero base is fully deterministic.
+// meta-solver one per shard (Derive), and the parallel-tempering solver one
+// per annealing replica (Replica), all from a single reserved base seed, so
+// a run with a fixed non-zero base is fully deterministic.
 package seeds
 
 // Derive returns the i-th derived seed of the block anchored at base:
@@ -19,4 +20,30 @@ func Derive(base int64, i int) int64 {
 		return s
 	}
 	return base - 1
+}
+
+// replicaStride is the golden-ratio multiplier (⌊2⁶⁴/φ⌋, the Fibonacci
+// hashing constant): consecutive multiples are maximally spread over the
+// 64-bit ring, so replica seeds land far from the small contiguous blocks
+// Derive hands to portfolio children and decompose shards.
+const replicaStride = 0x9E3779B97F4A7C15
+
+// Replica returns the seed of the k-th annealing replica of a
+// parallel-tempering run anchored at base. Replicas need their own stream:
+// a portfolio child holding seed base races siblings at base±1.., and a
+// decompose shard at base+shard, so deriving replicas additively would
+// replay a sibling's trajectory move for move. The k-th replica instead
+// draws base + (k+1)·replicaStride (wrapping), which no additive block of
+// realistic size reaches; an exact 0 is remapped like in Derive, because a
+// zero seed means "derive fresh" downstream.
+//
+// Like Derive, the rule is frozen: the fixed-vector regression test pins the
+// exact values, and sa-par's bit-identical determinism contract depends on
+// them.
+func Replica(base int64, k int) int64 {
+	s := int64(uint64(base) + (uint64(k)+1)*replicaStride)
+	if s != 0 {
+		return s
+	}
+	return int64(uint64(base) + replicaStride/2)
 }

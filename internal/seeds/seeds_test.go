@@ -48,3 +48,69 @@ func TestDeriveNoCollisions(t *testing.T) {
 		}
 	}
 }
+
+// TestReplicaFixedVectors freezes the replica-seed derivation exactly like
+// TestDeriveFixedVectors freezes the child/shard rule: sa-par's bit-identical
+// determinism contract pins these values, so any change here is breaking.
+func TestReplicaFixedVectors(t *testing.T) {
+	cases := []struct {
+		base int64
+		k    int
+		want int64
+	}{
+		{1, 0, -7046029254386353130},
+		{1, 1, 4354685564936845355},
+		{1, 2, -2691343689449507776},
+		{1, 7, -1028001813962170199},
+		{42, 0, -7046029254386353089},
+		{42, 3, 8709371129873690750},
+		{-5, 0, -7046029254386353136},
+		{-5, 1, 4354685564936845349},
+		{0, 0, -7046029254386353131},
+		{0, 1, 4354685564936845354},
+		{9223372036854775807, 0, 2177342782468422676},
+		// base + stride wraps to exactly 0: the remap keeps the seed non-zero.
+		{7046029254386353131, 0, -5700357409661599243},
+	}
+	for _, c := range cases {
+		if got := Replica(c.base, c.k); got != c.want {
+			t.Errorf("Replica(%d, %d) = %d, want %d", c.base, c.k, got, c.want)
+		}
+		if got := Replica(c.base, c.k); got == 0 {
+			t.Errorf("Replica(%d, %d) = 0, the reserved derive-fresh sentinel", c.base, c.k)
+		}
+	}
+}
+
+// TestReplicaIsolation proves the seed-stream separation the composite
+// solvers rely on: for every plausible base, no replica seed collides with a
+// portfolio-child or decompose-shard seed of the same block (Derive), with a
+// replica of a sibling child's block, or with another replica of its own run.
+func TestReplicaIsolation(t *testing.T) {
+	bases := []int64{1, 0, -1, -5, 42, 100, 1 << 40, -(1 << 40)}
+	const children, replicas = 64, 64
+	for _, base := range bases {
+		derived := map[int64]int{}
+		for i := 0; i < children; i++ {
+			derived[Derive(base, i)] = i
+		}
+		for child := 0; child < children; child++ {
+			childSeed := Derive(base, child)
+			seen := map[int64]int{}
+			for k := 0; k < replicas; k++ {
+				s := Replica(childSeed, k)
+				if s == 0 {
+					t.Fatalf("Replica(%d, %d) = 0", childSeed, k)
+				}
+				if i, hit := derived[s]; hit {
+					t.Fatalf("Replica(%d, %d) = %d collides with Derive(%d, %d)",
+						childSeed, k, s, base, i)
+				}
+				if j, dup := seen[s]; dup {
+					t.Fatalf("Replica(%d, %d) = Replica(%d, %d) = %d", childSeed, k, childSeed, j, s)
+				}
+				seen[s] = k
+			}
+		}
+	}
+}

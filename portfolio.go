@@ -33,6 +33,11 @@ type PortfolioOptions struct {
 	// optimality the still-running SA seeds are cancelled immediately —
 	// their results cannot beat a proven optimum.
 	QP bool
+	// SAPar sizes the parallel-tempering child: the lineup includes one
+	// "sa-par" run with SAPar replicas alongside the SASeeds plain SA runs.
+	// Zero keeps the child with the default ladder size; a negative value
+	// drops it from the lineup (the historical SA-only race).
+	SAPar int
 }
 
 // portfolioSolver implements the Solver interface on top of the registry: it
@@ -67,6 +72,13 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 	if !ok {
 		return nil, fmt.Errorf("vpart: portfolio requires a registered %q solver", "sa")
 	}
+	var saparChild Solver
+	if opts.Portfolio.SAPar >= 0 {
+		saparChild, ok = LookupSolver("sa-par")
+		if !ok {
+			return nil, fmt.Errorf("vpart: portfolio requires a registered %q solver", "sa-par")
+		}
+	}
 	var qpChild Solver
 	if opts.Portfolio.QP {
 		qpChild, ok = LookupSolver("qp")
@@ -88,13 +100,17 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 	defer cancel()
 
 	total := n
+	if saparChild != nil {
+		total++
+	}
 	if qpChild != nil {
 		total++
 	}
 	// Reserve a whole block of derived seeds (one per child, including the
 	// QP child's SA-seeding run) so that later Seed-0 solves in this process
 	// cannot replay one of the children's trajectories. Child i draws
-	// seeds.Derive(base, i).
+	// seeds.Derive(base, i); the sa-par child's replica seeds derive from its
+	// child seed via seeds.Replica, provably outside every Derive block.
 	base := opts.Seed
 	if base == 0 {
 		base = seedCounter.Add(int64(total)) - int64(total) + 1
@@ -141,16 +157,34 @@ func (portfolioSolver) Solve(ctx context.Context, m *Model, opts Options) (*Resu
 		childOpts.Progress = retag(opts.Progress, "portfolio/"+tag)
 		launch(i, tag, saChild, childOpts)
 	}
+	next := n
+	if saparChild != nil {
+		// The parallel-tempering child explores with a whole temperature
+		// ladder of its own; it shares the leaf budget with its siblings, so
+		// adding it widens the race without oversubscribing the machine. It
+		// keeps the warm hint when one is present — every replica then
+		// anneals from it.
+		childOpts := opts
+		childOpts.Solver = "sa-par"
+		childOpts.Seed = seeds.Derive(base, next)
+		if opts.Portfolio.SAPar > 0 {
+			childOpts.Parallel.Replicas = opts.Portfolio.SAPar
+		}
+		childOpts.WarmDirty = nil
+		childOpts.Progress = retag(opts.Progress, "portfolio/sa-par")
+		launch(next, "sa-par", saparChild, childOpts)
+		next++
+	}
 	if qpChild != nil {
 		childOpts := opts
 		childOpts.Solver = "qp"
 		// The QP child's optional SA-seeding run gets its own seed outside
 		// the raced block, so with SeedWithSA it explores a trajectory none
 		// of the SA children already cover.
-		childOpts.Seed = seeds.Derive(base, n)
+		childOpts.Seed = seeds.Derive(base, next)
 		childOpts.WarmDirty = nil
 		childOpts.Progress = opts.Progress.Named("portfolio")
-		launch(n, "qp", qpChild, childOpts)
+		launch(next, "qp", qpChild, childOpts)
 	}
 
 	var (

@@ -115,6 +115,9 @@ type Options struct {
 	// when set — and merged exactly). Empty keeps the historical behaviour:
 	// grouping unless DisableGrouping.
 	Preprocess string
+	// Parallel configures the "sa-par" parallel-tempering solver (replica
+	// count, exchange cadence, temperature stagger); other solvers ignore it.
+	Parallel ParallelOptions
 	// Portfolio configures the "portfolio" solver; other solvers ignore it.
 	Portfolio PortfolioOptions
 	// Decompose configures the "decompose" meta-solver; other solvers ignore
@@ -232,6 +235,7 @@ func LookupSolver(name string) (Solver, bool) {
 
 func init() {
 	RegisterSolver(saSolver{})
+	RegisterSolver(saparSolver{})
 	RegisterSolver(qpSolver{})
 	RegisterSolver(portfolioSolver{})
 	RegisterSolver(decomposeSolver{})
@@ -497,6 +501,13 @@ type saSolver struct{}
 func (saSolver) Name() string { return "sa" }
 
 func (saSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, error) {
+	// A whole SA run is one leaf computation: it holds one slot of the shared
+	// budget, so portfolio children and decompose shards queue instead of
+	// oversubscribing the machine.
+	if err := solverBudget.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("vpart: %w", err)
+	}
+	defer solverBudget.Release()
 	so := saOptions(opts, effectiveSeed(opts.Seed))
 	so.Progress = opts.Progress.Named("sa")
 	res, err := sa.Solve(ctx, m, so)
@@ -548,6 +559,12 @@ func (qpSolver) Solve(ctx context.Context, m *Model, opts Options) (*Result, err
 	if m.Options().WriteAccounting == WriteRelevant {
 		return nil, errQPWriteRelevant()
 	}
+	// Like saSolver: a QP run (including its optional SA seeding run) is one
+	// leaf computation holding one slot of the shared budget.
+	if err := solverBudget.Acquire(ctx); err != nil {
+		return nil, fmt.Errorf("vpart: %w", err)
+	}
+	defer solverBudget.Release()
 	qo := qp.DefaultOptions(opts.Sites)
 	qo.TimeLimit = opts.TimeLimit
 	qo.Disjoint = opts.Disjoint

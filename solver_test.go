@@ -286,8 +286,10 @@ func TestPortfolioNotWorseThanBestSingleSeedSA(t *testing.T) {
 	if !strings.HasPrefix(string(pf.Algorithm), "portfolio/") {
 		t.Errorf("portfolio winner tag = %q", pf.Algorithm)
 	}
-	if pf.Seed < 1 || pf.Seed > seeds {
-		t.Errorf("portfolio winning seed %d outside the raced range [1,%d]", pf.Seed, seeds)
+	// The lineup is the SASeeds plain SA children (seeds 1..seeds for base 1)
+	// plus the sa-par child (seed seeds+1).
+	if pf.Seed < 1 || pf.Seed > seeds+1 {
+		t.Errorf("portfolio winning seed %d outside the raced range [1,%d]", pf.Seed, seeds+1)
 	}
 	if pf.Iterations == 0 {
 		t.Error("portfolio reported no aggregate SA iterations")
