@@ -1,0 +1,375 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"vpart"
+	"vpart/internal/ingest"
+	"vpart/internal/randgen"
+)
+
+// ingestPoint is one throughput measurement: a stream family folded through
+// a pipeline with a fixed shard count, replaying pre-generated batches so
+// event synthesis stays out of the measured loop.
+type ingestPoint struct {
+	Family       string  `json:"family"`
+	Shards       int     `json:"shards"`
+	Events       uint64  `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// ingestReport is the BENCH_ingest.json schema: fold throughput per family
+// and shard count, the bounded-memory comparison against exact counting,
+// and the sketch-vs-exact solved-cost gap with the epoch→delta→warm-resolve
+// latency breakdown.
+type ingestReport struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick,omitempty"`
+	Runs       int    `json:"runs"`
+
+	Throughput    []ingestPoint `json:"throughput"`
+	Deterministic bool          `json:"deterministic_across_procs"`
+
+	MemShapeUniverse  int     `json:"mem_shape_universe"`
+	MemEvents         uint64  `json:"mem_events"`
+	MemDistinctShapes int     `json:"mem_distinct_shapes"`
+	SketchStateBytes  int     `json:"sketch_state_bytes"`
+	SketchTracked     int     `json:"sketch_tracked_shapes"`
+	ExactStateBytes   uint64  `json:"exact_state_bytes"`
+	MemoryRatio       float64 `json:"exact_over_sketch_memory_ratio"`
+
+	SolveShapes        int     `json:"solve_shapes"`
+	SolveEvents        int     `json:"solve_events"`
+	SolveTopK          int     `json:"solve_top_k"`
+	SketchCost         float64 `json:"sketch_solved_cost"`
+	ExactCost          float64 `json:"exact_solved_cost"`
+	CostPercent        float64 `json:"sketch_vs_exact_cost_percent"`
+	EpochAdds          int     `json:"epoch_adds"`
+	EpochRemoves       int     `json:"epoch_removes"`
+	EpochScales        int     `json:"epoch_scales"`
+	EpochFlushSeconds  float64 `json:"epoch_flush_seconds"`
+	WarmResolveSeconds float64 `json:"warm_resolve_seconds"`
+	WarmResolve        bool    `json:"warm_resolve_warm"`
+}
+
+// ingestStream builds one of the two event-stream families with a shared
+// shape-universe size.
+func ingestStream(family string, shapes int, seed int64) (*randgen.EventStream, error) {
+	if family == "social" {
+		return randgen.NewSocial(randgen.SocialParams{Shapes: shapes}, seed)
+	}
+	return randgen.NewYCSB(randgen.YCSBParams{Shapes: shapes}, seed)
+}
+
+// runIngestSuite measures the streaming-ingestion layer and gates its two
+// accuracy claims: the sketch-folded solved cost must land within 5 % of the
+// exact-count solved cost (both modes — this is the CI smoke gate), and the
+// sharded fold must be bit-identical across GOMAXPROCS settings. In full
+// mode it additionally requires the ingest state to stay under 1/10 of the
+// exact-count memory on a ~1M-shape universe.
+func runIngestSuite(out string, runs int, quick bool) error {
+	rep := ingestReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Runs:       runs,
+	}
+
+	// --- Fold throughput: replay pre-generated batches. ---
+	const batchSize = 8192
+	batches := 128 // ≈ 1.05M events per replay
+	if quick {
+		batches = 16
+	}
+	var detBatches [][]ingest.Event // the ycsb batches, reused for the determinism gate
+	var detBase *vpart.Instance
+	for _, family := range []string{"ycsb", "social"} {
+		stream, err := ingestStream(family, 100_000, 7)
+		if err != nil {
+			return err
+		}
+		pre := make([][]ingest.Event, batches)
+		for i := range pre {
+			pre[i] = make([]ingest.Event, batchSize)
+			stream.Fill(pre[i])
+		}
+		if family == "ycsb" {
+			detBatches, detBase = pre, stream.Base()
+		}
+		for _, shards := range []int{1, 4} {
+			cfg := ingest.DefaultConfig()
+			cfg.Shards = shards
+			point := ingestPoint{Family: family, Shards: shards, Events: uint64(batches) * batchSize}
+			for r := 0; r < runs; r++ {
+				p, err := ingest.New(stream.Base(), cfg)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				for _, b := range pre {
+					if _, err := p.Ingest(b); err != nil {
+						p.Close()
+						return err
+					}
+				}
+				sec := time.Since(start).Seconds()
+				p.Close()
+				if r == 0 || sec < point.Seconds {
+					point.Seconds = sec
+				}
+			}
+			point.EventsPerSec = float64(point.Events) / point.Seconds
+			rep.Throughput = append(rep.Throughput, point)
+		}
+	}
+
+	// --- Determinism: the sharded fold must not depend on GOMAXPROCS. ---
+	foldAt := func(procs int) ([]ingest.Epoch, ingest.Stats, error) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := ingest.DefaultConfig()
+		cfg.Shards = 4
+		p, err := ingest.New(detBase, cfg)
+		if err != nil {
+			return nil, ingest.Stats{}, err
+		}
+		defer p.Close()
+		var epochs []ingest.Epoch
+		for _, b := range detBatches {
+			es, err := p.Ingest(b)
+			if err != nil {
+				return nil, ingest.Stats{}, err
+			}
+			epochs = append(epochs, es...)
+		}
+		if ep, err := p.FlushEpoch(); err != nil {
+			return nil, ingest.Stats{}, err
+		} else if ep != nil {
+			epochs = append(epochs, *ep)
+		}
+		return epochs, p.Stats(), nil
+	}
+	eps1, st1, err := foldAt(1)
+	if err != nil {
+		return err
+	}
+	epsN, stN, err := foldAt(runtime.NumCPU() + 3)
+	if err != nil {
+		return err
+	}
+	rep.Deterministic = reflect.DeepEqual(eps1, epsN) && st1 == stN
+	if !rep.Deterministic {
+		return fmt.Errorf("ingest: sharded fold differs across GOMAXPROCS settings")
+	}
+
+	// --- Bounded memory versus exact counting. ---
+	memShapes, memEvents := 1<<20, 2_000_000
+	if quick {
+		memShapes, memEvents = 1<<17, 200_000
+	}
+	rep.MemShapeUniverse = memShapes
+	rep.MemEvents = uint64(memEvents)
+	if err := measureIngestMemory(&rep, memShapes, memEvents, batchSize); err != nil {
+		return err
+	}
+	if !quick && rep.MemoryRatio < 10 {
+		return fmt.Errorf("ingest: state is %d bytes, exact counting %d — ratio %.1f < 10",
+			rep.SketchStateBytes, rep.ExactStateBytes, rep.MemoryRatio)
+	}
+
+	// --- Solved-cost accuracy and epoch→delta→warm-resolve latency. ---
+	solveShapes, solveEvents := 4000, 1<<18
+	if quick {
+		solveShapes, solveEvents = 2000, 1<<16
+	}
+	rep.SolveShapes, rep.SolveEvents = solveShapes, solveEvents
+	// Track a quarter of the shape universe as heavy hitters: the zipfian
+	// head holds the bulk of the event mass, so the folded workload prices
+	// within the 5 % gate while retaining 4× fewer shapes than exist.
+	sketchCfg := vpart.IngestConfig{
+		Shards: 1, EpochEvents: 1 << 30, TopK: solveShapes / 4,
+		SketchWidth: 1 << 15, SketchDepth: 4, ScaleTol: 0.2,
+	}
+	rep.SolveTopK = sketchCfg.TopK
+	// Exact counting through the same fold path: a top-k wider than the
+	// shape universe never evicts, a wide sketch admits with (near-)true
+	// counts, and a vanishing scale tolerance re-emits every frequency —
+	// i.e. every shape becomes a real query with its exact count.
+	exactCfg := vpart.IngestConfig{
+		Shards: 1, EpochEvents: 1 << 30, TopK: 2 * solveShapes,
+		SketchWidth: 1 << 18, SketchDepth: 4, ScaleTol: 1e-9,
+	}
+	sketch, err := foldAndSolve(solveShapes, solveEvents, batchSize, sketchCfg)
+	if err != nil {
+		return err
+	}
+	exact, err := foldAndSolve(solveShapes, solveEvents, batchSize, exactCfg)
+	if err != nil {
+		return err
+	}
+	rep.SketchCost, rep.ExactCost = sketch.cost, exact.cost
+	rep.CostPercent = 100 * math.Abs(sketch.cost-exact.cost) / exact.cost
+	rep.EpochAdds, rep.EpochRemoves, rep.EpochScales = sketch.adds, sketch.removes, sketch.scales
+	rep.EpochFlushSeconds = sketch.flushSec
+	rep.WarmResolveSeconds = sketch.resolveSec
+	rep.WarmResolve = sketch.warm
+	if rep.CostPercent > 5 {
+		return fmt.Errorf("ingest: sketch-folded solved cost %.6g is %.2f%% off the exact-count cost %.6g (gate: 5%%)",
+			sketch.cost, rep.CostPercent, exact.cost)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s", out, buf)
+	return nil
+}
+
+// measureIngestMemory folds nEvents zipfian events from a shapes-wide YCSB
+// universe twice — once through the sketch pipeline (self-reported state
+// bytes) and once into an exact count-and-retain map sized by the heap
+// (ReadMemStats around the build; the stream's small hot-shape cache warms
+// inside the window, a few MiB of noise against the retained clones).
+func measureIngestMemory(rep *ingestReport, shapes, nEvents, batchSize int) error {
+	fold := func() (*randgen.EventStream, []ingest.Event, error) {
+		stream, err := ingestStream("ycsb", shapes, 11)
+		if err != nil {
+			return nil, nil, err
+		}
+		return stream, make([]ingest.Event, batchSize), nil
+	}
+
+	stream, batch, err := fold()
+	if err != nil {
+		return err
+	}
+	p, err := ingest.New(stream.Base(), ingest.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for done := 0; done < nEvents; done += len(batch) {
+		stream.Fill(batch)
+		if _, err := p.Ingest(batch); err != nil {
+			p.Close()
+			return err
+		}
+	}
+	st := p.Stats()
+	p.Close()
+	rep.SketchStateBytes = st.StateBytes
+	rep.SketchTracked = st.Tracked
+
+	// Exact counting retains every distinct shape as a real materialised
+	// query plus its count — the memory the sketch layer exists to avoid.
+	type exactShape struct {
+		ev    ingest.Event
+		count uint64
+	}
+	stream, batch, err = fold()
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	counts := make(map[string]*exactShape)
+	for done := 0; done < nEvents; done += len(batch) {
+		stream.Fill(batch)
+		for i := range batch {
+			key := batch[i].Txn + "\x00" + batch[i].Query
+			if e := counts[key]; e != nil {
+				e.count++
+				continue
+			}
+			ev := batch[i]
+			ev.Accesses = append([]vpart.TableAccess(nil), ev.Accesses...)
+			for j := range ev.Accesses {
+				ev.Accesses[j].Attributes = append([]string(nil), ev.Accesses[j].Attributes...)
+			}
+			counts[key] = &exactShape{ev: ev, count: 1}
+		}
+	}
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	rep.MemDistinctShapes = len(counts)
+	rep.ExactStateBytes = m1.HeapAlloc - m0.HeapAlloc
+	rep.MemoryRatio = float64(rep.ExactStateBytes) / float64(rep.SketchStateBytes)
+	runtime.KeepAlive(counts)
+	return nil
+}
+
+// foldResult is one session's fold-and-resolve outcome.
+type foldResult struct {
+	cost                  float64
+	adds, removes, scales int
+	flushSec, resolveSec  float64
+	warm                  bool
+}
+
+// foldAndSolve anchors a session with a cold solve, streams nEvents through
+// an Ingestor with the given config, then times the epoch flush (compaction
+// + delta apply) and the warm re-solve it enables.
+func foldAndSolve(shapes, nEvents, batchSize int, cfg vpart.IngestConfig) (foldResult, error) {
+	var res foldResult
+	stream, err := ingestStream("ycsb", shapes, 21)
+	if err != nil {
+		return res, err
+	}
+	sess, err := vpart.NewSession(stream.Base(), vpart.Options{Sites: 4, Solver: "sa", Seed: 1})
+	if err != nil {
+		return res, err
+	}
+	ctx := context.Background()
+	if _, _, err := sess.Resolve(ctx); err != nil {
+		return res, err
+	}
+	ig, err := sess.NewIngestor(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer ig.Close()
+	batch := make([]vpart.QueryEvent, batchSize)
+	for done := 0; done < nEvents; done += len(batch) {
+		stream.Fill(batch)
+		if _, err := ig.Ingest(batch); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	ep, err := ig.FlushEpoch()
+	if err != nil {
+		return res, err
+	}
+	res.flushSec = time.Since(start).Seconds()
+	if ep != nil {
+		res.adds, res.removes, res.scales = ep.Adds, ep.Removes, ep.Scales
+	}
+	start = time.Now()
+	sol, stats, err := sess.Resolve(ctx)
+	if err != nil {
+		return res, err
+	}
+	res.resolveSec = time.Since(start).Seconds()
+	res.cost = sol.Cost.Balanced
+	res.warm = stats.Warm
+	return res, nil
+}

@@ -29,12 +29,21 @@
 // (sa-par must be deterministic regardless of scheduling) or when the
 // fixed-seed cost lands more than 3 % above monolithic SA's.
 //
+// With -ingest it measures the streaming-ingestion layer and writes
+// BENCH_ingest.json: fold throughput (events/sec) for both randgen stream
+// families at one and four shards, a GOMAXPROCS determinism gate on the
+// sharded fold, the ingest state bytes versus exact per-shape counting on a
+// ~1M-shape universe (full mode requires a ≥10× ratio), and the solved-cost
+// gap between a sketch-folded and an exactly-counted session (gated at 5 %
+// in both modes) together with the epoch-flush and warm-resolve latency.
+//
 // Run with:
 //
 //	go run ./cmd/vpart-bench [-out BENCH_evaluator.json] [-quick]
 //	go run ./cmd/vpart-bench -decompose [-out BENCH_decompose.json] [-quick]
 //	go run ./cmd/vpart-bench -online [-out BENCH_online.json] [-quick]
 //	go run ./cmd/vpart-bench -parallel [-out BENCH_parallel.json] [-quick]
+//	go run ./cmd/vpart-bench -ingest [-out BENCH_ingest.json] [-quick]
 package main
 
 import (
@@ -88,6 +97,7 @@ func run(args []string) error {
 	decomposeSuite := fs.Bool("decompose", false, "benchmark the decomposition pipeline instead of the evaluator")
 	online := fs.Bool("online", false, "benchmark warm re-solving over a drift trace instead of the evaluator")
 	parallelSuite := fs.Bool("parallel", false, "benchmark sa-par scaling across GOMAXPROCS instead of the evaluator")
+	ingestSuite := fs.Bool("ingest", false, "benchmark the streaming-ingestion layer instead of the evaluator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +123,12 @@ func run(args []string) error {
 			*out = "BENCH_parallel.json"
 		}
 		return runParallelSuite(*out, runs, *quick)
+	}
+	if *ingestSuite {
+		if *out == "" {
+			*out = "BENCH_ingest.json"
+		}
+		return runIngestSuite(*out, runs, *quick)
 	}
 	if *out == "" {
 		*out = "BENCH_evaluator.json"

@@ -24,7 +24,7 @@ type client struct {
 
 func runClient(ctx context.Context, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("client: missing verb (create, list, get, delete, delta, resolve, trajectory, snapshot, metrics)")
+		return fmt.Errorf("client: missing verb (create, list, get, delete, delta, events, resolve, trajectory, snapshot, metrics)")
 	}
 	verb, rest := args[0], args[1:]
 	c := &client{http: &http.Client{}}
@@ -129,6 +129,24 @@ func runClient(ctx context.Context, args []string) error {
 		}
 		return c.printJSON(ctx, "POST", "/v1/sessions/"+name+"/deltas"+waitQuery(*wait), body)
 
+	case "events":
+		file := fs.String("file", "", "path to an NDJSON query-event file (- or empty = stdin)")
+		name, err := parseNameAnd(fs, rest)
+		if err != nil {
+			return err
+		}
+		c.base = *daemonAddr
+		var body []byte
+		if *file == "" || *file == "-" {
+			body, err = io.ReadAll(os.Stdin)
+		} else {
+			body, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			return err
+		}
+		return c.printJSON(ctx, "POST", "/v1/sessions/"+name+"/events", body)
+
 	case "resolve":
 		wait := fs.Bool("wait", false, "block until the forced resolve lands and print the state")
 		name, err := parseNameAnd(fs, rest)
@@ -186,7 +204,7 @@ func runClient(ctx context.Context, args []string) error {
 		})
 
 	default:
-		return fmt.Errorf("client: unknown verb %q (want create, list, get, delete, delta, resolve, trajectory, snapshot or metrics)", verb)
+		return fmt.Errorf("client: unknown verb %q (want create, list, get, delete, delta, events, resolve, trajectory, snapshot or metrics)", verb)
 	}
 }
 

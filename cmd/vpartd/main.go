@@ -14,6 +14,7 @@
 //	vpartd client list
 //	vpartd client get mysess
 //	vpartd client delta mysess -file delta.json -wait
+//	vpartd client events mysess -file events.ndjson
 //	vpartd client resolve mysess -wait
 //	vpartd client trajectory mysess
 //	vpartd client snapshot mysess

@@ -159,6 +159,40 @@
 // tracking below the cold-solve cost at a fraction of its wall clock (see
 // BENCH_online.json and examples/online).
 //
+// # Ingesting a live workload
+//
+// Deltas describe workload drift an operator already understands; a live
+// system emits raw query events — millions of them, most repeating a small
+// set of shapes. Ingestor (over internal/ingest) folds such a stream into a
+// Session in bounded memory: events are routed by shape hash to per-shard
+// count-min sketches, and only the heavy-hitter shapes surviving a
+// space-saving top-k are materialised as real queries. Every
+// IngestConfig.EpochEvents events (event-count-based on purpose — epochs
+// never consult a clock) the tracked set is compacted by diffing it against
+// the session's live instance, emitting a minimal WorkloadDelta
+// (AddQuery/RemoveQuery/ScaleFreq) that flows through the same Model.Patch
+// warm-resolve machinery as hand-written deltas:
+//
+//	sess, _ := vpart.NewSession(inst, vpart.Options{Sites: 4, Solver: "sa", Seed: 1})
+//	sess.Resolve(ctx)                                  // cold anchor
+//	ig, _ := sess.NewIngestor(vpart.DefaultIngestConfig())
+//	for batch := range source {                        // []vpart.QueryEvent
+//		epochs, err := ig.Ingest(batch)                // epochs complete as counts cross
+//		...
+//	}
+//	ig.FlushEpoch()                                    // fold the partial epoch
+//	sol, stats, _ := sess.Resolve(ctx)                 // warm, priced on the stream
+//
+// The fold is sharded but deterministic: shards own disjoint shape sets, so
+// a fixed seed and shard count produce bit-identical sessions at any
+// GOMAXPROCS. randgen provides two synthetic event-stream families for
+// testing and benchmarks (NewYCSB, NewSocial), internal/ingest defines a
+// replayable, epoch-seekable binary trace format for captured streams, and
+// cmd/vpart-bench -ingest measures the layer end to end (BENCH_ingest.json:
+// ~10M events/sec single-core, ~27× smaller than exact counting at a
+// 1M-shape universe, sketch-folded solved cost within 5 % of exact).
+// vpartd exposes the same path over HTTP — see "Running as a daemon".
+//
 // # Placement constraints
 //
 // The paper optimises an unconstrained layout; production clusters rarely
@@ -208,9 +242,11 @@
 // /v1/sessions creates one from an instance + options + constraints document,
 // POST /v1/sessions/{name}/deltas streams WorkloadDeltas in (applied to the
 // session's model immediately; append ?wait=1 to block until a resolve covers
-// the delta), and GET /v1/sessions/{name} serves the incumbent Assignment,
-// ResolveStats and the cost trajectory without ever blocking on a running
-// solve. A configurable trigger policy — debounce, pending-op count, the
+// the delta), POST /v1/sessions/{name}/events ingests NDJSON query-event
+// batches through the session's Ingestor (sketch state, epoch counts and
+// heavy-hitter churn surface under /metrics and in the session state), and
+// GET /v1/sessions/{name} serves the incumbent Assignment, ResolveStats and
+// the cost trajectory without ever blocking on a running solve. A configurable trigger policy — debounce, pending-op count, the
 // Session.Staleness cost-drift estimate, max interval — decides when the
 // background re-solve fires, warm-started as described above. GET
 // /v1/sessions/{name}/snapshot returns a SessionSnapshot (see below), /metrics

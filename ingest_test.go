@@ -1,0 +1,136 @@
+package vpart_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"vpart"
+	"vpart/internal/randgen"
+)
+
+// TestSessionIngestor drives the public streaming path end to end: a session
+// over a YCSB stream base, batched event ingestion, a forced epoch flush and
+// a warm re-solve over the folded workload.
+func TestSessionIngestor(t *testing.T) {
+	ctx := context.Background()
+	stream, err := randgen.NewYCSB(randgen.YCSBParams{Shapes: 20_000, HotShapes: 1024}, 4)
+	if err != nil {
+		t.Fatalf("NewYCSB: %v", err)
+	}
+	sess, err := vpart.NewSession(stream.Base(), vpart.Options{Sites: 3, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Resolve(ctx); err != nil {
+		t.Fatalf("cold resolve: %v", err)
+	}
+
+	cfg := vpart.DefaultIngestConfig()
+	cfg.EpochEvents = 30_000
+	cfg.TopK = 64
+	cfg.SketchWidth = 1 << 12
+	ing, err := sess.NewIngestor(cfg)
+	if err != nil {
+		t.Fatalf("NewIngestor: %v", err)
+	}
+	defer ing.Close()
+
+	batch := make([]vpart.QueryEvent, 10_000)
+	var applied int
+	for i := 0; i < 7; i++ { // 70k events → 2 full epochs
+		stream.Fill(batch)
+		epochs, err := ing.Ingest(batch)
+		if err != nil {
+			t.Fatalf("Ingest batch %d: %v", i, err)
+		}
+		applied += len(epochs)
+	}
+	if applied != 2 {
+		t.Fatalf("completed epochs = %d, want 2", applied)
+	}
+	ep, err := ing.FlushEpoch()
+	if err != nil {
+		t.Fatalf("FlushEpoch: %v", err)
+	}
+	if ep == nil || ep.Seq != 3 {
+		t.Fatalf("flushed epoch = %+v, want seq 3", ep)
+	}
+	if ep2, err := ing.FlushEpoch(); err != nil || ep2 != nil {
+		t.Fatalf("second flush = (%v, %v), want (nil, nil)", ep2, err)
+	}
+
+	stats := ing.Stats()
+	if stats.Events != 70_000 || stats.Epochs != 3 {
+		t.Fatalf("stats = %+v, want 70000 events / 3 epochs", stats)
+	}
+	if stats.Tracked == 0 || stats.Adds == 0 || stats.StateBytes <= 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+
+	// The session's instance now carries the heavy hitters.
+	if err := sess.Instance().Validate(); err != nil {
+		t.Fatalf("folded instance invalid: %v", err)
+	}
+	nq := 0
+	for _, tx := range sess.Instance().Workload.Transactions {
+		nq += len(tx.Queries)
+	}
+	if nq <= 1 {
+		t.Fatalf("folded instance has %d queries — no heavy hitters installed", nq)
+	}
+
+	// Warm re-solve over the folded workload.
+	sol, rstats, err := sess.Resolve(ctx)
+	if err != nil {
+		t.Fatalf("warm resolve: %v", err)
+	}
+	if sol == nil || !rstats.Warm {
+		t.Fatalf("warm resolve stats = %+v, want Warm", rstats)
+	}
+}
+
+// TestIngestorBreaksOnBadEvents: an event referencing a table the schema
+// lacks fails the epoch apply and permanently breaks the ingestor, while the
+// session itself stays usable.
+func TestIngestorBreaksOnBadEvents(t *testing.T) {
+	stream, err := randgen.NewYCSB(randgen.YCSBParams{Shapes: 1000, HotShapes: 64}, 8)
+	if err != nil {
+		t.Fatalf("NewYCSB: %v", err)
+	}
+	sess, err := vpart.NewSession(stream.Base(), vpart.Options{Sites: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vpart.DefaultIngestConfig()
+	cfg.EpochEvents = 1 << 20
+	ing, err := sess.NewIngestor(cfg)
+	if err != nil {
+		t.Fatalf("NewIngestor: %v", err)
+	}
+	defer ing.Close()
+
+	bad := []vpart.QueryEvent{{
+		Txn: "ghost", Query: "q", Kind: vpart.Read,
+		Accesses: []vpart.TableAccess{{Table: "no-such-table", Attributes: []string{"x"}, Rows: 1}},
+	}}
+	if _, err := ing.Ingest(bad); err != nil {
+		t.Fatalf("Ingest of schema-invalid event should only fail at apply: %v", err)
+	}
+	if _, err := ing.FlushEpoch(); err == nil {
+		t.Fatal("epoch referencing an unknown table applied cleanly")
+	} else if !strings.Contains(err.Error(), "no-such-table") {
+		t.Fatalf("apply error does not name the table: %v", err)
+	}
+	// Broken for good.
+	if _, err := ing.Ingest(nil); err == nil {
+		t.Fatal("broken ingestor accepted more events")
+	}
+	// The session survived: the failed delta was never half-applied.
+	if err := sess.Instance().Validate(); err != nil {
+		t.Fatalf("session instance corrupted by failed apply: %v", err)
+	}
+	if _, _, err := sess.Resolve(context.Background()); err != nil {
+		t.Fatalf("session unusable after ingestor broke: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ var solverPackages = map[string]bool{
 	"vpart/internal/decompose": true,
 	"vpart/internal/seeds":     true,
 	"vpart/internal/conc":      true,
+	"vpart/internal/ingest":    true,
 }
 
 // inSolverScope reports whether the package is subject to the solver-path

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeltaBuilder accumulates per-query edits and coalesces them into one
+// minimal WorkloadDelta. Repeated edits of the same (transaction, query) pair
+// fold together — scales multiply, a scale folds into a pending add's
+// frequency, a remove cancels a pending add — so a producer can record edits
+// as it discovers them and still hand the session the smallest equivalent
+// batch. Build emits a deterministic order: adds in first-touch order, then
+// scales in first-touch order, then removes sorted by name (adds first keeps
+// transactions non-empty when a remove and an add hit the same transaction),
+// then re-adds of queries removed earlier in the same batch.
+//
+// The streaming ingestion layer is the primary producer: every epoch
+// compaction builds its delta through a DeltaBuilder.
+type DeltaBuilder struct {
+	keys []string
+	ops  map[string]*builderOp
+	err  error
+}
+
+const (
+	opNone   = iota // cancelled out — emit nothing
+	opAdd           // AddQuery
+	opScale         // ScaleFreq
+	opRemove        // RemoveQuery
+	opReadd         // RemoveQuery then AddQuery (replace)
+)
+
+type builderOp struct {
+	txn, query string
+	state      int
+	q          Query   // opAdd, opReadd
+	factor     float64 // opScale
+}
+
+// NewDeltaBuilder returns an empty builder.
+func NewDeltaBuilder() *DeltaBuilder {
+	return &DeltaBuilder{ops: map[string]*builderOp{}}
+}
+
+func (b *DeltaBuilder) op(txn, query string) *builderOp {
+	k := txn + "\x00" + query
+	if o, ok := b.ops[k]; ok {
+		return o
+	}
+	o := &builderOp{txn: txn, query: query, state: opNone}
+	b.ops[k] = o
+	b.keys = append(b.keys, k)
+	return o
+}
+
+func (b *DeltaBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Add records an AddQuery of q to transaction txn. Adding a query that the
+// batch previously removed turns the pair into a replace (remove, then
+// re-add).
+func (b *DeltaBuilder) Add(txn string, q Query) {
+	o := b.op(txn, q.Name)
+	switch o.state {
+	case opNone:
+		o.state, o.q = opAdd, q
+	case opRemove:
+		o.state, o.q = opReadd, q
+	case opAdd, opReadd:
+		b.fail("delta builder: duplicate add of %s/%s", txn, q.Name)
+	case opScale:
+		b.fail("delta builder: add of %s/%s after scaling it (query already exists)", txn, q.Name)
+	}
+}
+
+// Scale records a ScaleFreq of the named query by factor (> 0). Successive
+// scales multiply; a scale of a query the batch is adding folds into the
+// add's frequency.
+func (b *DeltaBuilder) Scale(txn, query string, factor float64) {
+	if factor <= 0 {
+		b.fail("delta builder: non-positive scale factor %g for %s/%s", factor, txn, query)
+		return
+	}
+	o := b.op(txn, query)
+	switch o.state {
+	case opNone:
+		o.state, o.factor = opScale, factor
+	case opScale:
+		o.factor *= factor
+	case opAdd, opReadd:
+		o.q.Frequency *= factor
+	case opRemove:
+		b.fail("delta builder: scale of removed query %s/%s", txn, query)
+	}
+}
+
+// Remove records a RemoveQuery of the named query. Removing a query the batch
+// is adding cancels both; a pending scale is subsumed by the remove.
+func (b *DeltaBuilder) Remove(txn, query string) {
+	o := b.op(txn, query)
+	switch o.state {
+	case opNone, opScale:
+		o.state = opRemove
+	case opAdd:
+		o.state = opNone
+	case opReadd:
+		o.state = opRemove
+	case opRemove:
+		b.fail("delta builder: duplicate remove of %s/%s", txn, query)
+	}
+}
+
+// Len returns the number of ops Build would emit.
+func (b *DeltaBuilder) Len() int {
+	n := 0
+	for _, k := range b.keys {
+		switch b.ops[k].state {
+		case opAdd, opScale, opRemove:
+			n++
+		case opReadd:
+			n += 2
+		}
+	}
+	return n
+}
+
+// Build coalesces the recorded edits into a WorkloadDelta, or reports the
+// first inconsistent edit sequence. The builder stays usable afterwards
+// (building again yields the same delta).
+func (b *DeltaBuilder) Build() (WorkloadDelta, error) {
+	if b.err != nil {
+		return WorkloadDelta{}, b.err
+	}
+	var adds, scales, removes, readds []DeltaOp
+	removeKeys := make([]string, 0, len(b.keys))
+	for _, k := range b.keys {
+		switch o := b.ops[k]; o.state {
+		case opAdd:
+			adds = append(adds, AddQuery{Txn: o.txn, Query: o.q})
+		case opScale:
+			scales = append(scales, ScaleFreq{Txn: o.txn, Query: o.query, Factor: o.factor})
+		case opRemove:
+			removeKeys = append(removeKeys, k)
+		case opReadd:
+			removeKeys = append(removeKeys, k)
+			readds = append(readds, AddQuery{Txn: o.txn, Query: o.q})
+		}
+	}
+	sort.Strings(removeKeys)
+	for _, k := range removeKeys {
+		o := b.ops[k]
+		removes = append(removes, RemoveQuery{Txn: o.txn, Query: o.query})
+	}
+	ops := make([]DeltaOp, 0, len(adds)+len(scales)+len(removes)+len(readds))
+	ops = append(ops, adds...)
+	ops = append(ops, scales...)
+	ops = append(ops, removes...)
+	ops = append(ops, readds...)
+	return WorkloadDelta{Ops: ops}, nil
+}

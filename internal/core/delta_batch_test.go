@@ -1,0 +1,101 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func bq(name string, freq float64) Query {
+	return Query{
+		Name: name, Kind: Read, Frequency: freq,
+		Accesses: []TableAccess{{Table: "R", Attributes: []string{"a1"}, Rows: 1}},
+	}
+}
+
+func TestDeltaBuilderCoalescing(t *testing.T) {
+	b := NewDeltaBuilder()
+	b.Add("tx", bq("added", 10))
+	b.Scale("tx", "added", 2) // folds into the add's frequency
+	b.Scale("tx", "scaled", 3)
+	b.Scale("tx", "scaled", 4) // multiplies
+	b.Add("tx", bq("gone", 1))
+	b.Remove("tx", "gone") // cancels
+	b.Remove("tx", "z-removed")
+	b.Remove("tx", "a-removed")
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := []DeltaOp{
+		AddQuery{Txn: "tx", Query: bq("added", 20)},
+		ScaleFreq{Txn: "tx", Query: "scaled", Factor: 12},
+		RemoveQuery{Txn: "tx", Query: "a-removed"}, // removes sorted by name
+		RemoveQuery{Txn: "tx", Query: "z-removed"},
+	}
+	if !reflect.DeepEqual(d.Ops, want) {
+		t.Fatalf("ops mismatch:\n got %v\nwant %v", d.Ops, want)
+	}
+	if got := b.Len(); got != len(want) {
+		t.Fatalf("Len = %d, want %d", got, len(want))
+	}
+	// Building again yields the same delta.
+	d2, err := b.Build()
+	if err != nil || !reflect.DeepEqual(d, d2) {
+		t.Fatalf("second Build diverged: %v (err %v)", d2.Ops, err)
+	}
+}
+
+func TestDeltaBuilderReadd(t *testing.T) {
+	b := NewDeltaBuilder()
+	b.Remove("tx", "q")
+	b.Add("tx", bq("q", 5))
+	b.Scale("tx", "q", 2) // folds into the re-add
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := []DeltaOp{
+		RemoveQuery{Txn: "tx", Query: "q"},
+		AddQuery{Txn: "tx", Query: bq("q", 10)}, // re-adds after removes
+	}
+	if !reflect.DeepEqual(d.Ops, want) {
+		t.Fatalf("ops mismatch:\n got %v\nwant %v", d.Ops, want)
+	}
+	if got := b.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestDeltaBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(b *DeltaBuilder)
+	}{
+		{"duplicate add", func(b *DeltaBuilder) { b.Add("tx", bq("q", 1)); b.Add("tx", bq("q", 2)) }},
+		{"add after scale", func(b *DeltaBuilder) { b.Scale("tx", "q", 2); b.Add("tx", bq("q", 1)) }},
+		{"scale removed", func(b *DeltaBuilder) { b.Remove("tx", "q"); b.Scale("tx", "q", 2) }},
+		{"duplicate remove", func(b *DeltaBuilder) { b.Remove("tx", "q"); b.Remove("tx", "q") }},
+		{"non-positive factor", func(b *DeltaBuilder) { b.Scale("tx", "q", 0) }},
+	}
+	for _, tc := range cases {
+		b := NewDeltaBuilder()
+		tc.edit(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: Build succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestDeltaBuilderAppliesCleanly(t *testing.T) {
+	inst := testInstance()
+	b := NewDeltaBuilder()
+	b.Add("txNew", bq("q0", 7))
+	b.Scale(inst.Workload.Transactions[0].Name, inst.Workload.Transactions[0].Queries[0].Name, 2)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := ApplyDelta(inst, d); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+}

@@ -83,6 +83,27 @@ type Trigger struct {
 	MaxInterval Duration `json:"max_interval"`
 }
 
+// Ingest sizes the per-session streaming ingestor behind
+// POST /v1/sessions/{name}/events. A session only pays for an ingestor once
+// its first event batch arrives. These are startup settings (not hot-swapped
+// on SIGHUP): a live ingestor's sketches cannot be resized.
+type Ingest struct {
+	// EpochEvents is the epoch length in events: the ingestor folds the
+	// stream into one workload delta per EpochEvents observed executions.
+	EpochEvents int `json:"epoch_events"`
+	// TopK is the number of heavy-hitter query shapes kept as real queries.
+	TopK int `json:"top_k"`
+	// SketchWidth is the count-min sketch width (a power of two).
+	SketchWidth int `json:"sketch_width"`
+	// SketchDepth is the count-min sketch depth (rows).
+	SketchDepth int `json:"sketch_depth"`
+	// Shards is the number of ingest shards (1 = fold inline).
+	Shards int `json:"shards"`
+	// ScaleTol is the relative frequency drift below which a tracked query's
+	// frequency is left alone at an epoch boundary (0.2 = 20 %).
+	ScaleTol float64 `json:"scale_tol"`
+}
+
 // Limits bound the daemon's resource use.
 type Limits struct {
 	// MaxSessions caps the number of live sessions.
@@ -98,6 +119,7 @@ type Config struct {
 	Log      Log      `json:"log"`
 	Defaults Defaults `json:"defaults"`
 	Trigger  Trigger  `json:"trigger"`
+	Ingest   Ingest   `json:"ingest"`
 	Limits   Limits   `json:"limits"`
 }
 
@@ -119,6 +141,14 @@ func Default() Config {
 			MaxPendingOps: 64,
 			MaxStaleness:  0.10,
 			MaxInterval:   Duration(30 * time.Second),
+		},
+		Ingest: Ingest{
+			EpochEvents: 1 << 20,
+			TopK:        512,
+			SketchWidth: 1 << 15,
+			SketchDepth: 4,
+			Shards:      1,
+			ScaleTol:    0.2,
 		},
 		Limits: Limits{
 			MaxSessions:  64,
@@ -183,6 +213,18 @@ func (c *Config) Validate() error {
 	if c.Trigger.MaxInterval > 0 && c.Trigger.Debounce > c.Trigger.MaxInterval {
 		return fmt.Errorf("trigger.debounce %s exceeds trigger.max_interval %s",
 			c.Trigger.Debounce.Std(), c.Trigger.MaxInterval.Std())
+	}
+	if c.Ingest.EpochEvents < 1 || c.Ingest.TopK < 1 || c.Ingest.Shards < 1 {
+		return fmt.Errorf("ingest: epoch_events, top_k and shards must be ≥ 1")
+	}
+	if w := c.Ingest.SketchWidth; w < 2 || w&(w-1) != 0 {
+		return fmt.Errorf("ingest: sketch_width %d is not a power of two ≥ 2", w)
+	}
+	if d := c.Ingest.SketchDepth; d < 1 || d > 8 {
+		return fmt.Errorf("ingest: sketch_depth %d outside [1, 8]", d)
+	}
+	if c.Ingest.ScaleTol < 0 {
+		return fmt.Errorf("negative ingest.scale_tol")
 	}
 	if c.Limits.MaxSessions < 0 {
 		return fmt.Errorf("negative limits.max_sessions")

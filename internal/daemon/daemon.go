@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"vpart"
 	"vpart/internal/daemon/config"
 	"vpart/internal/daemon/doctor"
 	"vpart/internal/daemon/logging"
@@ -79,6 +80,7 @@ func New(opts Options) (*Daemon, error) {
 		Policy:      policyFrom(cfg),
 		Defaults:    defaultsFrom(cfg),
 		MaxSessions: cfg.Limits.MaxSessions,
+		Ingest:      ingestFrom(cfg),
 	})
 	return &Daemon{
 		opts:         opts,
@@ -113,6 +115,17 @@ func policyFrom(cfg config.Config) service.Policy {
 		MaxPendingOps: cfg.Trigger.MaxPendingOps,
 		MaxStaleness:  cfg.Trigger.MaxStaleness,
 		MaxInterval:   time.Duration(cfg.Trigger.MaxInterval),
+	}
+}
+
+func ingestFrom(cfg config.Config) vpart.IngestConfig {
+	return vpart.IngestConfig{
+		Shards:      cfg.Ingest.Shards,
+		EpochEvents: cfg.Ingest.EpochEvents,
+		TopK:        cfg.Ingest.TopK,
+		SketchWidth: cfg.Ingest.SketchWidth,
+		SketchDepth: cfg.Ingest.SketchDepth,
+		ScaleTol:    cfg.Ingest.ScaleTol,
 	}
 }
 

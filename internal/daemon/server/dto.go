@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vpart"
+	"vpart/internal/daemon/service"
 )
 
 // The wire types of the vpartd HTTP API. Request decoding is strict
@@ -162,4 +163,76 @@ func (o SessionOptions) ToOptions() (vpart.Options, error) {
 // in the vpart delta JSON format.
 func ParseDeltaRequest(data []byte) (vpart.WorkloadDelta, error) {
 	return vpart.DecodeDelta(bytes.NewReader(data))
+}
+
+// EventDTO is one observed query execution on the wire — one NDJSON line of
+// POST /v1/sessions/{name}/events.
+type EventDTO struct {
+	// Txn names the transaction the execution belongs to.
+	Txn string `json:"txn"`
+	// Query names the query shape within the transaction.
+	Query string `json:"query"`
+	// Kind is "read" or "write".
+	Kind vpart.QueryKind `json:"kind"`
+	// Accesses lists the tables the execution touched, in the vpart
+	// table-access JSON format.
+	Accesses []vpart.TableAccess `json:"accesses"`
+}
+
+// EventsResponse is the body answering POST /v1/sessions/{name}/events.
+type EventsResponse struct {
+	// Accepted is the number of events queued for folding.
+	Accepted int `json:"accepted"`
+	// Ingest is the session's ingest state as of the last fold (nil on the
+	// very first batch: the worker has not built the ingestor yet).
+	Ingest *service.IngestState `json:"ingest,omitempty"`
+}
+
+// maxEventBatch bounds one NDJSON request, independent of the byte limit, so
+// a single request cannot queue unbounded per-event decode work.
+const maxEventBatch = 100_000
+
+// ParseEventsRequest decodes an NDJSON event batch: one EventDTO per line,
+// blank lines ignored, unknown fields rejected. Event-level semantic
+// validation (non-empty names, known kinds, positive rows) is the service
+// layer's job; this decoder only guarantees well-formed JSON of the right
+// shape.
+func ParseEventsRequest(data []byte) ([]vpart.QueryEvent, error) {
+	var events []vpart.QueryEvent
+	line := 0
+	for len(data) > 0 {
+		line++
+		raw := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			raw, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		raw = bytes.TrimSpace(raw)
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var dto EventDTO
+		if err := dec.Decode(&dto); err != nil {
+			return nil, fmt.Errorf("events: line %d: %w", line, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("events: line %d: trailing data after event object", line)
+		}
+		if len(events) >= maxEventBatch {
+			return nil, fmt.Errorf("events: batch exceeds %d events", maxEventBatch)
+		}
+		events = append(events, vpart.QueryEvent{
+			Txn:      dto.Txn,
+			Query:    dto.Query,
+			Kind:     dto.Kind,
+			Accesses: dto.Accesses,
+		})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("events: empty batch")
+	}
+	return events, nil
 }

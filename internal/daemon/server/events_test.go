@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"vpart"
+	"vpart/internal/daemon/service"
+	"vpart/internal/randgen"
+)
+
+// eventsBody renders a batch as the NDJSON wire form.
+func eventsBody(t *testing.T, events []vpart.QueryEvent) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range events {
+		if err := enc.Encode(EventDTO{
+			Txn: events[i].Txn, Query: events[i].Query,
+			Kind: events[i].Kind, Accesses: events[i].Accesses,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestHTTPEvents drives POST /v1/sessions/{name}/events end to end: NDJSON
+// batches are accepted, the ingest state surfaces in the session state, and
+// a forced resolve folds the partial epoch into the priced workload.
+func TestHTTPEvents(t *testing.T) {
+	ts, _, _ := newTestServer(t, service.Policy{Debounce: time.Millisecond})
+	stream, err := randgen.NewYCSB(randgen.YCSBParams{Shapes: 3000, HotShapes: 256}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := createBody(t, "stream", stream.Base(), SessionOptions{Sites: 2, Solver: "sa", Seed: 1, TimeLimit: "30s"}, nil)
+	var state service.SessionState
+	if code := do(t, "POST", ts.URL+"/v1/sessions?wait=1", body, &state); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	seedQueries := state.Instance.Queries
+
+	events := make([]vpart.QueryEvent, 2000)
+	stream.Fill(events)
+	var evResp EventsResponse
+	if code := do(t, "POST", ts.URL+"/v1/sessions/stream/events", eventsBody(t, events), &evResp); code != http.StatusAccepted {
+		t.Fatalf("events: status %d", code)
+	}
+	if evResp.Accepted != len(events) {
+		t.Fatalf("accepted %d of %d events", evResp.Accepted, len(events))
+	}
+
+	// A forced resolve flushes the partial epoch; with wait=1 the response
+	// carries the post-fold state.
+	if code := do(t, "POST", ts.URL+"/v1/sessions/stream/resolve?wait=1", nil, &state); code != http.StatusOK {
+		t.Fatalf("resolve: status %d", code)
+	}
+	if state.Ingest == nil {
+		t.Fatal("session state lacks the ingest section after streaming")
+	}
+	if state.Ingest.Events != 2000 || state.Ingest.Epochs < 1 {
+		t.Fatalf("ingest state = %+v, want 2000 events and ≥ 1 epoch", state.Ingest)
+	}
+	if state.Instance.Queries <= seedQueries {
+		t.Fatalf("instance has %d queries, seed had %d — stream not folded", state.Instance.Queries, seedQueries)
+	}
+
+	// Bad inputs map to 400s; unknown sessions to 404.
+	var errResp ErrorResponse
+	if code := do(t, "POST", ts.URL+"/v1/sessions/stream/events", []byte("not json"), &errResp); code != http.StatusBadRequest {
+		t.Fatalf("garbage events: status %d (%+v)", code, errResp)
+	}
+	if code := do(t, "POST", ts.URL+"/v1/sessions/stream/events", []byte(""), &errResp); code != http.StatusBadRequest {
+		t.Fatalf("empty events: status %d", code)
+	}
+	bad := eventsBody(t, []vpart.QueryEvent{{Txn: "t", Query: "q", Kind: vpart.Read}})
+	if code := do(t, "POST", ts.URL+"/v1/sessions/stream/events", bad, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("accessless event: status %d", code)
+	}
+	ok := eventsBody(t, events[:1])
+	if code := do(t, "POST", ts.URL+"/v1/sessions/ghost/events", ok, &errResp); code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"vpart"
+	"vpart/internal/randgen"
 )
 
 // FuzzDaemonRequests fuzzes the HTTP request decoders of the vpartd API —
@@ -60,6 +61,38 @@ func FuzzDaemonRequests(f *testing.F) {
 		f.Add("delta", buf.Bytes())
 	}
 
+	// Seed with well-formed NDJSON event batches from both stream families.
+	for _, family := range []string{"ycsb", "social"} {
+		var stream *randgen.EventStream
+		var err error
+		if family == "ycsb" {
+			stream, err = randgen.NewYCSB(randgen.YCSBParams{Shapes: 2000, HotShapes: 128}, 13)
+		} else {
+			stream, err = randgen.NewSocial(randgen.SocialParams{Shapes: 2000, HotShapes: 128}, 13)
+		}
+		if err != nil {
+			f.Fatal(err)
+		}
+		batch := make([]vpart.QueryEvent, 64)
+		stream.Fill(batch)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i := range batch {
+			if err := enc.Encode(EventDTO{
+				Txn: batch[i].Txn, Query: batch[i].Query,
+				Kind: batch[i].Kind, Accesses: batch[i].Accesses,
+			}); err != nil {
+				f.Fatal(err)
+			}
+		}
+		f.Add("events", buf.Bytes())
+	}
+	f.Add("events", []byte(""))
+	f.Add("events", []byte("\n\n\n"))
+	f.Add("events", []byte(`{"txn":"t","query":"q","kind":"scan","accesses":[]}`))
+	f.Add("events", []byte(`{"txn":"t","query":"q","kind":"read","accesses":[{"table":"x","attributes":["a"],"rows":1}]} trailing`))
+	f.Add("events", []byte(`{"unknown_field":1}`))
+
 	// Malformed documents steer the fuzzer towards the error paths.
 	f.Add("create", []byte(`{}`))
 	f.Add("create", []byte(`{"name":"x","instance":{},"options":{"sites":0}}`))
@@ -71,6 +104,33 @@ func FuzzDaemonRequests(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, kind string, data []byte) {
 		switch kind {
+		case "events":
+			events, err := ParseEventsRequest(data)
+			if err != nil {
+				return // invalid input: rejecting it is the correct behaviour
+			}
+			if len(events) == 0 {
+				t.Fatal("decoder accepted an empty event batch")
+			}
+			// Accepted events must re-encode and decode to the same batch —
+			// the NDJSON form is a fixed point like the delta form.
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			for i := range events {
+				if err := enc.Encode(EventDTO{
+					Txn: events[i].Txn, Query: events[i].Query,
+					Kind: events[i].Kind, Accesses: events[i].Accesses,
+				}); err != nil {
+					t.Fatalf("re-encode of accepted event failed: %v", err)
+				}
+			}
+			again, err := ParseEventsRequest(buf.Bytes())
+			if err != nil {
+				t.Fatalf("decode of re-encoded events failed: %v", err)
+			}
+			if len(again) != len(events) {
+				t.Fatalf("round trip changed the batch size: %d → %d", len(events), len(again))
+			}
 		case "delta":
 			d, err := ParseDeltaRequest(data)
 			if err != nil {

@@ -67,6 +67,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{name}/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /v1/sessions/{name}/events", s.handleEvents)
 	mux.HandleFunc("POST /v1/sessions/{name}/resolve", s.handleResolve)
 	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -260,6 +261,36 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, DeltaResponse{Seq: seq, PendingOps: state.PendingOps})
+}
+
+// handleEvents accepts an NDJSON batch of raw query events and queues it for
+// the session's streaming ingestor. The response is always 202: events fold
+// into the workload asynchronously, one coalesced delta per epoch (force a
+// resolve with ?wait=1 on /resolve to flush the partial epoch and block until
+// the stream is priced in).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	data, err := s.readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	events, err := ParseEventsRequest(data)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %w", service.ErrBadRequest, err))
+		return
+	}
+	accepted, err := s.svc.EnqueueEvents(name, events)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	state, err := s.svc.State(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, EventsResponse{Accepted: accepted, Ingest: state.Ingest})
 }
 
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {

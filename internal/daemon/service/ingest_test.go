@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"vpart"
+	"vpart/internal/daemon/metrics"
+	"vpart/internal/randgen"
+)
+
+// ingestService builds a Service with a deliberately tiny ingest
+// configuration so epochs complete within a test-sized stream.
+func ingestService(t *testing.T) (*Service, *metrics.Registry) {
+	t.Helper()
+	buf := &syncBuffer{}
+	logger := slog.New(slog.NewTextHandler(buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	reg := metrics.NewRegistry()
+	svc := New(Config{
+		Logger:  logger,
+		Metrics: reg,
+		Policy:  Policy{Debounce: time.Millisecond, MaxInterval: 10 * time.Second},
+		Defaults: Defaults{
+			Solver:    "sa",
+			TimeLimit: 10 * time.Second,
+		},
+		MaxSessions: 8,
+		Ingest: vpart.IngestConfig{
+			Shards: 1, EpochEvents: 5000, TopK: 64,
+			SketchWidth: 1 << 12, SketchDepth: 4, ScaleTol: 0.2,
+		},
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return svc, reg
+}
+
+// awaitIngest polls the published state until cond holds or the deadline
+// passes.
+func awaitIngest(t *testing.T, svc *Service, name string, cond func(*IngestState) bool) IngestState {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := svc.State(name)
+		if err != nil {
+			t.Fatalf("State: %v", err)
+		}
+		if st.Ingest != nil && cond(st.Ingest) {
+			return *st.Ingest
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := svc.State(name)
+	t.Fatalf("ingest state never converged; last: %+v", st.Ingest)
+	return IngestState{}
+}
+
+// TestServiceIngestEvents streams a YCSB event batch through EnqueueEvents
+// and watches the worker fold it: epochs complete, the workload grows, the
+// /metrics series fill in, and a forced resolve flushes the partial epoch.
+func TestServiceIngestEvents(t *testing.T) {
+	svc, reg := ingestService(t)
+	stream, err := randgen.NewYCSB(randgen.YCSBParams{Shapes: 5000, HotShapes: 512}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Create("stream", stream.Base(), vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "stream", 0); err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+
+	events := make([]vpart.QueryEvent, 4000)
+	for i := 0; i < 3; i++ { // 12k events → 2 completed epochs + 2k partial
+		stream.Fill(events)
+		n, err := svc.EnqueueEvents("stream", events)
+		if err != nil {
+			t.Fatalf("EnqueueEvents: %v", err)
+		}
+		if n != len(events) {
+			t.Fatalf("accepted %d of %d events", n, len(events))
+		}
+	}
+	ing := awaitIngest(t, svc, "stream", func(s *IngestState) bool {
+		return s.Epochs >= 2 && s.Events == 12000
+	})
+	if ing.Tracked == 0 || ing.SketchFill <= 0 || ing.StateBytes <= 0 {
+		t.Fatalf("ingest gauges not populated: %+v", ing)
+	}
+
+	// A forced resolve flushes the partial epoch before solving.
+	attempt, err := svc.ForceResolve("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitAttempts(ctx, "stream", attempt); err != nil {
+		t.Fatalf("forced resolve: %v", err)
+	}
+	awaitIngest(t, svc, "stream", func(s *IngestState) bool {
+		return s.PendingEvents == 0 && s.Epochs >= 3
+	})
+
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	out := prom.String()
+	for _, series := range []string{
+		"vpartd_ingest_events_total",
+		"vpartd_ingest_events_per_second",
+		"vpartd_ingest_sketch_fill",
+		"vpartd_ingest_epochs",
+		"vpartd_ingest_tracked_shapes",
+		"vpartd_ingest_state_bytes",
+		"vpartd_ingest_churn_total",
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("metrics exposition lacks %s", series)
+		}
+	}
+
+	// The folded heavy hitters are visible in the session's instance stats.
+	st, err := svc.State("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := stream.Base().Stats()
+	if st.Instance.Queries <= seed.Queries {
+		t.Fatalf("instance has %d queries, seed had %d — stream not folded", st.Instance.Queries, seed.Queries)
+	}
+}
+
+// TestServiceIngestBrokenStream: events whose epoch delta cannot apply mark
+// the stream broken; later batches are rejected with ErrBadRequest while
+// deltas and resolves keep working.
+func TestServiceIngestBrokenStream(t *testing.T) {
+	svc, _ := ingestService(t)
+	inst := testInstance(t)
+	if err := svc.Create("s", inst, vpart.Options{Sites: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.AwaitSeq(ctx, "s", 0); err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+
+	bad := []vpart.QueryEvent{{
+		Txn: "ghost", Query: "q", Kind: vpart.Read,
+		Accesses: []vpart.TableAccess{{Table: "no-such-table", Attributes: []string{"x"}, Rows: 1}},
+	}}
+	if _, err := svc.EnqueueEvents("s", bad); err != nil {
+		t.Fatalf("structurally valid events must enqueue: %v", err)
+	}
+	// Force a resolve: the flush of the partial epoch hits the bad table.
+	attempt, err := svc.ForceResolve("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AwaitAttempts(ctx, "s", attempt); err != nil {
+		t.Fatalf("resolve after broken flush: %v", err)
+	}
+	awaitIngest(t, svc, "s", func(s *IngestState) bool { return s.Broken != "" })
+
+	if _, err := svc.EnqueueEvents("s", bad); err == nil {
+		t.Fatal("broken stream accepted more events")
+	}
+	// The session itself still works.
+	seq, err := svc.Enqueue("s", scaleDelta(t, inst, 2))
+	if err != nil {
+		t.Fatalf("delta after broken stream: %v", err)
+	}
+	if err := svc.AwaitSeq(ctx, "s", seq); err != nil {
+		t.Fatalf("resolve after broken stream: %v", err)
+	}
+
+	// Malformed events are rejected at the door.
+	if _, err := svc.EnqueueEvents("s", []vpart.QueryEvent{{}}); err == nil {
+		t.Fatal("empty event accepted")
+	}
+	if _, err := svc.EnqueueEvents("s", nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}

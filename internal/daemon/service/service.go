@@ -59,6 +59,10 @@ type Config struct {
 	Policy      Policy
 	Defaults    Defaults
 	MaxSessions int
+	// Ingest sizes the streaming ingestor a session lazily builds when its
+	// first event batch arrives. The zero value selects
+	// vpart.DefaultIngestConfig.
+	Ingest vpart.IngestConfig
 }
 
 // SessionState is the JSON-serialisable view of one session that GET
@@ -93,6 +97,29 @@ type SessionState struct {
 	Trajectory []float64 `json:"trajectory,omitempty"`
 	// LastError is the most recent delta or resolve failure ("" when clean).
 	LastError string `json:"last_error,omitempty"`
+	// Ingest reports the session's streaming ingestor; nil until the first
+	// event batch arrives.
+	Ingest *IngestState `json:"ingest,omitempty"`
+}
+
+// IngestState is the JSON view of a session's streaming ingestor.
+type IngestState struct {
+	// Events counts stream events folded so far.
+	Events uint64 `json:"events"`
+	// PendingEvents counts events queued or folded into the current partial
+	// epoch — observations not yet reflected in the session's workload.
+	PendingEvents int `json:"pending_events"`
+	// Epochs counts completed epoch compactions.
+	Epochs int `json:"epochs"`
+	// Tracked is the number of heavy-hitter shapes currently tracked.
+	Tracked int `json:"tracked"`
+	// SketchFill is the occupied fraction of the count-min counters.
+	SketchFill float64 `json:"sketch_fill"`
+	// StateBytes is the resident ingest state (sketches + top-k).
+	StateBytes int `json:"state_bytes"`
+	// Broken is set when an epoch delta failed to apply (events referencing
+	// unknown tables); the stream can no longer be resumed on this session.
+	Broken string `json:"broken,omitempty"`
 }
 
 // Service is the session registry. Create it with New, shut it down with
@@ -103,6 +130,7 @@ type Service struct {
 	policy atomic.Pointer[Policy]
 	def    Defaults
 	max    int
+	ingCfg vpart.IngestConfig
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -116,11 +144,16 @@ type Service struct {
 // New builds a Service. The logger and metrics registry must be non-nil.
 func New(cfg Config) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
+	ing := cfg.Ingest
+	if ing == (vpart.IngestConfig{}) {
+		ing = vpart.DefaultIngestConfig()
+	}
 	s := &Service{
 		logger:   cfg.Logger,
 		reg:      cfg.Metrics,
 		def:      cfg.Defaults,
 		max:      cfg.MaxSessions,
+		ingCfg:   ing,
 		sessions: map[string]*session{},
 		baseCtx:  ctx,
 		cancel:   cancel,
@@ -311,6 +344,44 @@ func (s *Service) Enqueue(name string, d vpart.WorkloadDelta) (int, error) {
 	m.poke()
 	s.pendingGauge(name).Set(float64(m.pendingOps()))
 	return seq, nil
+}
+
+// EnqueueEvents queues a batch of raw query events for the session's
+// streaming ingestor and returns the number accepted. The worker folds them
+// into bounded-memory sketches; completed epochs land on the session as
+// coalesced workload deltas, and a resolve triggered while an epoch is
+// partial force-flushes it first. Like Enqueue it never blocks on a running
+// solve. Each event is validated up front; an invalid one rejects the whole
+// batch.
+func (s *Service) EnqueueEvents(name string, events []vpart.QueryEvent) (int, error) {
+	m, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(events) == 0 {
+		return 0, fmt.Errorf("service: empty event batch: %w", ErrBadRequest)
+	}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return 0, fmt.Errorf("service: event %d: %w: %w", i, err, ErrBadRequest)
+		}
+	}
+	m.mu.Lock()
+	if m.ingBroken != nil {
+		err := m.ingBroken
+		m.mu.Unlock()
+		return 0, fmt.Errorf("service: ingest stream broken: %w: %w", err, ErrBadRequest)
+	}
+	m.evInbox = append(m.evInbox, events)
+	m.evQueued += len(events)
+	now := time.Now()
+	if m.queuedOps == 0 && m.sessPending == 0 && m.evQueued == len(events) && m.evPartial == 0 {
+		m.firstPending = now
+	}
+	m.lastDelta = now
+	m.mu.Unlock()
+	m.poke()
+	return len(events), nil
 }
 
 // ForceResolve asks the worker to re-solve now, debounce or not, and returns

@@ -28,6 +28,7 @@ type session struct {
 	sites      int
 	createdAt  time.Time
 	sess       *vpart.Session
+	ing        *vpart.Ingestor // lazily built by the worker on the first event batch
 
 	wake     chan struct{} // buffered(1): poke the worker
 	stop     context.CancelFunc
@@ -53,6 +54,11 @@ type session struct {
 	failErr      error         // last attempt's error, nil after a success
 	applyErr     map[int]error // rejected deltas by sequence number
 	lastErrStr   string
+	evInbox      [][]vpart.QueryEvent // queued event batches, oldest first
+	evQueued     int                  // events sitting in evInbox
+	evPartial    int                  // events folded into the current partial epoch
+	ingBroken    error                // permanent ingest failure (epoch delta rejected)
+	ingStats     *vpart.IngestStats   // snapshot after the last fold, nil before the first
 	lastStats    *vpart.ResolveStats
 	lastAsg      *vpart.Assignment
 	lastCost     vpart.Cost
@@ -121,6 +127,9 @@ func (m *session) run(ctx context.Context) {
 			m.svc.logger.Info("worker stopped with deltas pending",
 				"session", m.name, "queued_ops", left)
 		}
+		if m.ing != nil {
+			m.ing.Close()
+		}
 		close(m.finished)
 	}()
 
@@ -131,15 +140,17 @@ func (m *session) run(ctx context.Context) {
 			return
 		}
 		m.drain()
+		m.drainEvents()
 		m.publish()
 
 		m.mu.Lock()
 		pending := m.queuedOps + m.sessPending
+		evPending := m.evQueued + m.evPartial
 		force := m.force
 		lastDelta, firstPending := m.lastDelta, m.firstPending
 		m.mu.Unlock()
 
-		if pending == 0 && !force {
+		if pending == 0 && evPending == 0 && !force {
 			select {
 			case <-ctx.Done():
 				return
@@ -225,12 +236,151 @@ func (m *session) drain() {
 	m.svc.pendingGauge(m.name).Set(float64(m.pendingOps()))
 }
 
+// drainEvents folds every queued event batch into the session's ingestor,
+// building it on first use. Completed epochs apply their deltas to the
+// session inside Ingestor.Ingest; an apply failure (events referencing
+// schema the session lacks) permanently breaks the stream — further event
+// batches are rejected at the door, while deltas and resolves keep working.
+func (m *session) drainEvents() {
+	m.mu.Lock()
+	batches := m.evInbox
+	m.evInbox = nil
+	m.mu.Unlock()
+	if len(batches) == 0 {
+		return
+	}
+	if m.ing == nil {
+		ing, err := m.sess.NewIngestor(m.svc.ingCfg)
+		if err != nil {
+			m.failEvents(batches, fmt.Errorf("build ingestor: %w", err))
+			return
+		}
+		m.ing = ing
+		m.svc.logger.Info("ingestor started", "session", m.name,
+			"epoch_events", m.svc.ingCfg.EpochEvents, "top_k", m.svc.ingCfg.TopK,
+			"shards", m.svc.ingCfg.Shards)
+	}
+	labels := metrics.Labels{"session": m.name}
+	for bi, batch := range batches {
+		start := time.Now()
+		epochs, err := m.ing.Ingest(batch)
+		elapsed := time.Since(start)
+		if err != nil {
+			m.recordEpochs(epochs)
+			m.failEvents(batches[bi:], err)
+			return
+		}
+		stats := m.ing.Stats()
+		m.mu.Lock()
+		m.evQueued -= len(batch)
+		m.evPartial += len(batch)
+		if n := len(epochs); n > 0 {
+			// Epoch.Events is the cumulative count at the boundary: whatever
+			// the total has moved past the last boundary is the new partial.
+			m.evPartial = int(stats.Events - epochs[n-1].Events)
+		}
+		m.sessPending = m.sess.Pending()
+		m.ingStats = &stats
+		m.broadcastLocked()
+		m.mu.Unlock()
+		m.recordEpochs(epochs)
+		m.svc.reg.Counter("vpartd_ingest_events_total",
+			"stream events folded into sessions", labels).Add(float64(len(batch)))
+		if secs := elapsed.Seconds(); secs > 0 {
+			m.svc.reg.Gauge("vpartd_ingest_events_per_second",
+				"fold throughput of the last ingested batch", labels).
+				Set(float64(len(batch)) / secs)
+		}
+		m.svc.reg.Gauge("vpartd_ingest_sketch_fill",
+			"occupied fraction of the count-min counters", labels).Set(stats.SketchFill)
+		m.svc.reg.Gauge("vpartd_ingest_epochs",
+			"completed epoch compactions", labels).Set(float64(stats.Epochs))
+		m.svc.reg.Gauge("vpartd_ingest_tracked_shapes",
+			"heavy-hitter query shapes currently tracked", labels).Set(float64(stats.Tracked))
+		m.svc.reg.Gauge("vpartd_ingest_state_bytes",
+			"resident ingest state (sketches + top-k)", labels).Set(float64(stats.StateBytes))
+	}
+	m.svc.pendingGauge(m.name).Set(float64(m.pendingOps()))
+}
+
+// recordEpochs logs applied epoch compactions and feeds the heavy-hitter
+// churn counters.
+func (m *session) recordEpochs(epochs []vpart.IngestEpoch) {
+	for _, ep := range epochs {
+		m.svc.logger.Info("ingest epoch applied", "session", m.name,
+			"epoch", ep.Seq, "events", ep.Events,
+			"adds", ep.Adds, "removes", ep.Removes, "scales", ep.Scales)
+		churn := func(op string) metrics.Counter {
+			return m.svc.reg.Counter("vpartd_ingest_churn_total",
+				"heavy-hitter set churn, by delta op kind",
+				metrics.Labels{"session": m.name, "op": op})
+		}
+		churn("add").Add(float64(ep.Adds))
+		churn("remove").Add(float64(ep.Removes))
+		churn("scale").Add(float64(ep.Scales))
+	}
+}
+
+// failEvents marks the ingest stream permanently broken and drops the
+// not-yet-folded batches.
+func (m *session) failEvents(dropped [][]vpart.QueryEvent, err error) {
+	lost := 0
+	for _, b := range dropped {
+		lost += len(b)
+	}
+	m.mu.Lock()
+	m.ingBroken = err
+	m.evQueued -= lost
+	m.evPartial = 0
+	m.lastErrStr = err.Error()
+	if m.ingStats != nil {
+		cp := *m.ingStats
+		m.ingStats = &cp
+	}
+	m.broadcastLocked()
+	m.mu.Unlock()
+	m.svc.logger.Warn("ingest stream broken", "session", m.name,
+		"dropped_events", lost, "error", err)
+	m.svc.reg.Counter("vpartd_ingest_errors_total",
+		"permanently failed ingest streams", metrics.Labels{"session": m.name}).Inc()
+}
+
+// flushPartialEpoch folds the current partial epoch into the session so an
+// imminent resolve sees the freshest workload. Worker-only, like every other
+// session access.
+func (m *session) flushPartialEpoch() {
+	m.mu.Lock()
+	partial := m.evPartial
+	m.mu.Unlock()
+	if m.ing == nil || partial == 0 {
+		return
+	}
+	ep, err := m.ing.FlushEpoch()
+	if err != nil {
+		m.failEvents(nil, err)
+		return
+	}
+	stats := m.ing.Stats()
+	m.mu.Lock()
+	m.evPartial = 0
+	m.sessPending = m.sess.Pending()
+	m.ingStats = &stats
+	m.broadcastLocked()
+	m.mu.Unlock()
+	if ep != nil {
+		m.recordEpochs([]vpart.IngestEpoch{*ep})
+	}
+}
+
 // solve runs one resolve attempt under a cancellable per-resolve context and
 // records the outcome (stats, metrics, trajectory, Await bookkeeping).
 func (m *session) solve(ctx context.Context) {
 	if ctx.Err() != nil {
 		return
 	}
+	// Fold the partial epoch first: the solve should price the freshest
+	// workload the stream has delivered.
+	m.flushPartialEpoch()
 	m.mu.Lock()
 	m.force = false
 	covered := m.drainedSeq
@@ -362,6 +512,19 @@ func (m *session) publish() {
 	}
 	st.Trajectory = append([]float64(nil), m.trajectory...)
 	st.LastError = m.lastErrStr
+	if m.ingStats != nil {
+		st.Ingest = &IngestState{
+			Events:        m.ingStats.Events,
+			PendingEvents: m.evQueued + m.evPartial,
+			Epochs:        m.ingStats.Epochs,
+			Tracked:       m.ingStats.Tracked,
+			SketchFill:    m.ingStats.SketchFill,
+			StateBytes:    m.ingStats.StateBytes,
+		}
+		if m.ingBroken != nil {
+			st.Ingest.Broken = m.ingBroken.Error()
+		}
+	}
 	m.mu.Unlock()
 	m.state.Store(st)
 }

@@ -1,0 +1,93 @@
+package ingest
+
+import "math/bits"
+
+// sketch is a count-min sketch over 64-bit shape keys: depth rows of width
+// counters, width a power of two. Each row derives its cell index from the
+// key with a distinct odd multiplier (multiply-shift hashing), so the rows
+// are pairwise independent enough for the classic bound: an estimate never
+// undercounts, and overcounts by more than ε·N (ε = e/width) with
+// probability at most δ = e^−depth.
+type sketch struct {
+	rows  [][]uint64
+	salts []uint64
+	shift uint // 64 − log2(width)
+}
+
+// sketchSalts are fixed odd 64-bit multipliers (splitmix64 outputs), one per
+// possible row. Fixed salts keep the sketch deterministic across runs.
+var sketchSalts = []uint64{
+	0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb,
+	0xd6e8feb86659fd93, 0xa5a3564dc6f84d35, 0xc2b2ae3d27d4eb4f,
+	0x165667b19e3779f9, 0x27d4eb2f165667c5,
+}
+
+// newSketch builds a width × depth sketch. Width must be a power of two ≥ 2;
+// depth must be in [1, len(sketchSalts)].
+func newSketch(width, depth int) *sketch {
+	s := &sketch{
+		rows:  make([][]uint64, depth),
+		salts: sketchSalts[:depth],
+		shift: uint(64 - bits.TrailingZeros64(uint64(width))),
+	}
+	for i := range s.rows {
+		s.rows[i] = make([]uint64, width)
+	}
+	return s
+}
+
+// add increments the key's counters and returns the updated estimate (the
+// minimum over the rows).
+//
+//vpart:noalloc
+func (s *sketch) add(key uint64) uint64 {
+	est := ^uint64(0)
+	for i, row := range s.rows {
+		c := row[(key*s.salts[i])>>s.shift] + 1
+		row[(key*s.salts[i])>>s.shift] = c
+		if c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// estimate returns the key's count estimate without updating.
+//
+//vpart:noalloc
+func (s *sketch) estimate(key uint64) uint64 {
+	est := ^uint64(0)
+	for i, row := range s.rows {
+		if c := row[(key*s.salts[i])>>s.shift]; c < est {
+			est = c
+		}
+	}
+	return est
+}
+
+// fill returns the fraction of non-zero counters — the sketch saturation
+// gauge the daemon exports. O(width·depth); not for the hot path.
+func (s *sketch) fill() float64 {
+	nonzero, total := 0, 0
+	for _, row := range s.rows {
+		total += len(row)
+		for _, c := range row {
+			if c != 0 {
+				nonzero++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(nonzero) / float64(total)
+}
+
+// bytes returns the heap bytes held by the counter matrix.
+func (s *sketch) bytes() int {
+	n := 0
+	for _, row := range s.rows {
+		n += 8 * len(row)
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"vpart/internal/core"
+)
+
+// zipfStream draws n shape ids from a fixed-seed zipf law and returns the
+// draw sequence plus the exact per-id counts.
+func zipfStream(seed int64, s float64, shapes, n int) ([]uint64, map[uint64]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(shapes-1))
+	draws := make([]uint64, n)
+	exact := make(map[uint64]uint64)
+	for i := range draws {
+		k := z.Uint64()
+		draws[i] = k
+		exact[k]++
+	}
+	return draws, exact
+}
+
+// TestSketchErrorBound checks the count-min guarantees against an exact
+// counter: estimates never undercount, and the fraction of keys overcounting
+// by more than ε·N (ε = e/width) stays within the δ = e^−depth bound (with
+// slack for the finite stream).
+func TestSketchErrorBound(t *testing.T) {
+	const width, depth = 1 << 12, 4
+	sk := newSketch(width, depth)
+	draws, exact := zipfStream(42, 1.3, 200_000, 500_000)
+	for _, k := range draws {
+		// Keys are hashed shape ids in production; mix here too so the raw
+		// zipf ranks do not line up with the multiply-shift rows.
+		sk.add(k * 0x9e3779b97f4a7c15)
+	}
+	n := float64(len(draws))
+	eps := math.E / float64(width)
+	delta := math.Exp(-float64(depth))
+	over := 0
+	for k, true_ := range exact {
+		est := sk.estimate(k * 0x9e3779b97f4a7c15)
+		if est < true_ {
+			t.Fatalf("estimate undercounts: key %d est %d < true %d", k, est, true_)
+		}
+		if float64(est-true_) > eps*n {
+			over++
+		}
+	}
+	frac := float64(over) / float64(len(exact))
+	if frac > 3*delta {
+		t.Fatalf("%.2f%% of keys exceed the ε·N bound, want ≤ 3δ = %.2f%%", 100*frac, 300*delta)
+	}
+	if f := sk.fill(); f <= 0 || f > 1 {
+		t.Fatalf("fill = %g outside (0, 1]", f)
+	}
+}
+
+// TestTopkTracksTrueHeavyHitters feeds a zipfian stream through the sketch-
+// gated top-k exactly as a shard fold does and checks that (a) every true
+// top-k/4 shape is tracked and (b) each tracked count brackets the true count
+// within the recorded admission error.
+func TestTopkTracksTrueHeavyHitters(t *testing.T) {
+	const k = 128
+	sk := newSketch(1<<14, 4)
+	tk := newTopk(k)
+	draws, exact := zipfStream(7, 1.5, 10_000, 300_000)
+	ev := Event{Kind: core.Read, Accesses: []core.TableAccess{
+		{Table: "usertable", Attributes: []string{"key"}, Rows: 1},
+	}}
+	for _, id := range draws {
+		ev.Txn = "t"
+		ev.Query = fmt.Sprintf("q%d", id)
+		key := shapeKey(ev.Txn, ev.Query)
+		est := sk.add(key)
+		if tk.bump(key) {
+			continue
+		}
+		if est > tk.min() {
+			tk.offer(key, est, &ev)
+		}
+	}
+
+	type kc struct {
+		id uint64
+		n  uint64
+	}
+	ranked := make([]kc, 0, len(exact))
+	for id, n := range exact {
+		ranked = append(ranked, kc{id, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	for _, top := range ranked[:k/4] {
+		key := shapeKey("t", fmt.Sprintf("q%d", top.id))
+		if _, ok := tk.idx[key]; !ok {
+			t.Errorf("true heavy hitter q%d (count %d) not tracked", top.id, top.n)
+		}
+	}
+	for i := range tk.entries {
+		e := &tk.entries[i]
+		true_ := exact[mustParseID(t, e.query)]
+		if e.count < true_ {
+			t.Errorf("tracked %s count %d below true %d", e.query, e.count, true_)
+		}
+		if e.count-e.err > true_ {
+			t.Errorf("tracked %s lower bound %d above true %d", e.query, e.count-e.err, true_)
+		}
+	}
+}
+
+func mustParseID(t *testing.T, q string) uint64 {
+	t.Helper()
+	var id uint64
+	if _, err := fmt.Sscanf(q, "q%d", &id); err != nil {
+		t.Fatalf("bad query name %q", q)
+	}
+	return id
+}
+
+// TestTopkDisplacement checks the space-saving mechanics directly: a key
+// whose estimate exceeds the minimum displaces it, smaller ones bounce off.
+func TestTopkDisplacement(t *testing.T) {
+	tk := newTopk(2)
+	ev := func(q string) *Event {
+		return &Event{Txn: "t", Query: q, Kind: core.Read, Accesses: []core.TableAccess{
+			{Table: "x", Attributes: []string{"a"}, Rows: 1},
+		}}
+	}
+	tk.offer(1, 10, ev("a"))
+	tk.offer(2, 20, ev("b"))
+	if got := tk.min(); got != 10 {
+		t.Fatalf("min = %d, want 10", got)
+	}
+	tk.offer(3, 10, ev("c")) // not above the min: rejected
+	if _, ok := tk.idx[3]; ok {
+		t.Fatal("estimate equal to min must not displace")
+	}
+	tk.offer(4, 15, ev("d")) // displaces key 1 (count 10)
+	if _, ok := tk.idx[1]; ok {
+		t.Fatal("minimum entry not displaced")
+	}
+	if e := &tk.entries[tk.idx[4]]; e.count != 15 || e.err != 15 {
+		t.Fatalf("admitted entry count/err = %d/%d, want 15/15", e.count, e.err)
+	}
+	for i := 0; i < 30; i++ {
+		tk.bump(4)
+	}
+	if got := tk.min(); got != 20 {
+		t.Fatalf("min after bumps = %d, want 20", got)
+	}
+}

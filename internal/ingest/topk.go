@@ -1,0 +1,171 @@
+package ingest
+
+import "vpart/internal/core"
+
+// entry is one tracked heavy-hitter shape: the only place the pipeline keeps
+// a real, materialised query shape.
+type entry struct {
+	key   uint64
+	txn   string
+	query string
+	kind  core.QueryKind
+	accs  []core.TableAccess
+	// count is the shape's estimated cumulative count: the sketch estimate
+	// at admission plus every exactly-counted occurrence since.
+	count uint64
+	// err is the sketch estimate at admission — an upper bound on the
+	// overcount, so the true count lies in [count−err, count].
+	err uint64
+	// bytes is the retained heap estimate of the copied shape.
+	bytes int
+}
+
+// topk is a space-saving-style heavy-hitter structure of fixed capacity k:
+// a min-heap of entries ordered by count plus a key index. Hits bump the
+// entry's exact counter (no allocation); misses are offered with their
+// sketch estimate and displace the current minimum only when the estimate
+// exceeds it, which keeps the zipfian tail out. Ties on count break on the
+// key, so the structure's evolution is a pure function of the event
+// sequence.
+type topk struct {
+	k       int
+	entries []entry
+	heap    []int32 // heap[i] = entry index; min-heap by (count, key)
+	pos     []int32 // pos[entryIdx] = heap position
+	idx     map[uint64]int32
+	bytes   int // retained shape bytes across entries
+}
+
+func newTopk(k int) *topk {
+	return &topk{
+		k:       k,
+		entries: make([]entry, 0, k),
+		heap:    make([]int32, 0, k),
+		pos:     make([]int32, 0, k),
+		idx:     make(map[uint64]int32, 2*k),
+	}
+}
+
+// less orders heap elements: smaller count first, key as the deterministic
+// tie-break.
+func (t *topk) less(a, b int32) bool {
+	ea, eb := &t.entries[a], &t.entries[b]
+	if ea.count != eb.count {
+		return ea.count < eb.count
+	}
+	return ea.key < eb.key
+}
+
+//vpart:noalloc
+func (t *topk) swap(i, j int32) {
+	t.heap[i], t.heap[j] = t.heap[j], t.heap[i]
+	t.pos[t.heap[i]] = i
+	t.pos[t.heap[j]] = j
+}
+
+//vpart:noalloc
+func (t *topk) siftDown(i int32) {
+	n := int32(len(t.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.less(t.heap[l], t.heap[m]) {
+			m = l
+		}
+		if r < n && t.less(t.heap[r], t.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.swap(i, m)
+		i = m
+	}
+}
+
+//vpart:noalloc
+func (t *topk) siftUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.less(t.heap[i], t.heap[p]) {
+			return
+		}
+		t.swap(i, p)
+		i = p
+	}
+}
+
+// bump increments the counter of an already-tracked key. Reports whether the
+// key was tracked; this is the steady-state hot path and never allocates.
+//
+//vpart:noalloc
+func (t *topk) bump(key uint64) bool {
+	ei, ok := t.idx[key]
+	if !ok {
+		return false
+	}
+	t.entries[ei].count++
+	t.siftDown(t.pos[ei])
+	return true
+}
+
+// min returns the smallest tracked count, or 0 when the structure is not yet
+// full (everything is admitted until then).
+//
+//vpart:noalloc
+func (t *topk) min() uint64 {
+	if len(t.entries) < t.k {
+		return 0
+	}
+	return t.entries[t.heap[0]].count
+}
+
+// offer admits an untracked shape with sketch estimate est: appended while
+// capacity remains, otherwise it displaces the minimum entry if est exceeds
+// its count. Copying the shape is the pipeline's only allocating operation;
+// once the heavy hitters are tracked the tail's estimates stay below the
+// minimum and offer is not called.
+func (t *topk) offer(key uint64, est uint64, e *Event) {
+	if len(t.entries) < t.k {
+		t.entries = append(t.entries, t.fill(key, est, e))
+		ei := int32(len(t.entries) - 1)
+		t.heap = append(t.heap, ei)
+		t.pos = append(t.pos, ei)
+		t.idx[key] = ei
+		t.siftUp(int32(len(t.heap) - 1))
+		return
+	}
+	ei := t.heap[0]
+	victim := &t.entries[ei]
+	if est <= victim.count {
+		return
+	}
+	delete(t.idx, victim.key)
+	t.bytes -= victim.bytes
+	t.entries[ei] = t.fill(key, est, e)
+	t.idx[key] = ei
+	t.siftDown(t.pos[ei])
+}
+
+// fill materialises an entry from an event, deep-copying the access list.
+func (t *topk) fill(key uint64, est uint64, e *Event) entry {
+	b := accessesBytes(e.Accesses) + len(e.Txn) + len(e.Query)
+	t.bytes += b
+	return entry{
+		key:   key,
+		txn:   e.Txn,
+		query: e.Query,
+		kind:  e.Kind,
+		accs:  cloneAccesses(e.Accesses),
+		count: est,
+		err:   est,
+		bytes: b,
+	}
+}
+
+// stateBytes estimates the structure's retained heap: entry array, heap and
+// index backing stores at capacity, plus the copied shapes.
+func (t *topk) stateBytes() int {
+	const entrySize = 96 // unsafe.Sizeof(entry{}) rounded up
+	return t.k*(entrySize+4+4) + len(t.idx)*16 + t.bytes
+}

@@ -1,0 +1,239 @@
+package ingest_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"vpart/internal/ingest"
+	"vpart/internal/randgen"
+)
+
+// encodeTrace writes events with an epoch marker every markEvery events,
+// then closes (trailing marker included when the count divides evenly).
+func encodeTrace(t testing.TB, events []ingest.Event, markEvery int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := ingest.NewTraceWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewTraceWriter: %v", err)
+	}
+	for i := range events {
+		if err := w.WriteEvent(&events[i]); err != nil {
+			t.Fatalf("WriteEvent: %v", err)
+		}
+		if (i+1)%markEvery == 0 {
+			if err := w.MarkEpoch(); err != nil {
+				t.Fatalf("MarkEpoch: %v", err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decodeTrace reads every event back, deep-copying each (the reader reuses
+// slices).
+func decodeTrace(t *testing.T, data []byte) []ingest.Event {
+	t.Helper()
+	r, err := ingest.NewTraceReader(data)
+	if err != nil {
+		t.Fatalf("NewTraceReader: %v", err)
+	}
+	var out []ingest.Event
+	var ev ingest.Event
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			t.Fatalf("Next (event %d): %v", len(out), err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, cloneEvent(&ev))
+	}
+}
+
+func cloneEvent(e *ingest.Event) ingest.Event {
+	cp := *e
+	cp.Accesses = nil
+	for _, acc := range e.Accesses {
+		acc.Attributes = append([]string(nil), acc.Attributes...)
+		cp.Accesses = append(cp.Accesses, acc)
+	}
+	return cp
+}
+
+// reencodeTrace decodes a trace and writes it again, reproducing epoch
+// markers at their decoded positions. Shared with FuzzTraceFormat.
+func reencodeTrace(data []byte) ([]byte, error) {
+	r, err := ingest.NewTraceReader(data)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	w, err := ingest.NewTraceWriter(&buf)
+	if err != nil {
+		return nil, err
+	}
+	marked := 0
+	var ev ingest.Event
+	for {
+		ok, err := r.Next(&ev)
+		if err != nil {
+			return nil, err
+		}
+		for marked < r.Epoch()-1 {
+			if err := w.MarkEpoch(); err != nil {
+				return nil, err
+			}
+			marked++
+		}
+		if !ok {
+			break
+		}
+		if err := w.WriteEvent(&ev); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func streamEvents(t testing.TB, family string, n int) []ingest.Event {
+	t.Helper()
+	var (
+		s   *randgen.EventStream
+		err error
+	)
+	switch family {
+	case "ycsb":
+		s, err = randgen.NewYCSB(randgen.YCSBParams{Shapes: 5000, HotShapes: 512}, 21)
+	case "social":
+		s, err = randgen.NewSocial(randgen.SocialParams{Shapes: 5000, HotShapes: 512}, 21)
+	default:
+		t.Fatalf("unknown family %s", family)
+	}
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	events := make([]ingest.Event, n)
+	// Fill reuses cached hot events whose slices alias each other; clone so
+	// the expectation slice is self-contained.
+	scratch := make([]ingest.Event, n)
+	s.Fill(scratch)
+	for i := range scratch {
+		events[i] = cloneEvent(&scratch[i])
+	}
+	return events
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	for _, family := range []string{"ycsb", "social"} {
+		t.Run(family, func(t *testing.T) {
+			events := streamEvents(t, family, 5000)
+			data := encodeTrace(t, events, 1000)
+			got := decodeTrace(t, data)
+			if !reflect.DeepEqual(events, got) {
+				t.Fatalf("round trip diverged: %d events in, %d out", len(events), len(got))
+			}
+			r, err := ingest.NewTraceReader(data)
+			if err != nil {
+				t.Fatalf("NewTraceReader: %v", err)
+			}
+			if r.Epochs() != 5 {
+				t.Fatalf("Epochs = %d, want 5", r.Epochs())
+			}
+		})
+	}
+}
+
+func TestTraceSeekEpoch(t *testing.T) {
+	events := streamEvents(t, "ycsb", 5000)
+	data := encodeTrace(t, events, 1000)
+	r, err := ingest.NewTraceReader(data)
+	if err != nil {
+		t.Fatalf("NewTraceReader: %v", err)
+	}
+	for _, epoch := range []int{3, 0, 4, 1} {
+		if err := r.SeekEpoch(epoch); err != nil {
+			t.Fatalf("SeekEpoch(%d): %v", epoch, err)
+		}
+		if got := r.Epoch(); got != epoch+1 {
+			t.Fatalf("Epoch after seek = %d, want %d", got, epoch+1)
+		}
+		var ev ingest.Event
+		for i := epoch * 1000; ; i++ {
+			ok, err := r.Next(&ev)
+			if err != nil {
+				t.Fatalf("Next after seek: %v", err)
+			}
+			if !ok {
+				if i != len(events) {
+					t.Fatalf("seek %d replayed %d events, want %d", epoch, i-epoch*1000, len(events)-epoch*1000)
+				}
+				break
+			}
+			if !reflect.DeepEqual(cloneEvent(&ev), events[i]) {
+				t.Fatalf("seek %d: event %d diverges", epoch, i)
+			}
+		}
+	}
+	if err := r.SeekEpoch(6); err == nil {
+		t.Fatal("SeekEpoch past the end succeeded")
+	}
+	if err := r.SeekEpoch(-1); err == nil {
+		t.Fatal("SeekEpoch(-1) succeeded")
+	}
+}
+
+// TestTraceFixedPoint: a writer-produced trace re-encodes to itself, byte for
+// byte (strdefs appear at first use, ids and markers are sequential — the
+// encoding is canonical).
+func TestTraceFixedPoint(t *testing.T) {
+	for _, family := range []string{"ycsb", "social"} {
+		t.Run(family, func(t *testing.T) {
+			events := streamEvents(t, family, 3000)
+			data := encodeTrace(t, events, 700) // markers off the end too
+			re, err := reencodeTrace(data)
+			if err != nil {
+				t.Fatalf("reencode: %v", err)
+			}
+			if !bytes.Equal(data, re) {
+				t.Fatalf("re-encoded trace differs: %d vs %d bytes", len(data), len(re))
+			}
+		})
+	}
+}
+
+func TestTraceCorruptInputs(t *testing.T) {
+	events := streamEvents(t, "ycsb", 100)
+	data := encodeTrace(t, events, 40)
+	cases := map[string][]byte{
+		"empty":        {},
+		"short magic":  []byte("VPT"),
+		"wrong magic":  []byte("NOTATRACEXXXXXXXXXXX"),
+		"truncated":    data[:len(data)/2],
+		"no footer":    data[:len(data)-12],
+		"flipped byte": append(append([]byte(nil), data[:20]...), data[21:]...),
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			r, err := ingest.NewTraceReader(input)
+			if err != nil {
+				return // rejected up front is fine
+			}
+			var ev ingest.Event
+			for i := 0; i < len(events)+10; i++ {
+				ok, err := r.Next(&ev)
+				if err != nil || !ok {
+					return // decoder stopped cleanly — never panicked
+				}
+			}
+		})
+	}
+}

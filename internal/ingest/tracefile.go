@@ -1,0 +1,426 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"vpart/internal/core"
+)
+
+// The trace format constants; the grammar is specified in the package
+// documentation.
+const (
+	traceMagic   = "VPTRACE1"
+	traceTrailer = "VPTE"
+
+	recStrdef byte = 0x01
+	recEvent  byte = 0x02
+	recEpoch  byte = 0x03
+	recIndex  byte = 0x04
+)
+
+// TraceWriter encodes an event stream into the compact binary trace format.
+// Strings intern per epoch (the first use emits a strdef record, later uses
+// reference its id), MarkEpoch writes an epoch marker and resets the
+// dictionary, and Close appends the footer index that makes epochs seekable.
+// The encoding is a pure function of the event sequence and marker positions:
+// re-encoding a decoded trace reproduces it byte for byte.
+type TraceWriter struct {
+	w     io.Writer
+	off   uint64
+	dict  map[string]uint64
+	epoch int
+	offs  []uint64 // offset of each epoch marker record
+	buf   []byte   // scratch: record body
+	hdr   []byte   // scratch: record length prefix
+	err   error
+}
+
+// NewTraceWriter writes the magic and returns a writer. Close must be called
+// to append the seek index; a trace without it still replays sequentially.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	tw := &TraceWriter{
+		w:    w,
+		dict: make(map[string]uint64, 256),
+		buf:  make([]byte, 0, 256),
+		hdr:  make([]byte, 0, binary.MaxVarintLen64),
+	}
+	if _, err := io.WriteString(w, traceMagic); err != nil {
+		return nil, fmt.Errorf("ingest: trace: writing magic: %w", err)
+	}
+	tw.off = uint64(len(traceMagic))
+	return tw, nil
+}
+
+// writeRecord emits uvarint(len(body)) ‖ body and advances the offset.
+func (tw *TraceWriter) writeRecord(body []byte) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.hdr = binary.AppendUvarint(tw.hdr[:0], uint64(len(body)))
+	if _, err := tw.w.Write(tw.hdr); err != nil {
+		tw.err = fmt.Errorf("ingest: trace: %w", err)
+		return tw.err
+	}
+	if _, err := tw.w.Write(body); err != nil {
+		tw.err = fmt.Errorf("ingest: trace: %w", err)
+		return tw.err
+	}
+	tw.off += uint64(len(tw.hdr) + len(body))
+	return nil
+}
+
+// intern returns the string's id, emitting its strdef record first when the
+// current epoch has not seen it. Ids count strdefs since the last epoch
+// marker.
+func (tw *TraceWriter) intern(s string) (uint64, error) {
+	if id, ok := tw.dict[s]; ok {
+		return id, nil
+	}
+	id := uint64(len(tw.dict))
+	tw.buf = append(tw.buf[:0], recStrdef)
+	tw.buf = append(tw.buf, s...)
+	if err := tw.writeRecord(tw.buf); err != nil {
+		return 0, err
+	}
+	tw.dict[s] = id
+	return id, nil
+}
+
+// WriteEvent encodes one event (strdefs for unseen strings first).
+func (tw *TraceWriter) WriteEvent(e *Event) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	txnID, err := tw.intern(e.Txn)
+	if err != nil {
+		return err
+	}
+	queryID, err := tw.intern(e.Query)
+	if err != nil {
+		return err
+	}
+	type accIDs struct {
+		table uint64
+		attrs []uint64
+	}
+	// Intern access strings before assembling the body (interning writes
+	// strdef records of its own and shares the scratch buffer).
+	ids := make([]accIDs, len(e.Accesses))
+	for i, acc := range e.Accesses {
+		if ids[i].table, err = tw.intern(acc.Table); err != nil {
+			return err
+		}
+		ids[i].attrs = make([]uint64, len(acc.Attributes))
+		for j, a := range acc.Attributes {
+			if ids[i].attrs[j], err = tw.intern(a); err != nil {
+				return err
+			}
+		}
+	}
+	b := append(tw.buf[:0], recEvent)
+	b = binary.AppendUvarint(b, txnID)
+	b = binary.AppendUvarint(b, queryID)
+	b = append(b, byte(e.Kind))
+	b = binary.AppendUvarint(b, uint64(len(e.Accesses)))
+	for i, acc := range e.Accesses {
+		b = binary.AppendUvarint(b, ids[i].table)
+		b = binary.AppendUvarint(b, uint64(len(ids[i].attrs)))
+		for _, id := range ids[i].attrs {
+			b = binary.AppendUvarint(b, id)
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(acc.Rows))
+	}
+	tw.buf = b
+	return tw.writeRecord(b)
+}
+
+// MarkEpoch writes an epoch marker and resets the string dictionary, making
+// the next epoch independently decodable.
+func (tw *TraceWriter) MarkEpoch() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.epoch++
+	tw.offs = append(tw.offs, tw.off)
+	tw.buf = append(tw.buf[:0], recEpoch)
+	tw.buf = binary.AppendUvarint(tw.buf, uint64(tw.epoch))
+	if err := tw.writeRecord(tw.buf); err != nil {
+		return err
+	}
+	clear(tw.dict)
+	return nil
+}
+
+// Close writes the footer index record and trailer. The underlying writer is
+// not closed.
+func (tw *TraceWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	idxOff := tw.off
+	b := append(tw.buf[:0], recIndex)
+	b = binary.AppendUvarint(b, uint64(len(tw.offs)))
+	prev := uint64(0)
+	for _, off := range tw.offs {
+		b = binary.AppendUvarint(b, off-prev)
+		prev = off
+	}
+	tw.buf = b
+	if err := tw.writeRecord(b); err != nil {
+		return err
+	}
+	var trailer [12]byte
+	binary.LittleEndian.PutUint64(trailer[:8], idxOff)
+	copy(trailer[8:], traceTrailer)
+	if _, err := tw.w.Write(trailer[:]); err != nil {
+		tw.err = fmt.Errorf("ingest: trace: %w", err)
+		return tw.err
+	}
+	tw.off += uint64(len(trailer))
+	return nil
+}
+
+// TraceReader decodes a binary trace from memory. Decoding is strictly
+// bounds-checked and never panics: corrupt input yields an error from Next or
+// SeekEpoch. A trace with a footer index is seekable by epoch; one without
+// (truncated capture) still replays sequentially.
+type TraceReader struct {
+	data  []byte
+	pos   int
+	strs  []string
+	epoch int      // epoch markers consumed
+	offs  []uint64 // marker record offsets from the footer index (nil without one)
+	done  bool
+}
+
+// NewTraceReader validates the magic and parses the footer index when
+// present.
+func NewTraceReader(data []byte) (*TraceReader, error) {
+	if len(data) < len(traceMagic) || string(data[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("ingest: trace: bad magic")
+	}
+	r := &TraceReader{data: data, pos: len(traceMagic)}
+	r.parseFooter()
+	return r, nil
+}
+
+// parseFooter loads the epoch index from the trailer; silently absent on any
+// inconsistency (the trace stays sequentially readable).
+func (r *TraceReader) parseFooter() {
+	n := len(r.data)
+	if n < len(traceMagic)+12 || string(r.data[n-4:]) != traceTrailer {
+		return
+	}
+	idxOff := binary.LittleEndian.Uint64(r.data[n-12 : n-4])
+	if idxOff < uint64(len(traceMagic)) || idxOff >= uint64(n-12) {
+		return
+	}
+	body, _, ok := r.recordAt(int(idxOff))
+	if !ok || len(body) < 1 || body[0] != recIndex {
+		return
+	}
+	body = body[1:]
+	count, sz := binary.Uvarint(body)
+	if sz <= 0 || count > uint64(len(body)) {
+		return
+	}
+	body = body[sz:]
+	offs := make([]uint64, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		d, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return
+		}
+		body = body[sz:]
+		prev += d
+		if prev >= idxOff {
+			return
+		}
+		offs = append(offs, prev)
+	}
+	r.offs = offs
+}
+
+// recordAt decodes the record starting at byte offset off, returning its body
+// and the offset one past it.
+func (r *TraceReader) recordAt(off int) (body []byte, next int, ok bool) {
+	if off < 0 || off >= len(r.data) {
+		return nil, 0, false
+	}
+	l, sz := binary.Uvarint(r.data[off:])
+	if sz <= 0 {
+		return nil, 0, false
+	}
+	start := off + sz
+	if l > uint64(len(r.data)-start) {
+		return nil, 0, false
+	}
+	return r.data[start : start+int(l)], start + int(l), true
+}
+
+// Epochs returns the number of epoch markers recorded in the footer index, 0
+// when the trace has no (valid) footer.
+func (r *TraceReader) Epochs() int { return len(r.offs) }
+
+// Epoch returns the 1-based epoch the reader is currently positioned in.
+func (r *TraceReader) Epoch() int { return r.epoch + 1 }
+
+// SeekEpoch positions the reader at the start of epoch n+1: n = 0 rewinds to
+// the first event, n in [1, Epochs()] jumps just past the n-th epoch marker.
+func (r *TraceReader) SeekEpoch(n int) error {
+	if n == 0 {
+		r.pos = len(traceMagic)
+		r.strs = r.strs[:0]
+		r.epoch = 0
+		r.done = false
+		return nil
+	}
+	if n < 1 || n > len(r.offs) {
+		return fmt.Errorf("ingest: trace: epoch %d out of range [0, %d]", n, len(r.offs))
+	}
+	body, next, ok := r.recordAt(int(r.offs[n-1]))
+	if !ok || len(body) < 1 || body[0] != recEpoch {
+		return fmt.Errorf("ingest: trace: corrupt seek index (epoch %d)", n)
+	}
+	r.pos = next
+	r.strs = r.strs[:0]
+	r.epoch = n
+	r.done = false
+	return nil
+}
+
+// Next decodes the next event into ev, reusing its slices when capacities
+// allow. It returns false at the end of the trace (the footer, or clean EOF
+// for an unclosed capture); epoch markers are consumed transparently and
+// reflected by Epoch.
+func (r *TraceReader) Next(ev *Event) (bool, error) {
+	for !r.done {
+		if r.pos == len(r.data) {
+			r.done = true
+			return false, nil
+		}
+		body, next, ok := r.recordAt(r.pos)
+		if !ok {
+			return false, fmt.Errorf("ingest: trace: truncated record at offset %d", r.pos)
+		}
+		if len(body) == 0 {
+			return false, fmt.Errorf("ingest: trace: empty record at offset %d", r.pos)
+		}
+		r.pos = next
+		switch body[0] {
+		case recStrdef:
+			r.strs = append(r.strs, string(body[1:]))
+		case recEpoch:
+			if _, sz := binary.Uvarint(body[1:]); sz <= 0 {
+				return false, fmt.Errorf("ingest: trace: corrupt epoch marker")
+			}
+			r.epoch++
+			r.strs = r.strs[:0]
+		case recIndex:
+			r.done = true
+			return false, nil
+		case recEvent:
+			if err := r.decodeEvent(body[1:], ev); err != nil {
+				return false, err
+			}
+			return true, nil
+		default:
+			return false, fmt.Errorf("ingest: trace: unknown record tag 0x%02x", body[0])
+		}
+	}
+	return false, nil
+}
+
+// str resolves a dictionary id.
+func (r *TraceReader) str(id uint64) (string, error) {
+	if id >= uint64(len(r.strs)) {
+		return "", fmt.Errorf("ingest: trace: string id %d out of range (%d defined)", id, len(r.strs))
+	}
+	return r.strs[id], nil
+}
+
+func (r *TraceReader) decodeEvent(b []byte, ev *Event) error {
+	corrupt := fmt.Errorf("ingest: trace: corrupt event record")
+	uv := func() (uint64, bool) {
+		v, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return 0, false
+		}
+		b = b[sz:]
+		return v, true
+	}
+	txnID, ok := uv()
+	if !ok {
+		return corrupt
+	}
+	queryID, ok := uv()
+	if !ok {
+		return corrupt
+	}
+	var err error
+	if ev.Txn, err = r.str(txnID); err != nil {
+		return err
+	}
+	if ev.Query, err = r.str(queryID); err != nil {
+		return err
+	}
+	if len(b) < 1 {
+		return corrupt
+	}
+	ev.Kind = core.QueryKind(b[0])
+	b = b[1:]
+	nAcc, ok := uv()
+	if !ok || nAcc > uint64(len(b)) { // each access needs ≥ 10 bytes
+		return corrupt
+	}
+	accs := ev.Accesses[:0]
+	if uint64(cap(accs)) < nAcc {
+		accs = make([]core.TableAccess, 0, nAcc)
+	}
+	for i := uint64(0); i < nAcc; i++ {
+		var acc core.TableAccess
+		if int(i) < cap(ev.Accesses) {
+			acc.Attributes = ev.Accesses[:cap(ev.Accesses)][i].Attributes[:0]
+		}
+		tableID, ok := uv()
+		if !ok {
+			return corrupt
+		}
+		if acc.Table, err = r.str(tableID); err != nil {
+			return err
+		}
+		nAttr, ok := uv()
+		if !ok || nAttr > uint64(len(b)) {
+			return corrupt
+		}
+		if uint64(cap(acc.Attributes)) < nAttr {
+			acc.Attributes = make([]string, 0, nAttr)
+		}
+		for j := uint64(0); j < nAttr; j++ {
+			attrID, ok := uv()
+			if !ok {
+				return corrupt
+			}
+			a, err := r.str(attrID)
+			if err != nil {
+				return err
+			}
+			acc.Attributes = append(acc.Attributes, a)
+		}
+		if len(b) < 8 {
+			return corrupt
+		}
+		acc.Rows = math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+		b = b[8:]
+		accs = append(accs, acc)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("ingest: trace: %d trailing bytes in event record", len(b))
+	}
+	ev.Accesses = accs
+	return nil
+}

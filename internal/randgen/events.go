@@ -1,0 +1,359 @@
+package randgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"vpart/internal/core"
+	"vpart/internal/ingest"
+)
+
+// An EventStream generates an unbounded synthetic query-event stream for the
+// ingest pipeline: the streaming counterpart of Generate's one-shot
+// instances. A stream carries a base instance (the schema its events refer
+// to, plus a minimal seed workload — build Sessions and ingest Pipelines over
+// it) and fills caller-provided batches with events. Equal seeds produce
+// equal streams.
+type EventStream struct {
+	name   string
+	base   *core.Instance
+	shapes int
+	zipf   *rand.Zipf
+	rng    *rand.Rand
+	emit   func(shape uint64, dst *ingest.Event)
+}
+
+// Name returns the stream's name.
+func (s *EventStream) Name() string { return s.name }
+
+// Base returns the skeleton instance the stream's events refer to: the schema
+// plus a one-transaction seed workload. Treat it as read-only.
+func (s *EventStream) Base() *core.Instance { return s.base }
+
+// Shapes returns the number of distinct query shapes the stream draws from.
+func (s *EventStream) Shapes() int { return s.shapes }
+
+// Fill overwrites dst with the next len(dst) events of the stream. Events in
+// the zipfian head reuse cached shape structures, so filling a batch is
+// nearly allocation-free; tail shapes are synthesized on the fly.
+func (s *EventStream) Fill(dst []ingest.Event) {
+	for i := range dst {
+		s.emit(s.zipf.Uint64(), &dst[i])
+	}
+}
+
+// mix64 is the splitmix64 finalizer: the deterministic shape-id → properties
+// hash both stream families derive their per-shape details from.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// YCSBParams sizes a YCSB-style zipfian key-value stream: point reads and
+// field updates against a single wide "usertable", with per-shape popularity
+// following a zipf law — the classic cloud-serving benchmark profile.
+type YCSBParams struct {
+	// Name names the stream (default "ycsb").
+	Name string
+	// Shapes is the number of distinct query shapes (default 1<<20). Each
+	// shape reads or writes a deterministic contiguous field range.
+	Shapes int
+	// Fields is the number of value fields of usertable (default 10:
+	// field0..field9).
+	Fields int
+	// Zipf is the zipfian exponent s > 1 (default 1.2).
+	Zipf float64
+	// UpdatePercent is the percentage of shapes that are writes (default 5).
+	UpdatePercent int
+	// Segments is the number of transactions the shapes are spread over
+	// (default 64).
+	Segments int
+	// HotShapes is the number of head shapes with precomputed event
+	// structures (default 8192) — the allocation-free fast path of Fill.
+	HotShapes int
+}
+
+func (p YCSBParams) withDefaults() YCSBParams {
+	if p.Name == "" {
+		p.Name = "ycsb"
+	}
+	if p.Shapes == 0 {
+		p.Shapes = 1 << 20
+	}
+	if p.Fields == 0 {
+		p.Fields = 10
+	}
+	if p.Zipf == 0 {
+		p.Zipf = 1.2
+	}
+	if p.UpdatePercent == 0 {
+		p.UpdatePercent = 5
+	}
+	if p.Segments == 0 {
+		p.Segments = 64
+	}
+	if p.HotShapes == 0 {
+		p.HotShapes = 8192
+	}
+	return p
+}
+
+// NewYCSB builds a YCSB-style stream. Equal parameters and seeds produce
+// equal streams.
+func NewYCSB(p YCSBParams, seed int64) (*EventStream, error) {
+	p = p.withDefaults()
+	if p.Shapes < 1 || p.Fields < 1 || p.Segments < 1 || p.HotShapes < 1 {
+		return nil, fmt.Errorf("randgen: ycsb: non-positive size parameter")
+	}
+	if p.Zipf <= 1 {
+		return nil, fmt.Errorf("randgen: ycsb: zipf exponent must be > 1, got %g", p.Zipf)
+	}
+	if p.UpdatePercent < 0 || p.UpdatePercent > 100 {
+		return nil, fmt.Errorf("randgen: ycsb: UpdatePercent %d outside [0,100]", p.UpdatePercent)
+	}
+
+	// Schema: usertable(key, field0..fieldN-1).
+	tbl := core.Table{Name: "usertable"}
+	tbl.Attributes = append(tbl.Attributes, core.Attribute{Name: "key", Width: 8})
+	fields := make([]string, p.Fields)
+	for i := range fields {
+		fields[i] = "field" + strconv.Itoa(i)
+		tbl.Attributes = append(tbl.Attributes, core.Attribute{Name: fields[i], Width: 100})
+	}
+	// fields2x backs every contiguous wrap-around field range without
+	// per-shape slice allocations.
+	fields2x := append(append(make([]string, 0, 2*p.Fields), fields...), fields...)
+
+	segs := make([]string, p.Segments)
+	for i := range segs {
+		segs[i] = fmt.Sprintf("kv%02d", i)
+	}
+
+	base := &core.Instance{Name: p.Name}
+	base.Schema.Tables = append(base.Schema.Tables, tbl)
+	base.Workload.Transactions = append(base.Workload.Transactions, core.Transaction{
+		Name: "seed",
+		Queries: []core.Query{{
+			Name: "read-all", Kind: core.Read, Frequency: 1,
+			Accesses: []core.TableAccess{{
+				Table: "usertable", Attributes: append([]string{"key"}, fields...), Rows: 1,
+			}},
+		}},
+	})
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: ycsb: invalid base instance: %w", err)
+	}
+
+	// synth derives shape k's event deterministically from its hash.
+	synth := func(k uint64, dst *ingest.Event) {
+		h := mix64(k)
+		start := int(h % uint64(p.Fields))
+		count := 1 + int((h>>16)%uint64(p.Fields))
+		dst.Txn = segs[k%uint64(p.Segments)]
+		dst.Query = "q" + strconv.FormatUint(k, 10)
+		dst.Kind = core.Read
+		if int((h>>32)%100) < p.UpdatePercent {
+			dst.Kind = core.Write
+		}
+		rows := 1.0
+		if (h>>48)%16 == 0 { // a sixteenth of the shapes are short scans
+			rows = float64(2 + (h>>52)%32)
+		}
+		// One access: key plus a contiguous (wrap-around) field range. The
+		// attribute slice cannot alias fields2x because the key column leads,
+		// so hot shapes precompute it and tail shapes allocate. A fresh
+		// access slice every time: dst may alias a cached hot event.
+		attrs := make([]string, 0, 1+count)
+		attrs = append(attrs, "key")
+		attrs = append(attrs, fields2x[start:start+count]...)
+		dst.Accesses = []core.TableAccess{
+			{Table: "usertable", Attributes: attrs, Rows: rows},
+		}
+	}
+
+	hotN := p.HotShapes
+	if hotN > p.Shapes {
+		hotN = p.Shapes
+	}
+	hot := make([]ingest.Event, hotN)
+	for k := range hot {
+		synth(uint64(k), &hot[k])
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	return &EventStream{
+		name:   p.Name,
+		base:   base,
+		shapes: p.Shapes,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, p.Zipf, 1, uint64(p.Shapes-1)),
+		emit: func(k uint64, dst *ingest.Event) {
+			if k < uint64(hotN) {
+				*dst = hot[k]
+				return
+			}
+			synth(k, dst)
+		},
+	}, nil
+}
+
+// SocialParams sizes a social-feed stream: timeline and profile reads
+// dominating (~92 % of events) over post, like and follow writes, across a
+// users/posts/follows/likes schema with zipfian user popularity.
+type SocialParams struct {
+	// Name names the stream (default "social").
+	Name string
+	// Shapes is the number of distinct query shapes (default 1<<20).
+	Shapes int
+	// Zipf is the zipfian exponent s > 1 (default 1.1).
+	Zipf float64
+	// Segments is the number of transactions per operation family
+	// (default 32).
+	Segments int
+	// HotShapes is the number of head shapes with precomputed event
+	// structures (default 8192).
+	HotShapes int
+}
+
+func (p SocialParams) withDefaults() SocialParams {
+	if p.Name == "" {
+		p.Name = "social"
+	}
+	if p.Shapes == 0 {
+		p.Shapes = 1 << 20
+	}
+	if p.Zipf == 0 {
+		p.Zipf = 1.1
+	}
+	if p.Segments == 0 {
+		p.Segments = 32
+	}
+	if p.HotShapes == 0 {
+		p.HotShapes = 8192
+	}
+	return p
+}
+
+// NewSocial builds a social-feed stream. Equal parameters and seeds produce
+// equal streams.
+func NewSocial(p SocialParams, seed int64) (*EventStream, error) {
+	p = p.withDefaults()
+	if p.Shapes < 1 || p.Segments < 1 || p.HotShapes < 1 {
+		return nil, fmt.Errorf("randgen: social: non-positive size parameter")
+	}
+	if p.Zipf <= 1 {
+		return nil, fmt.Errorf("randgen: social: zipf exponent must be > 1, got %g", p.Zipf)
+	}
+
+	base := &core.Instance{Name: p.Name}
+	base.Schema.Tables = []core.Table{
+		{Name: "users", Attributes: []core.Attribute{
+			{Name: "id", Width: 8}, {Name: "handle", Width: 24},
+			{Name: "bio", Width: 160}, {Name: "avatar", Width: 64},
+		}},
+		{Name: "posts", Attributes: []core.Attribute{
+			{Name: "id", Width: 8}, {Name: "author", Width: 8},
+			{Name: "body", Width: 280}, {Name: "ts", Width: 8},
+		}},
+		{Name: "follows", Attributes: []core.Attribute{
+			{Name: "src", Width: 8}, {Name: "dst", Width: 8},
+		}},
+		{Name: "likes", Attributes: []core.Attribute{
+			{Name: "user", Width: 8}, {Name: "post", Width: 8},
+		}},
+	}
+	base.Workload.Transactions = []core.Transaction{{
+		Name: "seed",
+		Queries: []core.Query{{
+			Name: "timeline", Kind: core.Read, Frequency: 1,
+			Accesses: []core.TableAccess{
+				{Table: "follows", Attributes: []string{"src", "dst"}, Rows: 50},
+				{Table: "posts", Attributes: []string{"id", "author", "body", "ts"}, Rows: 50},
+				{Table: "users", Attributes: []string{"id", "handle", "avatar"}, Rows: 20},
+			},
+		}},
+	}}
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("randgen: social: invalid base instance: %w", err)
+	}
+
+	// The five operation families with their fixed access patterns; per-mille
+	// thresholds give ~92 % reads (timeline 600 + profile 320).
+	type family struct {
+		prefix string
+		thresh uint64 // cumulative per-mille
+		kind   core.QueryKind
+		accs   []core.TableAccess
+	}
+	families := []family{
+		{"tl", 600, core.Read, []core.TableAccess{
+			{Table: "follows", Attributes: []string{"src", "dst"}, Rows: 50},
+			{Table: "posts", Attributes: []string{"id", "author", "body", "ts"}, Rows: 50},
+			{Table: "users", Attributes: []string{"id", "handle", "avatar"}, Rows: 20},
+		}},
+		{"prof", 920, core.Read, []core.TableAccess{
+			{Table: "users", Attributes: []string{"id", "handle", "bio", "avatar"}, Rows: 1},
+			{Table: "posts", Attributes: []string{"id", "body", "ts"}, Rows: 10},
+		}},
+		{"like", 960, core.Write, []core.TableAccess{
+			{Table: "likes", Attributes: []string{"user", "post"}, Rows: 1},
+		}},
+		{"post", 985, core.Write, []core.TableAccess{
+			{Table: "posts", Attributes: []string{"id", "author", "body", "ts"}, Rows: 1},
+		}},
+		{"follow", 1000, core.Write, []core.TableAccess{
+			{Table: "follows", Attributes: []string{"src", "dst"}, Rows: 1},
+		}},
+	}
+	segs := make([][]string, len(families))
+	for fi, f := range families {
+		segs[fi] = make([]string, p.Segments)
+		for i := range segs[fi] {
+			segs[fi][i] = fmt.Sprintf("%s%02d", f.prefix, i)
+		}
+	}
+
+	synth := func(k uint64, dst *ingest.Event) {
+		h := mix64(k)
+		m := h % 1000
+		fi := 0
+		for m >= families[fi].thresh {
+			fi++
+		}
+		f := &families[fi]
+		dst.Txn = segs[fi][k%uint64(p.Segments)]
+		dst.Query = f.prefix + strconv.FormatUint(k, 10)
+		dst.Kind = f.kind
+		// The family access pattern is shared read-only; consumers that
+		// retain accesses (the top-k) deep-copy them.
+		dst.Accesses = f.accs
+	}
+
+	hotN := p.HotShapes
+	if hotN > p.Shapes {
+		hotN = p.Shapes
+	}
+	hot := make([]ingest.Event, hotN)
+	for k := range hot {
+		synth(uint64(k), &hot[k])
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	return &EventStream{
+		name:   p.Name,
+		base:   base,
+		shapes: p.Shapes,
+		rng:    rng,
+		zipf:   rand.NewZipf(rng, p.Zipf, 1, uint64(p.Shapes-1)),
+		emit: func(k uint64, dst *ingest.Event) {
+			if k < uint64(hotN) {
+				*dst = hot[k]
+				return
+			}
+			synth(k, dst)
+		},
+	}, nil
+}

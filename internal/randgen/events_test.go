@@ -1,0 +1,250 @@
+package randgen
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vpart/internal/core"
+	"vpart/internal/ingest"
+)
+
+// fillClone draws n events and deep-copies each (Fill reuses cached hot-shape
+// structures whose slices alias one another).
+func fillClone(t *testing.T, s *EventStream, n int) []ingest.Event {
+	t.Helper()
+	batch := make([]ingest.Event, n)
+	s.Fill(batch)
+	out := make([]ingest.Event, n)
+	for i := range batch {
+		cp := batch[i]
+		cp.Accesses = nil
+		for _, acc := range batch[i].Accesses {
+			acc.Attributes = append([]string(nil), acc.Attributes...)
+			cp.Accesses = append(cp.Accesses, acc)
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// TestEventStreamDeterministic: equal params and seeds produce identical
+// event sequences; a different seed diverges.
+func TestEventStreamDeterministic(t *testing.T) {
+	mk := map[string]func(seed int64) (*EventStream, error){
+		"ycsb": func(seed int64) (*EventStream, error) {
+			return NewYCSB(YCSBParams{Shapes: 10_000, HotShapes: 256}, seed)
+		},
+		"social": func(seed int64) (*EventStream, error) {
+			return NewSocial(SocialParams{Shapes: 10_000, HotShapes: 256}, seed)
+		},
+	}
+	for _, name := range []string{"ycsb", "social"} {
+		t.Run(name, func(t *testing.T) {
+			a, err := mk[name](9)
+			if err != nil {
+				t.Fatalf("stream a: %v", err)
+			}
+			b, err := mk[name](9)
+			if err != nil {
+				t.Fatalf("stream b: %v", err)
+			}
+			ea := fillClone(t, a, 5000)
+			eb := fillClone(t, b, 5000)
+			if !reflect.DeepEqual(ea, eb) {
+				t.Fatal("same seed produced different event sequences")
+			}
+			c, err := mk[name](10)
+			if err != nil {
+				t.Fatalf("stream c: %v", err)
+			}
+			if reflect.DeepEqual(ea, fillClone(t, c, 5000)) {
+				t.Fatal("different seeds produced identical event sequences")
+			}
+		})
+	}
+}
+
+// TestEventStreamBaseAndValidity: the base instance validates, and every
+// emitted event validates against it (tables and attributes exist).
+func TestEventStreamBaseAndValidity(t *testing.T) {
+	streams := map[string]*EventStream{}
+	if s, err := NewYCSB(YCSBParams{Shapes: 50_000, HotShapes: 512}, 1); err != nil {
+		t.Fatalf("ycsb: %v", err)
+	} else {
+		streams["ycsb"] = s
+	}
+	if s, err := NewSocial(SocialParams{Shapes: 50_000, HotShapes: 512}, 1); err != nil {
+		t.Fatalf("social: %v", err)
+	} else {
+		streams["social"] = s
+	}
+	for _, name := range []string{"ycsb", "social"} {
+		s := streams[name]
+		t.Run(name, func(t *testing.T) {
+			if s.Name() != name {
+				t.Errorf("Name = %q, want %q", s.Name(), name)
+			}
+			if s.Shapes() != 50_000 {
+				t.Errorf("Shapes = %d, want 50000", s.Shapes())
+			}
+			base := s.Base()
+			if err := base.Validate(); err != nil {
+				t.Fatalf("base instance invalid: %v", err)
+			}
+			attrs := map[string]map[string]bool{}
+			for _, tbl := range base.Schema.Tables {
+				attrs[tbl.Name] = map[string]bool{}
+				for _, a := range tbl.Attributes {
+					attrs[tbl.Name][a.Name] = true
+				}
+			}
+			batch := make([]ingest.Event, 20_000)
+			s.Fill(batch)
+			for i := range batch {
+				ev := &batch[i]
+				if err := ev.Validate(); err != nil {
+					t.Fatalf("event %d invalid: %v", i, err)
+				}
+				for _, acc := range ev.Accesses {
+					cols, ok := attrs[acc.Table]
+					if !ok {
+						t.Fatalf("event %d references unknown table %q", i, acc.Table)
+					}
+					for _, a := range acc.Attributes {
+						if !cols[a] {
+							t.Fatalf("event %d references unknown attribute %s.%s", i, acc.Table, a)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestYCSBMixProperties: update fraction lands near UpdatePercent, reads
+// dominate, every event hits usertable with the key column leading, and the
+// zipf head concentrates mass.
+func TestYCSBMixProperties(t *testing.T) {
+	s, err := NewYCSB(YCSBParams{Shapes: 100_000, UpdatePercent: 5, HotShapes: 1024}, 17)
+	if err != nil {
+		t.Fatalf("NewYCSB: %v", err)
+	}
+	batch := make([]ingest.Event, 200_000)
+	s.Fill(batch)
+	writes, hot := 0, 0
+	for i := range batch {
+		ev := &batch[i]
+		if ev.Kind == core.Write {
+			writes++
+		}
+		if len(ev.Accesses) != 1 || ev.Accesses[0].Table != "usertable" {
+			t.Fatalf("event %d does not access usertable exactly once", i)
+		}
+		if ev.Accesses[0].Attributes[0] != "key" {
+			t.Fatalf("event %d access does not lead with the key column", i)
+		}
+		if !strings.HasPrefix(ev.Txn, "kv") {
+			t.Fatalf("event %d transaction %q not a kv segment", i, ev.Txn)
+		}
+		if strings.TrimPrefix(ev.Query, "q") == ev.Query {
+			t.Fatalf("event %d query %q not q-prefixed", i, ev.Query)
+		}
+		if id, err := strconv.ParseUint(ev.Query[1:], 10, 64); err == nil && id < 1024 {
+			hot++
+		}
+	}
+	frac := float64(writes) / float64(len(batch))
+	// Shapes are writes with probability ~5%; zipf weighting moves the event-
+	// level fraction around, so accept a wide band that still excludes 0 and
+	// read-heavy inversions.
+	if frac <= 0 || frac > 0.25 {
+		t.Fatalf("write fraction %.3f outside (0, 0.25]", frac)
+	}
+	if hot < len(batch)/2 {
+		t.Fatalf("zipf head too light: %d/%d events from the hot set", hot, len(batch))
+	}
+}
+
+// TestSocialMixProperties: the five operation families all appear, reads
+// dominate heavily (~92 % by shape mass), and family prefixes agree with the
+// event kind.
+func TestSocialMixProperties(t *testing.T) {
+	s, err := NewSocial(SocialParams{Shapes: 100_000, HotShapes: 1024}, 23)
+	if err != nil {
+		t.Fatalf("NewSocial: %v", err)
+	}
+	batch := make([]ingest.Event, 200_000)
+	s.Fill(batch)
+	reads := 0
+	prefixKind := map[string]core.QueryKind{
+		"tl": core.Read, "prof": core.Read,
+		"like": core.Write, "post": core.Write, "follow": core.Write,
+	}
+	seen := map[string]int{}
+	for i := range batch {
+		ev := &batch[i]
+		if ev.Kind == core.Read {
+			reads++
+		}
+		matched := ""
+		for p := range prefixKind {
+			if strings.HasPrefix(ev.Txn, p) && len(p) > len(matched) {
+				matched = p
+			}
+		}
+		if matched == "" {
+			t.Fatalf("event %d transaction %q matches no family", i, ev.Txn)
+		}
+		if ev.Kind != prefixKind[matched] {
+			t.Fatalf("event %d family %q has kind %v", i, matched, ev.Kind)
+		}
+		seen[matched]++
+	}
+	for p := range prefixKind {
+		if seen[p] == 0 {
+			t.Errorf("family %q never emitted", p)
+		}
+	}
+	if frac := float64(reads) / float64(len(batch)); frac < 0.75 {
+		t.Fatalf("read fraction %.3f, want ≥ 0.75 for a read-heavy feed", frac)
+	}
+}
+
+// TestEventStreamHotTailConsistency: a hot shape's cached event must equal
+// what synth would produce — the cache is an optimization, not a fork.
+func TestEventStreamHotTailConsistency(t *testing.T) {
+	// Two streams over the same shapes, one with the cache effectively off
+	// (HotShapes=1), must emit identical sequences for the same seed.
+	cached, err := NewYCSB(YCSBParams{Shapes: 5000, HotShapes: 2048}, 31)
+	if err != nil {
+		t.Fatalf("cached: %v", err)
+	}
+	uncached, err := NewYCSB(YCSBParams{Shapes: 5000, HotShapes: 1}, 31)
+	if err != nil {
+		t.Fatalf("uncached: %v", err)
+	}
+	if !reflect.DeepEqual(fillClone(t, cached, 10_000), fillClone(t, uncached, 10_000)) {
+		t.Fatal("hot-shape cache changes the emitted events")
+	}
+}
+
+// TestEventStreamParamErrors: invalid parameters are rejected.
+func TestEventStreamParamErrors(t *testing.T) {
+	if _, err := NewYCSB(YCSBParams{Zipf: 0.9}, 1); err == nil {
+		t.Error("ycsb zipf ≤ 1 accepted")
+	}
+	if _, err := NewYCSB(YCSBParams{UpdatePercent: 101}, 1); err == nil {
+		t.Error("ycsb UpdatePercent > 100 accepted")
+	}
+	if _, err := NewYCSB(YCSBParams{Shapes: -1}, 1); err == nil {
+		t.Error("ycsb negative Shapes accepted")
+	}
+	if _, err := NewSocial(SocialParams{Zipf: 1.0}, 1); err == nil {
+		t.Error("social zipf ≤ 1 accepted")
+	}
+	if _, err := NewSocial(SocialParams{Segments: -3}, 1); err == nil {
+		t.Error("social negative Segments accepted")
+	}
+}

@@ -110,10 +110,11 @@ type ResolveStats struct {
 
 // Session owns a live partitioning problem: the current instance, a compiled
 // cost model kept up to date by incremental patching, and the current
-// incumbent solution. Workload drift is fed in as typed deltas (Apply);
-// Resolve then re-partitions warm — seeding the configured solver from the
-// incumbent and, for the decompose meta-solver, re-solving only the
-// components the deltas since the last resolve touched.
+// incumbent solution. Workload drift is fed in as typed deltas (Apply) or as
+// a raw query-event stream folded into deltas by a bounded-memory ingestor
+// (NewIngestor); Resolve then re-partitions warm — seeding the configured
+// solver from the incumbent and, for the decompose meta-solver, re-solving
+// only the components the deltas since the last resolve touched.
 //
 // A Session is safe for concurrent use: every method serialises on an
 // internal mutex, so Apply, Resolve, Adopt and the read accessors may be
