@@ -37,6 +37,16 @@
 // gap between a sketch-folded and an exactly-counted session (gated at 5 %
 // in both modes) together with the epoch-flush and warm-resolve latency.
 //
+// With -scenarios it runs the closed-loop failure scenarios
+// (internal/scenario) against SA-backed sessions and writes
+// BENCH_scenarios.json: heavy randgen traffic replayed on the engine
+// simulator while a scripted timeline injects a site loss, a flash crowd, a
+// capacity shrink and a drift burst, measuring the realized (replayed-bytes)
+// cost of the advisor's re-solved layouts against a deliberately frozen stale
+// layout. Every scenario runs twice and fails unless both runs are
+// bit-identical; scenarios with a failure timeline fail when re-solving
+// realizes more post-failure cost than the stale layout.
+//
 // Run with:
 //
 //	go run ./cmd/vpart-bench [-out BENCH_evaluator.json] [-quick]
@@ -44,6 +54,7 @@
 //	go run ./cmd/vpart-bench -online [-out BENCH_online.json] [-quick]
 //	go run ./cmd/vpart-bench -parallel [-out BENCH_parallel.json] [-quick]
 //	go run ./cmd/vpart-bench -ingest [-out BENCH_ingest.json] [-quick]
+//	go run ./cmd/vpart-bench -scenarios [-out BENCH_scenarios.json] [-quick]
 package main
 
 import (
@@ -98,6 +109,7 @@ func run(args []string) error {
 	online := fs.Bool("online", false, "benchmark warm re-solving over a drift trace instead of the evaluator")
 	parallelSuite := fs.Bool("parallel", false, "benchmark sa-par scaling across GOMAXPROCS instead of the evaluator")
 	ingestSuite := fs.Bool("ingest", false, "benchmark the streaming-ingestion layer instead of the evaluator")
+	scenariosSuite := fs.Bool("scenarios", false, "run the closed-loop failure scenarios instead of the evaluator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +141,12 @@ func run(args []string) error {
 			*out = "BENCH_ingest.json"
 		}
 		return runIngestSuite(*out, runs, *quick)
+	}
+	if *scenariosSuite {
+		if *out == "" {
+			*out = "BENCH_scenarios.json"
+		}
+		return runScenarioSuite(*out, runs, *quick)
 	}
 	if *out == "" {
 		*out = "BENCH_evaluator.json"

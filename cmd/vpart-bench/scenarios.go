@@ -1,0 +1,149 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vpart"
+)
+
+// scenarioRun is one scenario's entry in BENCH_scenarios.json: the full
+// closed-loop result plus the two gated summaries.
+type scenarioRun struct {
+	// Fingerprint hashes the result minus wall-clock latencies; the suite
+	// runs every scenario twice and fails unless both runs fingerprint the
+	// same (the determinism gate).
+	Fingerprint string `json:"fingerprint"`
+	// AdvisorVsStalePercent is 100·CumAdvisorPost/CumStalePost — the realized
+	// post-failure cost of re-solving relative to staying on the frozen
+	// layout. The suite fails when it exceeds 100 for any scenario with a
+	// timeline (the closed-loop payoff gate).
+	AdvisorVsStalePercent float64               `json:"advisor_vs_stale_post_percent,omitempty"`
+	Result                *vpart.ScenarioResult `json:"result"`
+}
+
+// scenarioReport is the BENCH_scenarios.json schema.
+type scenarioReport struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	CPUs       int           `json:"cpus"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick,omitempty"`
+	Solver     string        `json:"solver"`
+	Scenarios  []scenarioRun `json:"scenarios"`
+}
+
+// scenarioSpecs is the suite's fixed scenario set: one per failure kind, over
+// three traffic families. Quick mode shrinks epochs and traffic volume, not
+// the timeline shape, so the CI smoke exercises every action kind.
+func scenarioSpecs(quick bool) []vpart.ScenarioSpec {
+	epochs, events := 8, 20000
+	burst := 6
+	if quick {
+		epochs, events = 6, 8000
+		burst = 4
+	}
+	return []vpart.ScenarioSpec{
+		{
+			Name: "site-loss-ycsb", Traffic: vpart.ScenarioTrafficYCSB,
+			Seed: 42, Sites: 4, Epochs: epochs, EventsPerEpoch: events, Shapes: 4096,
+			Actions: []vpart.ScenarioAction{
+				{Kind: vpart.ScenarioSiteLoss, Epoch: 3, Site: 1},
+			},
+		},
+		{
+			// The social stream's five query families span four tables of very
+			// different widths, so concentrating the mix on a few shapes moves
+			// the balanced optimum — a spike on the single-table ycsb stream
+			// barely does.
+			Name: "flash-crowd-social", Traffic: vpart.ScenarioTrafficSocial,
+			Seed: 43, Sites: 4, Epochs: epochs, EventsPerEpoch: events, Shapes: 4096,
+			Actions: []vpart.ScenarioAction{
+				{Kind: vpart.ScenarioFlashCrowd, Epoch: 3, Magnitude: 0.7, Keys: 8, Duration: 3},
+			},
+		},
+		{
+			// The social schema is 592 bytes wide in total; capping one of the
+			// four sites at 300 forces a real eviction.
+			Name: "capacity-shrink-social", Traffic: vpart.ScenarioTrafficSocial,
+			Seed: 44, Sites: 4, Epochs: epochs, EventsPerEpoch: events, Shapes: 4096,
+			Actions: []vpart.ScenarioAction{
+				{Kind: vpart.ScenarioCapacityShrink, Epoch: 3, Site: 0, Bytes: 300},
+			},
+		},
+		{
+			Name: "drift-burst", Traffic: vpart.ScenarioTrafficDrift,
+			Seed: 45, Sites: 4, Epochs: epochs,
+			Actions: []vpart.ScenarioAction{
+				{Kind: vpart.ScenarioDriftBurst, Epoch: 3, Steps: burst},
+			},
+		},
+	}
+}
+
+// runScenarioSuite executes the fixed scenario set against SA-backed sessions
+// and writes BENCH_scenarios.json. Every scenario runs twice and fails unless
+// both runs produce bit-identical fingerprints; scenarios with a failure
+// timeline additionally fail when the advisor's realized post-failure cost
+// exceeds the frozen stale layout's — re-solving must pay for itself in
+// measured bytes, not just in modelled cost. The reported latencies come from
+// the first run.
+func runScenarioSuite(out string, runs int, quick bool) error {
+	rep := scenarioReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Solver:     "sa",
+	}
+	ctx := context.Background()
+	if runs < 2 {
+		runs = 2 // the determinism gate needs at least two runs
+	}
+	for _, spec := range scenarioSpecs(quick) {
+		opts := vpart.Options{Solver: "sa", Seed: spec.Seed}
+		var first *vpart.ScenarioResult
+		var fp string
+		for r := 0; r < runs; r++ {
+			res, err := vpart.RunScenario(ctx, spec, opts)
+			if err != nil {
+				return fmt.Errorf("scenario %s: %w", spec.Name, err)
+			}
+			if r == 0 {
+				first, fp = res, res.Fingerprint()
+				continue
+			}
+			if got := res.Fingerprint(); got != fp {
+				return fmt.Errorf("scenario %s: run %d fingerprint %s != run 1 fingerprint %s (non-deterministic)",
+					spec.Name, r+1, got, fp)
+			}
+		}
+		run := scenarioRun{Fingerprint: fp, Result: first}
+		if first.FirstActionEpoch >= 0 {
+			if first.CumStalePost > 0 {
+				run.AdvisorVsStalePercent = 100 * first.CumAdvisorPost / first.CumStalePost
+			}
+			if first.CumAdvisorPost > first.CumStalePost {
+				return fmt.Errorf("scenario %s: advisor realized %.6g bytes after the failure, stale layout %.6g — re-solving did not pay off",
+					spec.Name, first.CumAdvisorPost, first.CumStalePost)
+			}
+		}
+		rep.Scenarios = append(rep.Scenarios, run)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s", out, buf)
+	return nil
+}

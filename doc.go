@@ -306,6 +306,14 @@
 // partitioned in-memory row store (Simulate), and JSON (de)serialisation of
 // instances and partitionings.
 //
+// RunScenario closes the loop between advisor and simulator: it replays
+// heavy stream traffic against a live Session epoch by epoch, injects
+// scripted failures (site loss, flash crowd, capacity shrink, drift burst),
+// and measures the realized cost of the re-solved layouts against a frozen
+// stale control layout — deterministic given the spec, so fixed-seed runs
+// are bit-identical. go run ./cmd/vpart-bench -scenarios writes the gated
+// BENCH_scenarios.json report.
+//
 // The experiment harness that regenerates every table of the paper lives in
 // cmd/vpart-experiments; see EXPERIMENTS.md for the measured results.
 //

@@ -19,6 +19,7 @@ var solverPackages = map[string]bool{
 	"vpart/internal/seeds":     true,
 	"vpart/internal/conc":      true,
 	"vpart/internal/ingest":    true,
+	"vpart/internal/scenario":  true,
 }
 
 // inSolverScope reports whether the package is subject to the solver-path

@@ -61,6 +61,18 @@ type Measured struct {
 	Transactions int
 	// NetworkMessages is the number of inter-site transfer operations.
 	NetworkMessages int
+	// RemoteReadBytes is the subset of ReadBytes served by donor sites on
+	// behalf of transactions whose primary site lacked a read attribute.
+	// Only degraded layouts replayed through a Replayer produce it; Run
+	// executes feasible layouts, where it is always zero.
+	RemoteReadBytes float64
+	// Faults counts transaction executions a Replayer could not complete:
+	// the primary site was down, or a read attribute had no live replica.
+	// Always zero for Run.
+	Faults int
+	// DegradedWrites counts write fan-outs a Replayer skipped because the
+	// target replica's site was down. Always zero for Run.
+	DegradedWrites int
 }
 
 // Run builds a cluster for the partitioning, executes the workload and

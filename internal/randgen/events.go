@@ -22,6 +22,11 @@ type EventStream struct {
 	zipf   *rand.Zipf
 	rng    *rand.Rand
 	emit   func(shape uint64, dst *ingest.Event)
+
+	// Flash-crowd spike state (SetSpike): while spikeMag > 0, that fraction
+	// of events is redirected onto the spikeKeys hottest shapes.
+	spikeMag  float64
+	spikeKeys uint64
 }
 
 // Name returns the stream's name.
@@ -38,9 +43,43 @@ func (s *EventStream) Shapes() int { return s.shapes }
 // the zipfian head reuse cached shape structures, so filling a batch is
 // nearly allocation-free; tail shapes are synthesized on the fly.
 func (s *EventStream) Fill(dst []ingest.Event) {
-	for i := range dst {
-		s.emit(s.zipf.Uint64(), &dst[i])
+	if s.spikeMag == 0 {
+		// Zero-overhead path: with no spike armed, the draw sequence is
+		// bit-identical to a stream that never heard of SetSpike.
+		for i := range dst {
+			s.emit(s.zipf.Uint64(), &dst[i])
+		}
+		return
 	}
+	for i := range dst {
+		k := s.zipf.Uint64()
+		if s.rng.Float64() < s.spikeMag {
+			k = uint64(s.rng.Intn(int(s.spikeKeys)))
+		}
+		s.emit(k, &dst[i])
+	}
+}
+
+// SetSpike arms (or, at magnitude 0, disarms) a flash-crowd hot-key spike:
+// while armed, the given fraction of subsequent events is redirected onto
+// the keys hottest shapes, sharpening the zipfian head the way a viral key
+// set does. The spike draws from the stream's own RNG, so a fixed seed and a
+// fixed SetSpike schedule reproduce the stream exactly; at magnitude 0 Fill
+// performs no extra draws and the base mix is bit-identical to a stream that
+// never spiked.
+func (s *EventStream) SetSpike(magnitude float64, keys int) error {
+	if magnitude < 0 || magnitude > 1 {
+		return fmt.Errorf("randgen: spike magnitude %g outside [0,1]", magnitude)
+	}
+	if magnitude == 0 {
+		s.spikeMag, s.spikeKeys = 0, 0
+		return nil
+	}
+	if keys < 1 || keys > s.shapes {
+		return fmt.Errorf("randgen: spike keys %d outside [1,%d]", keys, s.shapes)
+	}
+	s.spikeMag, s.spikeKeys = magnitude, uint64(keys)
+	return nil
 }
 
 // mix64 is the splitmix64 finalizer: the deterministic shape-id → properties

@@ -1,0 +1,133 @@
+package randgen
+
+import (
+	"reflect"
+	"testing"
+
+	"vpart/internal/ingest"
+)
+
+// spikeStreams builds two identically-seeded streams per family for
+// comparison runs.
+func spikeStreams(t *testing.T, family string, seed int64) (*EventStream, *EventStream) {
+	t.Helper()
+	build := func() *EventStream {
+		var s *EventStream
+		var err error
+		if family == "social" {
+			s, err = NewSocial(SocialParams{Shapes: 10_000, HotShapes: 256}, seed)
+		} else {
+			s, err = NewYCSB(YCSBParams{Shapes: 10_000, HotShapes: 256}, seed)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return build(), build()
+}
+
+// TestSpikeZeroMagnitudeBitIdentical is the zero-overhead gate: arming and
+// immediately disarming a spike (or never touching SetSpike at all) must
+// leave the event sequence bit-identical — magnitude 0 performs no extra RNG
+// draws.
+func TestSpikeZeroMagnitudeBitIdentical(t *testing.T) {
+	for _, family := range []string{"ycsb", "social"} {
+		plain, spiked := spikeStreams(t, family, 42)
+		// Arm and disarm before any Fill: the RNG must not advance.
+		if err := spiked.SetSpike(0.5, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := spiked.SetSpike(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		a := make([]ingest.Event, 4096)
+		b := make([]ingest.Event, 4096)
+		for round := 0; round < 3; round++ {
+			plain.Fill(a)
+			spiked.Fill(b)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: round %d: magnitude-0 stream diverged from the base mix", family, round)
+			}
+		}
+	}
+}
+
+// TestSpikeDeterminism: equal seeds and equal SetSpike schedules produce
+// bit-identical event sequences, including across an arm/disarm cycle.
+func TestSpikeDeterminism(t *testing.T) {
+	for _, family := range []string{"ycsb", "social"} {
+		s1, s2 := spikeStreams(t, family, 7)
+		a := make([]ingest.Event, 2048)
+		b := make([]ingest.Event, 2048)
+		schedule := []struct {
+			mag  float64
+			keys int
+		}{{0, 0}, {0.6, 8}, {0.6, 8}, {0, 0}, {0.25, 64}}
+		for step, sp := range schedule {
+			for _, s := range []*EventStream{s1, s2} {
+				if err := s.SetSpike(sp.mag, sp.keys); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s1.Fill(a)
+			s2.Fill(b)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: step %d: identically-seeded spiked streams diverged", family, step)
+			}
+		}
+	}
+}
+
+// TestSpikeShiftsMassToHead checks the knob does what it claims: a spiked
+// stream concentrates measurably more events on the targeted head shapes
+// than the base mix does.
+func TestSpikeShiftsMassToHead(t *testing.T) {
+	const keys = 8
+	headShare := func(s *EventStream, n int) float64 {
+		batch := make([]ingest.Event, n)
+		s.Fill(batch)
+		// The targeted head shapes are exactly the first `keys` hot-cache
+		// entries, so membership is by equality with a freshly-emitted copy.
+		head := make(map[string]bool, keys)
+		var ev ingest.Event
+		for k := 0; k < keys; k++ {
+			s.emit(uint64(k), &ev)
+			head[ev.Txn+"\x00"+ev.Query] = true
+		}
+		hits := 0
+		for i := range batch {
+			if head[batch[i].Txn+"\x00"+batch[i].Query] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(n)
+	}
+	plain, spiked := spikeStreams(t, "ycsb", 11)
+	if err := spiked.SetSpike(0.5, keys); err != nil {
+		t.Fatal(err)
+	}
+	base := headShare(plain, 20_000)
+	hot := headShare(spiked, 20_000)
+	// Redirecting 50 % of events onto the head must lift its share by a
+	// wide, seed-robust margin.
+	if hot < base+0.25 {
+		t.Fatalf("head share %.3f with spike, %.3f without — spike did not concentrate the mix", hot, base)
+	}
+}
+
+// TestSpikeValidation rejects out-of-range knob settings.
+func TestSpikeValidation(t *testing.T) {
+	s, _ := spikeStreams(t, "ycsb", 3)
+	for _, bad := range []struct {
+		mag  float64
+		keys int
+	}{{-0.1, 4}, {1.1, 4}, {0.5, 0}, {0.5, 1 << 30}} {
+		if err := s.SetSpike(bad.mag, bad.keys); err == nil {
+			t.Fatalf("SetSpike(%g,%d) accepted", bad.mag, bad.keys)
+		}
+	}
+	if err := s.SetSpike(0, -5); err != nil {
+		t.Fatalf("magnitude 0 must ignore keys: %v", err)
+	}
+}

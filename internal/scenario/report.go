@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// EpochStats is the measured outcome of one closed-loop epoch: the same
+// traffic replayed against the frozen stale layout and the advisor's current
+// incumbent, plus what the advisor's end-of-epoch re-solve did.
+type EpochStats struct {
+	Epoch int `json:"epoch"`
+	// Action notes the timeline actions injected this epoch ("" for none).
+	Action string `json:"action,omitempty"`
+	// Events is the number of traffic events replayed (transaction executions
+	// for drift traffic; stream events not yet in the observed workload are
+	// skipped on both sides and counted in Result.SkippedEvents).
+	Events int `json:"events"`
+	// StaleCost and AdvisorCost are the realized balanced costs of the
+	// epoch's replay on each layout: λ·(R + W + p·B) + (1-λ)·max_s
+	// site-bytes — the measured counterpart of objective (6), the quantity
+	// the advisor's solver minimises. The raw penalised byte totals
+	// (objective (4)) ride along below.
+	StaleCost   float64 `json:"stale_cost"`
+	AdvisorCost float64 `json:"advisor_cost"`
+	// StalePenalised and AdvisorPenalised are the epoch's realized penalised
+	// costs (read + write + p·transfer bytes).
+	StalePenalised   float64 `json:"stale_penalised"`
+	AdvisorPenalised float64 `json:"advisor_penalised"`
+	// Ratio is AdvisorCost/StaleCost (1 when the stale cost is zero); below 1
+	// means re-solving paid off this epoch.
+	Ratio float64 `json:"advisor_vs_stale_ratio"`
+	// Fault and spill counters from the replayer, per side.
+	StaleFaults            int     `json:"stale_faults,omitempty"`
+	AdvisorFaults          int     `json:"advisor_faults,omitempty"`
+	StaleRemoteReadBytes   float64 `json:"stale_remote_read_bytes,omitempty"`
+	AdvisorRemoteReadBytes float64 `json:"advisor_remote_read_bytes,omitempty"`
+	StaleDegradedWrites    int     `json:"stale_degraded_writes,omitempty"`
+	AdvisorDegradedWrites  int     `json:"advisor_degraded_writes,omitempty"`
+	// The end-of-epoch re-solve: wall-clock latency, whether it ran warm, and
+	// the modelled (balanced-objective) cost of the new incumbent.
+	ResolveSeconds float64 `json:"resolve_seconds"`
+	ResolveWarm    bool    `json:"resolve_warm"`
+	ResolveCost    float64 `json:"resolve_cost"`
+}
+
+// Result is a full scenario run.
+type Result struct {
+	Spec Spec `json:"spec"`
+	// InitialResolveSeconds and InitialCost describe the cold anchor solve
+	// before epoch 0.
+	InitialResolveSeconds float64      `json:"initial_resolve_seconds"`
+	InitialCost           float64      `json:"initial_cost"`
+	Epochs                []EpochStats `json:"epochs"`
+	// FirstActionEpoch is the epoch of the first timeline action (-1 without
+	// actions); the recovery metrics below are relative to it.
+	FirstActionEpoch int `json:"first_action_epoch"`
+	// RecoveryEpochs is how many epochs after the first action the advisor's
+	// realized cost first dropped strictly below the stale layout's (-1 if it
+	// never did).
+	RecoveryEpochs int `json:"recovery_epochs"`
+	// CumStalePost and CumAdvisorPost sum the realized costs of the epochs
+	// strictly after the first action — the window where re-solving could have
+	// helped. The benchmarks gate CumAdvisorPost ≤ CumStalePost.
+	CumStalePost   float64 `json:"cum_stale_post"`
+	CumAdvisorPost float64 `json:"cum_advisor_post"`
+	// TotalResolveSeconds sums the per-epoch re-solve latencies (the initial
+	// anchor solve excluded).
+	TotalResolveSeconds float64 `json:"total_resolve_seconds"`
+	// SkippedEvents counts stream events dropped (identically on both sides)
+	// because their transaction had not yet been folded into the observed
+	// workload.
+	SkippedEvents int `json:"skipped_events,omitempty"`
+}
+
+// Fingerprint hashes the result with every wall-clock field zeroed: two runs
+// of the same spec with a deterministic advisor must return equal
+// fingerprints — the reproducibility gate of the scenario benchmarks.
+func (r *Result) Fingerprint() string {
+	cp := *r
+	cp.InitialResolveSeconds = 0
+	cp.TotalResolveSeconds = 0
+	cp.Epochs = append([]EpochStats(nil), r.Epochs...)
+	for i := range cp.Epochs {
+		cp.Epochs[i].ResolveSeconds = 0
+	}
+	buf, err := json.Marshal(&cp)
+	if err != nil {
+		// A Result is plain data; Marshal cannot fail on it.
+		panic("scenario: fingerprint marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,232 @@
+package scenario
+
+import "fmt"
+
+// Traffic families a scenario can replay.
+const (
+	// TrafficYCSB is the randgen YCSB-style key-value stream.
+	TrafficYCSB = "ycsb"
+	// TrafficSocial is the randgen social-feed stream.
+	TrafficSocial = "social"
+	// TrafficDrift replays the modelled workload of a random ClassA instance
+	// while a randgen.Drift trace mutates it one step per epoch.
+	TrafficDrift = "drift"
+)
+
+// ActionKind names a timeline action.
+type ActionKind string
+
+// The action vocabulary (see the package documentation for semantics).
+const (
+	SiteLoss       ActionKind = "site-loss"
+	FlashCrowd     ActionKind = "flash-crowd"
+	CapacityShrink ActionKind = "capacity-shrink"
+	DriftBurst     ActionKind = "drift-burst"
+)
+
+// Action is one scripted timeline event. Which fields matter depends on Kind;
+// Spec.Validate rejects out-of-range or misapplied fields.
+type Action struct {
+	Kind  ActionKind `json:"kind"`
+	Epoch int        `json:"epoch"`
+	// Site targets SiteLoss and CapacityShrink.
+	Site int `json:"site,omitempty"`
+	// Bytes is the CapacityShrink target capacity.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Magnitude and Keys parameterise a FlashCrowd spike (randgen SetSpike);
+	// Duration is its length in epochs.
+	Magnitude float64 `json:"magnitude,omitempty"`
+	Keys      int     `json:"keys,omitempty"`
+	Duration  int     `json:"duration,omitempty"`
+	// Steps is the number of extra drift deltas a DriftBurst applies.
+	Steps int `json:"steps,omitempty"`
+}
+
+// String renders the action for epoch notes and logs.
+func (a Action) String() string {
+	switch a.Kind {
+	case SiteLoss:
+		return fmt.Sprintf("site-loss(site=%d)", a.Site)
+	case FlashCrowd:
+		return fmt.Sprintf("flash-crowd(mag=%g,keys=%d,dur=%d)", a.Magnitude, a.Keys, a.Duration)
+	case CapacityShrink:
+		return fmt.Sprintf("capacity-shrink(site=%d,bytes=%d)", a.Site, a.Bytes)
+	case DriftBurst:
+		return fmt.Sprintf("drift-burst(steps=%d)", a.Steps)
+	default:
+		return string(a.Kind)
+	}
+}
+
+// Spec is the full, serialisable description of one closed-loop scenario.
+// Equal specs (with a deterministic advisor) produce bit-identical results up
+// to wall-clock latencies.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Traffic selects the traffic family: "ycsb", "social" or "drift".
+	Traffic string `json:"traffic"`
+	// Seed derives the traffic (stream or drift trace). Must be non-zero so
+	// runs are reproducible.
+	Seed int64 `json:"seed"`
+	// Sites is the cluster size (≥ 2: failure scenarios need a survivor).
+	Sites int `json:"sites"`
+	// Epochs is the number of closed-loop epochs (≥ 2).
+	Epochs int `json:"epochs"`
+	// EventsPerEpoch sizes each stream traffic batch (stream families only);
+	// it is also the advisor ingestor's epoch length, so one scenario epoch
+	// folds exactly one ingest epoch. Defaults to 4096.
+	EventsPerEpoch int `json:"events_per_epoch,omitempty"`
+	// Shapes is the stream's shape-universe size (default 1<<16).
+	Shapes int `json:"shapes,omitempty"`
+	// DriftChurn is the randgen.Drift churn for drift traffic (default 0.1).
+	DriftChurn float64 `json:"drift_churn,omitempty"`
+	// DriftTables and DriftTxns size the drift-mode base instance
+	// (randgen ClassA; defaults 16 and 48).
+	DriftTables int `json:"drift_tables,omitempty"`
+	DriftTxns   int `json:"drift_txns,omitempty"`
+	// Rows is the replayer's synthetic rows per fraction (default 4; the byte
+	// accounting does not depend on it).
+	Rows int `json:"rows,omitempty"`
+	// FreezeAfter is the epoch whose closing incumbent becomes the frozen
+	// stale control layout (default 1). Actions must be scheduled after it.
+	FreezeAfter int `json:"freeze_after,omitempty"`
+	// Actions is the failure timeline, ascending by Epoch.
+	Actions []Action `json:"actions,omitempty"`
+}
+
+// Normalized returns the spec with defaults filled in. Run normalises
+// internally; callers that need the effective values (the ingestor epoch
+// length, say) normalise first.
+func (s Spec) Normalized() Spec {
+	if s.EventsPerEpoch == 0 {
+		s.EventsPerEpoch = 4096
+	}
+	if s.Shapes == 0 {
+		s.Shapes = 1 << 16
+	}
+	if s.DriftChurn == 0 {
+		s.DriftChurn = 0.1
+	}
+	if s.DriftTables == 0 {
+		s.DriftTables = 16
+	}
+	if s.DriftTxns == 0 {
+		s.DriftTxns = 48
+	}
+	if s.Rows == 0 {
+		s.Rows = 4
+	}
+	if s.FreezeAfter == 0 {
+		s.FreezeAfter = 1
+	}
+	return s
+}
+
+// Validate checks the (normalised) spec. The rules keep runs well-defined:
+// every action lands strictly between FreezeAfter and Epochs, stream-only
+// actions require stream traffic (and drift-only ones drift traffic), lost
+// sites stay unique and leave at least one survivor, and SiteLoss never
+// combines with CapacityShrink (their mechanical reactions would have to
+// negotiate each other's constraints).
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	stream := s.Traffic == TrafficYCSB || s.Traffic == TrafficSocial
+	if !stream && s.Traffic != TrafficDrift {
+		return fmt.Errorf("scenario %s: unknown traffic family %q", s.Name, s.Traffic)
+	}
+	if s.Seed == 0 {
+		return fmt.Errorf("scenario %s: seed must be non-zero (runs must be reproducible)", s.Name)
+	}
+	if s.Sites < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 sites, got %d", s.Name, s.Sites)
+	}
+	if s.Epochs < 2 {
+		return fmt.Errorf("scenario %s: need at least 2 epochs, got %d", s.Name, s.Epochs)
+	}
+	if s.FreezeAfter < 1 || s.FreezeAfter >= s.Epochs {
+		return fmt.Errorf("scenario %s: freeze epoch %d outside [1,%d)", s.Name, s.FreezeAfter, s.Epochs)
+	}
+	if stream && s.EventsPerEpoch < 1 {
+		return fmt.Errorf("scenario %s: non-positive events per epoch %d", s.Name, s.EventsPerEpoch)
+	}
+	if s.Traffic == TrafficDrift && (s.DriftChurn <= 0 || s.DriftChurn > 1) {
+		return fmt.Errorf("scenario %s: drift churn %g outside (0,1]", s.Name, s.DriftChurn)
+	}
+
+	lost := make([]bool, s.Sites)
+	losses, shrinks, spikeBusyUntil := 0, 0, -1
+	prevEpoch := -1
+	for i, a := range s.Actions {
+		if a.Epoch <= s.FreezeAfter || a.Epoch >= s.Epochs {
+			return fmt.Errorf("scenario %s: action %d (%s) at epoch %d outside (%d,%d)",
+				s.Name, i, a.Kind, a.Epoch, s.FreezeAfter, s.Epochs)
+		}
+		if a.Epoch < prevEpoch {
+			return fmt.Errorf("scenario %s: actions not sorted by epoch (action %d)", s.Name, i)
+		}
+		prevEpoch = a.Epoch
+		switch a.Kind {
+		case SiteLoss:
+			if !stream {
+				return fmt.Errorf("scenario %s: site-loss requires stream traffic (drift can grow the schema past the forbid set)", s.Name)
+			}
+			if a.Site < 0 || a.Site >= s.Sites {
+				return fmt.Errorf("scenario %s: site-loss site %d outside [0,%d)", s.Name, a.Site, s.Sites)
+			}
+			if lost[a.Site] {
+				return fmt.Errorf("scenario %s: site %d lost twice", s.Name, a.Site)
+			}
+			lost[a.Site] = true
+			if losses++; losses >= s.Sites {
+				return fmt.Errorf("scenario %s: losing all %d sites leaves no survivor", s.Name, s.Sites)
+			}
+		case FlashCrowd:
+			if !stream {
+				return fmt.Errorf("scenario %s: flash-crowd requires stream traffic", s.Name)
+			}
+			if a.Magnitude <= 0 || a.Magnitude > 1 {
+				return fmt.Errorf("scenario %s: flash-crowd magnitude %g outside (0,1]", s.Name, a.Magnitude)
+			}
+			if a.Keys < 1 || a.Keys > s.Shapes {
+				return fmt.Errorf("scenario %s: flash-crowd keys %d outside [1,%d]", s.Name, a.Keys, s.Shapes)
+			}
+			if a.Duration < 1 {
+				return fmt.Errorf("scenario %s: flash-crowd duration %d < 1", s.Name, a.Duration)
+			}
+			if a.Epoch < spikeBusyUntil {
+				return fmt.Errorf("scenario %s: overlapping flash-crowd windows", s.Name)
+			}
+			spikeBusyUntil = a.Epoch + a.Duration
+		case CapacityShrink:
+			if !stream {
+				return fmt.Errorf("scenario %s: capacity-shrink requires stream traffic (drift can grow the schema past the shrunk capacity)", s.Name)
+			}
+			if a.Site < 0 || a.Site >= s.Sites {
+				return fmt.Errorf("scenario %s: capacity-shrink site %d outside [0,%d)", s.Name, a.Site, s.Sites)
+			}
+			if a.Bytes <= 0 {
+				return fmt.Errorf("scenario %s: capacity-shrink bytes %d must be positive", s.Name, a.Bytes)
+			}
+			shrinks++
+			if shrinks > 1 {
+				return fmt.Errorf("scenario %s: at most one capacity-shrink per scenario", s.Name)
+			}
+		case DriftBurst:
+			if s.Traffic != TrafficDrift {
+				return fmt.Errorf("scenario %s: drift-burst requires drift traffic", s.Name)
+			}
+			if a.Steps < 1 {
+				return fmt.Errorf("scenario %s: drift-burst steps %d < 1", s.Name, a.Steps)
+			}
+		default:
+			return fmt.Errorf("scenario %s: unknown action kind %q", s.Name, a.Kind)
+		}
+	}
+	if losses > 0 && shrinks > 0 {
+		return fmt.Errorf("scenario %s: site-loss and capacity-shrink cannot be combined", s.Name)
+	}
+	return nil
+}

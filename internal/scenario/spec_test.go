@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSpec is a baseline that passes Validate after normalisation; each table
+// case below perturbs one aspect.
+func validSpec() Spec {
+	return Spec{
+		Name:    "base",
+		Traffic: TrafficYCSB,
+		Seed:    1,
+		Sites:   3,
+		Epochs:  6,
+		Actions: []Action{{Kind: SiteLoss, Epoch: 3, Site: 1}},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string // "" means valid
+	}{
+		{"valid", func(s *Spec) {}, ""},
+		{"empty name", func(s *Spec) { s.Name = "" }, "empty name"},
+		{"unknown traffic", func(s *Spec) { s.Traffic = "tpcc" }, "unknown traffic"},
+		{"zero seed", func(s *Spec) { s.Seed = 0 }, "seed"},
+		{"one site", func(s *Spec) { s.Sites = 1 }, "at least 2 sites"},
+		{"one epoch", func(s *Spec) { s.Epochs = 1; s.Actions = nil }, "at least 2 epochs"},
+		{"freeze too late", func(s *Spec) { s.FreezeAfter = 6 }, "freeze epoch"},
+		{"action before freeze", func(s *Spec) { s.Actions[0].Epoch = 1 }, "outside"},
+		{"action past end", func(s *Spec) { s.Actions[0].Epoch = 6 }, "outside"},
+		{"unsorted actions", func(s *Spec) {
+			s.Actions = []Action{
+				{Kind: SiteLoss, Epoch: 4, Site: 1},
+				{Kind: SiteLoss, Epoch: 3, Site: 2},
+			}
+		}, "not sorted"},
+		{"site lost twice", func(s *Spec) {
+			s.Actions = []Action{
+				{Kind: SiteLoss, Epoch: 3, Site: 1},
+				{Kind: SiteLoss, Epoch: 4, Site: 1},
+			}
+		}, "lost twice"},
+		{"no survivor", func(s *Spec) {
+			s.Sites = 2
+			s.Actions = []Action{
+				{Kind: SiteLoss, Epoch: 3, Site: 0},
+				{Kind: SiteLoss, Epoch: 4, Site: 1},
+			}
+		}, "no survivor"},
+		{"site loss out of range", func(s *Spec) { s.Actions[0].Site = 3 }, "outside"},
+		{"site loss on drift", func(s *Spec) { s.Traffic = TrafficDrift }, "requires stream"},
+		{"flash crowd bad magnitude", func(s *Spec) {
+			s.Actions = []Action{{Kind: FlashCrowd, Epoch: 3, Magnitude: 1.5, Keys: 2, Duration: 1}}
+		}, "magnitude"},
+		{"flash crowd bad keys", func(s *Spec) {
+			s.Shapes = 16
+			s.Actions = []Action{{Kind: FlashCrowd, Epoch: 3, Magnitude: 0.5, Keys: 17, Duration: 1}}
+		}, "keys"},
+		{"flash crowd bad duration", func(s *Spec) {
+			s.Actions = []Action{{Kind: FlashCrowd, Epoch: 3, Magnitude: 0.5, Keys: 2}}
+		}, "duration"},
+		{"flash crowd overlap", func(s *Spec) {
+			s.Actions = []Action{
+				{Kind: FlashCrowd, Epoch: 3, Magnitude: 0.5, Keys: 2, Duration: 2},
+				{Kind: FlashCrowd, Epoch: 4, Magnitude: 0.5, Keys: 2, Duration: 1},
+			}
+		}, "overlapping"},
+		{"shrink bad bytes", func(s *Spec) {
+			s.Actions = []Action{{Kind: CapacityShrink, Epoch: 3, Site: 0}}
+		}, "bytes"},
+		{"shrink on drift", func(s *Spec) {
+			s.Traffic = TrafficDrift
+			s.Actions = []Action{{Kind: CapacityShrink, Epoch: 3, Site: 0, Bytes: 100}}
+		}, "requires stream"},
+		{"two shrinks", func(s *Spec) {
+			s.Actions = []Action{
+				{Kind: CapacityShrink, Epoch: 3, Site: 0, Bytes: 100},
+				{Kind: CapacityShrink, Epoch: 4, Site: 1, Bytes: 100},
+			}
+		}, "at most one capacity-shrink"},
+		{"loss plus shrink", func(s *Spec) {
+			s.Actions = []Action{
+				{Kind: SiteLoss, Epoch: 3, Site: 1},
+				{Kind: CapacityShrink, Epoch: 4, Site: 0, Bytes: 100},
+			}
+		}, "cannot be combined"},
+		{"drift burst on stream", func(s *Spec) {
+			s.Actions = []Action{{Kind: DriftBurst, Epoch: 3, Steps: 2}}
+		}, "requires drift"},
+		{"drift burst bad steps", func(s *Spec) {
+			s.Traffic = TrafficDrift
+			s.Actions = []Action{{Kind: DriftBurst, Epoch: 3}}
+		}, "steps"},
+		{"drift bad churn", func(s *Spec) {
+			s.Traffic = TrafficDrift
+			s.DriftChurn = 1.5
+			s.Actions = nil
+		}, "churn"},
+		{"unknown action", func(s *Spec) {
+			s.Actions = []Action{{Kind: "meteor", Epoch: 3}}
+		}, "unknown action"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Normalized().Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestActionString(t *testing.T) {
+	cases := []struct {
+		a    Action
+		want string
+	}{
+		{Action{Kind: SiteLoss, Site: 2}, "site-loss(site=2)"},
+		{Action{Kind: FlashCrowd, Magnitude: 0.5, Keys: 4, Duration: 2}, "flash-crowd(mag=0.5,keys=4,dur=2)"},
+		{Action{Kind: CapacityShrink, Site: 1, Bytes: 300}, "capacity-shrink(site=1,bytes=300)"},
+		{Action{Kind: DriftBurst, Steps: 3}, "drift-burst(steps=3)"},
+	}
+	for _, tc := range cases {
+		if got := tc.a.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

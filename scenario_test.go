@@ -1,0 +1,78 @@
+package vpart_test
+
+import (
+	"context"
+	"testing"
+
+	"vpart"
+)
+
+// TestRunScenarioSiteLossEndToEnd drives the closed-loop harness against a
+// real SA-backed session: a YCSB stream with a site loss mid-run. It gates
+// the two properties the scenario benchmarks rely on — bit-identical
+// reproducibility of fixed-seed runs, and the re-solving advisor realizing no
+// more cost than the frozen stale layout over the post-failure window.
+func TestRunScenarioSiteLossEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end scenario run")
+	}
+	spec := vpart.ScenarioSpec{
+		Name:           "loss-e2e",
+		Traffic:        vpart.ScenarioTrafficYCSB,
+		Seed:           42,
+		Sites:          3,
+		Epochs:         5,
+		EventsPerEpoch: 2000,
+		Shapes:         4096,
+		Actions:        []vpart.ScenarioAction{{Kind: vpart.ScenarioSiteLoss, Epoch: 2, Site: 1}},
+	}
+	opts := vpart.Options{Solver: "sa", Seed: 42}
+
+	run := func() *vpart.ScenarioResult {
+		t.Helper()
+		res, err := vpart.RunScenario(context.Background(), spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+
+	if len(res.Epochs) != spec.Epochs {
+		t.Fatalf("got %d epochs, want %d", len(res.Epochs), spec.Epochs)
+	}
+	if res.FirstActionEpoch != 2 {
+		t.Fatalf("FirstActionEpoch = %d, want 2", res.FirstActionEpoch)
+	}
+	if res.InitialCost <= 0 {
+		t.Fatalf("InitialCost = %g, want > 0", res.InitialCost)
+	}
+	for e, st := range res.Epochs {
+		if st.Events == 0 {
+			t.Fatalf("epoch %d replayed no events", e)
+		}
+		if st.StaleCost <= 0 || st.AdvisorCost <= 0 {
+			t.Fatalf("epoch %d has non-positive realized cost: %+v", e, st)
+		}
+		if e > 0 && !st.ResolveWarm {
+			t.Fatalf("epoch %d re-solve ran cold (warm anchor rejected?)", e)
+		}
+	}
+	// The epochs after the loss must not fault: both sides were degraded off
+	// the dead site.
+	for e := 3; e < spec.Epochs; e++ {
+		if st := res.Epochs[e]; st.StaleFaults != 0 || st.AdvisorFaults != 0 {
+			t.Fatalf("epoch %d still faulting after failover: %+v", e, st)
+		}
+	}
+	// The gate the benchmarks enforce: re-solving realizes no more cost than
+	// staying on the frozen pre-failure layout.
+	if res.CumAdvisorPost > res.CumStalePost {
+		t.Fatalf("advisor realized more post-failure cost than the stale layout: %g > %g",
+			res.CumAdvisorPost, res.CumStalePost)
+	}
+
+	if res2 := run(); res.Fingerprint() != res2.Fingerprint() {
+		t.Fatal("two fixed-seed runs produced different fingerprints")
+	}
+}

@@ -291,6 +291,45 @@ func (s *Session) Apply(delta WorkloadDelta) error {
 	return nil
 }
 
+// UpdateConstraints replaces the session's placement-constraint set and
+// recompiles the cost model against it — how a live session reacts to an
+// operational event (a site loss forbidding placements there, a capacity
+// shrink). The instance, incumbent and drift bookkeeping are untouched: if
+// the incumbent violates the new set, the next Resolve's warm hint is
+// rejected by the Solve facade and the resolve runs cold — Adopt a
+// constraint-satisfying repaired layout first to keep it warm (Session.Adopt
+// judges anchors against the new set). nil or an empty set removes all
+// constraints. On error the session is unchanged.
+func (s *Session) UpdateConstraints(cons *Constraints) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cons.Empty() {
+		cons = nil
+	} else {
+		if s.opts.Disjoint {
+			return fmt.Errorf("vpart: session: placement constraints are not supported together with Disjoint")
+		}
+		if err := cons.Validate(); err != nil {
+			return fmt.Errorf("vpart: session: %w", err)
+		}
+		cons = cons.Clone()
+	}
+	mo := DefaultModelOptions()
+	if s.opts.Model != nil {
+		mo = *s.opts.Model
+	}
+	model, err := core.NewModelConstrained(s.inst, mo, cons)
+	if err != nil {
+		return fmt.Errorf("vpart: session: %w", err)
+	}
+	if err := model.ValidateConstraintSites(s.opts.Sites); err != nil {
+		return fmt.Errorf("vpart: session: %w", err)
+	}
+	s.opts.Constraints = cons
+	s.model = model
+	return nil
+}
+
 // Resolve re-partitions the current instance and installs the result as the
 // new incumbent. The first resolve runs cold; later resolves warm-start the
 // configured solver from the incumbent and hand the decompose meta-solver

@@ -1,0 +1,96 @@
+package vpart_test
+
+import (
+	"context"
+	"testing"
+
+	"vpart"
+)
+
+// historyInstance is the smallest workload a session will accept: resolves
+// on it are near-instant, so driving a session past the history cap stays
+// cheap.
+func historyInstance(t *testing.T) *vpart.Instance {
+	t.Helper()
+	inst := &vpart.Instance{Name: "history"}
+	inst.Schema.Tables = []vpart.Table{{Name: "tab", Attributes: []vpart.Attribute{
+		{Name: "a", Width: 8}, {Name: "b", Width: 4},
+	}}}
+	inst.Workload.Transactions = []vpart.Transaction{{
+		Name: "t0",
+		Queries: []vpart.Query{{
+			Name: "r", Kind: vpart.Read, Frequency: 1,
+			Accesses: []vpart.TableAccess{{Table: "tab", Attributes: []string{"a", "b"}, Rows: 1}},
+		}},
+	}}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// resolveN drives the session through n warm resolves, each preceded by a
+// tiny frequency wobble so every resolve has pending drift.
+func resolveN(t *testing.T, sess *vpart.Session, n int) {
+	t.Helper()
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		factor := 2.0
+		if i%2 == 1 {
+			factor = 0.5 // wobble back so frequencies stay bounded
+		}
+		if err := sess.Apply(vpart.WorkloadDelta{Ops: []vpart.DeltaOp{
+			vpart.ScaleFreq{Txn: "t0", Query: "r", Factor: factor},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sess.Resolve(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSessionHistoryCapBoundary pins the History contract exactly at the
+// cap: after 128 resolves every entry is retained in order; the 129th evicts
+// exactly the oldest one.
+func TestSessionHistoryCapBoundary(t *testing.T) {
+	const wantCap = 128 // mirrors historyCap in session.go
+	sess, err := vpart.NewSession(historyInstance(t), vpart.Options{Sites: 2, Solver: "sa", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resolveN(t, sess, wantCap-1) // resolves 2..128
+
+	hist := sess.History()
+	if len(hist) != wantCap {
+		t.Fatalf("at exactly the cap: History() has %d entries, want %d", len(hist), wantCap)
+	}
+	for i, st := range hist {
+		if st.Resolve != i+1 {
+			t.Fatalf("at exactly the cap: History()[%d].Resolve = %d, want %d", i, st.Resolve, i+1)
+		}
+	}
+
+	// One more resolve crosses the boundary: still wantCap entries, oldest gone,
+	// order preserved.
+	resolveN(t, sess, 1)
+	hist = sess.History()
+	if len(hist) != wantCap {
+		t.Fatalf("past the cap: History() has %d entries, want %d", len(hist), wantCap)
+	}
+	for i, st := range hist {
+		if st.Resolve != i+2 {
+			t.Fatalf("past the cap: History()[%d].Resolve = %d, want %d (resolve 1 must be evicted)", i, st.Resolve, i+2)
+		}
+	}
+
+	// The returned slice is a copy: mutating it must not corrupt the
+	// session's history.
+	hist[0].Resolve = -1
+	if got := sess.History(); got[0].Resolve != 2 {
+		t.Fatalf("History() aliases internal state: got[0].Resolve = %d", got[0].Resolve)
+	}
+}
